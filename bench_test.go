@@ -1,0 +1,112 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 4) at the Quick scale, plus micro-benchmarks of the query path.
+//
+//	go test -bench=. -benchmem                 # everything, quick scale
+//	go test -bench=BenchmarkFig8a              # one figure
+//	go run ./cmd/grouting-bench -run all -scale full   # paper-scale runs
+//
+// Each BenchmarkFigXX / BenchmarkTableX iteration performs one complete
+// experiment (graph generation, preprocessing, workload execution across
+// every configuration the figure sweeps).
+package grouting_test
+
+import (
+	"io"
+	"testing"
+
+	grouting "repro"
+	"repro/internal/experiments"
+)
+
+// benchExperiment runs the registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, experiments.Quick); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Tables.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Figure 7: throughput vs SEDGE/Giraph and PowerGraph.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Figure 8: scalability of the processing and storage tiers.
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B) { benchExperiment(b, "fig8c") }
+
+// Figure 9: cache capacity.
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B) { benchExperiment(b, "fig9c") }
+
+// Figure 10: robustness to graph updates.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Figure 11: load factor and smoothing parameter.
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+
+// Figure 12: embedding dimensionality.
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
+
+// Figure 13: landmark count and separation.
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+
+// Figures 14-16: hotspot radius, traversal depth, other datasets.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Ablations beyond the paper.
+func BenchmarkAblationStealing(b *testing.B)  { benchExperiment(b, "ablation-stealing") }
+func BenchmarkAblationPartition(b *testing.B) { benchExperiment(b, "ablation-partition") }
+func BenchmarkAblationBatch(b *testing.B)     { benchExperiment(b, "ablation-batch") }
+
+// Micro-benchmarks: the per-query execution path under each policy on a
+// warm system (graph generation and preprocessing excluded).
+func benchQueryPath(b *testing.B, policy grouting.Policy) {
+	b.Helper()
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.05, 42)
+	sys, err := grouting.NewSystem(g, grouting.Config{
+		Processors: 4, StorageServers: 2, Policy: policy,
+		Landmarks: 16, MinSeparation: 2, Dimensions: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := grouting.Query{
+			Type: grouting.NeighborAgg,
+			Node: grouting.NodeID(uint32(i*97) % uint32(g.NumNodes())),
+			Hops: 2, Dir: grouting.Out,
+		}
+		if _, _, err := ses.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryNoCache(b *testing.B)  { benchQueryPath(b, grouting.PolicyNoCache) }
+func BenchmarkQueryHash(b *testing.B)     { benchQueryPath(b, grouting.PolicyHash) }
+func BenchmarkQueryLandmark(b *testing.B) { benchQueryPath(b, grouting.PolicyLandmark) }
+func BenchmarkQueryEmbed(b *testing.B)    { benchQueryPath(b, grouting.PolicyEmbed) }

@@ -1,0 +1,84 @@
+// Command grouting-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	grouting-bench -list
+//	grouting-bench -run fig8a                 # one experiment, quick scale
+//	grouting-bench -run all -scale full       # everything at paper scale
+//	grouting-bench -run fig7 -graphscale 0.5  # override the graph size
+//
+// Output is a paper-style text table per experiment, with the expected
+// qualitative shape quoted from the paper next to the measured rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runID      = flag.String("run", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		scaleName  = flag.String("scale", "quick", "quick or full")
+		graphScale = flag.Float64("graphscale", 0, "override the dataset scale factor")
+		hotspots   = flag.Int("hotspots", 0, "override the number of workload hotspots")
+		seed       = flag.Int64("seed", 0, "override the experiment seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %-14s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		return
+	}
+	if *runID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc := experiments.Quick
+	switch *scaleName {
+	case "quick":
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *graphScale > 0 {
+		sc.GraphScale = *graphScale
+	}
+	if *hotspots > 0 {
+		sc.Hotspots = *hotspots
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	var toRun []experiments.Experiment
+	if *runID == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.Get(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,109 @@
+// Command grouting-cli is the client for a networked gRouting deployment:
+// it loads a dataset into the storage tier and issues queries through the
+// router.
+//
+//	# load the (seeded, regenerable) dataset into the storage shards
+//	grouting-cli -load -dataset webgraph -graphscale 0.05 \
+//	    -storage 127.0.0.1:7001,127.0.0.1:7002
+//
+//	# run a workload through the router and verify against the oracle
+//	grouting-cli -router 127.0.0.1:7200 -dataset webgraph -graphscale 0.05 \
+//	    -hotspots 20 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/query"
+	"repro/internal/rpc"
+)
+
+func main() {
+	var (
+		load       = flag.Bool("load", false, "load the dataset into the storage tier and exit")
+		storage    = flag.String("storage", "", "comma-separated storage addresses (for -load)")
+		routerAddr = flag.String("router", "", "router address (for querying)")
+		dataset    = flag.String("dataset", "webgraph", "dataset preset")
+		graphScale = flag.Float64("graphscale", 0.05, "dataset scale")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		hotspots   = flag.Int("hotspots", 10, "workload hotspots")
+		perHotspot = flag.Int("per-hotspot", 10, "queries per hotspot")
+		r          = flag.Int("r", 2, "hotspot radius (hops)")
+		h          = flag.Int("h", 2, "traversal depth (hops)")
+		verify     = flag.Bool("verify", false, "check every result against the in-memory oracle")
+	)
+	flag.Parse()
+
+	g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
+	exitOn(err)
+
+	if *load {
+		addrs := splitAddrs(*storage)
+		if len(addrs) == 0 {
+			exitOn(fmt.Errorf("-load needs -storage"))
+		}
+		sc, err := rpc.DialStorage(addrs)
+		exitOn(err)
+		defer sc.Close()
+		start := time.Now()
+		exitOn(sc.LoadGraph(g))
+		fmt.Printf("loaded %d nodes / %d edges across %d shards in %v\n",
+			g.NumNodes(), g.NumEdges(), len(addrs), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *routerAddr == "" {
+		fmt.Fprintln(os.Stderr, "need -load or -router")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cl, err := rpc.DialRouter(*routerAddr)
+	exitOn(err)
+	defer cl.Close()
+
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots: *hotspots, QueriesPerHotspot: *perHotspot, R: *r, H: *h, Seed: *seed + 1,
+	})
+	start := time.Now()
+	wrong := 0
+	for _, q := range qs {
+		res, err := cl.Execute(q)
+		exitOn(err)
+		if *verify && res != query.Answer(g, q) {
+			wrong++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d queries in %v (%.1f q/s, mean %.2fms)\n",
+		len(qs), elapsed.Round(time.Millisecond),
+		float64(len(qs))/elapsed.Seconds(),
+		elapsed.Seconds()*1000/float64(len(qs)))
+	if *verify {
+		if wrong > 0 {
+			exitOn(fmt.Errorf("%d of %d results disagree with the oracle", wrong, len(qs)))
+		}
+		fmt.Println("all results verified against the oracle")
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command groutingd runs one daemon of the decoupled deployment: a storage
+// shard, a query processor, or the query router.
+//
+// A minimal localhost deployment:
+//
+//	groutingd -role storage -listen 127.0.0.1:7001 &
+//	groutingd -role storage -listen 127.0.0.1:7002 &
+//	groutingd -role processor -listen 127.0.0.1:7101 \
+//	    -storage 127.0.0.1:7001,127.0.0.1:7002 &
+//	groutingd -role router -listen 127.0.0.1:7200 \
+//	    -processors 127.0.0.1:7101 -policy landmark \
+//	    -dataset webgraph -graphscale 0.05 &
+//
+// Smart routing policies need the graph for preprocessing, so the router
+// regenerates the named dataset (the same seeded generator grouting-cli
+// uses to load the storage tier).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/rpc"
+)
+
+func main() {
+	var (
+		role       = flag.String("role", "", "storage | processor | router")
+		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		storage    = flag.String("storage", "", "comma-separated storage addresses (processor role)")
+		processors = flag.String("processors", "", "comma-separated processor addresses (router role)")
+		policy     = flag.String("policy", "nextready", "routing policy: nextready | hash | landmark | embed")
+		cacheMB    = flag.Int64("cache-mb", 256, "processor cache capacity in MiB")
+		dataset    = flag.String("dataset", "webgraph", "dataset preset for smart-routing preprocessing (router role)")
+		graphScale = flag.Float64("graphscale", 0.05, "dataset scale for preprocessing (router role)")
+		seed       = flag.Int64("seed", 42, "generator / preprocessing seed")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "storage":
+		s, err := rpc.NewStorageServer(*listen)
+		exitOn(err)
+		fmt.Printf("storage shard listening on %s\n", s.Addr())
+		select {}
+	case "processor":
+		addrs := splitAddrs(*storage)
+		if len(addrs) == 0 {
+			exitOn(fmt.Errorf("processor role needs -storage"))
+		}
+		p, err := rpc.NewProcessorServer(*listen, addrs, *cacheMB<<20)
+		exitOn(err)
+		fmt.Printf("processor listening on %s (storage: %s)\n", p.Addr(), *storage)
+		select {}
+	case "router":
+		addrs := splitAddrs(*processors)
+		if len(addrs) == 0 {
+			exitOn(fmt.Errorf("router role needs -processors"))
+		}
+		g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
+		exitOn(err)
+		strat, err := rpc.BuildStrategy(*policy, g, len(addrs), *seed)
+		exitOn(err)
+		r, err := rpc.NewRouterServer(*listen, rpc.RouterConfig{ProcessorAddrs: addrs, Strategy: strat})
+		exitOn(err)
+		fmt.Printf("router listening on %s (policy %s, %d processors)\n", r.Addr(), *policy, len(addrs))
+		select {}
+	default:
+		fmt.Fprintln(os.Stderr, "need -role storage|processor|router")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Knowledge-graph example (paper Intro, example 3 and Figure 3): entity
+// relations in a Freebase-like graph, answering label-filtered
+// neighbourhood aggregation ("how many type7 entities within 2 hops of
+// this hub?") and distance-constrained reachability between entities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	grouting "repro"
+)
+
+func main() {
+	g := grouting.GenerateDataset(grouting.Freebase, 0.1, 42)
+	fmt.Printf("knowledge graph: %d entities, %d relations\n\n", g.NumNodes(), g.NumEdges())
+
+	sys, err := grouting.NewSystem(g, grouting.Config{
+		Processors:     4,
+		StorageServers: 2,
+		Policy:         grouting.PolicyLandmark,
+		Landmarks:      16,
+		MinSeparation:  1,
+		Seed:           5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a hub entity (dense knowledge-graph entities behave like the
+	// paper's "Google" / "Asian people" examples).
+	var hub grouting.NodeID
+	for id := grouting.NodeID(0); id < g.MaxNodeID(); id++ {
+		if g.Exists(id) && g.Degree(id) > g.Degree(hub) {
+			hub = id
+		}
+	}
+	fmt.Printf("hub entity: node %d (label %q, degree %d)\n\n", hub, g.NodeLabel(hub), g.Degree(hub))
+
+	// Unfiltered vs label-filtered 2-hop aggregation.
+	all, lat, err := ses.Execute(grouting.Query{
+		Type: grouting.NeighborAgg, Node: hub, Hops: 2, Dir: grouting.Both,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entities within 2 hops of the hub: %d (in %v)\n", all.Count, lat)
+	for _, label := range []string{"type1", "type7"} {
+		res, lat, err := ses.Execute(grouting.Query{
+			Type: grouting.NeighborAgg, Node: hub, Hops: 2, Dir: grouting.Both, CountLabel: label,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ... of type %q: %d (in %v; warm cache)\n", label, res.Count, lat)
+	}
+
+	// Distance-constrained reachability between random entity pairs.
+	fmt.Println("\ndistance-constrained reachability (<= 4 hops):")
+	reachable := 0
+	for probe := grouting.NodeID(10); probe < 20; probe++ {
+		res, _, err := ses.Execute(grouting.Query{
+			Type: grouting.Reachability, Node: probe, Target: hub, Hops: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Reachable {
+			reachable++
+		}
+	}
+	fmt.Printf("  %d of 10 probed entities reach the hub within 4 hops\n", reachable)
+	hits, misses := ses.Stats()
+	fmt.Printf("\nsession cache: %d hits, %d misses\n", hits, misses)
+}

@@ -1,0 +1,171 @@
+// Package grouting is a Go implementation of gRouting — the smart query
+// routing framework for distributed graph querying with decoupled storage
+// described in:
+//
+//	Arijit Khan, Gustavo Segovia, Donald Kossmann.
+//	"On Smart Query Routing: For Distributed Graph Querying with
+//	Decoupled Storage." USENIX ATC 2018 (arXiv:1611.03959).
+//
+// The system decouples query processing from graph storage: the graph
+// lives in a sharded in-memory key-value store (hash partitioned, as
+// RAMCloud does), a tier of stateless query processors answers h-hop
+// traversal queries out of per-processor LRU caches, and a query router in
+// front decides — per query — which processor should handle it. The smart
+// routing strategies (landmark and graph-embedding based) send successive
+// queries on nearby nodes to the same processor, so the overlapping parts
+// of their h-hop neighbourhoods are already cached there.
+//
+// # Quick start
+//
+//	g := grouting.GenerateDataset(grouting.WebGraph, 0.1, 42)
+//	sys, err := grouting.NewSystem(g, grouting.Config{Policy: grouting.PolicyEmbed})
+//	if err != nil { ... }
+//	ses, err := sys.NewSession()
+//	res, latency, err := ses.Execute(grouting.Query{
+//		Type: grouting.NeighborAgg, Node: 123, Hops: 2, Dir: grouting.Out,
+//	})
+//
+// The package re-exports the building blocks (graph model, workload
+// generator, cluster profiles, routing policies) so downstream users never
+// import internal packages. Experiment harnesses that regenerate every
+// table and figure of the paper live under cmd/grouting-bench.
+package grouting
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/simnet"
+)
+
+// Graph model (Section 2.1): a labelled directed multigraph storing both
+// in- and out-edges per node.
+type (
+	// Graph is the in-memory labelled directed graph.
+	Graph = graph.Graph
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// Edge is one adjacency entry (endpoint + edge label).
+	Edge = graph.Edge
+	// Direction selects out-edges, in-edges or both for a traversal.
+	Direction = graph.Direction
+)
+
+// Traversal directions.
+const (
+	Out  = graph.Out
+	In   = graph.In
+	Both = graph.Both
+)
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewGraphWithCapacity returns an empty graph with storage pre-allocated
+// for n nodes.
+func NewGraphWithCapacity(n int) *Graph { return graph.NewWithCapacity(n) }
+
+// Queries (Section 2.2): the three online h-hop traversal kinds.
+type (
+	// Query is one online request.
+	Query = query.Query
+	// Result is a query answer.
+	Result = query.Result
+	// QueryType enumerates the query kinds.
+	QueryType = query.Type
+	// WorkloadSpec configures the hotspot workload generator (Section 4.1).
+	WorkloadSpec = query.WorkloadSpec
+)
+
+// Query types.
+const (
+	// NeighborAgg counts (optionally label-filtered) h-hop neighbours.
+	NeighborAgg = query.NeighborAgg
+	// RandomWalk runs an h-step random walk with restart.
+	RandomWalk = query.RandomWalk
+	// Reachability answers h-hop reachability via bidirectional BFS.
+	Reachability = query.Reachability
+)
+
+// HotspotWorkload generates the paper's workload: hotspot regions with
+// consecutive queries on nearby nodes (Section 4.1).
+func HotspotWorkload(g *Graph, spec WorkloadSpec) []Query { return query.Hotspot(g, spec) }
+
+// Answer computes a query's reference result directly on the in-memory
+// graph (the oracle the distributed system must agree with).
+func Answer(g *Graph, q Query) Result { return query.Answer(g, q) }
+
+// System assembly.
+type (
+	// Config describes a deployment (tier sizes, routing policy, cache
+	// capacity, smart-routing parameters). The zero value uses the paper's
+	// defaults: 7 processors, 4 storage servers, Infiniband, embed
+	// routing, 4 GB caches, 96 landmarks, 10 dimensions.
+	Config = core.Config
+	// System is an assembled decoupled deployment over one graph.
+	System = core.System
+	// Session executes queries interactively with persistent caches.
+	Session = core.Session
+	// Report summarises a workload run (throughput, response time, cache
+	// hits/misses — the quantities the paper's figures plot).
+	Report = core.Report
+	// Policy selects the routing scheme.
+	Policy = core.Policy
+	// NetworkProfile is a cluster cost model (latency, bandwidth,
+	// per-operation costs) used by the virtual-time engine.
+	NetworkProfile = simnet.Profile
+)
+
+// Routing policies (Sections 3.3 and 3.4).
+const (
+	// PolicyNoCache disables processor caches (the no-cache control).
+	PolicyNoCache = core.PolicyNoCache
+	// PolicyNextReady dispatches to the least-loaded processor.
+	PolicyNextReady = core.PolicyNextReady
+	// PolicyHash dispatches by node-id modulo hashing (Eq 1).
+	PolicyHash = core.PolicyHash
+	// PolicyLandmark routes by landmark regions (Section 3.4.1).
+	PolicyLandmark = core.PolicyLandmark
+	// PolicyEmbed routes by graph embedding (Section 3.4.2) — the paper's
+	// best performer and the default.
+	PolicyEmbed = core.PolicyEmbed
+)
+
+// NewSystem loads g into the storage tier, runs the preprocessing the
+// configured policy needs (landmark BFS, embedding), and returns a
+// ready-to-query system.
+func NewSystem(g *Graph, cfg Config) (*System, error) { return core.NewSystem(g, cfg) }
+
+// Infiniband returns the 40 Gbps RDMA cluster profile (the paper's primary
+// deployment).
+func Infiniband() NetworkProfile { return simnet.Infiniband() }
+
+// Ethernet returns the 10 GbE profile (gRouting-E and the coupled
+// baselines).
+func Ethernet() NetworkProfile { return simnet.Ethernet() }
+
+// Dataset names one of the paper's four graph datasets (Table 1), which
+// this package regenerates synthetically at any scale.
+type Dataset = gen.Dataset
+
+// The four dataset presets of Table 1.
+const (
+	WebGraph    = gen.WebGraph
+	Friendster  = gen.Friendster
+	Memetracker = gen.Memetracker
+	Freebase    = gen.Freebase
+)
+
+// GenerateDataset builds the named synthetic dataset at the given scale
+// (1.0 is the default benchmark size; the paper's originals are listed in
+// Table 1 of the README). Identical (dataset, scale, seed) triples produce
+// identical graphs. It panics on an unknown dataset name; use gen.Preset
+// for error handling.
+func GenerateDataset(d Dataset, scale float64, seed int64) *Graph {
+	g, err := gen.Preset(d, scale, seed)
+	if err != nil {
+		panic("grouting: " + err.Error())
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+package grouting_test
+
+import (
+	"testing"
+
+	grouting "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way a
+// downstream user would: build a graph, assemble a system, run queries.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.02, 7)
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty generated graph")
+	}
+	sys, err := grouting.NewSystem(g, grouting.Config{
+		Processors:     3,
+		StorageServers: 2,
+		Policy:         grouting.PolicyLandmark,
+		Landmarks:      8,
+		MinSeparation:  1,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := grouting.Query{Type: grouting.NeighborAgg, Node: 10, Hops: 2, Dir: grouting.Out}
+	res, latency, err := ses.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latency <= 0 {
+		t.Fatalf("latency = %v", latency)
+	}
+	if want := grouting.Answer(g, q); res != want {
+		t.Fatalf("result %+v != oracle %+v", res, want)
+	}
+}
+
+func TestPublicWorkloadRun(t *testing.T) {
+	g := grouting.GenerateDataset(grouting.Memetracker, 0.02, 3)
+	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
+		NumHotspots: 5, QueriesPerHotspot: 4, R: 2, H: 2, Seed: 9,
+	})
+	sys, err := grouting.NewSystem(g, grouting.Config{
+		Processors: 2, StorageServers: 2, Policy: grouting.PolicyHash, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWorkload(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != len(qs) || rep.ThroughputQPS <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, q := range qs {
+		if rep.Results[q.ID] != grouting.Answer(g, q) {
+			t.Fatalf("query %d disagrees with oracle", q.ID)
+		}
+	}
+}
+
+func TestPublicGraphConstruction(t *testing.T) {
+	g := grouting.NewGraph()
+	jerry := g.AddNode("Jerry Yang")
+	yahoo := g.AddNode("Yahoo!")
+	if err := g.AddEdge(jerry, yahoo, "founded"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(jerry, yahoo) {
+		t.Fatal("edge missing")
+	}
+	g2 := grouting.NewGraphWithCapacity(100)
+	g2.AddNodes(100)
+	if g2.NumNodes() != 100 {
+		t.Fatal("bulk add failed")
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	ib, eth := grouting.Infiniband(), grouting.Ethernet()
+	if ib.RTT >= eth.RTT {
+		t.Fatal("profile latencies inverted")
+	}
+}
+
+func TestGenerateDatasetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown dataset")
+		}
+	}()
+	grouting.GenerateDataset("nope", 1, 1)
+}

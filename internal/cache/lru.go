@@ -1,0 +1,173 @@
+// Package cache implements the query processors' cache (Section 2.3):
+// a byte-capacity-bounded LRU keyed by node id.
+//
+// "Whenever some data is retrieved from the storage, it is saved in cache
+// ... When the addition of a new entry surpasses this storage limit, one or
+// more old entries are evicted from the cache. We chose the LRU eviction
+// policy because of its simplicity ... it favors recent queries. Thus, it
+// performs well with our smart routing schemes."
+//
+// The cache is generic over the cached value so processors can cache
+// decoded records without re-parsing. It is not safe for concurrent use;
+// each processor owns one cache.
+package cache
+
+import "container/list"
+
+// EntryOverhead approximates the per-entry bookkeeping cost (map bucket +
+// list element + headers) charged against the capacity in addition to the
+// caller-declared value size.
+const EntryOverhead = 64
+
+// Stats counts cache activity. TouchedBytes tracks the cumulative size of
+// values admitted, which the capacity experiments use to size working sets.
+type Stats struct {
+	Hits, Misses   int64
+	Inserts        int64
+	Evictions      int64
+	Rejected       int64 // values larger than the whole cache
+	CurrentBytes   int64
+	CapacityBytes  int64
+	CumInsertBytes int64
+}
+
+// LRU is a least-recently-used cache with byte-capacity accounting.
+type LRU[V any] struct {
+	capacity int64
+	size     int64
+	ll       *list.List // front = most recent
+	items    map[uint64]*list.Element
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key  uint64
+	val  V
+	cost int64
+}
+
+// New creates a cache holding up to capacity bytes (values + per-entry
+// overhead). A capacity <= 0 yields a cache that stores nothing — the
+// paper's "no-cache" mode uses that degenerate configuration.
+func New[V any](capacity int64) *LRU[V] {
+	return &LRU[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most-recently-used.
+func (c *LRU[V]) Get(key uint64) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	c.stats.Misses++
+	return zero, false
+}
+
+// Contains reports residency without touching recency or statistics.
+func (c *LRU[V]) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or replaces the value for key. valBytes is the caller's size
+// estimate for the value (e.g. the encoded record length); the cache adds
+// EntryOverhead. Oversized values are rejected rather than flushing the
+// whole cache. It returns the number of entries evicted.
+func (c *LRU[V]) Put(key uint64, val V, valBytes int64) int {
+	cost := valBytes + EntryOverhead
+	if cost > c.capacity {
+		c.stats.Rejected++
+		// An existing entry under this key keeps its old value; the caller
+		// replaced it with something uncacheable, so drop it.
+		if el, ok := c.items[key]; ok {
+			c.removeElement(el)
+		}
+		return 0
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[V])
+		c.size += cost - e.cost
+		e.val = val
+		e.cost = cost
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry[V]{key: key, val: val, cost: cost})
+		c.items[key] = el
+		c.size += cost
+		c.stats.Inserts++
+		c.stats.CumInsertBytes += valBytes
+	}
+	evicted := 0
+	for c.size > c.capacity {
+		c.evictOldest()
+		evicted++
+	}
+	return evicted
+}
+
+// Remove drops key from the cache, reporting whether it was resident.
+func (c *LRU[V]) Remove(key uint64) bool {
+	el, ok := c.items[key]
+	if ok {
+		c.removeElement(el)
+	}
+	return ok
+}
+
+func (c *LRU[V]) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.removeElement(el)
+	c.stats.Evictions++
+}
+
+func (c *LRU[V]) removeElement(el *list.Element) {
+	e := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.size -= e.cost
+}
+
+// Len returns the number of resident entries.
+func (c *LRU[V]) Len() int { return c.ll.Len() }
+
+// Size returns the current charged bytes (values + overhead).
+func (c *LRU[V]) Size() int64 { return c.size }
+
+// Capacity returns the configured byte capacity.
+func (c *LRU[V]) Capacity() int64 { return c.capacity }
+
+// Stats returns a snapshot of the counters.
+func (c *LRU[V]) Stats() Stats {
+	s := c.stats
+	s.CurrentBytes = c.size
+	s.CapacityBytes = c.capacity
+	return s
+}
+
+// Reset empties the cache and zeroes the statistics (cold-cache start, as
+// every experiment in Section 4 begins with an empty cache).
+func (c *LRU[V]) Reset() {
+	c.ll.Init()
+	clear(c.items)
+	c.size = 0
+	c.stats = Stats{}
+}
+
+// Keys returns the resident keys from most- to least-recently used.
+// Intended for tests and debugging.
+func (c *LRU[V]) Keys() []uint64 {
+	out := make([]uint64, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[V]).key)
+	}
+	return out
+}

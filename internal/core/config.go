@@ -1,0 +1,204 @@
+// Package core assembles the paper's decoupled graph-querying system
+// (gRouting, Figure 2): a query router in front of a stateless processing
+// tier with per-processor LRU caches, backed by the distributed key-value
+// storage tier.
+//
+// The engine executes real queries against real storage — results are
+// exact and verified against the in-memory oracle — while time advances on
+// a deterministic virtual clock driven by a simnet.Profile, so throughput,
+// latency, contention and cache effects reproduce the paper's cluster
+// behaviour on a single machine.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/kvstore"
+	"repro/internal/simnet"
+)
+
+// Policy selects the routing scheme (Section 3.3-3.4) plus the paper's
+// no-cache control configuration.
+type Policy int
+
+const (
+	// PolicyNoCache routes next-ready with caching disabled entirely: no
+	// cache lookups, no maintenance cost (Section 4.1's "no-cache" mode).
+	PolicyNoCache Policy = iota
+	// PolicyNextReady is the first baseline: least-loaded dispatch.
+	PolicyNextReady
+	// PolicyHash is the second baseline: node-id modulo hashing (Eq 1).
+	PolicyHash
+	// PolicyLandmark is smart routing via landmark regions (Section 3.4.1).
+	PolicyLandmark
+	// PolicyEmbed is smart routing via graph embedding (Section 3.4.2).
+	PolicyEmbed
+)
+
+// Policies lists every policy in presentation order (the order the paper's
+// figures use).
+var Policies = []Policy{PolicyNoCache, PolicyNextReady, PolicyHash, PolicyLandmark, PolicyEmbed}
+
+// SmartPolicies lists only the smart routing schemes.
+var SmartPolicies = []Policy{PolicyLandmark, PolicyEmbed}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNoCache:
+		return "nocache"
+	case PolicyNextReady:
+		return "nextready"
+	case PolicyHash:
+		return "hash"
+	case PolicyLandmark:
+		return "landmark"
+	case PolicyEmbed:
+		return "embed"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// NeedsLandmarks reports whether the policy requires landmark
+// preprocessing.
+func (p Policy) NeedsLandmarks() bool { return p == PolicyLandmark || p == PolicyEmbed }
+
+// Config describes one system deployment. The zero value plus a graph is
+// runnable: defaults follow the paper's setup (Section 4.1).
+type Config struct {
+	// Processors is the number of query processing servers (paper: 7).
+	Processors int
+	// StorageServers is the number of storage servers (paper: 4).
+	StorageServers int
+	// Network is the cluster cost profile (default Infiniband).
+	Network simnet.Profile
+	// Policy picks the routing scheme (default PolicyEmbed, the paper's
+	// best performer).
+	Policy Policy
+	// CacheBytes is each processor's cache capacity (paper default: 4 GB,
+	// "large enough for our queries").
+	CacheBytes int64
+	// DisableStealing turns off query stealing (Requirement 2); on by
+	// default as in the paper.
+	DisableStealing bool
+	// LoadFactor is Eq 3/7's divisor (paper optimum: 20).
+	LoadFactor float64
+	// Alpha is Eq 5's EMA smoothing parameter (paper optimum: 0.5).
+	Alpha float64
+	// Landmarks is |L| (paper optimum: 96).
+	Landmarks int
+	// MinSeparation is the minimum hop separation between landmarks
+	// (paper optimum: 3).
+	MinSeparation int
+	// Dimensions is the embedding dimensionality (paper optimum: 10).
+	Dimensions int
+	// Seed drives every stochastic choice (landmark ties, embedding
+	// initialisation, router EMA init). Identical configs + seeds produce
+	// identical reports.
+	Seed int64
+	// PreprocessFraction < 1 builds the smart-routing preprocessing on an
+	// induced subgraph of that fraction of nodes, incorporating the rest
+	// incrementally (Figure 10's robustness experiment). Default 1.
+	PreprocessFraction float64
+	// Placer overrides storage-tier key placement (default murmur hash) —
+	// the partitioning ablation.
+	Placer kvstore.Placer
+	// NoBatching disables frontier-batched multi-reads: every record is
+	// fetched with its own round trip, sequentially. Exists for the
+	// batching ablation; always off in the paper configuration.
+	NoBatching bool
+	// FailedProcessors lists processor indices that are down for the whole
+	// run: the router diverts their queries to the next-best live
+	// processor (the decoupled design's fault-tolerance property).
+	FailedProcessors []int
+	// PrepWorkers bounds preprocessing parallelism (0 = GOMAXPROCS).
+	PrepWorkers int
+	// EmbedNM tunes the embedding optimiser (tests shrink it for speed).
+	EmbedNM embed.NMOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 7
+	}
+	if c.StorageServers == 0 {
+		c.StorageServers = 4
+	}
+	if c.Network.Name == "" {
+		c.Network = simnet.Infiniband()
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 4 << 30
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 96
+	}
+	if c.MinSeparation == 0 {
+		c.MinSeparation = 3
+	}
+	if c.Dimensions == 0 {
+		c.Dimensions = 10
+	}
+	if c.PreprocessFraction == 0 {
+		c.PreprocessFraction = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Processors < 1 {
+		return fmt.Errorf("core: Processors = %d, need >= 1", c.Processors)
+	}
+	if c.StorageServers < 1 {
+		return fmt.Errorf("core: StorageServers = %d, need >= 1", c.StorageServers)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: Alpha = %v outside [0,1]", c.Alpha)
+	}
+	if c.PreprocessFraction < 0 || c.PreprocessFraction > 1 {
+		return fmt.Errorf("core: PreprocessFraction = %v outside (0,1]", c.PreprocessFraction)
+	}
+	if c.Policy.NeedsLandmarks() && c.Landmarks < 2 {
+		return fmt.Errorf("core: policy %v needs >= 2 landmarks, have %d", c.Policy, c.Landmarks)
+	}
+	alive := c.Processors
+	for _, p := range c.FailedProcessors {
+		if p < 0 || p >= c.Processors {
+			return fmt.Errorf("core: failed processor %d out of range [0,%d)", p, c.Processors)
+		}
+		alive--
+	}
+	if alive < 1 {
+		return fmt.Errorf("core: all %d processors marked failed", c.Processors)
+	}
+	return nil
+}
+
+// PrepStats records preprocessing wall time and router-side storage — the
+// quantities of Tables 2 and 3.
+type PrepStats struct {
+	// SelectTime covers landmark selection.
+	SelectTime time.Duration
+	// BFSTime covers the per-landmark BFS distance fields.
+	BFSTime time.Duration
+	// EmbedLandmarkTime covers anchor placement; EmbedNodeTime the
+	// parallel per-node placement.
+	EmbedLandmarkTime time.Duration
+	EmbedNodeTime     time.Duration
+	// LandmarkBytes is the router's d(u,p) table size; EmbedBytes the
+	// coordinate table size; IndexBytes the BFS distance fields.
+	LandmarkBytes int64
+	EmbedBytes    int64
+	IndexBytes    int64
+	// GraphBytes is the encoded graph size in the storage tier.
+	GraphBytes int64
+	// Landmarks is the number of landmarks actually selected.
+	Landmarks int
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/router"
+	"repro/internal/simnet"
+)
+
+// ProcReport summarises one processor's share of a workload run.
+type ProcReport struct {
+	Executed int
+	Busy     time.Duration
+	Cache    cache.Stats
+}
+
+// Report is the outcome of a workload run: the quantities every figure in
+// Section 4 plots.
+type Report struct {
+	Policy         string
+	Network        string
+	Processors     int
+	StorageServers int
+	Queries        int
+
+	// Makespan is the virtual time at which the last query completed;
+	// ThroughputQPS = Queries / Makespan.
+	Makespan      time.Duration
+	ThroughputQPS float64
+
+	// MeanResponse is the average per-query service latency (routing
+	// decision + cache/storage data movement + compute), the paper's
+	// "query response time".
+	MeanResponse time.Duration
+	P50Response  time.Duration
+	P95Response  time.Duration
+	P99Response  time.Duration
+
+	// CacheHits/CacheMisses follow Eq 8/9: record accesses served from
+	// processor caches vs pulled from storage. Touched = Hits + Misses.
+	CacheHits   int64
+	CacheMisses int64
+	Touched     int64
+	HitRate     float64
+
+	FetchedBytes int64
+	RouterTime   time.Duration
+	Stolen       int
+	// Diverted counts queries re-routed away from failed processors.
+	Diverted int
+
+	PerProc []ProcReport
+	Results []query.Result
+	// ExecProc records which processor executed each query (indexed by
+	// query ID) — the post-stealing placement, useful for locality
+	// diagnostics and tests.
+	ExecProc []int
+	// HitsByID records per-query cache hits (indexed by query ID).
+	HitsByID []int64
+	Prep     PrepStats
+}
+
+// RunWorkload executes the queries through a fresh router/processor state
+// (cold caches, as in every experiment of Section 4) and returns the
+// report. Query IDs must be unique and within [0, len(qs)); the generator
+// in package query produces exactly that.
+func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
+	strat, err := s.buildStrategy()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := router.New(strat, s.cfg.Processors, !s.cfg.DisableStealing)
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, len(qs))
+	for _, q := range qs {
+		if q.ID < 0 || q.ID >= len(qs) || seen[q.ID] {
+			return nil, fmt.Errorf("core: query IDs must be unique in [0,%d): bad ID %d", len(qs), q.ID)
+		}
+		seen[q.ID] = true
+	}
+
+	procs := s.newProcs()
+	tl := simnet.NewTimeline(s.cfg.StorageServers)
+	prof := s.cfg.Network
+	decisionCost := prof.RouterBase + time.Duration(strat.DecisionUnits())*prof.RouterPerUnit
+
+	var routerBusy time.Duration
+
+	rep := &Report{
+		Policy:         s.cfg.Policy.String(),
+		Network:        prof.Name,
+		Processors:     s.cfg.Processors,
+		StorageServers: s.cfg.StorageServers,
+		Queries:        len(qs),
+		Results:        make([]query.Result, len(qs)),
+		ExecProc:       make([]int, len(qs)),
+		HitsByID:       make([]int64, len(qs)),
+		Prep:           s.prep,
+	}
+
+	next := make([]time.Duration, s.cfg.Processors) // per-processor availability
+	done := make([]bool, s.cfg.Processors)
+	for _, p := range s.cfg.FailedProcessors {
+		done[p] = true
+		rt.SetAlive(p, false)
+	}
+	var lat metrics.Durations
+	var agg execStats
+	remaining := len(qs)
+	stream := 0 // next workload query to route
+
+	for remaining > 0 {
+		// Earliest-available live processor executes next (deterministic
+		// tie-break by index).
+		p := -1
+		for i := range next {
+			if done[i] {
+				continue
+			}
+			if p < 0 || next[i] < next[p] {
+				p = i
+			}
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("core: %d queries stranded with all processors idle (stealing disabled?)", remaining)
+		}
+		// Ack-based dispatch (Section 3.2): the router admits queries from
+		// the client stream on demand, so per-connection queues stay short
+		// and their lengths are a live load signal, exactly as when the
+		// paper's router releases the next query on a processor's ack.
+		for rt.QueueLen(p) == 0 && stream < len(qs) {
+			rt.Route(qs[stream])
+			stream++
+			routerBusy += decisionCost
+		}
+		q, ok := rt.Next(p)
+		if !ok {
+			done[p] = true
+			continue
+		}
+		res, service, st, err := s.execute(procs[p], q, next[p], tl)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results[q.ID] = res
+		rep.ExecProc[q.ID] = p
+		rep.HitsByID[q.ID] = st.hits
+		lat.Add(decisionCost + service)
+		next[p] += service
+		agg.add(st)
+		remaining--
+	}
+
+	for i, pr := range procs {
+		rep.PerProc = append(rep.PerProc, ProcReport{
+			Executed: rt.Executed()[i],
+			Busy:     next[i],
+			Cache:    pr.cache.Stats(),
+		})
+		if next[i] > rep.Makespan {
+			rep.Makespan = next[i]
+		}
+	}
+	if rep.Makespan > 0 {
+		rep.ThroughputQPS = float64(len(qs)) / rep.Makespan.Seconds()
+	} else {
+		rep.ThroughputQPS = math.Inf(1)
+	}
+	rep.MeanResponse = lat.Mean()
+	rep.P50Response = lat.Percentile(0.5)
+	rep.P95Response = lat.Percentile(0.95)
+	rep.P99Response = lat.Percentile(0.99)
+	rep.CacheHits = agg.hits
+	rep.CacheMisses = agg.misses
+	rep.Touched = agg.hits + agg.misses
+	if rep.Touched > 0 {
+		rep.HitRate = float64(agg.hits) / float64(rep.Touched)
+	}
+	rep.FetchedBytes = agg.fetchedBytes
+	rep.RouterTime = routerBusy
+	rep.Stolen = rt.Stolen()
+	rep.Diverted = rt.Diverted()
+	return rep, nil
+}
+
+// Session is an interactive handle over a running system: queries execute
+// one at a time through the router, processor caches persist between
+// calls. Examples and the networked daemon use it; experiments use
+// RunWorkload.
+type Session struct {
+	sys   *System
+	rt    *router.Router
+	procs []*proc
+	tl    *simnet.Timeline
+	now   time.Duration
+	stats execStats
+	count int
+}
+
+// NewSession creates a session with cold caches.
+func (s *System) NewSession() (*Session, error) {
+	strat, err := s.buildStrategy()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := router.New(strat, s.cfg.Processors, !s.cfg.DisableStealing)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		sys:   s,
+		rt:    rt,
+		procs: s.newProcs(),
+		tl:    simnet.NewTimeline(s.cfg.StorageServers),
+	}, nil
+}
+
+// Execute routes and runs one query, returning its result and virtual
+// service latency.
+func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) {
+	q.ID = ses.count
+	p := ses.rt.Route(q)
+	q2, ok := ses.rt.Next(p)
+	if !ok {
+		return query.Result{}, 0, fmt.Errorf("core: routed query vanished from queue %d", p)
+	}
+	res, service, st, err := ses.sys.execute(ses.procs[p], q2, ses.now, ses.tl)
+	if err != nil {
+		return query.Result{}, 0, err
+	}
+	ses.now += service
+	ses.stats.add(st)
+	ses.count++
+	return res, service, nil
+}
+
+// Stats returns the session's cumulative cache accounting.
+func (ses *Session) Stats() (hits, misses int64) {
+	return ses.stats.hits, ses.stats.misses
+}
+
+// Queries returns how many queries the session has executed.
+func (ses *Session) Queries() int { return ses.count }

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/kvstore"
+	"repro/internal/query"
+	"repro/internal/simnet"
+	"repro/internal/xrand"
+)
+
+// cached is a processor-cache entry: the decoded record plus its encoded
+// size (the capacity charge).
+type cached struct {
+	rec   gstore.Record
+	bytes int
+}
+
+// proc is one query processor's runtime state.
+type proc struct {
+	id       int
+	useCache bool
+	cache    *cache.LRU[cached]
+}
+
+// execStats accounts one query's data movement, following Eq 8/9: hits is
+// |N^c_h(q)| (records found in this processor's cache) and misses the
+// records pulled from the storage tier.
+type execStats struct {
+	hits, misses int64
+	fetchedBytes int64
+}
+
+func (a *execStats) add(b execStats) {
+	a.hits += b.hits
+	a.misses += b.misses
+	a.fetchedBytes += b.fetchedBytes
+}
+
+// fetchRecords obtains the records of ids for processor p starting at
+// virtual time now: cache first, then one batched multi-read per owning
+// storage server (charged on the contention timeline, halves of the RTT on
+// each side). It returns the records, the elapsed virtual time, and the
+// hit/miss accounting.
+func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl *simnet.Timeline) (map[graph.NodeID]gstore.Record, time.Duration, execStats, error) {
+	prof := s.cfg.Network
+	var cost time.Duration
+	var st execStats
+	recs := make(map[graph.NodeID]gstore.Record, len(ids))
+	var missIDs []graph.NodeID
+	if p.useCache {
+		for _, id := range ids {
+			if c, ok := p.cache.Get(uint64(id)); ok {
+				recs[id] = c.rec
+				st.hits++
+				cost += prof.CacheHit
+			} else {
+				missIDs = append(missIDs, id)
+				cost += prof.CacheLookupMiss
+			}
+		}
+	} else {
+		missIDs = ids
+	}
+	if len(missIDs) == 0 {
+		return recs, cost, st, nil
+	}
+
+	st.misses += int64(len(missIDs))
+	var results map[graph.NodeID]gstore.FetchResult
+	var err error
+	if s.cfg.NoBatching {
+		// Ablation: one full round trip per key, strictly sequential.
+		clock := now + cost
+		results = make(map[graph.NodeID]gstore.FetchResult, len(missIDs))
+		for _, id := range missIDs {
+			var one map[graph.NodeID]gstore.FetchResult
+			one, err = s.tier.FetchBatch([]graph.NodeID{id}, func(b kvstore.Batch, bytes int64) {
+				work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
+				finish := tl.Serve(b.Server, clock+prof.RTT/2, work)
+				clock = finish + prof.RTT/2
+				st.fetchedBytes += bytes
+			})
+			if err != nil {
+				break
+			}
+			results[id] = one[id]
+		}
+		cost = clock - now
+	} else {
+		depart := now + cost + prof.RTT/2
+		arrival := depart
+		results, err = s.tier.FetchBatch(missIDs, func(b kvstore.Batch, bytes int64) {
+			work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
+			finish := tl.Serve(b.Server, depart, work)
+			if a := finish + prof.RTT/2; a > arrival {
+				arrival = a
+			}
+			st.fetchedBytes += bytes
+		})
+		cost = arrival - now
+	}
+	if err != nil {
+		return nil, 0, st, fmt.Errorf("core: storage fetch: %w", err)
+	}
+	for _, id := range missIDs {
+		fr := results[id]
+		if !fr.OK {
+			continue // dangling id: nothing stored, nothing cached
+		}
+		recs[id] = fr.Record
+		if p.useCache {
+			p.cache.Put(uint64(id), cached{rec: fr.Record, bytes: fr.Bytes}, int64(fr.Bytes))
+			cost += prof.CacheInsert
+		}
+	}
+	return recs, cost, st, nil
+}
+
+// execute runs one query on processor p starting at virtual time start and
+// returns the result, the service time, and the data-movement stats.
+func (s *System) execute(p *proc, q query.Query, start time.Duration, tl *simnet.Timeline) (query.Result, time.Duration, execStats, error) {
+	switch q.Type {
+	case query.NeighborAgg:
+		return s.execNeighborAgg(p, q, start, tl)
+	case query.RandomWalk:
+		return s.execRandomWalk(p, q, start, tl)
+	case query.Reachability:
+		return s.execReachability(p, q, start, tl)
+	}
+	return query.Result{}, 0, execStats{}, fmt.Errorf("core: unknown query type %v", q.Type)
+}
+
+// edgesFor selects the adjacency of rec in the traversal direction.
+func edgesFor(rec gstore.Record, dir graph.Direction, fn func(graph.NodeID)) {
+	if dir == graph.Out || dir == graph.Both {
+		for _, e := range rec.Out {
+			fn(e.To)
+		}
+	}
+	if dir == graph.In || dir == graph.Both {
+		for _, e := range rec.In {
+			fn(e.To)
+		}
+	}
+}
+
+// execNeighborAgg implements the h-hop neighbour aggregation by levelwise
+// BFS with batched frontier fetches. Every node within h hops has its
+// record retrieved (labels live in the records), matching the paper's
+// accounting where a query touches its whole h-hop neighbourhood.
+func (s *System) execNeighborAgg(p *proc, q query.Query, start time.Duration, tl *simnet.Timeline) (query.Result, time.Duration, execStats, error) {
+	prof := s.cfg.Network
+	now := start
+	var st execStats
+
+	wantLabel := graph.NoLabel
+	filter := q.CountLabel != ""
+	filterKnown := false
+	if filter {
+		wantLabel, filterKnown = s.g.LabelID(q.CountLabel)
+	}
+
+	visited := map[graph.NodeID]struct{}{q.Node: {}}
+	frontier := []graph.NodeID{q.Node}
+	count := 0
+	for level := 0; level <= q.Hops && len(frontier) > 0; level++ {
+		recs, dt, fst, err := s.fetchRecords(p, frontier, now, tl)
+		if err != nil {
+			return query.Result{}, 0, st, err
+		}
+		now += dt
+		st.add(fst)
+		if level > 0 {
+			for _, u := range frontier {
+				if !filter {
+					count++
+					continue
+				}
+				rec, ok := recs[u]
+				if ok && filterKnown && rec.NodeLabel == wantLabel {
+					count++
+				}
+			}
+		}
+		if level == q.Hops {
+			break
+		}
+		var next []graph.NodeID
+		for _, u := range frontier {
+			rec, ok := recs[u]
+			if !ok {
+				continue
+			}
+			edgesFor(rec, q.Dir, func(v graph.NodeID) {
+				if _, seen := visited[v]; !seen {
+					visited[v] = struct{}{}
+					next = append(next, v)
+				}
+			})
+		}
+		now += time.Duration(len(next)) * prof.ComputePerNode
+		frontier = next
+	}
+	return query.Result{Type: q.Type, Count: count}, now - start, st, nil
+}
+
+// execRandomWalk replays the oracle's exact random sequence against
+// storage-backed adjacency: one record fetch per step (random walks cannot
+// be batched — each step depends on the previous).
+func (s *System) execRandomWalk(p *proc, q query.Query, start time.Duration, tl *simnet.Timeline) (query.Result, time.Duration, execStats, error) {
+	prof := s.cfg.Network
+	now := start
+	var st execStats
+	rng := xrand.New(q.Seed)
+	cur := q.Node
+	for step := 0; step < q.Hops; step++ {
+		if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
+			cur = q.Node
+			continue
+		}
+		recs, dt, fst, err := s.fetchRecords(p, []graph.NodeID{cur}, now, tl)
+		if err != nil {
+			return query.Result{}, 0, st, err
+		}
+		now += dt
+		st.add(fst)
+		rec := recs[cur] // zero record when dangling: dead end
+		next, ok := query.WalkStep(rec.Out, rec.In, q.Dir, rng)
+		if !ok {
+			cur = q.Node
+			continue
+		}
+		cur = next
+		now += prof.ComputePerNode
+	}
+	return query.Result{Type: q.Type, EndNode: cur}, now - start, st, nil
+}
+
+// execReachability runs the bidirectional BFS of Section 2.2: forward over
+// out-edges from the source, backward over in-edges from the target
+// (possible because records carry both directions), expanding the smaller
+// frontier first, with at most q.Hops total level expansions.
+func (s *System) execReachability(p *proc, q query.Query, start time.Duration, tl *simnet.Timeline) (query.Result, time.Duration, execStats, error) {
+	prof := s.cfg.Network
+	now := start
+	var st execStats
+	if q.Node == q.Target {
+		return query.Result{Type: q.Type, Reachable: true}, 0, st, nil
+	}
+	if q.Hops <= 0 {
+		return query.Result{Type: q.Type, Reachable: false}, 0, st, nil
+	}
+
+	fVis := map[graph.NodeID]struct{}{q.Node: {}}
+	bVis := map[graph.NodeID]struct{}{q.Target: {}}
+	fFront := []graph.NodeID{q.Node}
+	bFront := []graph.NodeID{q.Target}
+	reachable := false
+
+	for levels := 0; levels < q.Hops && !reachable && len(fFront) > 0 && len(bFront) > 0; levels++ {
+		forward := len(fFront) <= len(bFront)
+		front := fFront
+		if !forward {
+			front = bFront
+		}
+		recs, dt, fst, err := s.fetchRecords(p, front, now, tl)
+		if err != nil {
+			return query.Result{}, 0, st, err
+		}
+		now += dt
+		st.add(fst)
+
+		var next []graph.NodeID
+		for _, u := range front {
+			rec, ok := recs[u]
+			if !ok {
+				continue
+			}
+			dir := graph.Out
+			mine, other := fVis, bVis
+			if !forward {
+				dir = graph.In
+				mine, other = bVis, fVis
+			}
+			edgesFor(rec, dir, func(v graph.NodeID) {
+				if _, hit := other[v]; hit {
+					reachable = true
+				}
+				if _, seen := mine[v]; !seen {
+					mine[v] = struct{}{}
+					next = append(next, v)
+				}
+			})
+		}
+		now += time.Duration(len(next)) * prof.ComputePerNode
+		if forward {
+			fFront = next
+		} else {
+			bFront = next
+		}
+	}
+	return query.Result{Type: q.Type, Reachable: reachable}, now - start, st, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/kvstore"
+	"repro/internal/landmark"
+	"repro/internal/router"
+	"repro/internal/xrand"
+)
+
+// System is an assembled decoupled deployment over one graph: storage tier
+// loaded, preprocessing done, processors provisioned. Workload runs are
+// side-effect-free with respect to the System (caches and router state are
+// rebuilt per run), so one System can serve many experiments.
+type System struct {
+	cfg   Config
+	g     *graph.Graph
+	store *kvstore.Store
+	tier  *gstore.Tier
+
+	idx    *landmark.Index
+	assign *landmark.Assignment
+	emb    *embed.Embedding
+
+	prep PrepStats
+}
+
+// NewSystem builds a system: loads the graph into the storage tier and
+// runs whatever preprocessing the configured policy needs.
+func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st, err := kvstore.New(cfg.StorageServers, cfg.Placer)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, g: g, store: st, tier: gstore.NewTier(st)}
+	s.prep.GraphBytes = gstore.Load(st, g)
+	if cfg.Policy.NeedsLandmarks() {
+		if err := s.preprocess(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Graph returns the underlying graph.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// Prep returns the preprocessing statistics (Tables 2 and 3).
+func (s *System) Prep() PrepStats { return s.prep }
+
+// Embedding returns the node embedding (nil unless PolicyEmbed).
+func (s *System) Embedding() *embed.Embedding { return s.emb }
+
+// LandmarkIndex returns the landmark distance index (nil for baselines).
+func (s *System) LandmarkIndex() *landmark.Index { return s.idx }
+
+// preprocess runs landmark selection + BFS, landmark→processor assignment
+// and (for PolicyEmbed) the graph embedding. With PreprocessFraction < 1
+// only an induced subgraph is preprocessed exactly; remaining nodes are
+// incorporated through the incremental update path (Figure 10).
+func (s *System) preprocess() error {
+	prepGraph := s.g
+	var leftOut []graph.NodeID
+	if s.cfg.PreprocessFraction < 1 {
+		prepGraph, leftOut = inducedFraction(s.g, s.cfg.PreprocessFraction, s.cfg.Seed)
+	}
+
+	t0 := time.Now()
+	lms := landmark.Select(prepGraph, s.cfg.Landmarks, s.cfg.MinSeparation)
+	s.prep.SelectTime = time.Since(t0)
+	if len(lms) < 2 {
+		return fmt.Errorf("core: selected only %d landmarks (graph too small or disconnected)", len(lms))
+	}
+	s.prep.Landmarks = len(lms)
+
+	t0 = time.Now()
+	s.idx = landmark.BuildIndex(prepGraph, lms, s.cfg.PrepWorkers)
+	s.prep.BFSTime = time.Since(t0)
+
+	// Incorporate the nodes excluded from preprocessing through the
+	// incremental path, in id order (standing in for arrival order), using
+	// the *full* graph's adjacency — exactly the paper's update rule:
+	// "we incrementally compute the necessary information for the new
+	// nodes, as they are being added, without changing anything on the
+	// preprocessed information of the earlier nodes." A single pass leaves
+	// the distances deliberately stale; that staleness is what Figure 10
+	// measures.
+	for _, u := range leftOut {
+		s.idx.IncorporateNode(s.g, u)
+	}
+
+	s.assign = landmark.Assign(s.idx, s.cfg.Processors)
+	s.prep.LandmarkBytes = s.assign.StorageBytes()
+	s.prep.IndexBytes = s.idx.StorageBytes()
+
+	if s.cfg.Policy == PolicyEmbed {
+		t0 = time.Now()
+		e, err := embed.Build(s.g, s.idx, embed.Options{
+			Dimensions: s.cfg.Dimensions,
+			Seed:       s.cfg.Seed,
+			Workers:    s.cfg.PrepWorkers,
+			NM:         s.cfg.EmbedNM,
+		})
+		if err != nil {
+			return err
+		}
+		s.emb = e
+		s.prep.EmbedNodeTime = time.Since(t0)
+		s.prep.EmbedBytes = e.StorageBytes()
+	}
+	return nil
+}
+
+// inducedFraction returns a copy of g induced on a uniformly sampled
+// fraction of its live nodes (same node-id space; unsampled ids are
+// tombstoned) plus the list of left-out nodes in id order.
+func inducedFraction(g *graph.Graph, fraction float64, seed int64) (*graph.Graph, []graph.NodeID) {
+	rng := xrand.New(seed ^ 0x517cc1b727220a95)
+	max := int(g.MaxNodeID())
+	keep := make([]bool, max)
+	var leftOut []graph.NodeID
+	sub := graph.NewWithCapacity(max)
+	sub.AddNodes(max)
+	for id := 0; id < max; id++ {
+		if !g.Exists(graph.NodeID(id)) {
+			_ = sub.RemoveNode(graph.NodeID(id))
+			continue
+		}
+		if rng.Float64() < fraction {
+			keep[id] = true
+		} else {
+			leftOut = append(leftOut, graph.NodeID(id))
+		}
+	}
+	for id := 0; id < max; id++ {
+		if !keep[id] {
+			continue
+		}
+		for _, e := range g.OutEdges(graph.NodeID(id)) {
+			if int(e.To) < max && keep[e.To] {
+				sub.AddEdgeFast(graph.NodeID(id), e.To)
+			}
+		}
+	}
+	// Tombstone unsampled nodes after edges are in (they carry none).
+	for id := 0; id < max; id++ {
+		if !keep[id] && g.Exists(graph.NodeID(id)) {
+			_ = sub.RemoveNode(graph.NodeID(id))
+		}
+	}
+	return sub, leftOut
+}
+
+// buildStrategy creates a fresh routing strategy for one workload run, so
+// runs never share router state.
+func (s *System) buildStrategy() (router.Strategy, error) {
+	switch s.cfg.Policy {
+	case PolicyNoCache, PolicyNextReady:
+		return router.NewNextReady(), nil
+	case PolicyHash:
+		return router.NewHash(), nil
+	case PolicyLandmark:
+		return router.NewLandmark(s.assign, s.cfg.LoadFactor), nil
+	case PolicyEmbed:
+		return router.NewEmbed(s.emb, s.cfg.Processors, s.cfg.Alpha, s.cfg.LoadFactor, s.cfg.Seed+1)
+	}
+	return nil, fmt.Errorf("core: unknown policy %v", s.cfg.Policy)
+}
+
+// newProcs provisions the per-run processor states (cold caches).
+func (s *System) newProcs() []*proc {
+	procs := make([]*proc, s.cfg.Processors)
+	useCache := s.cfg.Policy != PolicyNoCache
+	capacity := s.cfg.CacheBytes
+	if !useCache {
+		capacity = 0
+	}
+	for i := range procs {
+		procs[i] = &proc{
+			id:       i,
+			useCache: useCache,
+			cache:    cache.New[cached](capacity),
+		}
+	}
+	return procs
+}
+
+// AddNode extends the running system with a new graph node: storage record,
+// landmark distances, processor distances and embedding coordinates are all
+// updated through the incremental paths (Section 3.4, graph updates).
+// The caller has already added the node and its edges to the graph.
+func (s *System) AddNode(u graph.NodeID) {
+	s.tier.UpdateNode(s.g, u)
+	for _, e := range s.g.OutEdges(u) {
+		s.tier.UpdateNode(s.g, e.To)
+	}
+	for _, e := range s.g.InEdges(u) {
+		s.tier.UpdateNode(s.g, e.To)
+	}
+	if s.idx != nil {
+		s.idx.IncorporateNode(s.g, u)
+		s.assign.SetNodeDistances(s.idx, u)
+	}
+	if s.emb != nil {
+		s.emb.IncorporateNode(s.idx, u, embed.Options{
+			Dimensions: s.cfg.Dimensions, Seed: s.cfg.Seed, NM: s.cfg.EmbedNM,
+		})
+	}
+}
+
+// UpdateEdge refreshes the system after an edge insertion or deletion
+// between existing nodes u and v: both storage records are rewritten and
+// landmark distances around the endpoints re-relaxed up to 2 hops.
+func (s *System) UpdateEdge(u, v graph.NodeID) {
+	s.tier.UpdateNode(s.g, u)
+	s.tier.UpdateNode(s.g, v)
+	if s.idx != nil {
+		s.idx.RefreshAround(s.g, u, 2)
+		s.idx.RefreshAround(s.g, v, 2)
+		region := map[graph.NodeID]struct{}{u: {}, v: {}}
+		for w := range s.g.BFSBounded(u, 2, graph.Both) {
+			region[w] = struct{}{}
+		}
+		for w := range s.g.BFSBounded(v, 2, graph.Both) {
+			region[w] = struct{}{}
+		}
+		for w := range region {
+			s.assign.SetNodeDistances(s.idx, w)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/xrand"
+)
+
+// Options configures the embedding pipeline.
+type Options struct {
+	// Dimensions of the Euclidean space (paper default: 10).
+	Dimensions int
+	// Seed drives the random initial placements.
+	Seed int64
+	// Workers parallelises the per-node phase (0 = GOMAXPROCS); the paper
+	// notes this step "is completely parallelizable per node".
+	Workers int
+	// NM tunes the per-point Simplex Downhill searches.
+	NM NMOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dimensions <= 0 {
+		o.Dimensions = 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	// The simplex needs iterations proportional to the search dimension:
+	// callers set a base budget and the optimiser scales it so higher-
+	// dimensional embeddings do not underfit (they have D+1 vertices to
+	// move, so a flat budget would make added dimensions look worse).
+	if o.NM.MaxIter <= 0 {
+		o.NM.MaxIter = 100
+	}
+	o.NM.MaxIter += 12 * o.Dimensions
+	return o
+}
+
+// Embedding holds D coordinates per node id — O(n·D) router storage,
+// Table 3's "embed" column.
+type Embedding struct {
+	D      int
+	coords []float32 // flat, row-major [node][dim]
+}
+
+// NumNodes returns the node-id capacity of the embedding.
+func (e *Embedding) NumNodes() int {
+	if e.D == 0 {
+		return 0
+	}
+	return len(e.coords) / e.D
+}
+
+// Coords returns node u's coordinate row (owned by the embedding; callers
+// must not modify it). Nodes beyond the embedded range return nil.
+func (e *Embedding) Coords(u graph.NodeID) []float32 {
+	i := int(u) * e.D
+	if i+e.D > len(e.coords) {
+		return nil
+	}
+	return e.coords[i : i+e.D]
+}
+
+// setCoords copies p into node u's row, growing storage as needed.
+func (e *Embedding) setCoords(u graph.NodeID, p []float64) {
+	need := (int(u) + 1) * e.D
+	for len(e.coords) < need {
+		e.coords = append(e.coords, float32(math.NaN()))
+	}
+	row := e.coords[int(u)*e.D : need]
+	for j := 0; j < e.D; j++ {
+		row[j] = float32(p[j])
+	}
+}
+
+// StorageBytes reports the embedding's memory footprint (Table 3).
+func (e *Embedding) StorageBytes() int64 { return int64(len(e.coords)) * 4 }
+
+// Euclidean returns the L2 distance between two coordinate rows.
+func Euclidean(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// relErr is Eq 4: |d − eu| / d for a known hop distance d > 0.
+func relErr(d, eu float64) float64 { return math.Abs(d-eu) / d }
+
+// Build embeds the graph: first the landmarks (pairwise relative error
+// minimisation), then every other node against the landmark anchors. The
+// landmark index supplies all required hop distances, so Build performs no
+// additional BFS.
+func Build(g *graph.Graph, idx *landmark.Index, opts Options) (*Embedding, error) {
+	opts = opts.withDefaults()
+	L := idx.NumLandmarks()
+	if L < 2 {
+		return nil, fmt.Errorf("embed: need at least 2 landmarks, have %d", L)
+	}
+	e := &Embedding{D: opts.Dimensions}
+	rng := xrand.New(opts.Seed)
+
+	anchors := embedLandmarks(idx, opts, rng)
+
+	// Per-node placement, parallel with deterministic per-node seeds.
+	n := idx.NumNodes()
+	e.coords = make([]float32, n*e.D)
+	for i := range e.coords {
+		e.coords[i] = float32(math.NaN())
+	}
+	isLandmark := make(map[graph.NodeID]int, L)
+	for i, l := range idx.Landmarks {
+		isLandmark[l] = i
+	}
+	baseSeed := rng.Int63()
+
+	var wg sync.WaitGroup
+	ids := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range ids {
+				node := graph.NodeID(u)
+				var p []float64
+				if li, ok := isLandmark[node]; ok {
+					p = anchors[li]
+				} else {
+					wrng := xrand.New(baseSeed ^ int64(uint64(u)*0x9e3779b97f4a7c15))
+					p = placeNode(idx, anchors, node, opts, wrng)
+				}
+				if p == nil {
+					continue
+				}
+				row := e.coords[u*e.D : (u+1)*e.D]
+				for j := 0; j < e.D; j++ {
+					row[j] = float32(p[j])
+				}
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		if !g.Exists(graph.NodeID(u)) {
+			continue
+		}
+		ids <- u
+	}
+	close(ids)
+	wg.Wait()
+	return e, nil
+}
+
+// embedLandmarks places the landmark anchors sequentially: the first at
+// the origin, each next minimising the aggregate pairwise relative error
+// against all previously placed landmarks (the incremental scheme Orion
+// popularised for large graphs; jointly optimising all |L|·D coordinates
+// with one simplex is intractable at |L| = 96).
+func embedLandmarks(idx *landmark.Index, opts Options, rng *xrand.Source) [][]float64 {
+	L := idx.NumLandmarks()
+	anchors := make([][]float64, L)
+	anchors[0] = make([]float64, opts.Dimensions)
+
+	// Typical landmark spacing seeds the random inits.
+	var meanD float64
+	var cnt int
+	for j := 1; j < L; j++ {
+		if d := idx.LandmarkDist(0, j); d != landmark.Inf {
+			meanD += float64(d)
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		meanD /= float64(cnt)
+	} else {
+		meanD = 1
+	}
+
+	for i := 1; i < L; i++ {
+		placed := anchors[:i]
+		obj := func(x []float64) float64 {
+			var sum float64
+			terms := 0
+			for j, a := range placed {
+				if a == nil {
+					continue
+				}
+				d := idx.LandmarkDist(i, j)
+				if d == landmark.Inf || d == 0 {
+					continue
+				}
+				var eu float64
+				for k := range x {
+					diff := x[k] - a[k]
+					eu += diff * diff
+				}
+				sum += relErr(float64(d), math.Sqrt(eu))
+				terms++
+			}
+			if terms == 0 {
+				return 0
+			}
+			return sum / float64(terms)
+		}
+		best, bestVal := []float64(nil), math.Inf(1)
+		// A few random restarts dodge poor local minima cheaply.
+		for r := 0; r < 3; r++ {
+			x0 := randomPoint(rng, opts.Dimensions, meanD/2)
+			x, v := NelderMead(obj, x0, opts.NM)
+			if v < bestVal {
+				best, bestVal = x, v
+			}
+		}
+		anchors[i] = best
+	}
+	return anchors
+}
+
+// placeNode embeds one node against the anchors, minimising the aggregate
+// relative error to every landmark that reaches it.
+func placeNode(idx *landmark.Index, anchors [][]float64, u graph.NodeID, opts Options, rng *xrand.Source) []float64 {
+	type term struct {
+		anchor []float64
+		d      float64
+	}
+	terms := make([]term, 0, len(anchors))
+	var nearest []float64
+	nearestD := math.Inf(1)
+	for i, a := range anchors {
+		if a == nil {
+			continue
+		}
+		d := idx.Dist(i, u)
+		if d == landmark.Inf {
+			continue
+		}
+		if d == 0 {
+			// u is (or coincides with) this landmark.
+			out := make([]float64, len(a))
+			copy(out, a)
+			return out
+		}
+		terms = append(terms, term{anchor: a, d: float64(d)})
+		if float64(d) < nearestD {
+			nearestD = float64(d)
+			nearest = a
+		}
+	}
+	if len(terms) == 0 {
+		// Unreachable from every landmark: random placement far out, so it
+		// never looks artificially close to active regions.
+		return randomPoint(rng, opts.Dimensions, 1000)
+	}
+	obj := func(x []float64) float64 {
+		var sum float64
+		for _, t := range terms {
+			var eu float64
+			for k := range x {
+				diff := x[k] - t.anchor[k]
+				eu += diff * diff
+			}
+			sum += relErr(t.d, math.Sqrt(eu))
+		}
+		return sum / float64(len(terms))
+	}
+	// Initialise near the closest landmark, jittered by its hop distance.
+	x0 := make([]float64, opts.Dimensions)
+	for k := range x0 {
+		x0[k] = nearest[k] + rng.NormFloat64()*nearestD/2
+	}
+	x, _ := NelderMead(obj, x0, opts.NM)
+	return x
+}
+
+// IncorporateNode places a new node (whose landmark distances must already
+// be in idx via Index.IncorporateNode) without re-embedding anything else —
+// the paper's update path for embed routing. The anchors are the already
+// embedded landmark nodes' own coordinates.
+func (e *Embedding) IncorporateNode(idx *landmark.Index, u graph.NodeID, opts Options) {
+	opts = opts.withDefaults()
+	opts.Dimensions = e.D
+	anchors := make([][]float64, idx.NumLandmarks())
+	for i := range anchors {
+		row := e.Coords(idx.Landmarks[i])
+		if row == nil {
+			continue
+		}
+		a := make([]float64, len(row))
+		for j, v := range row {
+			a[j] = float64(v)
+		}
+		anchors[i] = a
+	}
+	rng := xrand.New(opts.Seed ^ int64(uint64(u)*0x9e3779b97f4a7c15))
+	p := placeNode(idx, anchors, u, opts, rng)
+	e.setCoords(u, p)
+}
+
+// MeasureLandmarkFit returns the mean relative error (Eq 4) between true
+// node→landmark hop distances and their embedded Euclidean distances,
+// over sampled nodes — the quantity the Simplex Downhill search actually
+// minimises, and the paper's measure of how faithfully an embedding of a
+// given dimensionality preserves distances (Figure 12a).
+func MeasureLandmarkFit(idx *landmark.Index, e *Embedding, samples int, seed int64) float64 {
+	rng := xrand.New(seed)
+	n := e.NumNodes()
+	if n == 0 || idx.NumLandmarks() == 0 {
+		return 0
+	}
+	var sum float64
+	var count int
+	for t := 0; t < samples*4 && count < samples; t++ {
+		u := graph.NodeID(rng.Intn(n))
+		cu := e.Coords(u)
+		if cu == nil || math.IsNaN(float64(cu[0])) {
+			continue
+		}
+		for i, l := range idx.Landmarks {
+			d := idx.Dist(i, u)
+			if d == landmark.Inf || d == 0 {
+				continue
+			}
+			cl := e.Coords(l)
+			if cl == nil {
+				continue
+			}
+			sum += relErr(float64(d), Euclidean(cu, cl))
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// MeasureRelativeError samples node pairs within maxHops of each other and
+// returns the mean relative distance error (Eq 4) of the embedding — the
+// quantity plotted in Figure 12(a). Pairs are drawn deterministically from
+// seed; pairs whose true distance is 0 or unreachable are skipped.
+func MeasureRelativeError(g *graph.Graph, e *Embedding, samples, maxHops int, seed int64) float64 {
+	rng := xrand.New(seed)
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	var count int
+	for t := 0; t < samples*4 && count < samples; t++ {
+		u := nodes[rng.Intn(len(nodes))]
+		near := g.BFSBounded(u, maxHops, graph.Both)
+		delete(near, u)
+		if len(near) == 0 {
+			continue
+		}
+		// Sort the candidate ids so the pick is deterministic (map
+		// iteration order is not).
+		cands := make([]graph.NodeID, 0, len(near))
+		for w := range near {
+			cands = append(cands, w)
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+		v := cands[rng.Intn(len(cands))]
+		cu, cv := e.Coords(u), e.Coords(v)
+		if cu == nil || cv == nil {
+			continue
+		}
+		d := float64(near[v])
+		sum += relErr(d, Euclidean(cu, cv))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

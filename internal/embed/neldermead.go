@@ -1,0 +1,176 @@
+// Package embed implements the paper's second smart routing substrate
+// (Section 3.4.2): embedding the graph into a low-dimensional Euclidean
+// space so that hop-count distances are approximately preserved, using the
+// Simplex Downhill (Nelder–Mead) algorithm — the optimiser the paper
+// applies both to place the landmarks and to place every remaining node.
+package embed
+
+import "repro/internal/xrand"
+
+// NMOptions tunes the Nelder–Mead search.
+type NMOptions struct {
+	// MaxIter bounds the number of simplex iterations (default 200).
+	MaxIter int
+	// Tol stops the search when the absolute spread between the best and
+	// worst simplex vertex values falls below it (default 1e-6).
+	Tol float64
+	// Step is the initial simplex edge length (default 1.0).
+	Step float64
+}
+
+func (o NMOptions) withDefaults() NMOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Step == 0 {
+		o.Step = 1.0
+	}
+	return o
+}
+
+// NelderMead minimises f starting from x0, returning the best point found
+// and its value. The classic parameters are used: reflection 1, expansion
+// 2, contraction 0.5, shrink 0.5. f must not retain its argument.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float64, float64) {
+	opts = opts.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+
+	// Initial simplex: x0 plus a step along each axis.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range pts {
+		p := make([]float64, n)
+		copy(p, x0)
+		if i > 0 {
+			p[i-1] += opts.Step
+		}
+		pts[i] = p
+		vals[i] = f(p)
+	}
+
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	trial2 := make([]float64, n)
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Order: locate best, worst, second-worst.
+		best, worst, second := 0, 0, 0
+		for i := 1; i <= n; i++ {
+			if vals[i] < vals[best] {
+				best = i
+			}
+			if vals[i] > vals[worst] {
+				worst = i
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if i != worst && vals[i] > vals[second] {
+				second = i
+			}
+		}
+		if second == worst { // degenerate (n==0 handled above; n==1 duplicates)
+			for i := 0; i <= n; i++ {
+				if i != worst {
+					second = i
+					break
+				}
+			}
+		}
+		if vals[worst]-vals[best] < opts.Tol {
+			break
+		}
+
+		// Centroid of all but the worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
+		for i := 0; i <= n; i++ {
+			if i == worst {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				centroid[j] += pts[i][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+
+		// Reflection.
+		for j := 0; j < n; j++ {
+			trial[j] = centroid[j] + (centroid[j] - pts[worst][j])
+		}
+		fr := f(trial)
+		switch {
+		case fr < vals[best]:
+			// Expansion.
+			for j := 0; j < n; j++ {
+				trial2[j] = centroid[j] + 2*(centroid[j]-pts[worst][j])
+			}
+			fe := f(trial2)
+			if fe < fr {
+				copy(pts[worst], trial2)
+				vals[worst] = fe
+			} else {
+				copy(pts[worst], trial)
+				vals[worst] = fr
+			}
+		case fr < vals[second]:
+			copy(pts[worst], trial)
+			vals[worst] = fr
+		default:
+			// Contraction (outside if the reflection improved on the worst,
+			// inside otherwise).
+			if fr < vals[worst] {
+				for j := 0; j < n; j++ {
+					trial2[j] = centroid[j] + 0.5*(trial[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					trial2[j] = centroid[j] + 0.5*(pts[worst][j]-centroid[j])
+				}
+			}
+			fc := f(trial2)
+			if fc < vals[worst] && fc <= fr {
+				copy(pts[worst], trial2)
+				vals[worst] = fc
+			} else {
+				// Shrink towards the best vertex.
+				for i := 0; i <= n; i++ {
+					if i == best {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[best][j] + 0.5*(pts[i][j]-pts[best][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+
+	best := 0
+	for i := 1; i <= n; i++ {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	out := make([]float64, n)
+	copy(out, pts[best])
+	return out, vals[best]
+}
+
+// randomPoint fills a D-dimensional point with N(0, scale) coordinates.
+func randomPoint(rng *xrand.Source, d int, scale float64) []float64 {
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = rng.NormFloat64() * scale
+	}
+	return p
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ablation-stealing", Paper: "Req 2 / Section 4.6",
+		Desc: "query stealing on vs off for every routing policy",
+		Run:  runAblationStealing,
+	})
+	register(Experiment{
+		ID: "ablation-partition", Paper: "Section 2.3 claim",
+		Desc: "storage-tier partitioning (hash vs LDG vs refined edge-cut) under smart routing",
+		Run:  runAblationPartition,
+	})
+	register(Experiment{
+		ID: "ablation-batch", Paper: "Section 2.3 (page-granularity transfer)",
+		Desc: "frontier-batched multi-reads vs one round trip per key",
+		Run:  runAblationBatch,
+	})
+	register(Experiment{
+		ID: "ablation-failure", Paper: "Section 1 / 3.4.1 (fault tolerance)",
+		Desc: "processor failures: queries divert to the next-best live processor",
+		Run:  runAblationFailure,
+	})
+}
+
+func runAblationStealing(w io.Writer, sc Scale) error {
+	e, _ := Get("ablation-stealing")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	t := metrics.NewTable("policy", "throughput(stealing)", "throughput(no-steal)", "stolen", "gain")
+	for _, policy := range fig8Policies {
+		on := sysConfig(policy, sc)
+		repOn, err := runPolicy(g, on, qs)
+		if err != nil {
+			return err
+		}
+		off := sysConfig(policy, sc)
+		off.DisableStealing = true
+		repOff, err := runPolicy(g, off, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(policyLabel(policy), repOn.ThroughputQPS, repOff.ThroughputQPS,
+			repOn.Stolen, fmt.Sprintf("%.2fx", repOn.ThroughputQPS/repOff.ThroughputQPS))
+	}
+	fmt.Fprintln(w, "expected: stealing helps skewed policies (hash, smart) most; next-ready is already balanced")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runAblationPartition(w io.Writer, sc Scale) error {
+	e, _ := Get("ablation-partition")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+
+	ldg := partition.LDG(g, 4, 0.1)
+	refined := partition.LDG(g, 4, 0.1)
+	partition.Refine(g, refined, 2, 0.1)
+
+	placers := []struct {
+		name string
+		p    kvstore.Placer
+		cut  float64
+	}{
+		{"murmur-hash", nil, partition.HashPartition(g, 4).CutFraction(g)},
+		{"ldg-streaming", kvstore.TablePlacer{Assign: ldg.Of}, ldg.CutFraction(g)},
+		{"ldg+refine", kvstore.TablePlacer{Assign: refined.Of}, refined.CutFraction(g)},
+	}
+	t := metrics.NewTable("storage-partitioning", "edge-cut", "Embed-response", "Embed-hit-rate", "NoCache-response")
+	for _, pl := range placers {
+		cfg := sysConfig(core.PolicyEmbed, sc)
+		cfg.Placer = pl.p
+		rep, err := runPolicy(g, cfg, qs)
+		if err != nil {
+			return err
+		}
+		nc := sysConfig(core.PolicyNoCache, sc)
+		nc.Placer = pl.p
+		repNC, err := runPolicy(g, nc, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(pl.name, fmt.Sprintf("%.3f", pl.cut), rep.MeanResponse,
+			fmt.Sprintf("%.3f", rep.HitRate), repNC.MeanResponse)
+	}
+	fmt.Fprintln(w, "expected: under smart routing the storage partitioning barely matters (the paper's core claim)")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runAblationFailure(w io.Writer, sc Scale) error {
+	e, _ := Get("ablation-failure")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	t := metrics.NewTable("failed-processors", "Embed-throughput", "Embed-response", "diverted", "hit-rate")
+	for _, nFail := range []int{0, 1, 2, 3} {
+		cfg := sysConfig(core.PolicyEmbed, sc)
+		for p := 0; p < nFail; p++ {
+			cfg.FailedProcessors = append(cfg.FailedProcessors, p*2) // spread failures
+		}
+		rep, err := runPolicy(g, cfg, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(nFail, rep.ThroughputQPS, rep.MeanResponse, rep.Diverted,
+			fmt.Sprintf("%.3f", rep.HitRate))
+	}
+	fmt.Fprintln(w, "expected: graceful throughput degradation; every query still answered exactly")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runAblationBatch(w io.Writer, sc Scale) error {
+	e, _ := Get("ablation-batch")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	t := metrics.NewTable("policy", "batched-response", "per-key-response", "slowdown")
+	for _, policy := range []core.Policy{core.PolicyNoCache, core.PolicyHash, core.PolicyEmbed} {
+		batched := sysConfig(policy, sc)
+		repB, err := runPolicy(g, batched, qs)
+		if err != nil {
+			return err
+		}
+		perKey := sysConfig(policy, sc)
+		perKey.NoBatching = true
+		repK, err := runPolicy(g, perKey, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(policyLabel(policy), repB.MeanResponse, repK.MeanResponse,
+			fmt.Sprintf("%.1fx", float64(repK.MeanResponse)/float64(repB.MeanResponse)))
+	}
+	fmt.Fprintln(w, "expected: per-key round trips are dramatically slower; caching recovers part of the gap")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}

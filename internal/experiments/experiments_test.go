@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny is an even smaller scale than Quick, for unit tests.
+var tiny = Scale{
+	GraphScale: 0.02, Hotspots: 6, PerHotspot: 4,
+	Landmarks: 6, MinSep: 1, Dims: 3, NMIter: 40, Seed: 42,
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must have a runner.
+	want := []string{
+		"table1", "table2", "table3",
+		"fig7", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
+		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b",
+		"fig14", "fig15", "fig16",
+		"ablation-stealing", "ablation-partition", "ablation-batch", "ablation-failure",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		ids := make([]string, 0)
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+		t.Errorf("registry has %d experiments, want %d: %v", len(All()), len(want), ids)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("All() not sorted: %q >= %q", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("fig99"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+// TestEveryExperimentRuns smoke-tests each runner at tiny scale: it must
+// complete without error and produce a non-trivial table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests take a few seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tiny); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s output missing banner:\n%s", e.ID, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/landmark"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig10", Paper: "Figure 10",
+		Desc: "robustness to graph updates: preprocess on a fraction of the graph, query the whole graph",
+		Run:  runFig10,
+	})
+	register(Experiment{
+		ID: "fig11a", Paper: "Figure 11(a)",
+		Desc: "throughput vs load factor (query-stealing / locality trade-off)",
+		Run:  runFig11a,
+	})
+	register(Experiment{
+		ID: "fig11b", Paper: "Figure 11(b)",
+		Desc: "response time vs smoothing parameter alpha (embed EMA)",
+		Run:  runFig11b,
+	})
+	register(Experiment{
+		ID: "fig12a", Paper: "Figure 12(a)",
+		Desc: "embedding relative error vs dimensionality",
+		Run:  runFig12a,
+	})
+	register(Experiment{
+		ID: "fig12b", Paper: "Figure 12(b)",
+		Desc: "response time vs embedding dimensionality",
+		Run:  runFig12b,
+	})
+	register(Experiment{
+		ID: "fig13a", Paper: "Figure 13(a)",
+		Desc: "response time vs number of landmarks",
+		Run:  runFig13a,
+	})
+	register(Experiment{
+		ID: "fig13b", Paper: "Figure 13(b)",
+		Desc: "response time vs minimum landmark separation",
+		Run:  runFig13b,
+	})
+}
+
+func runFig10(w io.Writer, sc Scale) error {
+	e, _ := Get("fig10")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("preprocessed-%", "Landmark", "Embed", "Hash-reference")
+	for _, pct := range []int{20, 40, 60, 80, 100} {
+		row := []any{pct}
+		for _, policy := range []core.Policy{core.PolicyLandmark, core.PolicyEmbed} {
+			cfg := sysConfig(policy, sc)
+			cfg.PreprocessFraction = float64(pct) / 100
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			row = append(row, rep.MeanResponse)
+		}
+		row = append(row, hashRep.MeanResponse)
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(w, "paper: 80% preprocessing costs ~3ms extra; at 20% smart routing degrades to ~hash quality")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig11a(w io.Writer, sc Scale) error {
+	e, _ := Get("fig11a")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("load-factor", "Embed", "Landmark", "Hash-reference")
+	for _, lf := range []float64{0.01, 0.1, 1, 10, 20, 100, 1000, 10000} {
+		row := []any{lf}
+		for _, policy := range []core.Policy{core.PolicyEmbed, core.PolicyLandmark} {
+			cfg := sysConfig(policy, sc)
+			cfg.LoadFactor = lf
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			row = append(row, rep.ThroughputQPS)
+		}
+		row = append(row, hashRep.ThroughputQPS)
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(w, "paper: best throughput at load factor 10-20; tiny values degenerate to least-loaded, huge values ignore load")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig11b(w io.Writer, sc Scale) error {
+	e, _ := Get("fig11b")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("alpha", "Embed", "Hash-reference")
+	for _, alpha := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		cfg := sysConfig(core.PolicyEmbed, sc)
+		cfg.Alpha = alpha
+		rep, err := runPolicy(g, cfg, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(alpha, rep.MeanResponse, hashRep.MeanResponse)
+	}
+	fmt.Fprintln(w, "paper: response time lowest for alpha in [0.25, 0.75]")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig12a(w io.Writer, sc Scale) error {
+	e, _ := Get("fig12a")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	lms := landmark.Select(g, sc.Landmarks, sc.MinSep)
+	idx := landmark.BuildIndex(g, lms, 0)
+	t := metrics.NewTable("dimensions", "distance-fit-error(Eq4)", "2-hop-pair-error")
+	for _, d := range []int{2, 5, 10, 15, 20} {
+		emb, err := embed.Build(g, idx, embed.Options{Dimensions: d, Seed: sc.Seed, NM: embed.NMOptions{MaxIter: sc.NMIter}})
+		if err != nil {
+			return err
+		}
+		fit := embed.MeasureLandmarkFit(idx, emb, 400, sc.Seed+9)
+		pairErr := embed.MeasureRelativeError(g, emb, 300, 2, sc.Seed+9)
+		t.AddRow(d, fmt.Sprintf("%.3f", fit), fmt.Sprintf("%.3f", pairErr))
+	}
+	fmt.Fprintln(w, "paper: error decreases with dimensions, saturating around 10")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig12b(w io.Writer, sc Scale) error {
+	e, _ := Get("fig12b")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dimensions", "Embed", "Hash-reference")
+	for _, d := range []int{2, 5, 10, 15, 20, 25, 30} {
+		cfg := sysConfig(core.PolicyEmbed, sc)
+		cfg.Dimensions = d
+		rep, err := runPolicy(g, cfg, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(d, rep.MeanResponse, hashRep.MeanResponse)
+	}
+	fmt.Fprintln(w, "paper: minimum response time at ~10 dimensions (accuracy vs routing-cost trade-off)")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig13a(w io.Writer, sc Scale) error {
+	e, _ := Get("fig13a")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("landmarks", "Landmark", "Embed", "Hash-reference")
+	counts := []int{4, 8, 16, 32, 64, 96, 128}
+	for _, L := range counts {
+		if L > g.NumNodes()/4 {
+			continue
+		}
+		row := []any{L}
+		for _, policy := range []core.Policy{core.PolicyLandmark, core.PolicyEmbed} {
+			cfg := sysConfig(policy, sc)
+			cfg.Landmarks = L
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			row = append(row, rep.MeanResponse)
+		}
+		row = append(row, hashRep.MeanResponse)
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(w, "paper: more landmarks generally help; 96 is the chosen trade-off against preprocessing time")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig13b(w io.Writer, sc Scale) error {
+	e, _ := Get("fig13b")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("min-separation(hops)", "Landmark", "Embed", "Hash-reference")
+	for _, sep := range []int{1, 2, 3, 4, 5} {
+		row := []any{sep}
+		feasible := true
+		for _, policy := range []core.Policy{core.PolicyLandmark, core.PolicyEmbed} {
+			cfg := sysConfig(policy, sc)
+			cfg.MinSeparation = sep
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				// On small graphs large separations can leave too few
+				// landmarks; report the row as infeasible rather than fail.
+				row = append(row, "n/a")
+				feasible = false
+				continue
+			}
+			row = append(row, rep.MeanResponse)
+		}
+		row = append(row, hashRep.MeanResponse)
+		t.AddRow(row...)
+		if !feasible && sep > sc.MinSep {
+			break
+		}
+	}
+	fmt.Fprintln(w, "paper: separation has little influence (best at 3-4 hops)")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig14", Paper: "Figure 14",
+		Desc: "response time and cache hits/misses for r-hop hotspots (r=1,2), 2-hop traversals",
+		Run:  runFig14,
+	})
+	register(Experiment{
+		ID: "fig15", Paper: "Figure 15",
+		Desc: "response time for h-hop traversals (h=1,2,3), 2-hop hotspots",
+		Run:  runFig15,
+	})
+	register(Experiment{
+		ID: "fig16", Paper: "Figure 16",
+		Desc: "response time on Memetracker and Friendster",
+		Run:  runFig16,
+	})
+}
+
+func runFig14(w io.Writer, sc Scale) error {
+	e, _ := Get("fig14")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	for _, r := range []int{1, 2} {
+		qs := workload(g, sc, r, 2)
+		t := metrics.NewTable("policy", "response-time", "cache-hits", "cache-misses", "hit-rate")
+		for _, policy := range fig8Policies {
+			rep, err := runPolicy(g, sysConfig(policy, sc), qs)
+			if err != nil {
+				return err
+			}
+			t.AddRow(policyLabel(policy), rep.MeanResponse, rep.CacheHits, rep.CacheMisses,
+				fmt.Sprintf("%.3f", rep.HitRate))
+		}
+		fmt.Fprintf(w, "-- %d-hop hotspot, 2-hop traversal --\n%s", r, t.String())
+	}
+	fmt.Fprintln(w, "paper: smart routings beat baselines for both radii via more cache hits")
+	return nil
+}
+
+func runFig15(w io.Writer, sc Scale) error {
+	e, _ := Get("fig15")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	for _, h := range []int{1, 2, 3} {
+		qs := workload(g, sc, 2, h)
+		t := metrics.NewTable("policy", "response-time", "hit-rate")
+		for _, policy := range fig8Policies {
+			rep, err := runPolicy(g, sysConfig(policy, sc), qs)
+			if err != nil {
+				return err
+			}
+			t.AddRow(policyLabel(policy), rep.MeanResponse, fmt.Sprintf("%.3f", rep.HitRate))
+		}
+		fmt.Fprintf(w, "-- 2-hop hotspot, %d-hop traversal --\n%s", h, t.String())
+	}
+	fmt.Fprintln(w, "paper: smart routing wins at every h; the gap narrows at h=3 (compute dominates, ~15% lower than baselines)")
+	return nil
+}
+
+func runFig16(w io.Writer, sc Scale) error {
+	e, _ := Get("fig16")
+	header(w, e)
+	for _, d := range []gen.Dataset{gen.Memetracker, gen.Friendster} {
+		g, err := loadPreset(d, sc)
+		if err != nil {
+			return err
+		}
+		qs := workload(g, sc, 2, 2)
+		t := metrics.NewTable("policy", "response-time", "hit-rate")
+		for _, policy := range fig8Policies {
+			rep, err := runPolicy(g, sysConfig(policy, sc), qs)
+			if err != nil {
+				return err
+			}
+			t.AddRow(policyLabel(policy), rep.MeanResponse, fmt.Sprintf("%.3f", rep.HitRate))
+		}
+		fmt.Fprintf(w, "-- %s --\n%s", d, t.String())
+	}
+	fmt.Fprintln(w, "paper: Memetracker mirrors WebGraph (baselines -30% vs no-cache, smart -10% more);")
+	fmt.Fprintln(w, "       Friendster's huge 2-hop neighbourhoods shrink all caching gains (~7% + ~3%)")
+	return nil
+}

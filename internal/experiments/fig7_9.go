@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig7", Paper: "Figure 7",
+		Desc: "throughput: SEDGE/Giraph vs PowerGraph vs gRouting-E vs gRouting",
+		Run:  runFig7,
+	})
+	register(Experiment{
+		ID: "fig8a", Paper: "Figure 8(a)",
+		Desc: "throughput vs number of query processors (1-7), 4 storage servers",
+		Run:  runFig8a,
+	})
+	register(Experiment{
+		ID: "fig8b", Paper: "Figure 8(b)",
+		Desc: "cache hits vs number of query processors",
+		Run:  runFig8b,
+	})
+	register(Experiment{
+		ID: "fig8c", Paper: "Figure 8(c)",
+		Desc: "throughput vs number of storage servers (1-7), 4 query processors",
+		Run:  runFig8c,
+	})
+	register(Experiment{
+		ID: "fig9a", Paper: "Figure 9(a)",
+		Desc: "response time vs per-processor cache capacity",
+		Run:  runFig9a,
+	})
+	register(Experiment{
+		ID: "fig9b", Paper: "Figure 9(b)",
+		Desc: "cache hits vs per-processor cache capacity",
+		Run:  runFig9b,
+	})
+	register(Experiment{
+		ID: "fig9c", Paper: "Figure 9(c)",
+		Desc: "minimum cache capacity to reach the no-cache response time",
+		Run:  runFig9c,
+	})
+}
+
+// fig7Datasets: the paper shows WebGraph, MemeTracker, Freebase (Friendster
+// appears in Figure 16).
+var fig7Datasets = []gen.Dataset{gen.WebGraph, gen.Memetracker, gen.Freebase}
+
+func runFig7(w io.Writer, sc Scale) error {
+	e, _ := Get("fig7")
+	header(w, e)
+	t := metrics.NewTable("dataset", "SEDGE/Giraph", "PowerGraph", "gRouting-E", "gRouting", "gR/SEDGE", "gR/PG")
+	for _, d := range fig7Datasets {
+		g, err := loadPreset(d, sc)
+		if err != nil {
+			return err
+		}
+		qs := workload(g, sc, 2, 2)
+
+		bsp, err := baseline.NewBSP(g, 12, simnet.Ethernet())
+		if err != nil {
+			return err
+		}
+		rb, err := bsp.RunWorkload(qs)
+		if err != nil {
+			return err
+		}
+		gas, err := baseline.NewGAS(g, 12, simnet.Ethernet())
+		if err != nil {
+			return err
+		}
+		rp, err := gas.RunWorkload(qs)
+		if err != nil {
+			return err
+		}
+
+		cfgE := sysConfig(core.PolicyEmbed, sc)
+		cfgE.Network = simnet.Ethernet()
+		re, err := runPolicy(g, cfgE, qs)
+		if err != nil {
+			return err
+		}
+		cfgIB := sysConfig(core.PolicyEmbed, sc)
+		ri, err := runPolicy(g, cfgIB, qs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(string(d), rb.ThroughputQPS, rp.ThroughputQPS, re.ThroughputQPS, ri.ThroughputQPS,
+			ri.ThroughputQPS/rb.ThroughputQPS, ri.ThroughputQPS/rp.ThroughputQPS)
+	}
+	fmt.Fprintln(w, "paper: gRouting-E 5-10x over coupled systems; gRouting (Infiniband) 10-35x")
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// fig8Policies: the five lines of Figures 8 and 9.
+var fig8Policies = []core.Policy{core.PolicyNoCache, core.PolicyNextReady, core.PolicyHash, core.PolicyLandmark, core.PolicyEmbed}
+
+func runFig8a(w io.Writer, sc Scale) error {
+	e, _ := Get("fig8a")
+	header(w, e)
+	return fig8Sweep(w, sc, true)
+}
+
+func runFig8b(w io.Writer, sc Scale) error {
+	e, _ := Get("fig8b")
+	header(w, e)
+	return fig8Sweep(w, sc, false)
+}
+
+func fig8Sweep(w io.Writer, sc Scale, throughput bool) error {
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	head := []string{"processors"}
+	for _, p := range fig8Policies {
+		head = append(head, policyLabel(p))
+	}
+	t := metrics.NewTable(head...)
+	var totalTouched int64
+	for procs := 1; procs <= 7; procs++ {
+		row := []any{procs}
+		for _, policy := range fig8Policies {
+			cfg := sysConfig(policy, sc)
+			cfg.Processors = procs
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			if throughput {
+				row = append(row, rep.ThroughputQPS)
+			} else {
+				row = append(row, rep.CacheHits)
+				totalTouched = rep.Touched
+			}
+		}
+		t.AddRow(row...)
+	}
+	if throughput {
+		fmt.Fprintln(w, "paper: Embed scales ~linearly; baselines saturate at 3-5 processors")
+	} else {
+		fmt.Fprintf(w, "paper: 'Cache Hits + Cache Misses = 52M'; here total touched = %d per run\n", totalTouched)
+	}
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig8c(w io.Writer, sc Scale) error {
+	e, _ := Get("fig8c")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	head := []string{"storage-servers"}
+	for _, p := range fig8Policies {
+		head = append(head, policyLabel(p))
+	}
+	t := metrics.NewTable(head...)
+	for servers := 1; servers <= 7; servers++ {
+		row := []any{servers}
+		for _, policy := range fig8Policies {
+			cfg := sysConfig(policy, sc)
+			cfg.Processors = 4
+			cfg.StorageServers = servers
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			row = append(row, rep.ThroughputQPS)
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(w, "paper: 1-2 storage servers bottleneck 4 processors; saturation at ~4 servers")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+// workingSetBytes measures the workload's distinct-record footprint: the
+// cumulative bytes a single processor with an unbounded cache admits.
+func workingSetBytes(g *graphT, sc Scale, qs []queryT) (int64, error) {
+	cfg := sysConfig(core.PolicyHash, sc)
+	cfg.Processors = 1
+	rep, err := runPolicy(g, cfg, qs)
+	if err != nil {
+		return 0, err
+	}
+	var ws int64
+	for _, pr := range rep.PerProc {
+		ws += pr.Cache.CumInsertBytes
+	}
+	if ws == 0 {
+		ws = 1
+	}
+	return ws, nil
+}
+
+// cacheFractions is the Figure 9 sweep, expressed as fractions of the
+// per-processor working set (the paper's 16 MB - 4096 MB axis scaled to
+// the synthetic datasets).
+var cacheFractions = []struct {
+	label string
+	num   int64
+	den   int64
+}{
+	{"ws/256", 1, 256},
+	{"ws/64", 1, 64},
+	{"ws/16", 1, 16},
+	{"ws/4", 1, 4},
+	{"ws", 1, 1},
+	{"4ws", 4, 1},
+}
+
+func runFig9a(w io.Writer, sc Scale) error {
+	e, _ := Get("fig9a")
+	header(w, e)
+	return fig9Sweep(w, sc, true)
+}
+
+func runFig9b(w io.Writer, sc Scale) error {
+	e, _ := Get("fig9b")
+	header(w, e)
+	return fig9Sweep(w, sc, false)
+}
+
+func fig9Sweep(w io.Writer, sc Scale, responseTime bool) error {
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	ws, err := workingSetBytes(g, sc, qs)
+	if err != nil {
+		return err
+	}
+	// The no-cache reference line.
+	noCache, err := runPolicy(g, sysConfig(core.PolicyNoCache, sc), qs)
+	if err != nil {
+		return err
+	}
+
+	head := []string{"capacity"}
+	for _, p := range fig8Policies[1:] { // no-cache has no capacity axis
+		head = append(head, policyLabel(p))
+	}
+	t := metrics.NewTable(head...)
+	for _, f := range cacheFractions {
+		capacity := ws * f.num / f.den
+		row := []any{fmt.Sprintf("%s (%dB)", f.label, capacity)}
+		for _, policy := range fig8Policies[1:] {
+			cfg := sysConfig(policy, sc)
+			cfg.CacheBytes = capacity
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			if responseTime {
+				row = append(row, rep.MeanResponse)
+			} else {
+				row = append(row, rep.CacheHits)
+			}
+		}
+		t.AddRow(row...)
+	}
+	if responseTime {
+		fmt.Fprintf(w, "no-cache reference response time: %v (paper: 86 ms)\n", noCache.MeanResponse)
+		fmt.Fprintln(w, "paper: tiny caches lose to no-cache; no gain beyond the working set (4GB)")
+	} else {
+		fmt.Fprintln(w, "paper: hits grow with capacity and saturate once the working set fits")
+	}
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+func runFig9c(w io.Writer, sc Scale) error {
+	e, _ := Get("fig9c")
+	header(w, e)
+	g, err := loadPreset(gen.WebGraph, sc)
+	if err != nil {
+		return err
+	}
+	qs := workload(g, sc, 2, 2)
+	ws, err := workingSetBytes(g, sc, qs)
+	if err != nil {
+		return err
+	}
+	noCache, err := runPolicy(g, sysConfig(core.PolicyNoCache, sc), qs)
+	if err != nil {
+		return err
+	}
+	target := noCache.MeanResponse
+
+	t := metrics.NewTable("policy", "min-cache-bytes", "fraction-of-ws", "response-at-min")
+	for _, policy := range fig8Policies[1:] {
+		minCap, resp, err := minCacheForTarget(g, sc, qs, policy, ws, target)
+		if err != nil {
+			return err
+		}
+		if minCap < 0 {
+			t.AddRow(policyLabel(policy), "not reached", "-", "-")
+			continue
+		}
+		t.AddRow(policyLabel(policy), minCap, float64(minCap)/float64(ws), resp)
+	}
+	fmt.Fprintf(w, "no-cache response time target: %v\n", target)
+	fmt.Fprintln(w, "paper: smart routings reach break-even with far less cache than baselines")
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+// minCacheForTarget binary-searches the smallest capacity whose mean
+// response beats target.
+func minCacheForTarget(g *graphT, sc Scale, qs []queryT, policy core.Policy, ws int64, target time.Duration) (int64, time.Duration, error) {
+	run := func(capacity int64) (time.Duration, error) {
+		cfg := sysConfig(policy, sc)
+		cfg.CacheBytes = capacity
+		rep, err := runPolicy(g, cfg, qs)
+		if err != nil {
+			return 0, err
+		}
+		return rep.MeanResponse, nil
+	}
+	lo, hi := int64(1), ws*4
+	respHi, err := run(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if respHi > target {
+		return -1, 0, nil // never reaches the no-cache line
+	}
+	var bestResp time.Duration = respHi
+	for i := 0; i < 12 && lo < hi; i++ {
+		mid := (lo + hi) / 2
+		resp, err := run(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if resp <= target {
+			hi = mid
+			bestResp = resp
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, bestResp, nil
+}

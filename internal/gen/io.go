@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteAdjacency serialises g in the plain adjacency-list text format
+// cmd/grouting-gen emits: one line per live node, "id: out1 out2 ...".
+// Labels are not preserved (the format exists for interchange with
+// external graph tooling and for loading real datasets).
+func WriteAdjacency(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {
+		if !g.Exists(id) {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d:", id); err != nil {
+			return err
+		}
+		for _, e := range g.OutEdges(id) {
+			if _, err := fmt.Fprintf(bw, " %d", e.To); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses the adjacency-list text format back into a graph.
+// Node ids may appear in any order; ids mentioned only as edge targets are
+// created implicitly. Blank lines and lines starting with '#' are skipped.
+func ReadAdjacency(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	ensure := func(id uint64) (graph.NodeID, error) {
+		if id > uint64(^graph.NodeID(0)) {
+			return 0, fmt.Errorf("gen: node id %d overflows NodeID", id)
+		}
+		for uint64(g.MaxNodeID()) <= id {
+			g.AddNode("")
+		}
+		return graph.NodeID(id), nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		head, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("gen: line %d: missing ':'", lineNo)
+		}
+		src64, err := strconv.ParseUint(strings.TrimSpace(head), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: line %d: bad node id: %w", lineNo, err)
+		}
+		src, err := ensure(src64)
+		if err != nil {
+			return nil, err
+		}
+		for _, tok := range strings.Fields(rest) {
+			dst64, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d: bad edge target %q: %w", lineNo, tok, err)
+			}
+			dst, err := ensure(dst64)
+			if err != nil {
+				return nil, err
+			}
+			g.AddEdgeFast(src, dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gen: read: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	g := RMAT(RMATOptions{Nodes: 200, Edges: 900, Seed: 5})
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), g.NumNodes(), got.NumEdges(), g.NumEdges())
+	}
+	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {
+		if got.OutDegree(id) != g.OutDegree(id) {
+			t.Fatalf("node %d out-degree %d != %d", id, got.OutDegree(id), g.OutDegree(id))
+		}
+	}
+	// In-adjacency is rebuilt consistently.
+	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {
+		if got.InDegree(id) != g.InDegree(id) {
+			t.Fatalf("node %d in-degree mismatch", id)
+		}
+	}
+}
+
+func TestReadAdjacencyComments(t *testing.T) {
+	in := "# a comment\n\n0: 1 2\n1: 2\n2:\n"
+	g, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(1, 2) {
+		t.Fatal("edges missing")
+	}
+}
+
+func TestReadAdjacencyImplicitNodes(t *testing.T) {
+	// Targets beyond any source line are created implicitly.
+	g, err := ReadAdjacency(strings.NewReader("0: 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", g.NumNodes())
+	}
+	if !g.HasEdge(0, 5) {
+		t.Fatal("edge missing")
+	}
+}
+
+func TestReadAdjacencyErrors(t *testing.T) {
+	for _, in := range []string{
+		"no colon here\n",
+		"x: 1\n",
+		"0: abc\n",
+	} {
+		if _, err := ReadAdjacency(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteAdjacencySkipsRemoved(t *testing.T) {
+	g := Ring(5)
+	if err := g.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\n2:") || strings.HasPrefix(buf.String(), "2:") {
+		t.Fatalf("removed node serialised:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,383 @@
+// Package graph implements the labelled, directed graph data model of
+// Section 2.1 of the paper.
+//
+// Every node stores both its outgoing and incoming edges, because both
+// directions matter for h-hop queries (the paper's example: an edge
+// "founded" from Jerry Yang to Yahoo! implies the reverse relation
+// "founded_by", and reachability runs a backward BFS from the target).
+// Node and edge labels are interned into a compact label table.
+//
+// A Graph is safe for concurrent readers; mutations require external
+// synchronisation. Mutation methods (AddEdge, RemoveEdge, RemoveNode) keep
+// the in/out adjacency views consistent at all times.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense, starting at 0, and remain stable
+// across removals (removed IDs are tombstoned, not recycled).
+type NodeID uint32
+
+// Label identifies an interned node or edge label. Label 0 is the empty
+// label.
+type Label uint16
+
+// NoLabel is the zero, empty label carried by unlabelled nodes and edges.
+const NoLabel Label = 0
+
+// Edge is one adjacency entry: the far endpoint and the edge's label.
+type Edge struct {
+	To    NodeID
+	Label Label
+}
+
+// Direction selects which adjacency a traversal follows.
+type Direction int
+
+const (
+	// Out follows outgoing edges only.
+	Out Direction = iota
+	// In follows incoming edges only.
+	In
+	// Both treats the graph as bi-directed, following edges in either
+	// direction. The smart routing preprocessing (Section 3.4) always uses
+	// Both, matching the paper's "bi-directed version of the input graph".
+	Both
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Out:
+		return "out"
+	case In:
+		return "in"
+	case Both:
+		return "both"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// ErrNoSuchNode is returned when an operation names a node that does not
+// exist or has been removed.
+var ErrNoSuchNode = errors.New("graph: no such node")
+
+// Graph is a directed multigraph with interned node and edge labels.
+type Graph struct {
+	out       [][]Edge
+	in        [][]Edge
+	nodeLabel []Label
+	removed   []bool
+	numEdges  int
+	liveNodes int
+	labels    labelTable
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return NewWithCapacity(0)
+}
+
+// NewWithCapacity returns an empty graph with adjacency storage
+// pre-allocated for n nodes.
+func NewWithCapacity(n int) *Graph {
+	g := &Graph{
+		out:       make([][]Edge, 0, n),
+		in:        make([][]Edge, 0, n),
+		nodeLabel: make([]Label, 0, n),
+		removed:   make([]bool, 0, n),
+	}
+	g.labels.intern("") // Label 0 is the empty label.
+	return g
+}
+
+// NumNodes returns the number of live (non-removed) nodes.
+func (g *Graph) NumNodes() int { return g.liveNodes }
+
+// MaxNodeID returns one past the largest NodeID ever allocated. Iteration
+// over all nodes should run id in [0, MaxNodeID) and skip !Exists(id).
+func (g *Graph) MaxNodeID() NodeID { return NodeID(len(g.out)) }
+
+// NumEdges returns the number of live directed edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Exists reports whether id names a live node.
+func (g *Graph) Exists(id NodeID) bool {
+	return int(id) < len(g.out) && !g.removed[id]
+}
+
+// AddNode creates a node carrying label and returns its id.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.out))
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.nodeLabel = append(g.nodeLabel, g.labels.intern(label))
+	g.removed = append(g.removed, false)
+	g.liveNodes++
+	return id
+}
+
+// AddNodes bulk-creates n unlabelled nodes and returns the first new id.
+func (g *Graph) AddNodes(n int) NodeID {
+	first := NodeID(len(g.out))
+	g.out = append(g.out, make([][]Edge, n)...)
+	g.in = append(g.in, make([][]Edge, n)...)
+	g.nodeLabel = append(g.nodeLabel, make([]Label, n)...)
+	g.removed = append(g.removed, make([]bool, n)...)
+	g.liveNodes += n
+	return first
+}
+
+// AddEdge inserts the directed edge u->v carrying label. Parallel edges are
+// permitted (the graph is a multigraph). It returns ErrNoSuchNode if either
+// endpoint is missing.
+func (g *Graph) AddEdge(u, v NodeID, label string) error {
+	if !g.Exists(u) || !g.Exists(v) {
+		return ErrNoSuchNode
+	}
+	l := g.labels.intern(label)
+	g.out[u] = append(g.out[u], Edge{To: v, Label: l})
+	g.in[v] = append(g.in[v], Edge{To: u, Label: l})
+	g.numEdges++
+	return nil
+}
+
+// AddEdgeFast inserts the unlabelled directed edge u->v without validating
+// the endpoints. It is the bulk-load path used by the synthetic generators;
+// callers must guarantee both nodes exist.
+func (g *Graph) AddEdgeFast(u, v NodeID) {
+	g.out[u] = append(g.out[u], Edge{To: v})
+	g.in[v] = append(g.in[v], Edge{To: u})
+	g.numEdges++
+}
+
+// HasEdge reports whether at least one directed edge u->v exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if !g.Exists(u) || !g.Exists(v) {
+		return false
+	}
+	// Scan the smaller endpoint list.
+	if len(g.out[u]) <= len(g.in[v]) {
+		for _, e := range g.out[u] {
+			if e.To == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range g.in[v] {
+		if e.To == u {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveEdge deletes one directed edge u->v (any label) and reports whether
+// an edge was removed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	if !g.Exists(u) || !g.Exists(v) {
+		return false
+	}
+	if !removeFirst(&g.out[u], v) {
+		return false
+	}
+	if !removeFirst(&g.in[v], u) {
+		// The in/out views must agree; a one-sided edge is a corruption bug.
+		panic("graph: in/out adjacency inconsistent")
+	}
+	g.numEdges--
+	return true
+}
+
+// removeFirst deletes the first entry pointing at target, preserving order
+// of the remaining entries, and reports whether one was found.
+func removeFirst(adj *[]Edge, target NodeID) bool {
+	s := *adj
+	for i, e := range s {
+		if e.To == target {
+			*adj = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveNode deletes a node and every edge incident on it, following the
+// paper's update rule ("a node deletion is handled as deletion of the
+// multiple edges incident on it"). The id is tombstoned, never reused.
+func (g *Graph) RemoveNode(u NodeID) error {
+	if !g.Exists(u) {
+		return ErrNoSuchNode
+	}
+	for _, e := range g.out[u] {
+		removeFirst(&g.in[e.To], u)
+		g.numEdges--
+	}
+	for _, e := range g.in[u] {
+		removeFirst(&g.out[e.To], u)
+		g.numEdges--
+	}
+	g.out[u] = nil
+	g.in[u] = nil
+	g.removed[u] = true
+	g.liveNodes--
+	return nil
+}
+
+// OutEdges returns the outgoing adjacency of u. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) OutEdges(u NodeID) []Edge {
+	if !g.Exists(u) {
+		return nil
+	}
+	return g.out[u]
+}
+
+// InEdges returns the incoming adjacency of u (entries point at the edge
+// sources). The returned slice is owned by the graph and must not be
+// modified.
+func (g *Graph) InEdges(u NodeID) []Edge {
+	if !g.Exists(u) {
+		return nil
+	}
+	return g.in[u]
+}
+
+// OutDegree returns the number of outgoing edges of u.
+func (g *Graph) OutDegree(u NodeID) int {
+	if !g.Exists(u) {
+		return 0
+	}
+	return len(g.out[u])
+}
+
+// InDegree returns the number of incoming edges of u.
+func (g *Graph) InDegree(u NodeID) int {
+	if !g.Exists(u) {
+		return 0
+	}
+	return len(g.in[u])
+}
+
+// Degree returns the total degree (in + out) of u.
+func (g *Graph) Degree(u NodeID) int { return g.OutDegree(u) + g.InDegree(u) }
+
+// NodeLabel returns the label string of u ("" when unlabelled or missing).
+func (g *Graph) NodeLabel(u NodeID) string {
+	if !g.Exists(u) {
+		return ""
+	}
+	return g.labels.str(g.nodeLabel[u])
+}
+
+// NodeLabelID returns the interned label id of u.
+func (g *Graph) NodeLabelID(u NodeID) Label {
+	if !g.Exists(u) {
+		return NoLabel
+	}
+	return g.nodeLabel[u]
+}
+
+// SetNodeLabel replaces the label of u.
+func (g *Graph) SetNodeLabel(u NodeID, label string) error {
+	if !g.Exists(u) {
+		return ErrNoSuchNode
+	}
+	g.nodeLabel[u] = g.labels.intern(label)
+	return nil
+}
+
+// LabelString resolves an interned label id to its string.
+func (g *Graph) LabelString(l Label) string { return g.labels.str(l) }
+
+// LabelID returns the interned id for label and whether it is known.
+func (g *Graph) LabelID(label string) (Label, bool) { return g.labels.lookup(label) }
+
+// NumLabels returns the number of distinct interned labels, including the
+// empty label.
+func (g *Graph) NumLabels() int { return len(g.labels.strs) }
+
+// Nodes returns all live node ids in ascending order. It allocates; hot
+// paths should iterate [0, MaxNodeID) with Exists instead.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, g.liveNodes)
+	for id := NodeID(0); id < g.MaxNodeID(); id++ {
+		if !g.removed[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// NodesByDegreeDesc returns live node ids sorted by total degree, highest
+// first (ties broken by id for determinism). Used by landmark selection.
+func (g *Graph) NodesByDegreeDesc() []NodeID {
+	ids := g.Nodes()
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// SortEdges orders es in place by (To, Label) — the canonical adjacency
+// order used by the storage codec. Code that must agree with storage-backed
+// execution (e.g. random-walk neighbour indexing) sorts through this
+// helper so both sides see identical orderings.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Label < es[j].Label
+	})
+}
+
+// SortedEdges returns a sorted copy of es, leaving the input untouched.
+func SortedEdges(es []Edge) []Edge {
+	out := make([]Edge, len(es))
+	copy(out, es)
+	SortEdges(out)
+	return out
+}
+
+// labelTable interns label strings to dense Label ids.
+type labelTable struct {
+	strs []string
+	ids  map[string]Label
+}
+
+func (t *labelTable) intern(s string) Label {
+	if t.ids == nil {
+		t.ids = make(map[string]Label)
+	}
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	if len(t.strs) > int(^Label(0)) {
+		panic("graph: label table overflow (more than 65536 distinct labels)")
+	}
+	id := Label(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.ids[s] = id
+	return id
+}
+
+func (t *labelTable) lookup(s string) (Label, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+func (t *labelTable) str(l Label) string {
+	if int(l) >= len(t.strs) {
+		return ""
+	}
+	return t.strs[l]
+}

@@ -1,0 +1,210 @@
+// Package gstore stores a graph in the key-value storage tier using the
+// adjacency-list layout of Figure 3: every node is one entry whose key is
+// the node id and whose value encodes the node's label together with both
+// its outgoing and incoming labelled edges.
+//
+// The binary codec is a compact varint encoding with delta-compressed,
+// sorted neighbour lists — the value sizes it produces drive the byte-level
+// cache-capacity and network-transfer modelling in the engine.
+package gstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+)
+
+// Record is the decoded storage entry for one node.
+type Record struct {
+	Node      graph.NodeID
+	NodeLabel graph.Label
+	Out       []graph.Edge
+	In        []graph.Edge
+}
+
+// ErrCorrupt is returned when a stored value cannot be decoded.
+var ErrCorrupt = errors.New("gstore: corrupt record")
+
+// Encode serialises r, appending to buf (which may be nil) and returning
+// the extended slice. Edge lists are sorted by (To, Label) before encoding;
+// Encode does not modify r.
+func Encode(buf []byte, r *Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.NodeLabel))
+	buf = appendEdges(buf, r.Out)
+	buf = appendEdges(buf, r.In)
+	return buf
+}
+
+func appendEdges(buf []byte, edges []graph.Edge) []byte {
+	sorted := graph.SortedEdges(edges)
+	buf = binary.AppendUvarint(buf, uint64(len(sorted)))
+	prev := uint64(0)
+	for _, e := range sorted {
+		delta := uint64(e.To) - prev
+		prev = uint64(e.To)
+		buf = binary.AppendUvarint(buf, delta)
+		buf = binary.AppendUvarint(buf, uint64(e.Label))
+	}
+	return buf
+}
+
+// Decode parses a record produced by Encode. The node id is not part of the
+// value (it is the key), so the caller supplies it.
+func Decode(node graph.NodeID, data []byte) (Record, error) {
+	r := Record{Node: node}
+	label, n := binary.Uvarint(data)
+	if n <= 0 || label > uint64(^graph.Label(0)) {
+		return r, fmt.Errorf("%w: node label", ErrCorrupt)
+	}
+	data = data[n:]
+	r.NodeLabel = graph.Label(label)
+	var err error
+	r.Out, data, err = decodeEdges(data)
+	if err != nil {
+		return r, fmt.Errorf("%w: out edges", ErrCorrupt)
+	}
+	r.In, data, err = decodeEdges(data)
+	if err != nil {
+		return r, fmt.Errorf("%w: in edges", ErrCorrupt)
+	}
+	if len(data) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	return r, nil
+}
+
+func decodeEdges(data []byte) ([]graph.Edge, []byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, data, ErrCorrupt
+	}
+	data = data[n:]
+	if count > uint64(len(data)) { // each edge needs >= 2 bytes minimum 1+1
+		// Guard against allocating absurd slices from corrupt counts. A
+		// legitimate edge costs at least 2 varint bytes.
+		if count*1 > uint64(len(data)) {
+			return nil, data, ErrCorrupt
+		}
+	}
+	edges := make([]graph.Edge, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, data, ErrCorrupt
+		}
+		data = data[n:]
+		label, n := binary.Uvarint(data)
+		if n <= 0 || label > uint64(^graph.Label(0)) {
+			return nil, data, ErrCorrupt
+		}
+		data = data[n:]
+		prev += delta
+		if prev > uint64(^graph.NodeID(0)) {
+			return nil, data, ErrCorrupt
+		}
+		edges = append(edges, graph.Edge{To: graph.NodeID(prev), Label: graph.Label(label)})
+	}
+	return edges, data, nil
+}
+
+// RecordOf extracts node u's storage record from an in-memory graph.
+func RecordOf(g *graph.Graph, u graph.NodeID) *Record {
+	return &Record{
+		Node:      u,
+		NodeLabel: g.NodeLabelID(u),
+		Out:       g.OutEdges(u),
+		In:        g.InEdges(u),
+	}
+}
+
+// Load encodes every live node of g into the store and returns the total
+// encoded bytes. This is the bulk-load step that populates the storage tier
+// before queries run.
+func Load(st *kvstore.Store, g *graph.Graph) int64 {
+	var total int64
+	buf := make([]byte, 0, 1024)
+	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {
+		if !g.Exists(id) {
+			continue
+		}
+		buf = Encode(buf[:0], RecordOf(g, id))
+		st.Put(uint64(id), buf)
+		total += int64(len(buf))
+	}
+	return total
+}
+
+// Tier is the storage-tier facade the query processors talk to: typed
+// fetches of node records with byte accounting, backed by the KV store.
+type Tier struct {
+	store *kvstore.Store
+}
+
+// NewTier wraps a loaded store.
+func NewTier(st *kvstore.Store) *Tier { return &Tier{store: st} }
+
+// Store exposes the underlying KV store (for placement and batch planning).
+func (t *Tier) Store() *kvstore.Store { return t.store }
+
+// Fetch retrieves and decodes one node record. The bool reports presence.
+func (t *Tier) Fetch(id graph.NodeID) (Record, bool, error) {
+	v, ok := t.store.Get(uint64(id))
+	if !ok {
+		return Record{Node: id}, false, nil
+	}
+	r, err := Decode(id, v)
+	return r, true, err
+}
+
+// FetchResult is one element of a batched fetch.
+type FetchResult struct {
+	Record Record
+	Bytes  int // encoded size, for cache accounting
+	OK     bool
+}
+
+// FetchBatch retrieves and decodes many node records grouped by owning
+// server. For every input id, results[id] is populated. The onBatch hook
+// (optional) observes each per-server batch with its total bytes — the
+// engine uses it to charge server timelines.
+func (t *Tier) FetchBatch(ids []graph.NodeID, onBatch func(b kvstore.Batch, bytes int64)) (map[graph.NodeID]FetchResult, error) {
+	results := make(map[graph.NodeID]FetchResult, len(ids))
+	keys := make([]uint64, len(ids))
+	for i, id := range ids {
+		keys[i] = uint64(id)
+	}
+	var decodeErr error
+	for _, b := range t.store.PlanBatches(keys) {
+		bytes := t.store.GetBatch(b, func(key uint64, val []byte, ok bool) {
+			id := graph.NodeID(key)
+			if !ok {
+				results[id] = FetchResult{Record: Record{Node: id}}
+				return
+			}
+			r, err := Decode(id, val)
+			if err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+			results[id] = FetchResult{Record: r, Bytes: len(val), OK: true}
+		})
+		if onBatch != nil {
+			onBatch(b, bytes)
+		}
+	}
+	return results, decodeErr
+}
+
+// UpdateNode re-encodes node u from g and writes it back; used when the
+// graph mutates (Section 3.4, graph updates).
+func (t *Tier) UpdateNode(g *graph.Graph, u graph.NodeID) {
+	if !g.Exists(u) {
+		t.store.Delete(uint64(u))
+		return
+	}
+	buf := Encode(nil, RecordOf(g, u))
+	t.store.Put(uint64(u), buf)
+}

@@ -1,0 +1,251 @@
+package gstore
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+)
+
+func sortEdges(es []graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, len(es))
+	copy(out, es)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := &Record{
+		Node:      42,
+		NodeLabel: 3,
+		Out:       []graph.Edge{{To: 7, Label: 1}, {To: 3, Label: 0}, {To: 7, Label: 2}},
+		In:        []graph.Edge{{To: 100000, Label: 9}},
+	}
+	buf := Encode(nil, r)
+	got, err := Decode(42, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 42 || got.NodeLabel != 3 {
+		t.Fatalf("decoded header = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Out, sortEdges(r.Out)) {
+		t.Fatalf("Out = %v, want %v", got.Out, sortEdges(r.Out))
+	}
+	if !reflect.DeepEqual(got.In, sortEdges(r.In)) {
+		t.Fatalf("In = %v, want %v", got.In, sortEdges(r.In))
+	}
+}
+
+func TestEncodeEmptyRecord(t *testing.T) {
+	r := &Record{Node: 1}
+	buf := Encode(nil, r)
+	got, err := Decode(1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Out) != 0 || len(got.In) != 0 || got.NodeLabel != 0 {
+		t.Fatalf("decoded empty record = %+v", got)
+	}
+}
+
+func TestEncodeDoesNotMutateInput(t *testing.T) {
+	out := []graph.Edge{{To: 9}, {To: 1}, {To: 5}}
+	r := &Record{Node: 0, Out: out}
+	Encode(nil, r)
+	if out[0].To != 9 || out[1].To != 1 || out[2].To != 5 {
+		t.Fatalf("Encode sorted the caller's slice: %v", out)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                       // missing label
+		{0x00},                   // missing out count
+		{0x00, 0x05},             // out count 5 with no edge data
+		{0x00, 0x01, 0x03},       // edge missing label varint
+		{0x00, 0x00, 0x00, 0xff}, // trailing garbage / truncated in-list
+	}
+	for i, data := range cases {
+		if _, err := Decode(0, data); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	buf := Encode(nil, &Record{Node: 1})
+	buf = append(buf, 0x7)
+	if _, err := Decode(1, buf); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// Property: arbitrary edge lists survive the codec (up to sorting).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(nodeLabel uint16, rawOut, rawIn []uint32) bool {
+		r := &Record{Node: 5, NodeLabel: graph.Label(nodeLabel)}
+		for _, v := range rawOut {
+			r.Out = append(r.Out, graph.Edge{To: graph.NodeID(v), Label: graph.Label(v % 17)})
+		}
+		for _, v := range rawIn {
+			r.In = append(r.In, graph.Edge{To: graph.NodeID(v), Label: graph.Label(v % 5)})
+		}
+		buf := Encode(nil, r)
+		got, err := Decode(5, buf)
+		if err != nil {
+			return false
+		}
+		return got.NodeLabel == r.NodeLabel &&
+			reflect.DeepEqual(got.Out, sortEdges(r.Out)) &&
+			reflect.DeepEqual(got.In, sortEdges(r.In))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newLoadedTier(t *testing.T) (*Tier, *graph.Graph) {
+	t.Helper()
+	g := gen.ErdosRenyi(300, 1500, 4)
+	st, err := kvstore.New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := Load(st, g); total <= 0 {
+		t.Fatalf("Load returned %d bytes", total)
+	}
+	return NewTier(st), g
+}
+
+func TestLoadAndFetchMatchesGraph(t *testing.T) {
+	tier, g := newLoadedTier(t)
+	for _, id := range []graph.NodeID{0, 1, 137, 299} {
+		r, ok, err := tier.Fetch(id)
+		if err != nil || !ok {
+			t.Fatalf("Fetch(%d): ok=%v err=%v", id, ok, err)
+		}
+		if len(r.Out) != g.OutDegree(id) {
+			t.Fatalf("node %d: fetched %d out-edges, graph has %d", id, len(r.Out), g.OutDegree(id))
+		}
+		if len(r.In) != g.InDegree(id) {
+			t.Fatalf("node %d: fetched %d in-edges, graph has %d", id, len(r.In), g.InDegree(id))
+		}
+		if !reflect.DeepEqual(r.Out, sortEdges(g.OutEdges(id))) {
+			t.Fatalf("node %d: out-edges differ", id)
+		}
+	}
+}
+
+func TestFetchMissing(t *testing.T) {
+	tier, _ := newLoadedTier(t)
+	_, ok, err := tier.Fetch(99999)
+	if ok || err != nil {
+		t.Fatalf("Fetch(missing) = ok %v err %v", ok, err)
+	}
+}
+
+func TestFetchBatch(t *testing.T) {
+	tier, g := newLoadedTier(t)
+	ids := []graph.NodeID{0, 1, 2, 3, 4, 5, 77777}
+	var batches int
+	var totalBytes int64
+	results, err := tier.FetchBatch(ids, func(b kvstore.Batch, bytes int64) {
+		batches++
+		totalBytes += bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("results cover %d ids, want %d", len(results), len(ids))
+	}
+	if !results[0].OK || results[77777].OK {
+		t.Fatalf("presence flags wrong: %+v, %+v", results[0], results[77777])
+	}
+	if results[2].Bytes <= 0 {
+		t.Fatal("byte accounting missing")
+	}
+	if batches == 0 || totalBytes <= 0 {
+		t.Fatalf("onBatch not invoked: batches=%d bytes=%d", batches, totalBytes)
+	}
+	if len(results[1].Record.Out) != g.OutDegree(1) {
+		t.Fatal("batched record content wrong")
+	}
+}
+
+func TestFetchBatchNilHook(t *testing.T) {
+	tier, _ := newLoadedTier(t)
+	if _, err := tier.FetchBatch([]graph.NodeID{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateNode(t *testing.T) {
+	tier, g := newLoadedTier(t)
+	// Mutate the graph, then push the update.
+	target := graph.NodeID(10)
+	before := g.OutDegree(target)
+	if err := g.AddEdge(target, 11, "new"); err != nil {
+		t.Fatal(err)
+	}
+	tier.UpdateNode(g, target)
+	r, ok, err := tier.Fetch(target)
+	if err != nil || !ok {
+		t.Fatalf("Fetch after update: %v %v", ok, err)
+	}
+	if len(r.Out) != before+1 {
+		t.Fatalf("updated record has %d out-edges, want %d", len(r.Out), before+1)
+	}
+	// Removing the node deletes the record.
+	if err := g.RemoveNode(target); err != nil {
+		t.Fatal(err)
+	}
+	tier.UpdateNode(g, target)
+	if _, ok, _ := tier.Fetch(target); ok {
+		t.Fatal("record survives node removal")
+	}
+}
+
+func TestLoadSkipsRemovedNodes(t *testing.T) {
+	g := gen.Ring(10)
+	if err := g.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := kvstore.New(2, nil)
+	Load(st, g)
+	if st.TotalKeys() != 9 {
+		t.Fatalf("store has %d keys, want 9", st.TotalKeys())
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	g := gen.RMAT(gen.RMATOptions{Nodes: 1000, Edges: 20000, Seed: 1})
+	r := RecordOf(g, g.NodesByDegreeDesc()[0])
+	buf := make([]byte, 0, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], r)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	g := gen.RMAT(gen.RMATOptions{Nodes: 1000, Edges: 20000, Seed: 1})
+	r := RecordOf(g, g.NodesByDegreeDesc()[0])
+	buf := Encode(nil, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(r.Node, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

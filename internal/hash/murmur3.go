@@ -1,0 +1,141 @@
+// Package hash implements MurmurHash3, the hash RAMCloud (and therefore the
+// paper's storage tier) uses to place keys on storage servers: "The graph is
+// partitioned across storage servers via RAMCloud's default and inexpensive
+// hash partitioning scheme, MurmurHash3 over graph nodes."
+//
+// Two variants are provided: the full x64 128-bit digest for arbitrary byte
+// keys, and a fast fixed-width path for 8-byte node-id keys (the hot path of
+// the storage tier).
+package hash
+
+import "encoding/binary"
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// fmix64 is MurmurHash3's 64-bit finaliser: a full-avalanche bit mixer.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func rotl64(x uint64, r uint) uint64 { return (x << r) | (x >> (64 - r)) }
+
+// Sum128 computes the MurmurHash3 x64 128-bit digest of data with the given
+// seed, returning the two 64-bit halves.
+func Sum128(data []byte, seed uint64) (uint64, uint64) {
+	h1, h2 := seed, seed
+	n := len(data)
+
+	// Body: 16-byte blocks.
+	for len(data) >= 16 {
+		k1 := binary.LittleEndian.Uint64(data[0:8])
+		k2 := binary.LittleEndian.Uint64(data[8:16])
+		data = data[16:]
+
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = rotl64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = rotl64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail.
+	var k1, k2 uint64
+	switch len(data) {
+	case 15:
+		k2 ^= uint64(data[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(data[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(data[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(data[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(data[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(data[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(data[8])
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(data[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(data[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(data[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(data[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(data[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(data[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(data[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(data[0])
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalisation.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// Sum64 returns the first 64 bits of the x64 128-bit digest.
+func Sum64(data []byte, seed uint64) uint64 {
+	h1, _ := Sum128(data, seed)
+	return h1
+}
+
+// Key64 hashes an 8-byte (uint64) key: the storage tier's node-id
+// placement hash. Equivalent to Sum64 over the key's little-endian bytes
+// but without the allocation.
+func Key64(key uint64, seed uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	return Sum64(buf[:], seed)
+}

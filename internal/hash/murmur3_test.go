@@ -1,0 +1,135 @@
+package hash
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3 x64-128 (first 64 bits), matching the
+// canonical C++ implementation with seed 0.
+func TestReferenceVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0x0000000000000000},
+		{"hello", 0xcbd8a7b341bd9b02},
+		{"hello, world", 0x342fac623a5ebc8e},
+		{"19 Jan 2038 at 3:14:07 AM", 0xb89e5988b737affc},
+		{"The quick brown fox jumps over the lazy dog.", 0xcd99481f9ee902c9},
+	}
+	for _, c := range cases {
+		if got := Sum64([]byte(c.in), 0); got != c.want {
+			t.Errorf("Sum64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeedChangesDigest(t *testing.T) {
+	a := Sum64([]byte("key"), 0)
+	b := Sum64([]byte("key"), 1)
+	if a == b {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+func TestAllTailLengths(t *testing.T) {
+	// Exercise every tail-switch arm (lengths 0..16+15) and check
+	// determinism + distinctness.
+	seen := map[uint64]int{}
+	buf := make([]byte, 0, 31)
+	for n := 0; n <= 31; n++ {
+		h := Sum64(buf, 42)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("length %d collides with length %d", n, prev)
+		}
+		seen[h] = n
+		if again := Sum64(buf, 42); again != h {
+			t.Fatalf("length %d not deterministic", n)
+		}
+		buf = append(buf, byte(n+1))
+	}
+}
+
+func TestKey64MatchesSum64(t *testing.T) {
+	f := func(key, seed uint64) bool {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], key)
+		return Key64(key, seed) == Sum64(buf[:], seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum128Halves(t *testing.T) {
+	h1, h2 := Sum128([]byte("abcdefghijklmnopqrstuvwxyz"), 0)
+	if h1 == 0 || h2 == 0 || h1 == h2 {
+		t.Fatalf("suspicious digest halves: %#x, %#x", h1, h2)
+	}
+}
+
+// TestShardDistribution verifies that Key64 spreads sequential node ids
+// uniformly across shards - the property the storage tier's hash
+// partitioning relies on. Chi-squared against uniform with generous bounds.
+func TestShardDistribution(t *testing.T) {
+	const keys = 100000
+	for _, shards := range []int{2, 4, 7, 16} {
+		counts := make([]int, shards)
+		for k := uint64(0); k < keys; k++ {
+			counts[Key64(k, 0)%uint64(shards)]++
+		}
+		expected := float64(keys) / float64(shards)
+		var chi2 float64
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 99.9th percentile of chi-squared with <=15 dof is ~37.7.
+		if chi2 > 40 {
+			t.Errorf("shards=%d: chi2 = %v (counts %v)", shards, chi2, counts)
+		}
+	}
+}
+
+// TestAvalanche flips single input bits and requires ~half the output bits
+// to change on average (full-avalanche mixing).
+func TestAvalanche(t *testing.T) {
+	base := make([]byte, 16)
+	h0 := Sum64(base, 0)
+	totalFlips := 0
+	trials := 0
+	for byteIdx := 0; byteIdx < 16; byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			mod := make([]byte, 16)
+			copy(mod, base)
+			mod[byteIdx] ^= 1 << bit
+			diff := Sum64(mod, 0) ^ h0
+			for d := diff; d != 0; d &= d - 1 {
+				totalFlips++
+			}
+			trials++
+		}
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average = %v output bits flipped, want ~32", avg)
+	}
+}
+
+func BenchmarkKey64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Key64(uint64(i), 0)
+	}
+	_ = sink
+}
+
+func BenchmarkSum128_64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum128(data, 0)
+	}
+}

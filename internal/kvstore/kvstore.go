@@ -1,0 +1,232 @@
+// Package kvstore implements the storage tier of the decoupled architecture:
+// a RAMCloud-style distributed, in-memory key-value store (Section 4.1).
+//
+// All values live in the main memory of a set of storage servers. A key is
+// hashed (MurmurHash3, RAMCloud's default) to determine the owning server.
+// The store is purely functional with respect to time: latency and
+// contention are modelled by the engine's network profile, which consults
+// the batch plans this package produces (which keys land on which server).
+//
+// The store is safe for concurrent use; each server shard has its own lock.
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hash"
+)
+
+// Placer decides which storage server owns a key. Implementations must be
+// deterministic and safe for concurrent use.
+type Placer interface {
+	Place(key uint64, numServers int) int
+}
+
+// MurmurPlacer is RAMCloud's default placement: MurmurHash3 over the key,
+// modulo the number of servers.
+type MurmurPlacer struct {
+	Seed uint64
+}
+
+// Place implements Placer.
+func (m MurmurPlacer) Place(key uint64, numServers int) int {
+	return int(hash.Key64(key, m.Seed) % uint64(numServers))
+}
+
+// TablePlacer places keys according to a precomputed assignment (used by
+// the partitioning ablation, where the storage tier is partitioned with a
+// graph-aware partitioner instead of a hash). Keys beyond the table fall
+// back to murmur placement.
+type TablePlacer struct {
+	Assign   []int32
+	Fallback MurmurPlacer
+}
+
+// Place implements Placer.
+func (t TablePlacer) Place(key uint64, numServers int) int {
+	if key < uint64(len(t.Assign)) {
+		p := int(t.Assign[key])
+		if p >= 0 && p < numServers {
+			return p
+		}
+	}
+	return t.Fallback.Place(key, numServers)
+}
+
+// ServerStats counts the operations served by one storage server.
+type ServerStats struct {
+	Gets, Puts, Deletes uint64
+	Misses              uint64
+	Keys                int
+	Bytes               int64
+}
+
+// server is one storage shard.
+type server struct {
+	mu    sync.RWMutex
+	data  map[uint64][]byte
+	stats ServerStats
+}
+
+// Store is the distributed key-value store: a set of in-memory server
+// shards plus a placement function.
+type Store struct {
+	servers []*server
+	placer  Placer
+}
+
+// New creates a store with numServers shards using placer (nil means
+// MurmurPlacer with seed 0).
+func New(numServers int, placer Placer) (*Store, error) {
+	if numServers <= 0 {
+		return nil, fmt.Errorf("kvstore: need at least 1 server, got %d", numServers)
+	}
+	if placer == nil {
+		placer = MurmurPlacer{}
+	}
+	s := &Store{servers: make([]*server, numServers), placer: placer}
+	for i := range s.servers {
+		s.servers[i] = &server{data: make(map[uint64][]byte)}
+	}
+	return s, nil
+}
+
+// NumServers returns the number of storage shards.
+func (s *Store) NumServers() int { return len(s.servers) }
+
+// ServerFor returns the shard index owning key.
+func (s *Store) ServerFor(key uint64) int {
+	return s.placer.Place(key, len(s.servers))
+}
+
+// Put stores val under key, replacing any prior value. The value is copied;
+// the caller may reuse its buffer.
+func (s *Store) Put(key uint64, val []byte) {
+	sv := s.servers[s.ServerFor(key)]
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	sv.mu.Lock()
+	if old, ok := sv.data[key]; ok {
+		sv.stats.Bytes -= int64(len(old))
+		sv.stats.Keys--
+	}
+	sv.data[key] = cp
+	sv.stats.Puts++
+	sv.stats.Keys++
+	sv.stats.Bytes += int64(len(cp))
+	sv.mu.Unlock()
+}
+
+// Get returns the value stored under key. The returned slice is owned by
+// the store and must not be modified.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	sv := s.servers[s.ServerFor(key)]
+	sv.mu.RLock()
+	v, ok := sv.data[key]
+	sv.mu.RUnlock()
+	sv.mu.Lock()
+	sv.stats.Gets++
+	if !ok {
+		sv.stats.Misses++
+	}
+	sv.mu.Unlock()
+	return v, ok
+}
+
+// Delete removes key and reports whether it was present.
+func (s *Store) Delete(key uint64) bool {
+	sv := s.servers[s.ServerFor(key)]
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	old, ok := sv.data[key]
+	if ok {
+		delete(sv.data, key)
+		sv.stats.Keys--
+		sv.stats.Bytes -= int64(len(old))
+	}
+	sv.stats.Deletes++
+	return ok
+}
+
+// Stats returns a snapshot of shard i's counters.
+func (s *Store) Stats(i int) ServerStats {
+	sv := s.servers[i]
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return sv.stats
+}
+
+// TotalBytes returns the bytes stored across all shards.
+func (s *Store) TotalBytes() int64 {
+	var total int64
+	for i := range s.servers {
+		total += s.Stats(i).Bytes
+	}
+	return total
+}
+
+// TotalKeys returns the number of keys stored across all shards.
+func (s *Store) TotalKeys() int {
+	total := 0
+	for i := range s.servers {
+		total += s.Stats(i).Keys
+	}
+	return total
+}
+
+// Batch is the portion of a multi-get owned by a single server: the unit
+// the engine charges to that server's timeline.
+type Batch struct {
+	Server int
+	Keys   []uint64
+}
+
+// PlanBatches groups keys by owning server, preserving the input order
+// within each group. The result references fresh slices.
+func (s *Store) PlanBatches(keys []uint64) []Batch {
+	if len(keys) == 0 {
+		return nil
+	}
+	groups := make(map[int][]uint64)
+	order := make([]int, 0, len(s.servers))
+	for _, k := range keys {
+		sv := s.ServerFor(k)
+		if _, seen := groups[sv]; !seen {
+			order = append(order, sv)
+		}
+		groups[sv] = append(groups[sv], k)
+	}
+	out := make([]Batch, 0, len(order))
+	for _, sv := range order {
+		out = append(out, Batch{Server: sv, Keys: groups[sv]})
+	}
+	return out
+}
+
+// GetBatch fetches every key in b, invoking fn for each (in order) with the
+// stored value (nil, false when absent). It returns the total bytes read.
+func (s *Store) GetBatch(b Batch, fn func(key uint64, val []byte, ok bool)) int64 {
+	sv := s.servers[b.Server]
+	var bytes int64
+	sv.mu.RLock()
+	vals := make([][]byte, len(b.Keys))
+	oks := make([]bool, len(b.Keys))
+	for i, k := range b.Keys {
+		vals[i], oks[i] = sv.data[k]
+		bytes += int64(len(vals[i]))
+	}
+	sv.mu.RUnlock()
+	sv.mu.Lock()
+	sv.stats.Gets += uint64(len(b.Keys))
+	for _, ok := range oks {
+		if !ok {
+			sv.stats.Misses++
+		}
+	}
+	sv.mu.Unlock()
+	for i, k := range b.Keys {
+		fn(k, vals[i], oks[i])
+	}
+	return bytes
+}

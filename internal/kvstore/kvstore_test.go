@@ -1,0 +1,266 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, n int, p Placer) *Store {
+	t.Helper()
+	s, err := New(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsZeroServers(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+	if _, err := New(-3, nil); err == nil {
+		t.Fatal("New(-3) accepted")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := mustNew(t, 4, nil)
+	s.Put(1, []byte("alpha"))
+	s.Put(2, []byte("beta"))
+	v, ok := s.Get(1)
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if _, ok := s.Get(99); ok {
+		t.Fatal("Get(99) found a value")
+	}
+	if !s.Delete(1) {
+		t.Fatal("Delete(1) = false")
+	}
+	if s.Delete(1) {
+		t.Fatal("second Delete(1) = true")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("Get after Delete found a value")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := mustNew(t, 1, nil)
+	buf := []byte("mutable")
+	s.Put(7, buf)
+	buf[0] = 'X'
+	v, _ := s.Get(7)
+	if string(v) != "mutable" {
+		t.Fatalf("stored value aliased caller buffer: %q", v)
+	}
+}
+
+func TestPutReplaceAccounting(t *testing.T) {
+	s := mustNew(t, 2, nil)
+	s.Put(5, []byte("aaaa"))
+	s.Put(5, []byte("bb"))
+	if got := s.TotalKeys(); got != 1 {
+		t.Fatalf("TotalKeys = %d, want 1", got)
+	}
+	if got := s.TotalBytes(); got != 2 {
+		t.Fatalf("TotalBytes = %d, want 2", got)
+	}
+}
+
+func TestPlacementStable(t *testing.T) {
+	s := mustNew(t, 7, nil)
+	for k := uint64(0); k < 1000; k++ {
+		a, b := s.ServerFor(k), s.ServerFor(k)
+		if a != b {
+			t.Fatalf("placement of %d unstable: %d vs %d", k, a, b)
+		}
+		if a < 0 || a >= 7 {
+			t.Fatalf("placement of %d out of range: %d", k, a)
+		}
+	}
+}
+
+func TestPlacementSpread(t *testing.T) {
+	s := mustNew(t, 4, nil)
+	counts := make([]int, 4)
+	for k := uint64(0); k < 8000; k++ {
+		counts[s.ServerFor(k)]++
+	}
+	for i, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("server %d owns %d of 8000 keys (counts %v)", i, c, counts)
+		}
+	}
+}
+
+func TestTablePlacer(t *testing.T) {
+	tp := TablePlacer{Assign: []int32{2, 0, 1, -1}}
+	if got := tp.Place(0, 3); got != 2 {
+		t.Fatalf("Place(0) = %d, want 2", got)
+	}
+	if got := tp.Place(2, 3); got != 1 {
+		t.Fatalf("Place(2) = %d, want 1", got)
+	}
+	// Negative entry and out-of-table key use the murmur fallback in range.
+	for _, k := range []uint64{3, 1000} {
+		got := tp.Place(k, 3)
+		if got < 0 || got >= 3 {
+			t.Fatalf("fallback Place(%d) = %d out of range", k, got)
+		}
+	}
+	// Table entry >= numServers also falls back.
+	tp2 := TablePlacer{Assign: []int32{9}}
+	if got := tp2.Place(0, 3); got < 0 || got >= 3 {
+		t.Fatalf("oversized table entry Place = %d", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := mustNew(t, 1, nil)
+	s.Put(1, []byte("x"))
+	s.Get(1)
+	s.Get(2) // miss
+	s.Delete(1)
+	st := s.Stats(0)
+	if st.Puts != 1 || st.Gets != 2 || st.Misses != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Keys != 0 || st.Bytes != 0 {
+		t.Fatalf("post-delete accounting = %+v", st)
+	}
+}
+
+func TestPlanBatchesGroupsByServer(t *testing.T) {
+	s := mustNew(t, 3, nil)
+	keys := make([]uint64, 60)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	batches := s.PlanBatches(keys)
+	total := 0
+	seen := map[int]bool{}
+	for _, b := range batches {
+		if seen[b.Server] {
+			t.Fatalf("server %d appears in two batches", b.Server)
+		}
+		seen[b.Server] = true
+		for _, k := range b.Keys {
+			if s.ServerFor(k) != b.Server {
+				t.Fatalf("key %d planned on %d, owned by %d", k, b.Server, s.ServerFor(k))
+			}
+			total++
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("batches cover %d keys, want %d", total, len(keys))
+	}
+	if s.PlanBatches(nil) != nil {
+		t.Fatal("PlanBatches(nil) != nil")
+	}
+}
+
+func TestGetBatch(t *testing.T) {
+	s := mustNew(t, 2, nil)
+	for k := uint64(0); k < 20; k++ {
+		s.Put(k, []byte{byte(k), byte(k)})
+	}
+	keys := []uint64{0, 1, 2, 3, 4, 100}
+	var got, missing int
+	var bytes int64
+	for _, b := range s.PlanBatches(keys) {
+		bytes += s.GetBatch(b, func(k uint64, v []byte, ok bool) {
+			if ok {
+				got++
+				if len(v) != 2 || v[0] != byte(k) {
+					t.Fatalf("wrong value for key %d: %v", k, v)
+				}
+			} else {
+				missing++
+			}
+		})
+	}
+	if got != 5 || missing != 1 {
+		t.Fatalf("got=%d missing=%d, want 5/1", got, missing)
+	}
+	if bytes != 10 {
+		t.Fatalf("bytes = %d, want 10", bytes)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := mustNew(t, 4, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * 1000)
+			for i := uint64(0); i < 500; i++ {
+				s.Put(base+i, []byte(fmt.Sprintf("v%d", base+i)))
+			}
+			for i := uint64(0); i < 500; i++ {
+				v, ok := s.Get(base + i)
+				if !ok || string(v) != fmt.Sprintf("v%d", base+i) {
+					t.Errorf("worker %d: Get(%d) = %q, %v", w, base+i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.TotalKeys() != 4000 {
+		t.Fatalf("TotalKeys = %d, want 4000", s.TotalKeys())
+	}
+}
+
+// Property: Get returns exactly what Put stored, for arbitrary keys/values.
+func TestQuickRoundTrip(t *testing.T) {
+	s := mustNew(t, 5, nil)
+	f := func(key uint64, val []byte) bool {
+		s.Put(key, val)
+		got, ok := s.Get(key)
+		return ok && string(got) == string(val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: batches partition the key multiset.
+func TestQuickPlanPartition(t *testing.T) {
+	s := mustNew(t, 3, nil)
+	f := func(keys []uint64) bool {
+		count := map[uint64]int{}
+		for _, k := range keys {
+			count[k]++
+		}
+		for _, b := range s.PlanBatches(keys) {
+			for _, k := range b.Keys {
+				count[k]--
+			}
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, _ := New(4, nil)
+	for k := uint64(0); k < 10000; k++ {
+		s.Put(k, make([]byte, 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint64(i) % 10000)
+	}
+}

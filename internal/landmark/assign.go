@@ -1,0 +1,165 @@
+package landmark
+
+import "repro/internal/graph"
+
+// Assignment maps landmarks to processors and carries the router's O(n·P)
+// node→processor distance table.
+type Assignment struct {
+	// Pivots[p] is the index (into Index.Landmarks) of processor p's pivot
+	// landmark.
+	Pivots []int
+	// ProcOf[i] is the processor owning landmark i.
+	ProcOf []int
+	// distToProc is row-major [node][processor]: d(u,p) = min over
+	// landmarks assigned to p of d(l,u).
+	distToProc []uint16
+	procs      int
+}
+
+// Assign distributes the index's landmarks over procs processors
+// (Section 3.4.1 preprocessing):
+//
+//  1. the first two pivots are the farthest-apart landmark pair;
+//  2. each next pivot is the landmark farthest from all chosen pivots;
+//  3. every remaining landmark joins its closest pivot's processor;
+//  4. the node→processor distance table is materialised.
+//
+// When there are fewer landmarks than processors, the extra processors get
+// no landmarks and keep infinite distance to every node (the router's
+// load-balancing term still lets them steal work).
+func Assign(idx *Index, procs int) *Assignment {
+	L := idx.NumLandmarks()
+	a := &Assignment{
+		Pivots: make([]int, 0, procs),
+		ProcOf: make([]int, L),
+		procs:  procs,
+	}
+	if procs <= 0 {
+		return a
+	}
+	npivots := procs
+	if npivots > L {
+		npivots = L
+	}
+	if npivots > 0 {
+		a.Pivots = append(a.Pivots, farthestPair(idx, npivots)...)
+	}
+	// Assign every landmark to the processor of its closest pivot.
+	for i := 0; i < L; i++ {
+		best, bestD := 0, uint32(Inf)+1
+		for p, pivot := range a.Pivots {
+			d := uint32(idx.LandmarkDist(pivot, i))
+			if pivot == i {
+				d = 0
+			}
+			if d < bestD {
+				best, bestD = p, d
+			}
+		}
+		a.ProcOf[i] = best
+	}
+	a.buildDistTable(idx)
+	return a
+}
+
+// farthestPair seeds pivot selection with the farthest-apart landmark pair
+// and extends it greedily (farthest-point traversal). Unreachable pairs
+// rank as maximally far, which naturally spreads pivots across components.
+func farthestPair(idx *Index, npivots int) []int {
+	L := idx.NumLandmarks()
+	if L == 0 {
+		return nil
+	}
+	if L == 1 || npivots == 1 {
+		return []int{0}
+	}
+	bi, bj, bd := 0, 1, uint32(0)
+	for i := 0; i < L; i++ {
+		for j := i + 1; j < L; j++ {
+			d := uint32(idx.LandmarkDist(i, j))
+			if d >= bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	pivots := []int{bi, bj}
+	inPivot := map[int]bool{bi: true, bj: true}
+	for len(pivots) < npivots {
+		bestL, bestScore := -1, int64(-1)
+		for i := 0; i < L; i++ {
+			if inPivot[i] {
+				continue
+			}
+			// Distance to the pivot set = min distance to any pivot.
+			score := int64(Inf) + 1
+			for _, p := range pivots {
+				if d := int64(idx.LandmarkDist(p, i)); d < score {
+					score = d
+				}
+			}
+			if score > bestScore {
+				bestL, bestScore = i, score
+			}
+		}
+		if bestL < 0 {
+			break
+		}
+		pivots = append(pivots, bestL)
+		inPivot[bestL] = true
+	}
+	return pivots
+}
+
+func (a *Assignment) buildDistTable(idx *Index) {
+	n := idx.NumNodes()
+	a.distToProc = make([]uint16, n*a.procs)
+	for i := range a.distToProc {
+		a.distToProc[i] = Inf
+	}
+	for li, p := range a.ProcOf {
+		for u := 0; u < n; u++ {
+			d := idx.Dist(li, graph.NodeID(u))
+			if d < a.distToProc[u*a.procs+p] {
+				a.distToProc[u*a.procs+p] = d
+			}
+		}
+	}
+}
+
+// Procs returns the number of processors in the assignment.
+func (a *Assignment) Procs() int { return a.procs }
+
+// DistToProc returns d(u, p): the distance of node u to the closest
+// landmark owned by processor p (Inf when unknown).
+func (a *Assignment) DistToProc(u graph.NodeID, p int) uint16 {
+	i := int(u)*a.procs + p
+	if p < 0 || p >= a.procs || i >= len(a.distToProc) {
+		return Inf
+	}
+	return a.distToProc[i]
+}
+
+// SetNodeDistances fills node u's row from the index (used after
+// IncorporateNode extends the index with a new node).
+func (a *Assignment) SetNodeDistances(idx *Index, u graph.NodeID) {
+	need := (int(u) + 1) * a.procs
+	for len(a.distToProc) < need {
+		a.distToProc = append(a.distToProc, Inf)
+	}
+	row := a.distToProc[int(u)*a.procs : need]
+	for p := range row {
+		row[p] = Inf
+	}
+	for li, p := range a.ProcOf {
+		if d := idx.Dist(li, u); d < row[p] {
+			row[p] = d
+		}
+	}
+}
+
+// StorageBytes reports the router-side memory of the d(u,p) table —
+// Table 3's "preprocessing storage" for landmark routing is dominated by
+// this O(n·P) structure.
+func (a *Assignment) StorageBytes() int64 {
+	return int64(len(a.distToProc)) * 2
+}

@@ -1,0 +1,296 @@
+// Package landmark implements the landmark machinery behind the paper's
+// first smart routing scheme (Section 3.4.1).
+//
+// Landmarks are selected "based on their node degree and how well they
+// spread over the entire graph": candidates are taken in decreasing degree
+// order and discarded when they fall within a minimum hop separation of an
+// already-chosen landmark. A BFS per landmark (over the bi-directed graph)
+// yields the distance field d(l, u); pivot landmarks are then spread across
+// processors farthest-point style, every remaining landmark joins its
+// closest pivot's processor, and the router keeps the O(n·P) table
+// d(u, p) = min over landmarks assigned to p of d(l, u).
+package landmark
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Inf is the distance recorded for unreachable node/landmark pairs.
+const Inf uint16 = ^uint16(0)
+
+// Index holds the selected landmarks and their BFS distance fields.
+type Index struct {
+	Landmarks []graph.NodeID
+	// dist[i] is the bi-directed hop distance from Landmarks[i] to every
+	// node id (Inf when unreachable), indexed by NodeID.
+	dist [][]uint16
+}
+
+// Select picks up to count landmarks in decreasing degree order, skipping
+// candidates closer than minSep hops (bi-directed) to an already selected
+// landmark. It may return fewer than count landmarks on small or
+// fragmented graphs.
+func Select(g *graph.Graph, count, minSep int) []graph.NodeID {
+	if count <= 0 {
+		return nil
+	}
+	chosen := make([]graph.NodeID, 0, count)
+	isChosen := make(map[graph.NodeID]bool, count)
+	for _, cand := range g.NodesByDegreeDesc() {
+		if len(chosen) == count {
+			break
+		}
+		if g.Degree(cand) == 0 {
+			// Isolated nodes cannot anchor distances; and since candidates
+			// come sorted by degree, everything after is isolated too.
+			break
+		}
+		if minSep > 0 && len(chosen) > 0 && withinHops(g, cand, minSep-1, isChosen) {
+			continue
+		}
+		chosen = append(chosen, cand)
+		isChosen[cand] = true
+	}
+	return chosen
+}
+
+// withinHops reports whether any target node lies within maxHops of src
+// (bi-directed), aborting the BFS as soon as one is found — landmark
+// selection probes this for every candidate, so early exit matters on
+// dense graphs.
+func withinHops(g *graph.Graph, src graph.NodeID, maxHops int, targets map[graph.NodeID]bool) bool {
+	if targets[src] {
+		return true
+	}
+	if maxHops <= 0 {
+		return false
+	}
+	seen := map[graph.NodeID]struct{}{src: {}}
+	frontier := []graph.NodeID{src}
+	for h := 0; h < maxHops && len(frontier) > 0; h++ {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			hit := false
+			g.VisitNeighbors(u, graph.Both, func(v graph.NodeID) {
+				if targets[v] {
+					hit = true
+				}
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					next = append(next, v)
+				}
+			})
+			if hit {
+				return true
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// BuildIndex runs one BFS per landmark (parallel across workers; 0 means
+// GOMAXPROCS) and returns the distance index. This is the O(|L|·e)
+// preprocessing step of Table 2.
+func BuildIndex(g *graph.Graph, landmarks []graph.NodeID, workers int) *Index {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := &Index{
+		Landmarks: append([]graph.NodeID(nil), landmarks...),
+		dist:      make([][]uint16, len(landmarks)),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, l := range idx.Landmarks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, l graph.NodeID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			idx.dist[i] = compressBFS(g.BFS(l, graph.Both))
+		}(i, l)
+	}
+	wg.Wait()
+	return idx
+}
+
+func compressBFS(d32 []int32) []uint16 {
+	d := make([]uint16, len(d32))
+	for i, v := range d32 {
+		switch {
+		case v < 0:
+			d[i] = Inf
+		case v >= int32(Inf):
+			d[i] = Inf - 1
+		default:
+			d[i] = uint16(v)
+		}
+	}
+	return d
+}
+
+// NumLandmarks returns the number of landmarks in the index.
+func (idx *Index) NumLandmarks() int { return len(idx.Landmarks) }
+
+// NumNodes returns the node-id capacity of the distance fields.
+func (idx *Index) NumNodes() int {
+	if len(idx.dist) == 0 {
+		return 0
+	}
+	return len(idx.dist[0])
+}
+
+// Dist returns the hop distance from landmark i to node u (Inf when
+// unreachable or out of range).
+func (idx *Index) Dist(i int, u graph.NodeID) uint16 {
+	if i < 0 || i >= len(idx.dist) || int(u) >= len(idx.dist[i]) {
+		return Inf
+	}
+	return idx.dist[i][u]
+}
+
+// LandmarkDist returns the hop distance between landmarks i and j.
+func (idx *Index) LandmarkDist(i, j int) uint16 {
+	return idx.Dist(i, idx.Landmarks[j])
+}
+
+// StorageBytes reports the memory the distance fields occupy — the
+// "preprocessing storage" quantity of Table 3.
+func (idx *Index) StorageBytes() int64 {
+	var total int64
+	for _, d := range idx.dist {
+		total += int64(len(d)) * 2
+	}
+	return total
+}
+
+// Bound returns the landmark lower and upper bounds on d(u, v) from Eq 2:
+// |d(u,l) − d(l,v)| ≤ d(u,v) ≤ d(u,l) + d(l,v), tightened over every
+// landmark. ok is false when no landmark reaches both nodes.
+func (idx *Index) Bound(u, v graph.NodeID) (lo, hi uint16, ok bool) {
+	lo, hi = 0, Inf
+	for i := range idx.Landmarks {
+		du, dv := idx.Dist(i, u), idx.Dist(i, v)
+		if du == Inf || dv == Inf {
+			continue
+		}
+		ok = true
+		diff := du - dv
+		if dv > du {
+			diff = dv - du
+		}
+		if diff > lo {
+			lo = diff
+		}
+		if sum := uint32(du) + uint32(dv); sum < uint32(hi) {
+			hi = uint16(sum)
+		}
+	}
+	return lo, hi, ok
+}
+
+// growTo extends every distance field to cover node ids < n, marking new
+// slots unreachable.
+func (idx *Index) growTo(n int) {
+	for i := range idx.dist {
+		for len(idx.dist[i]) < n {
+			idx.dist[i] = append(idx.dist[i], Inf)
+		}
+	}
+}
+
+// IncorporateNode computes the distances of a (new) node u from every
+// landmark by relaxing over its current neighbours: d(l,u) =
+// 1 + min over neighbours w of d(l,w). This is the paper's lightweight
+// update path ("when a new node u is added, we compute the distance of
+// this node to every landmark") — exact when the neighbours' distances are
+// exact, an upper bound otherwise.
+func (idx *Index) IncorporateNode(g *graph.Graph, u graph.NodeID) {
+	idx.growTo(int(u) + 1)
+	for i := range idx.dist {
+		best := uint32(Inf)
+		if idx.Landmarks[i] == u {
+			best = 0
+		}
+		relax := func(v graph.NodeID) {
+			if int(v) < len(idx.dist[i]) {
+				if d := idx.dist[i][v]; d != Inf && uint32(d)+1 < best {
+					best = uint32(d) + 1
+				}
+			}
+		}
+		for _, e := range g.OutEdges(u) {
+			relax(e.To)
+		}
+		for _, e := range g.InEdges(u) {
+			relax(e.To)
+		}
+		idx.dist[i][u] = uint16(best)
+	}
+}
+
+// RefreshAround re-relaxes the distance estimates of every node within
+// hops of u (bi-directed), the paper's edge-update rule ("for these two
+// end-nodes and their neighbors up to a certain number of hops, we
+// recompute their distances to every landmark"). Estimates can only
+// improve towards the true distance for additions; deletions degrade to
+// stale upper bounds until the periodic offline rebuild.
+func (idx *Index) RefreshAround(g *graph.Graph, u graph.NodeID, hops int) {
+	region := g.BFSBounded(u, hops, graph.Both)
+	// Iterate a few relaxation rounds so improvements propagate inside the
+	// region (distance corrections travel at one hop per round).
+	for round := 0; round < hops+1; round++ {
+		changed := false
+		for v := range region {
+			for i := range idx.dist {
+				if int(v) >= len(idx.dist[i]) {
+					idx.growTo(int(v) + 1)
+				}
+				best := uint32(Inf)
+				if idx.Landmarks[i] == v {
+					best = 0
+				}
+				relax := func(w graph.NodeID) {
+					if int(w) < len(idx.dist[i]) {
+						if d := idx.dist[i][w]; d != Inf && uint32(d)+1 < best {
+							best = uint32(d) + 1
+						}
+					}
+				}
+				for _, e := range g.OutEdges(v) {
+					relax(e.To)
+				}
+				for _, e := range g.InEdges(v) {
+					relax(e.To)
+				}
+				if uint16(best) < idx.dist[i][v] {
+					idx.dist[i][v] = uint16(best)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// Validate checks internal consistency (every distance field covers the
+// same id range); it exists for tests and debugging.
+func (idx *Index) Validate() error {
+	for i := 1; i < len(idx.dist); i++ {
+		if len(idx.dist[i]) != len(idx.dist[0]) {
+			return fmt.Errorf("landmark: field %d covers %d ids, field 0 covers %d",
+				i, len(idx.dist[i]), len(idx.dist[0]))
+		}
+	}
+	if len(idx.dist) != len(idx.Landmarks) {
+		return fmt.Errorf("landmark: %d fields for %d landmarks", len(idx.dist), len(idx.Landmarks))
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Package query defines the online h-hop traversal queries of Section 2.2
+// and the hotspot workload generator of Section 4.1.
+//
+// The three query types — h-hop neighbour aggregation, h-step random walk
+// with restart, and h-hop reachability — all explore a small region around
+// a query node, which is exactly the access pattern smart routing exploits.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Type enumerates the paper's three online query kinds.
+type Type int
+
+const (
+	// NeighborAgg counts the distinct nodes within Hops of Node (optionally
+	// only those carrying CountLabel).
+	NeighborAgg Type = iota
+	// RandomWalk runs Hops random-walk steps from Node, restarting to Node
+	// with probability RestartProb at each step.
+	RandomWalk
+	// Reachability reports whether Target is reachable from Node within
+	// Hops, via bidirectional BFS (forward over out-edges, backward over
+	// in-edges).
+	Reachability
+)
+
+func (t Type) String() string {
+	switch t {
+	case NeighborAgg:
+		return "neighbor-agg"
+	case RandomWalk:
+		return "random-walk"
+	case Reachability:
+		return "reachability"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Query is one online request.
+type Query struct {
+	ID   int
+	Type Type
+	// Node is the query node the router inspects when making its decision.
+	Node graph.NodeID
+	// Target is the destination node (Reachability only).
+	Target graph.NodeID
+	// Hops is h: the traversal depth / walk length.
+	Hops int
+	// RestartProb is the random walk's restart probability.
+	RestartProb float64
+	// CountLabel restricts NeighborAgg to nodes with this label ("" = all).
+	CountLabel string
+	// Dir is the traversal direction for NeighborAgg (Reachability always
+	// searches forward+backward; walks follow Dir).
+	Dir graph.Direction
+	// Seed makes the random walk reproducible.
+	Seed int64
+	// Hotspot tags the workload region the query was drawn from.
+	Hotspot int
+}
+
+// Result is a query answer. Exactly one of the payload fields is
+// meaningful, selected by Type.
+type Result struct {
+	Type      Type
+	Count     int          // NeighborAgg
+	EndNode   graph.NodeID // RandomWalk
+	Reachable bool         // Reachability
+}
+
+// WorkloadSpec configures the hotspot workload of Section 4.1: "we select
+// 100 nodes from the graph uniformly at random. Then, for each of these
+// nodes, we select 10 different query nodes which are at most r-hops away
+// ... all queries from the same hotspot are grouped together and sent
+// consecutively."
+type WorkloadSpec struct {
+	NumHotspots       int // paper: 100
+	QueriesPerHotspot int // paper: 10
+	R                 int // hotspot radius (paper: 2 in most experiments)
+	H                 int // traversal depth (paper: 2 in most experiments)
+	// Types is the query mix, cycled per query (paper: "a uniform mixture
+	// of above queries"). Empty means all three types.
+	Types []Type
+	// RestartProb applies to RandomWalk queries (paper: "a small
+	// probability"; default 0.15).
+	RestartProb float64
+	Seed        int64
+}
+
+func (s WorkloadSpec) withDefaults() WorkloadSpec {
+	if s.NumHotspots <= 0 {
+		s.NumHotspots = 100
+	}
+	if s.QueriesPerHotspot <= 0 {
+		s.QueriesPerHotspot = 10
+	}
+	if s.R <= 0 {
+		s.R = 2
+	}
+	if s.H <= 0 {
+		s.H = 2
+	}
+	if len(s.Types) == 0 {
+		s.Types = []Type{NeighborAgg, RandomWalk, Reachability}
+	}
+	if s.RestartProb <= 0 {
+		s.RestartProb = 0.15
+	}
+	return s
+}
+
+// Hotspot generates the workload over g. Hotspot centres are sampled from
+// nodes with at least one edge (an isolated centre would make every query
+// trivial); query nodes are drawn uniformly from each centre's r-hop
+// neighbourhood, so any two queries from one hotspot are at most 2r apart.
+// Reachability targets are drawn from the query node's h-hop region with
+// probability 1/2 (usually reachable) and uniformly otherwise (usually
+// not), exercising both bidirectional-BFS outcomes.
+func Hotspot(g *graph.Graph, spec WorkloadSpec) []Query {
+	spec = spec.withDefaults()
+	rng := xrand.New(spec.Seed)
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	eligible := make([]graph.NodeID, 0, len(nodes))
+	for _, u := range nodes {
+		if g.Degree(u) > 0 {
+			eligible = append(eligible, u)
+		}
+	}
+	if len(eligible) == 0 {
+		eligible = nodes
+	}
+
+	queries := make([]Query, 0, spec.NumHotspots*spec.QueriesPerHotspot)
+	id := 0
+	for hs := 0; hs < spec.NumHotspots; hs++ {
+		centre := eligible[rng.Intn(len(eligible))]
+		region := regionOf(g, centre, spec.R)
+		for q := 0; q < spec.QueriesPerHotspot; q++ {
+			node := region[rng.Intn(len(region))]
+			qt := spec.Types[id%len(spec.Types)]
+			// Traversals follow out-edges (the natural direction for web
+			// links, posts, citations); the h-hop region then stays a
+			// small fraction of the graph, as the paper's workloads do.
+			// Reachability still searches bidirectionally at execution.
+			qu := Query{
+				ID:          id,
+				Type:        qt,
+				Node:        node,
+				Hops:        spec.H,
+				RestartProb: spec.RestartProb,
+				Dir:         graph.Out,
+				Seed:        rng.Int63(),
+				Hotspot:     hs,
+			}
+			if qt == Reachability {
+				if rng.Float64() < 0.5 {
+					tgtRegion := regionOf(g, node, spec.H)
+					qu.Target = tgtRegion[rng.Intn(len(tgtRegion))]
+				} else {
+					qu.Target = nodes[rng.Intn(len(nodes))]
+				}
+			}
+			queries = append(queries, qu)
+			id++
+		}
+	}
+	return queries
+}
+
+// regionOf returns the sorted nodes within r hops of centre (following
+// out-edges, the same direction the traversals take, so a hotspot's
+// queries genuinely share neighbourhoods), always including centre itself.
+func regionOf(g *graph.Graph, centre graph.NodeID, r int) []graph.NodeID {
+	near := g.BFSBounded(centre, r, graph.Out)
+	region := make([]graph.NodeID, 0, len(near))
+	for v := range near {
+		region = append(region, v)
+	}
+	// Sort for deterministic indexing (map order is random).
+	for i := 1; i < len(region); i++ {
+		for j := i; j > 0 && region[j] < region[j-1]; j-- {
+			region[j], region[j-1] = region[j-1], region[j]
+		}
+	}
+	if len(region) == 0 {
+		region = append(region, centre)
+	}
+	return region
+}
+
+// Answer computes the reference result of q directly on the in-memory
+// graph. The distributed engines must agree with it exactly; it is also
+// the single-machine "oracle" used in tests.
+func Answer(g *graph.Graph, q Query) Result {
+	switch q.Type {
+	case NeighborAgg:
+		nb := g.KHopNeighborhood(q.Node, q.Hops, q.Dir)
+		if q.CountLabel == "" {
+			return Result{Type: q.Type, Count: len(nb)}
+		}
+		count := 0
+		for _, v := range nb {
+			if g.NodeLabel(v) == q.CountLabel {
+				count++
+			}
+		}
+		return Result{Type: q.Type, Count: count}
+	case RandomWalk:
+		rng := xrand.New(q.Seed)
+		cur := q.Node
+		for step := 0; step < q.Hops; step++ {
+			if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
+				cur = q.Node
+				continue
+			}
+			// Adjacency is sorted into storage order so the walk agrees
+			// bit-for-bit with the storage-backed engines.
+			next, ok := walkStep(graph.SortedEdges(g.OutEdges(cur)), graph.SortedEdges(g.InEdges(cur)), q.Dir, rng)
+			if !ok {
+				cur = q.Node // dead end: restart
+				continue
+			}
+			cur = next
+		}
+		return Result{Type: q.Type, EndNode: cur}
+	case Reachability:
+		d := g.HopDistance(q.Node, q.Target, q.Hops, graph.Out)
+		return Result{Type: q.Type, Reachable: d != graph.Unreachable}
+	}
+	return Result{Type: q.Type}
+}
+
+// walkStep picks a uniform neighbour in direction dir from the two
+// adjacency lists; ok is false when there is none. The same helper drives
+// both the oracle and the distributed processors so walks agree bit-for-bit.
+func walkStep(out, in []graph.Edge, dir graph.Direction, rng *xrand.Source) (graph.NodeID, bool) {
+	nOut, nIn := len(out), len(in)
+	switch dir {
+	case graph.Out:
+		nIn = 0
+	case graph.In:
+		nOut = 0
+	}
+	total := nOut + nIn
+	if total == 0 {
+		return 0, false
+	}
+	i := rng.Intn(total)
+	if i < nOut {
+		return out[i].To, true
+	}
+	return in[i-nOut].To, true
+}
+
+// WalkStep is the exported form used by the execution engines.
+func WalkStep(out, in []graph.Edge, dir graph.Direction, rng *xrand.Source) (graph.NodeID, bool) {
+	return walkStep(out, in, dir, rng)
+}

@@ -1,0 +1,232 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func newTestRand() *xrand.Source { return xrand.New(1) }
+
+func TestTypeString(t *testing.T) {
+	if NeighborAgg.String() != "neighbor-agg" || RandomWalk.String() != "random-walk" ||
+		Reachability.String() != "reachability" {
+		t.Fatal("type names wrong")
+	}
+	if Type(9).String() != "Type(9)" {
+		t.Fatal("unknown type name wrong")
+	}
+}
+
+func TestHotspotShape(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 1)
+	qs := Hotspot(g, WorkloadSpec{NumHotspots: 20, QueriesPerHotspot: 10, R: 2, H: 2, Seed: 5})
+	if len(qs) != 200 {
+		t.Fatalf("generated %d queries, want 200", len(qs))
+	}
+	for i, q := range qs {
+		if q.ID != i {
+			t.Fatalf("query %d has ID %d", i, q.ID)
+		}
+		if q.Hops != 2 {
+			t.Fatalf("query %d has Hops %d", i, q.Hops)
+		}
+		if q.Hotspot != i/10 {
+			t.Fatalf("query %d in hotspot %d, want %d (grouped consecutively)", i, q.Hotspot, i/10)
+		}
+		if !g.Exists(q.Node) {
+			t.Fatalf("query %d on missing node %d", i, q.Node)
+		}
+	}
+}
+
+func TestHotspotLocality(t *testing.T) {
+	// All queries from one hotspot lie within 2r of each other.
+	g := gen.Grid(20, 20)
+	qs := Hotspot(g, WorkloadSpec{NumHotspots: 10, QueriesPerHotspot: 5, R: 2, H: 2, Seed: 3})
+	byHS := map[int][]Query{}
+	for _, q := range qs {
+		byHS[q.Hotspot] = append(byHS[q.Hotspot], q)
+	}
+	for hs, group := range byHS {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				d := g.HopDistance(group[i].Node, group[j].Node, -1, graph.Both)
+				if d == graph.Unreachable || d > 4 {
+					t.Fatalf("hotspot %d: queries %d hops apart, want <= 2r = 4", hs, d)
+				}
+			}
+		}
+	}
+}
+
+func TestHotspotMixCycles(t *testing.T) {
+	g := gen.Ring(100)
+	qs := Hotspot(g, WorkloadSpec{NumHotspots: 4, QueriesPerHotspot: 3, Seed: 1})
+	counts := map[Type]int{}
+	for _, q := range qs {
+		counts[q.Type]++
+	}
+	if counts[NeighborAgg] != 4 || counts[RandomWalk] != 4 || counts[Reachability] != 4 {
+		t.Fatalf("mix = %v, want uniform 4/4/4", counts)
+	}
+}
+
+func TestHotspotDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 2)
+	a := Hotspot(g, WorkloadSpec{NumHotspots: 5, QueriesPerHotspot: 4, Seed: 11})
+	b := Hotspot(g, WorkloadSpec{NumHotspots: 5, QueriesPerHotspot: 4, Seed: 11})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHotspotEmptyGraph(t *testing.T) {
+	if qs := Hotspot(graph.New(), WorkloadSpec{}); qs != nil {
+		t.Fatalf("workload on empty graph = %v", qs)
+	}
+}
+
+func TestHotspotReachabilityTargets(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 4, 7)
+	qs := Hotspot(g, WorkloadSpec{NumHotspots: 30, QueriesPerHotspot: 3, Types: []Type{Reachability}, Seed: 2})
+	reachable := 0
+	for _, q := range qs {
+		if Answer(g, q).Reachable {
+			reachable++
+		}
+	}
+	// The half-local/half-global target policy should produce a genuine
+	// mixture of outcomes.
+	if reachable == 0 || reachable == len(qs) {
+		t.Fatalf("reachability outcomes degenerate: %d/%d reachable", reachable, len(qs))
+	}
+}
+
+func TestAnswerNeighborAgg(t *testing.T) {
+	// Path 0->1->2->3: 2-hop out-neighbourhood of 0 is {1,2}.
+	g := graph.New()
+	g.AddNodes(4)
+	for i := 0; i < 3; i++ {
+		g.AddEdgeFast(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	r := Answer(g, Query{Type: NeighborAgg, Node: 0, Hops: 2, Dir: graph.Out})
+	if r.Count != 2 {
+		t.Fatalf("Count = %d, want 2", r.Count)
+	}
+	// In Both direction from node 1: {0, 2, 3}.
+	r = Answer(g, Query{Type: NeighborAgg, Node: 1, Hops: 2, Dir: graph.Both})
+	if r.Count != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count)
+	}
+}
+
+func TestAnswerNeighborAggLabelFilter(t *testing.T) {
+	g := graph.New()
+	g.AddNode("a") // 0
+	g.AddNode("b") // 1
+	g.AddNode("b") // 2
+	g.AddEdgeFast(0, 1)
+	g.AddEdgeFast(1, 2)
+	r := Answer(g, Query{Type: NeighborAgg, Node: 0, Hops: 2, Dir: graph.Out, CountLabel: "b"})
+	if r.Count != 2 {
+		t.Fatalf("labelled Count = %d, want 2", r.Count)
+	}
+	r = Answer(g, Query{Type: NeighborAgg, Node: 0, Hops: 2, Dir: graph.Out, CountLabel: "zzz"})
+	if r.Count != 0 {
+		t.Fatalf("labelled Count = %d, want 0", r.Count)
+	}
+}
+
+func TestAnswerRandomWalkDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 4)
+	q := Query{Type: RandomWalk, Node: 10, Hops: 8, RestartProb: 0.2, Dir: graph.Both, Seed: 99}
+	a, b := Answer(g, q), Answer(g, q)
+	if a.EndNode != b.EndNode {
+		t.Fatalf("same seed, different walks: %d vs %d", a.EndNode, b.EndNode)
+	}
+	q2 := q
+	q2.Seed = 100
+	seenDifferent := false
+	for s := int64(100); s < 110; s++ {
+		q2.Seed = s
+		if Answer(g, q2).EndNode != a.EndNode {
+			seenDifferent = true
+			break
+		}
+	}
+	if !seenDifferent {
+		t.Fatal("walk ignores its seed")
+	}
+}
+
+func TestAnswerRandomWalkDeadEnd(t *testing.T) {
+	// Node 0 -> 1, node 1 has no out-edges: walk in Out direction restarts.
+	g := graph.New()
+	g.AddNodes(2)
+	g.AddEdgeFast(0, 1)
+	q := Query{Type: RandomWalk, Node: 0, Hops: 5, Dir: graph.Out, Seed: 1}
+	r := Answer(g, q)
+	if r.EndNode != 0 && r.EndNode != 1 {
+		t.Fatalf("walk escaped the component: %d", r.EndNode)
+	}
+}
+
+func TestAnswerRandomWalkAlwaysRestart(t *testing.T) {
+	g := gen.Ring(10)
+	q := Query{Type: RandomWalk, Node: 3, Hops: 7, RestartProb: 1.0, Dir: graph.Out, Seed: 5}
+	if r := Answer(g, q); r.EndNode != 3 {
+		t.Fatalf("restart-always walk ended at %d, want 3", r.EndNode)
+	}
+}
+
+func TestAnswerReachability(t *testing.T) {
+	g := gen.Ring(10) // directed cycle
+	cases := []struct {
+		src, dst graph.NodeID
+		hops     int
+		want     bool
+	}{
+		{0, 3, 3, true},
+		{0, 3, 2, false},
+		{3, 0, 7, true},  // wraps around
+		{3, 0, 6, false}, // too short
+		{5, 5, 0, true},  // self
+	}
+	for _, c := range cases {
+		r := Answer(g, Query{Type: Reachability, Node: c.src, Target: c.dst, Hops: c.hops})
+		if r.Reachable != c.want {
+			t.Errorf("Reach(%d->%d, h=%d) = %v, want %v", c.src, c.dst, c.hops, r.Reachable, c.want)
+		}
+	}
+}
+
+func TestWalkStepDirections(t *testing.T) {
+	out := []graph.Edge{{To: 1}}
+	in := []graph.Edge{{To: 2}}
+	rng := newTestRand()
+	for i := 0; i < 20; i++ {
+		if v, ok := WalkStep(out, in, graph.Out, rng); !ok || v != 1 {
+			t.Fatalf("Out step = %d, %v", v, ok)
+		}
+		if v, ok := WalkStep(out, in, graph.In, rng); !ok || v != 2 {
+			t.Fatalf("In step = %d, %v", v, ok)
+		}
+	}
+	both1, both2 := false, false
+	for i := 0; i < 50; i++ {
+		v, _ := WalkStep(out, in, graph.Both, rng)
+		both1 = both1 || v == 1
+		both2 = both2 || v == 2
+	}
+	if !both1 || !both2 {
+		t.Fatal("Both direction never visited one side")
+	}
+	if _, ok := WalkStep(nil, nil, graph.Both, rng); ok {
+		t.Fatal("empty adjacency produced a step")
+	}
+}

@@ -1,0 +1,219 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// Router owns one FIFO queue per processor connection and implements
+// query stealing (Requirement 2): "whenever a processor is idle and is
+// ready to handle a new query, if it does not have any other requests
+// assigned to it, it may steal a request that was originally intended for
+// another processor."
+//
+// The router dispatches to a processor only on acknowledgement of its
+// previous query, so queue lengths are an online load estimate.
+type Router struct {
+	strategy Strategy
+	queues   [][]query.Query
+	heads    []int // pop index per queue (amortised O(1) pops)
+	stealing bool
+	alive    []bool
+	assigned []int // total queries routed per processor (pre-steal)
+	executed []int // total queries handed out per processor (post-steal)
+	stolen   int
+	diverted int // queries re-routed away from dead processors
+}
+
+// New creates a router over procs processor connections.
+func New(strategy Strategy, procs int, stealing bool) (*Router, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("router: need procs > 0, got %d", procs)
+	}
+	if strategy == nil {
+		return nil, fmt.Errorf("router: nil strategy")
+	}
+	r := &Router{
+		strategy: strategy,
+		queues:   make([][]query.Query, procs),
+		heads:    make([]int, procs),
+		stealing: stealing,
+		alive:    make([]bool, procs),
+		assigned: make([]int, procs),
+		executed: make([]int, procs),
+	}
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	return r, nil
+}
+
+// SetAlive marks processor p up or down. Queries already queued for a dead
+// processor are recovered through stealing; new queries are diverted to
+// the next-best live processor ("a query processor that is down can be
+// replaced without affecting the routing strategy", Section 1; the
+// distance metric "can also be used for ... fault tolerance", §3.4.1).
+func (r *Router) SetAlive(p int, alive bool) {
+	if p >= 0 && p < len(r.alive) {
+		r.alive[p] = alive
+	}
+}
+
+// Alive reports whether processor p is up.
+func (r *Router) Alive(p int) bool { return p >= 0 && p < len(r.alive) && r.alive[p] }
+
+// Diverted returns how many queries were re-routed away from dead
+// processors.
+func (r *Router) Diverted() int { return r.diverted }
+
+// Procs returns the number of processor connections.
+func (r *Router) Procs() int { return len(r.queues) }
+
+// Strategy returns the routing strategy in use.
+func (r *Router) Strategy() Strategy { return r.strategy }
+
+// QueueLen returns the number of queries waiting for processor p.
+func (r *Router) QueueLen(p int) int { return len(r.queues[p]) - r.heads[p] }
+
+// Pending returns the total queries waiting across all queues.
+func (r *Router) Pending() int {
+	total := 0
+	for p := range r.queues {
+		total += r.QueueLen(p)
+	}
+	return total
+}
+
+// Stolen returns how many dispatches were satisfied by stealing.
+func (r *Router) Stolen() int { return r.stolen }
+
+// Assigned returns a copy of the per-processor assignment counts (where
+// the strategy originally sent each query).
+func (r *Router) Assigned() []int { return append([]int(nil), r.assigned...) }
+
+// Executed returns a copy of the per-processor dispatch counts (where each
+// query actually ran, after stealing).
+func (r *Router) Executed() []int { return append([]int(nil), r.executed...) }
+
+// Route asks the strategy for a destination and enqueues q there. It
+// returns the chosen processor.
+func (r *Router) Route(q query.Query) int {
+	loads := make([]int, len(r.queues))
+	for p := range r.queues {
+		loads[p] = r.QueueLen(p)
+	}
+	p := r.strategy.Pick(q, loads)
+	if p < 0 || p >= len(r.queues) {
+		p = 0
+	}
+	if !r.alive[p] {
+		p = r.divert(q, loads)
+		r.diverted++
+	}
+	r.queues[p] = append(r.queues[p], q)
+	r.assigned[p]++
+	r.strategy.Observe(q, p)
+	return p
+}
+
+// divert picks the best live processor for q: the closest one when the
+// strategy is distance-aware (the paper's "second, third, or so on closest
+// processor"), the least loaded otherwise. It panics if no processor is
+// alive — an unservable deployment is a caller bug.
+func (r *Router) divert(q query.Query, loads []int) int {
+	da, aware := r.strategy.(DistanceAware)
+	best, bestScore := -1, 0.0
+	for p := range r.queues {
+		if !r.alive[p] {
+			continue
+		}
+		var score float64
+		if aware {
+			score = da.DistanceTo(q, p)
+		} else {
+			score = float64(loads[p])
+		}
+		if best < 0 || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	if best < 0 {
+		panic("router: no live processors")
+	}
+	return best
+}
+
+// RouteAll routes a batch in order.
+func (r *Router) RouteAll(qs []query.Query) {
+	for _, q := range qs {
+		r.Route(q)
+	}
+}
+
+// Next hands processor p its next query. When p's own queue is empty and
+// stealing is enabled, a query is stolen from another queue: with a
+// DistanceAware strategy, the pending head closest to p (so the stolen
+// work still matches p's cache contents); otherwise the oldest query of
+// the longest queue. ok is false when no work remains anywhere (or p's
+// queue is empty and stealing is disabled).
+func (r *Router) Next(p int) (query.Query, bool) {
+	if q, ok := r.pop(p); ok {
+		r.executed[p]++
+		return q, true
+	}
+	if !r.stealing {
+		return query.Query{}, false
+	}
+	if da, ok := r.strategy.(DistanceAware); ok {
+		// Locality-aware steal: take the pending query nearest to p
+		// (the router "rearranges the future queries", Section 3.2), so
+		// stolen work still matches the thief's cache contents.
+		victim, slot := -1, -1
+		best := 0.0
+		for v := range r.queues {
+			for i := r.heads[v]; i < len(r.queues[v]); i++ {
+				d := da.DistanceTo(r.queues[v][i], p)
+				if victim < 0 || d < best {
+					victim, slot, best = v, i, d
+				}
+			}
+		}
+		if victim < 0 {
+			return query.Query{}, false
+		}
+		q := r.queues[victim][slot]
+		r.queues[victim] = append(r.queues[victim][:slot], r.queues[victim][slot+1:]...)
+		r.stolen++
+		r.executed[p]++
+		return q, true
+	}
+	// Blind steal: the oldest query of the longest queue.
+	victim, longest := -1, 0
+	for v := range r.queues {
+		if l := r.QueueLen(v); l > longest {
+			victim, longest = v, l
+		}
+	}
+	if victim < 0 {
+		return query.Query{}, false
+	}
+	q, _ := r.pop(victim)
+	r.stolen++
+	r.executed[p]++
+	return q, true
+}
+
+func (r *Router) pop(p int) (query.Query, bool) {
+	if r.QueueLen(p) == 0 {
+		return query.Query{}, false
+	}
+	q := r.queues[p][r.heads[p]]
+	r.heads[p]++
+	// Reclaim space once the consumed prefix dominates.
+	if r.heads[p] > 64 && r.heads[p]*2 > len(r.queues[p]) {
+		r.queues[p] = append(r.queues[p][:0], r.queues[p][r.heads[p]:]...)
+		r.heads[p] = 0
+	}
+	return q, true
+}

@@ -1,0 +1,292 @@
+// Package router implements the query router of Section 3: the component
+// that, given a stream of online queries, decides which query processor
+// each one goes to.
+//
+// Four strategies are provided. NextReady and Hash are the paper's
+// baselines (Section 3.3); Landmark and Embed are the smart strategies
+// (Section 3.4) that exploit topology-aware locality so successive queries
+// on nearby nodes reach the same processor's cache. Both smart strategies
+// blend their distance signal with the processor's current load through
+// the load-balanced distance d_LB(u,p) = d(u,p) + load/loadFactor
+// (Equations 3 and 7).
+package router
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/query"
+	"repro/internal/xrand"
+)
+
+// DistanceAware is implemented by strategies that can score how close a
+// query is to a processor's (inferred) cache contents. The router uses it
+// to make query stealing locality-aware: an idle processor steals the
+// pending query nearest to itself, so load balancing "impacts the nearby
+// query nodes in the same way" (Section 3.4.1).
+type DistanceAware interface {
+	DistanceTo(q query.Query, proc int) float64
+}
+
+// Strategy decides the destination processor for each query.
+//
+// Pick receives the per-processor loads (the router's queue lengths — "the
+// router uses the number of queries in the queue corresponding to a
+// processor as the measure of its load"). Observe is invoked after the
+// router commits the decision, letting stateful strategies (Embed's moving
+// average) learn the dispatch history. DecisionUnits reports the per-query
+// decision cost in abstract units (P for landmark, P·D for embed) that the
+// engine converts to routing time.
+type Strategy interface {
+	Name() string
+	Pick(q query.Query, loads []int) int
+	Observe(q query.Query, proc int)
+	DecisionUnits() int
+}
+
+// NextReady dispatches to the least-loaded processor, breaking ties
+// round-robin. "The router decides where to send a query by choosing the
+// next processor that has finished computing and is ready for a new
+// request." It is oblivious to the query's node, so it cannot create cache
+// locality.
+type NextReady struct {
+	rr int
+}
+
+// NewNextReady returns the next-ready baseline strategy.
+func NewNextReady() *NextReady { return &NextReady{} }
+
+// Name implements Strategy.
+func (s *NextReady) Name() string { return "nextready" }
+
+// Pick implements Strategy.
+func (s *NextReady) Pick(q query.Query, loads []int) int {
+	best, bestLoad := -1, math.MaxInt
+	n := len(loads)
+	for i := 0; i < n; i++ {
+		p := (s.rr + i) % n
+		if loads[p] < bestLoad {
+			best, bestLoad = p, loads[p]
+		}
+	}
+	s.rr = (best + 1) % n
+	return best
+}
+
+// Observe implements Strategy.
+func (s *NextReady) Observe(query.Query, int) {}
+
+// DecisionUnits implements Strategy.
+func (s *NextReady) DecisionUnits() int { return 1 }
+
+// Hash dispatches by modulo-hashing the query node id (Equation 1):
+// Target-Processor-Id = Query-Node-Id MOD Number-Of-Processors.
+// Repeated queries on the same node reach the same processor (so repeats
+// hit the cache), but neighbouring nodes scatter arbitrarily.
+type Hash struct{}
+
+// NewHash returns the hash baseline strategy.
+func NewHash() *Hash { return &Hash{} }
+
+// Name implements Strategy.
+func (s *Hash) Name() string { return "hash" }
+
+// Pick implements Strategy.
+func (s *Hash) Pick(q query.Query, loads []int) int {
+	return int(uint64(q.Node) % uint64(len(loads)))
+}
+
+// Observe implements Strategy.
+func (s *Hash) Observe(query.Query, int) {}
+
+// DecisionUnits implements Strategy.
+func (s *Hash) DecisionUnits() int { return 1 }
+
+// Landmark routes to the processor owning the landmark region the query
+// node falls in, with load blended in via Equation 3. Routing is O(P) per
+// query against the precomputed d(u,p) table.
+type Landmark struct {
+	assign     *landmark.Assignment
+	loadFactor float64
+}
+
+// NewLandmark builds the landmark strategy from a node→processor distance
+// assignment. loadFactor <= 0 disables the load term (pure locality).
+func NewLandmark(assign *landmark.Assignment, loadFactor float64) *Landmark {
+	return &Landmark{assign: assign, loadFactor: loadFactor}
+}
+
+// Name implements Strategy.
+func (s *Landmark) Name() string { return "landmark" }
+
+// Pick implements Strategy.
+func (s *Landmark) Pick(q query.Query, loads []int) int {
+	best, bestD := 0, math.Inf(1)
+	for p := range loads {
+		d := float64(s.assign.DistToProc(q.Node, p))
+		if d == float64(landmark.Inf) {
+			// Unknown node or landmark-less processor: a large but finite
+			// distance, so the load term can still steer queries here.
+			d = 1e6
+		}
+		if s.loadFactor > 0 {
+			d += float64(loads[p]) / s.loadFactor
+		}
+		if d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// Observe implements Strategy.
+func (s *Landmark) Observe(query.Query, int) {}
+
+// DecisionUnits implements Strategy.
+func (s *Landmark) DecisionUnits() int { return s.assign.Procs() }
+
+// DistanceTo implements DistanceAware: the raw d(u,p) of Section 3.4.1.
+func (s *Landmark) DistanceTo(q query.Query, proc int) float64 {
+	d := float64(s.assign.DistToProc(q.Node, proc))
+	if d == float64(landmark.Inf) {
+		return 1e6
+	}
+	return d
+}
+
+// Embed routes using the graph embedding: each processor carries an
+// exponential moving average of the coordinates of the queries it
+// received (Equation 5); a query goes to the processor whose mean is
+// closest to the query node's coordinates (Equation 6), blended with load
+// via Equation 7. Routing is O(P·D) per query.
+type Embed struct {
+	emb        *embed.Embedding
+	means      [][]float64
+	alpha      float64
+	loadFactor float64
+}
+
+// NewEmbed builds the embed strategy for procs processors. alpha is the
+// smoothing parameter of Equation 5; the initial per-processor means are
+// "assigned uniformly at random" (seeded for determinism) within the
+// bounding box of the embedded nodes.
+func NewEmbed(emb *embed.Embedding, procs int, alpha, loadFactor float64, seed int64) (*Embed, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("router: embed strategy needs procs > 0, got %d", procs)
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("router: alpha %v outside [0,1]", alpha)
+	}
+	lo, hi := coordsBounds(emb)
+	rng := xrand.New(seed)
+	s := &Embed{emb: emb, alpha: alpha, loadFactor: loadFactor}
+	s.means = make([][]float64, procs)
+	for p := range s.means {
+		m := make([]float64, emb.D)
+		for j := range m {
+			m[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		s.means[p] = m
+	}
+	return s, nil
+}
+
+func coordsBounds(emb *embed.Embedding) (lo, hi []float64) {
+	lo = make([]float64, emb.D)
+	hi = make([]float64, emb.D)
+	for j := range lo {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	found := false
+	for u := 0; u < emb.NumNodes(); u++ {
+		row := emb.Coords(graph.NodeID(u))
+		if row == nil || len(row) == 0 || math.IsNaN(float64(row[0])) {
+			continue
+		}
+		found = true
+		for j, v := range row {
+			f := float64(v)
+			if f < lo[j] {
+				lo[j] = f
+			}
+			if f > hi[j] {
+				hi[j] = f
+			}
+		}
+	}
+	if !found {
+		for j := range lo {
+			lo[j], hi[j] = -1, 1
+		}
+	}
+	return lo, hi
+}
+
+// Name implements Strategy.
+func (s *Embed) Name() string { return "embed" }
+
+// Pick implements Strategy.
+func (s *Embed) Pick(q query.Query, loads []int) int {
+	c := s.emb.Coords(q.Node)
+	if c == nil || math.IsNaN(float64(c[0])) {
+		// Unembedded node (e.g. added after preprocessing, not yet
+		// incorporated): fall back to least-loaded.
+		best, bestLoad := 0, math.MaxInt
+		for p, l := range loads {
+			if l < bestLoad {
+				best, bestLoad = p, l
+			}
+		}
+		return best
+	}
+	best, bestD := 0, math.Inf(1)
+	for p := range loads {
+		d := distTo(s.means[p], c)
+		if s.loadFactor > 0 {
+			d += float64(loads[p]) / s.loadFactor
+		}
+		if d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// Observe implements Strategy: Equation 5, mean ← α·mean + (1−α)·coords(v).
+func (s *Embed) Observe(q query.Query, proc int) {
+	c := s.emb.Coords(q.Node)
+	if c == nil || math.IsNaN(float64(c[0])) {
+		return
+	}
+	m := s.means[proc]
+	for j := range m {
+		m[j] = s.alpha*m[j] + (1-s.alpha)*float64(c[j])
+	}
+}
+
+// DecisionUnits implements Strategy.
+func (s *Embed) DecisionUnits() int { return len(s.means) * s.emb.D }
+
+// DistanceTo implements DistanceAware: the raw d1(u,p) of Equation 6.
+func (s *Embed) DistanceTo(q query.Query, proc int) float64 {
+	c := s.emb.Coords(q.Node)
+	if c == nil || math.IsNaN(float64(c[0])) {
+		return 1e6
+	}
+	return distTo(s.means[proc], c)
+}
+
+// Mean exposes processor p's current EMA coordinates (for tests).
+func (s *Embed) Mean(p int) []float64 { return s.means[p] }
+
+func distTo(mean []float64, c []float32) float64 {
+	var sum float64
+	for j := range mean {
+		d := mean[j] - float64(c[j])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

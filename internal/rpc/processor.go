@@ -1,0 +1,248 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/query"
+	"repro/internal/xrand"
+)
+
+// ProcessorServer is one query processor of the processing tier: it
+// receives queries (from the router), executes the h-hop traversal against
+// the storage tier, and caches fetched records in a byte-bounded LRU.
+// Processors never talk to each other (Section 2.3).
+type ProcessorServer struct {
+	ln      net.Listener
+	storage *StorageClient
+
+	mu    sync.Mutex // guards cache (queries are serialised per processor)
+	cache *cache.LRU[gstore.Record]
+
+	hits, misses atomic.Int64
+	executed     atomic.Int64
+}
+
+// NewProcessorServer starts a processor on addr, fetching from the given
+// storage shards with cacheBytes of LRU capacity.
+func NewProcessorServer(addr string, storageAddrs []string, cacheBytes int64) (*ProcessorServer, error) {
+	sc, err := DialStorage(storageAddrs)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		sc.Close()
+		return nil, fmt.Errorf("rpc: processor listen: %w", err)
+	}
+	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cacheBytes)}
+	go serve(ln, p.handle)
+	return p, nil
+}
+
+// Addr returns the processor's listen address.
+func (p *ProcessorServer) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the processor.
+func (p *ProcessorServer) Close() error {
+	p.storage.Close()
+	return p.ln.Close()
+}
+
+func (p *ProcessorServer) handle(req *Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpStats:
+		return Response{OK: true, Stats: Stats{
+			Role:     "processor",
+			Hits:     p.hits.Load(),
+			Misses:   p.misses.Load(),
+			Executed: p.executed.Load(),
+		}}
+	case OpExecute:
+		res, err := p.execute(req.Query)
+		if err != nil {
+			return errorResponse(err)
+		}
+		p.executed.Add(1)
+		return Response{OK: true, Result: res}
+	}
+	return errorResponse(fmt.Errorf("processor: unknown op %q", req.Op))
+}
+
+// fetch obtains records through the cache, batching misses to storage.
+func (p *ProcessorServer) fetch(ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+	out := make(map[graph.NodeID]gstore.Record, len(ids))
+	var miss []graph.NodeID
+	p.mu.Lock()
+	for _, id := range ids {
+		if rec, ok := p.cache.Get(uint64(id)); ok {
+			out[id] = rec
+		} else {
+			miss = append(miss, id)
+		}
+	}
+	p.mu.Unlock()
+	p.hits.Add(int64(len(ids) - len(miss)))
+	p.misses.Add(int64(len(miss)))
+	if len(miss) == 0 {
+		return out, nil
+	}
+	fetched, err := p.storage.MultiGet(miss)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	for id, rec := range fetched {
+		out[id] = rec
+		// Approximate the record's resident size for capacity accounting.
+		size := int64(16 + 8*(len(rec.Out)+len(rec.In)))
+		p.cache.Put(uint64(id), rec, size)
+	}
+	p.mu.Unlock()
+	return out, nil
+}
+
+// execute runs one query with the same algorithms the virtual-time engine
+// uses (levelwise batched BFS, seeded walk, bidirectional BFS), so results
+// agree exactly with query.Answer.
+func (p *ProcessorServer) execute(q query.Query) (query.Result, error) {
+	switch q.Type {
+	case query.NeighborAgg:
+		return p.execAgg(q)
+	case query.RandomWalk:
+		return p.execWalk(q)
+	case query.Reachability:
+		return p.execReach(q)
+	}
+	return query.Result{}, fmt.Errorf("processor: unknown query type %v", q.Type)
+}
+
+func (p *ProcessorServer) execAgg(q query.Query) (query.Result, error) {
+	visited := map[graph.NodeID]struct{}{q.Node: {}}
+	frontier := []graph.NodeID{q.Node}
+	count := 0
+	for level := 0; level <= q.Hops && len(frontier) > 0; level++ {
+		recs, err := p.fetch(frontier)
+		if err != nil {
+			return query.Result{}, err
+		}
+		if level > 0 {
+			count += len(frontier)
+		}
+		if level == q.Hops {
+			break
+		}
+		var next []graph.NodeID
+		for _, u := range frontier {
+			rec, ok := recs[u]
+			if !ok {
+				continue
+			}
+			forEdge(rec, q.Dir, func(v graph.NodeID) {
+				if _, seen := visited[v]; !seen {
+					visited[v] = struct{}{}
+					next = append(next, v)
+				}
+			})
+		}
+		frontier = next
+	}
+	// Label filtering needs the records; the networked processor supports
+	// it the same way the engine does.
+	if q.CountLabel != "" {
+		return query.Result{}, fmt.Errorf("processor: label-filtered aggregation requires the label table; use unfiltered queries over RPC")
+	}
+	return query.Result{Type: q.Type, Count: count}, nil
+}
+
+func (p *ProcessorServer) execWalk(q query.Query) (query.Result, error) {
+	rng := xrand.New(q.Seed)
+	cur := q.Node
+	for step := 0; step < q.Hops; step++ {
+		if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
+			cur = q.Node
+			continue
+		}
+		recs, err := p.fetch([]graph.NodeID{cur})
+		if err != nil {
+			return query.Result{}, err
+		}
+		rec := recs[cur]
+		next, ok := query.WalkStep(rec.Out, rec.In, q.Dir, rng)
+		if !ok {
+			cur = q.Node
+			continue
+		}
+		cur = next
+	}
+	return query.Result{Type: q.Type, EndNode: cur}, nil
+}
+
+func (p *ProcessorServer) execReach(q query.Query) (query.Result, error) {
+	if q.Node == q.Target {
+		return query.Result{Type: q.Type, Reachable: true}, nil
+	}
+	if q.Hops <= 0 {
+		return query.Result{Type: q.Type, Reachable: false}, nil
+	}
+	fVis := map[graph.NodeID]struct{}{q.Node: {}}
+	bVis := map[graph.NodeID]struct{}{q.Target: {}}
+	fFront := []graph.NodeID{q.Node}
+	bFront := []graph.NodeID{q.Target}
+	reachable := false
+	for levels := 0; levels < q.Hops && !reachable && len(fFront) > 0 && len(bFront) > 0; levels++ {
+		forward := len(fFront) <= len(bFront)
+		front, dir := fFront, graph.Out
+		mine, other := fVis, bVis
+		if !forward {
+			front, dir = bFront, graph.In
+			mine, other = bVis, fVis
+		}
+		recs, err := p.fetch(front)
+		if err != nil {
+			return query.Result{}, err
+		}
+		var next []graph.NodeID
+		for _, u := range front {
+			rec, ok := recs[u]
+			if !ok {
+				continue
+			}
+			forEdge(rec, dir, func(v graph.NodeID) {
+				if _, hit := other[v]; hit {
+					reachable = true
+				}
+				if _, seen := mine[v]; !seen {
+					mine[v] = struct{}{}
+					next = append(next, v)
+				}
+			})
+		}
+		if forward {
+			fFront = next
+		} else {
+			bFront = next
+		}
+	}
+	return query.Result{Type: q.Type, Reachable: reachable}, nil
+}
+
+func forEdge(rec gstore.Record, dir graph.Direction, fn func(graph.NodeID)) {
+	if dir == graph.Out || dir == graph.Both {
+		for _, e := range rec.Out {
+			fn(e.To)
+		}
+	}
+	if dir == graph.In || dir == graph.Both {
+		for _, e := range rec.In {
+			fn(e.To)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package rpc implements a real networked deployment of the decoupled
+// architecture: storage servers, query processors and the query router as
+// separate TCP daemons speaking a small gob protocol.
+//
+// The virtual-time engine in internal/core is the instrument that
+// reproduces the paper's measurements; this package demonstrates that the
+// same components (hash-partitioned adjacency storage, LRU-cached
+// processors, strategy-driven router) run over a real network. The
+// examples/distributed program and cmd/groutingd use it.
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/query"
+)
+
+// Op enumerates protocol operations.
+type Op string
+
+// Protocol operations.
+const (
+	// OpGet fetches one value from a storage server.
+	OpGet Op = "get"
+	// OpMultiGet fetches many values from a storage server.
+	OpMultiGet Op = "multiget"
+	// OpPut stores one value on a storage server.
+	OpPut Op = "put"
+	// OpExecute runs a query on a processor (or, via the router, on
+	// whichever processor the routing strategy picks).
+	OpExecute Op = "execute"
+	// OpStats asks a daemon for its counters.
+	OpStats Op = "stats"
+	// OpPing checks liveness.
+	OpPing Op = "ping"
+)
+
+// Request is the single request envelope for every operation.
+type Request struct {
+	Op    Op
+	Key   uint64
+	Keys  []uint64
+	Value []byte
+	Query query.Query
+}
+
+// Response is the single response envelope.
+type Response struct {
+	OK     bool
+	Err    string
+	Value  []byte
+	Found  bool
+	Values [][]byte
+	Founds []bool
+	Result query.Result
+	Stats  Stats
+}
+
+// Stats carries daemon counters over the wire.
+type Stats struct {
+	Role     string
+	Requests int64
+	Keys     int64
+	Hits     int64
+	Misses   int64
+	Executed int64
+}
+
+// errorResponse wraps err into a Response.
+func errorResponse(err error) Response {
+	return Response{Err: err.Error()}
+}
+
+// Conn is one gob-encoded client connection; safe for concurrent use
+// (requests are serialised).
+type Conn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	addr string
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), addr: addr}, nil
+}
+
+// Addr returns the remote address.
+func (cn *Conn) Addr() string { return cn.addr }
+
+// Call sends req and waits for the response.
+func (cn *Conn) Call(req *Request) (Response, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if err := cn.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
+	}
+	var resp Response
+	if err := cn.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("rpc: recv from %s: %w", cn.addr, err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("rpc: %s: %s", cn.addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// Close shuts the connection down.
+func (cn *Conn) Close() error { return cn.c.Close() }
+
+// serve runs the accept loop for a daemon, dispatching each connection to
+// its own goroutine that calls handle per request. It returns when the
+// listener closes.
+func serve(ln net.Listener, handle func(*Request) Response) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			dec := gob.NewDecoder(c)
+			enc := gob.NewEncoder(c)
+			for {
+				var req Request
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := handle(&req)
+				if err := enc.Encode(&resp); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+}

@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/query"
+	"repro/internal/router"
+)
+
+// RouterServer is the networked query router: it accepts client queries,
+// asks its routing strategy for a destination, forwards the query to that
+// processor and relays the answer. Per-processor in-flight counts are the
+// live load signal for the load-balanced distance (Eq 3/7).
+type RouterServer struct {
+	ln       net.Listener
+	procs    []*Conn
+	strategy router.Strategy
+
+	mu       sync.Mutex // guards strategy and inflight
+	inflight []int
+
+	requests atomic.Int64
+}
+
+// RouterConfig configures a networked router.
+type RouterConfig struct {
+	// ProcessorAddrs lists the processing tier.
+	ProcessorAddrs []string
+	// Strategy decides destinations; nil defaults to next-ready.
+	Strategy router.Strategy
+}
+
+// NewRouterServer starts a router on addr.
+func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
+	if len(cfg.ProcessorAddrs) == 0 {
+		return nil, fmt.Errorf("rpc: router needs at least one processor")
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = router.NewNextReady()
+	}
+	r := &RouterServer{strategy: cfg.Strategy, inflight: make([]int, len(cfg.ProcessorAddrs))}
+	for _, a := range cfg.ProcessorAddrs {
+		cn, err := Dial(a)
+		if err != nil {
+			r.closeConns()
+			return nil, err
+		}
+		r.procs = append(r.procs, cn)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		r.closeConns()
+		return nil, fmt.Errorf("rpc: router listen: %w", err)
+	}
+	r.ln = ln
+	go serve(ln, r.handle)
+	return r, nil
+}
+
+// Addr returns the router's listen address.
+func (r *RouterServer) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the router.
+func (r *RouterServer) Close() error {
+	r.closeConns()
+	return r.ln.Close()
+}
+
+func (r *RouterServer) closeConns() {
+	for _, cn := range r.procs {
+		if cn != nil {
+			cn.Close()
+		}
+	}
+}
+
+func (r *RouterServer) handle(req *Request) Response {
+	r.requests.Add(1)
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpStats:
+		return Response{OK: true, Stats: Stats{Role: "router", Requests: r.requests.Load()}}
+	case OpExecute:
+		// Routing decision under the current in-flight load.
+		r.mu.Lock()
+		loads := make([]int, len(r.procs))
+		copy(loads, r.inflight)
+		p := r.strategy.Pick(req.Query, loads)
+		if p < 0 || p >= len(r.procs) {
+			p = 0
+		}
+		r.strategy.Observe(req.Query, p)
+		r.inflight[p]++
+		r.mu.Unlock()
+
+		resp, err := r.procs[p].Call(&Request{Op: OpExecute, Query: req.Query})
+
+		r.mu.Lock()
+		r.inflight[p]--
+		r.mu.Unlock()
+		if err != nil {
+			return errorResponse(err)
+		}
+		return resp
+	}
+	return errorResponse(fmt.Errorf("router: unknown op %q", req.Op))
+}
+
+// BuildStrategy constructs a routing strategy for the networked router by
+// running the smart-routing preprocessing locally over the graph.
+func BuildStrategy(policy string, g *graph.Graph, procs int, seed int64) (router.Strategy, error) {
+	switch policy {
+	case "nextready", "":
+		return router.NewNextReady(), nil
+	case "hash":
+		return router.NewHash(), nil
+	case "landmark", "embed":
+		lms := landmark.Select(g, 32, 2)
+		if len(lms) < 2 {
+			return nil, fmt.Errorf("rpc: graph too small for landmark selection")
+		}
+		idx := landmark.BuildIndex(g, lms, 0)
+		if policy == "landmark" {
+			return router.NewLandmark(landmark.Assign(idx, procs), 20), nil
+		}
+		emb, err := embed.Build(g, idx, embed.Options{Dimensions: 8, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return router.NewEmbed(emb, procs, 0.5, 20, seed)
+	}
+	return nil, fmt.Errorf("rpc: unknown policy %q", policy)
+}
+
+// Client is a gRouting client talking to a router daemon.
+type Client struct {
+	conn *Conn
+}
+
+// DialRouter connects a client to the router.
+func DialRouter(addr string) (*Client, error) {
+	cn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: cn}, nil
+}
+
+// Execute runs one query through the deployment.
+func (c *Client) Execute(q query.Query) (query.Result, error) {
+	resp, err := c.conn.Call(&Request{Op: OpExecute, Query: q})
+	if err != nil {
+		return query.Result{}, err
+	}
+	return resp.Result, nil
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,240 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// startCluster spins up a full localhost deployment: nStorage storage
+// shards, nProcs processors, one router with the given policy, loaded with
+// graph g. Cleanup is registered on t.
+func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy string) *Client {
+	t.Helper()
+	var storageAddrs []string
+	for i := 0; i < nStorage; i++ {
+		ss, err := NewStorageServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ss.Close() })
+		storageAddrs = append(storageAddrs, ss.Addr())
+	}
+	sc, err := DialStorage(storageAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+
+	var procAddrs []string
+	for i := 0; i < nProcs; i++ {
+		ps, err := NewProcessorServer("127.0.0.1:0", storageAddrs, 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ps.Close() })
+		procAddrs = append(procAddrs, ps.Addr())
+	}
+
+	strat, err := BuildStrategy(policy, g, nProcs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRouterServer("127.0.0.1:0", RouterConfig{ProcessorAddrs: procAddrs, Strategy: strat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+
+	cl, err := DialRouter(rs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestStorageGetPut(t *testing.T) {
+	ss, err := NewStorageServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	cn, err := Dial(ss.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	if _, err := cn.Call(&Request{Op: OpPut, Key: 7, Value: []byte("v7")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cn.Call(&Request{Op: OpGet, Key: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Found || string(resp.Value) != "v7" {
+		t.Fatalf("get = %+v", resp)
+	}
+	resp, err = cn.Call(&Request{Op: OpGet, Key: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Found {
+		t.Fatal("missing key found")
+	}
+	resp, err = cn.Call(&Request{Op: OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Role != "storage" || resp.Stats.Keys != 1 {
+		t.Fatalf("stats = %+v", resp.Stats)
+	}
+}
+
+func TestStorageUnknownOp(t *testing.T) {
+	ss, err := NewStorageServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	cn, err := Dial(ss.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	if _, err := cn.Call(&Request{Op: "bogus"}); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+}
+
+// TestClusterMatchesOracle runs a mixed workload through a real localhost
+// deployment and checks every result against the in-memory oracle.
+func TestClusterMatchesOracle(t *testing.T) {
+	g := gen.LocalWeb(1500, 8, 60, 0.01, 5)
+	cl := startCluster(t, g, 2, 3, "hash")
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots: 8, QueriesPerHotspot: 5, R: 2, H: 2, Seed: 9,
+	})
+	for _, q := range qs {
+		got, err := cl.Execute(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", q.ID, err)
+		}
+		if want := query.Answer(g, q); got != want {
+			t.Fatalf("query %d (%v on %d): got %+v, want %+v", q.ID, q.Type, q.Node, got, want)
+		}
+	}
+}
+
+func TestClusterSmartPolicies(t *testing.T) {
+	g := gen.LocalWeb(1200, 8, 60, 0.01, 6)
+	for _, policy := range []string{"landmark", "embed", "nextready"} {
+		cl := startCluster(t, g, 2, 2, policy)
+		q := query.Query{ID: 0, Type: query.NeighborAgg, Node: 100, Hops: 2, Dir: graph.Out}
+		got, err := cl.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if want := query.Answer(g, q); got != want {
+			t.Fatalf("%s: got %+v, want %+v", policy, got, want)
+		}
+	}
+}
+
+func TestClusterConcurrentClients(t *testing.T) {
+	g := gen.LocalWeb(1000, 6, 50, 0.01, 8)
+	cl := startCluster(t, g, 2, 3, "nextready")
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				node := graph.NodeID((w*37 + i*11) % 1000)
+				q := query.Query{Type: query.NeighborAgg, Node: node, Hops: 1, Dir: graph.Out}
+				got, err := cl.Execute(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := query.Answer(g, q); got != want {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorCacheWarms(t *testing.T) {
+	g := gen.Ring(100)
+	ss, err := NewStorageServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	sc, err := DialStorage([]string{ss.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+	ps, err := NewProcessorServer("127.0.0.1:0", []string{ss.Addr()}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	cn, err := Dial(ps.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	q := query.Query{Type: query.NeighborAgg, Node: 5, Hops: 3, Dir: graph.Out}
+	for i := 0; i < 2; i++ {
+		if _, err := cn.Call(&Request{Op: OpExecute, Query: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := cn.Call(&Request{Op: OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Hits == 0 {
+		t.Fatalf("repeat query produced no cache hits: %+v", resp.Stats)
+	}
+	if resp.Stats.Executed != 2 {
+		t.Fatalf("executed = %d", resp.Stats.Executed)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouterServer("127.0.0.1:0", RouterConfig{}); err == nil {
+		t.Fatal("router with no processors accepted")
+	}
+	if _, err := BuildStrategy("bogus", gen.Ring(10), 2, 1); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if _, err := DialStorage(nil); err == nil {
+		t.Fatal("empty storage list accepted")
+	}
+}

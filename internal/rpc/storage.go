@@ -1,0 +1,188 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/hash"
+)
+
+// StorageServer is one shard of the networked storage tier: an in-memory
+// key→value map served over TCP. Which server owns which key is decided by
+// the clients (murmur hash over the server list, as RAMCloud's coordinator
+// would), so servers are completely independent.
+type StorageServer struct {
+	ln       net.Listener
+	mu       sync.RWMutex
+	data     map[uint64][]byte
+	requests atomic.Int64
+	keys     atomic.Int64
+}
+
+// NewStorageServer starts a storage shard on addr (use "127.0.0.1:0" for
+// an ephemeral port) and begins serving in the background.
+func NewStorageServer(addr string) (*StorageServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: storage listen: %w", err)
+	}
+	s := &StorageServer{ln: ln, data: make(map[uint64][]byte)}
+	go serve(ln, s.handle)
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *StorageServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *StorageServer) Close() error { return s.ln.Close() }
+
+func (s *StorageServer) handle(req *Request) Response {
+	s.requests.Add(1)
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpGet:
+		s.mu.RLock()
+		v, ok := s.data[req.Key]
+		s.mu.RUnlock()
+		s.keys.Add(1)
+		return Response{OK: true, Value: v, Found: ok}
+	case OpMultiGet:
+		resp := Response{OK: true, Values: make([][]byte, len(req.Keys)), Founds: make([]bool, len(req.Keys))}
+		s.mu.RLock()
+		for i, k := range req.Keys {
+			resp.Values[i], resp.Founds[i] = s.data[k]
+		}
+		s.mu.RUnlock()
+		s.keys.Add(int64(len(req.Keys)))
+		return resp
+	case OpPut:
+		cp := make([]byte, len(req.Value))
+		copy(cp, req.Value)
+		s.mu.Lock()
+		s.data[req.Key] = cp
+		s.mu.Unlock()
+		return Response{OK: true}
+	case OpStats:
+		s.mu.RLock()
+		n := len(s.data)
+		s.mu.RUnlock()
+		return Response{OK: true, Stats: Stats{
+			Role:     "storage",
+			Requests: s.requests.Load(),
+			Keys:     int64(n),
+		}}
+	}
+	return errorResponse(fmt.Errorf("storage: unknown op %q", req.Op))
+}
+
+// StorageClient shards keys over a set of storage servers with the same
+// murmur placement the in-process tier uses.
+type StorageClient struct {
+	conns []*Conn
+}
+
+// DialStorage connects to every storage shard.
+func DialStorage(addrs []string) (*StorageClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("rpc: no storage servers")
+	}
+	sc := &StorageClient{}
+	for _, a := range addrs {
+		cn, err := Dial(a)
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.conns = append(sc.conns, cn)
+	}
+	return sc, nil
+}
+
+// Close closes every shard connection.
+func (sc *StorageClient) Close() {
+	for _, cn := range sc.conns {
+		if cn != nil {
+			cn.Close()
+		}
+	}
+}
+
+// shardFor returns the shard index owning key.
+func (sc *StorageClient) shardFor(key uint64) int {
+	return int(hash.Key64(key, 0) % uint64(len(sc.conns)))
+}
+
+// Put stores one encoded record.
+func (sc *StorageClient) Put(key uint64, value []byte) error {
+	_, err := sc.conns[sc.shardFor(key)].Call(&Request{Op: OpPut, Key: key, Value: value})
+	return err
+}
+
+// MultiGet fetches the records for ids, grouping keys by owning shard and
+// issuing the per-shard multigets concurrently (the networked analogue of
+// the engine's batched frontier fetches).
+func (sc *StorageClient) MultiGet(ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+	groups := make(map[int][]uint64)
+	for _, id := range ids {
+		sh := sc.shardFor(uint64(id))
+		groups[sh] = append(groups[sh], uint64(id))
+	}
+	type shardResult struct {
+		keys []uint64
+		resp Response
+		err  error
+	}
+	results := make(chan shardResult, len(groups))
+	for sh, keys := range groups {
+		go func(sh int, keys []uint64) {
+			resp, err := sc.conns[sh].Call(&Request{Op: OpMultiGet, Keys: keys})
+			results <- shardResult{keys: keys, resp: resp, err: err}
+		}(sh, keys)
+	}
+	out := make(map[graph.NodeID]gstore.Record, len(ids))
+	var firstErr error
+	for range groups {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		for i, k := range r.keys {
+			if !r.resp.Founds[i] {
+				continue
+			}
+			rec, err := gstore.Decode(graph.NodeID(k), r.resp.Values[i])
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			out[graph.NodeID(k)] = rec
+		}
+	}
+	return out, firstErr
+}
+
+// LoadGraph bulk-loads every live node of g across the shards.
+func (sc *StorageClient) LoadGraph(g *graph.Graph) error {
+	buf := make([]byte, 0, 1024)
+	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {
+		if !g.Exists(id) {
+			continue
+		}
+		buf = gstore.Encode(buf[:0], gstore.RecordOf(g, id))
+		if err := sc.Put(uint64(id), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

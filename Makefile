@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test bench-smoke bench suite
+
+ci: fmt-check vet build test bench-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One-iteration smoke of the hot-path benchmark: catches crashes and gross
+# regressions without CI-scale runtimes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryEmbed' -benchtime 1x .
+
+# Full micro-benchmarks with allocation accounting.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery|BenchmarkRunWorkload' -benchmem .
+
+# Regenerate every figure/table at quick scale on all cores.
+suite:
+	$(GO) run ./cmd/grouting-bench -run all -parallel 0

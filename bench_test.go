@@ -106,6 +106,52 @@ func benchQueryPath(b *testing.B, policy grouting.Policy) {
 	}
 }
 
+// BenchmarkRunWorkload measures the full engine loop (routing, stealing,
+// virtual timelines, cache churn) per query type on a fixed mid-size
+// graph. One iteration is one complete cold-cache workload run of 256
+// queries, so allocs/op regressions in the hot path are directly visible
+// in the bench trajectory.
+func BenchmarkRunWorkload(b *testing.B) {
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.1, 7)
+	sys, err := grouting.NewSystem(g, grouting.Config{
+		Processors: 4, StorageServers: 2, Policy: grouting.PolicyEmbed,
+		Landmarks: 16, MinSeparation: 2, Dimensions: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint32(g.NumNodes())
+	for _, bench := range []struct {
+		name string
+		mk   func(i int) grouting.Query
+	}{
+		{"NeighborAgg", func(i int) grouting.Query {
+			return grouting.Query{Type: grouting.NeighborAgg, Node: grouting.NodeID(uint32(i*131) % n), Hops: 2, Dir: grouting.Out}
+		}},
+		{"RandomWalk", func(i int) grouting.Query {
+			return grouting.Query{Type: grouting.RandomWalk, Node: grouting.NodeID(uint32(i*131) % n), Hops: 8, RestartProb: 0.15, Dir: grouting.Out, Seed: int64(i)}
+		}},
+		{"Reachability", func(i int) grouting.Query {
+			return grouting.Query{Type: grouting.Reachability, Node: grouting.NodeID(uint32(i*131) % n), Target: grouting.NodeID(uint32(i*977+13) % n), Hops: 4}
+		}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			qs := make([]grouting.Query, 256)
+			for i := range qs {
+				qs[i] = bench.mk(i)
+				qs[i].ID = i
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.RunWorkload(qs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkQueryNoCache(b *testing.B)  { benchQueryPath(b, grouting.PolicyNoCache) }
 func BenchmarkQueryHash(b *testing.B)     { benchQueryPath(b, grouting.PolicyHash) }
 func BenchmarkQueryLandmark(b *testing.B) { benchQueryPath(b, grouting.PolicyLandmark) }

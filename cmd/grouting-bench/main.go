@@ -6,6 +6,12 @@
 //	grouting-bench -run fig8a                 # one experiment, quick scale
 //	grouting-bench -run all -scale full       # everything at paper scale
 //	grouting-bench -run fig7 -graphscale 0.5  # override the graph size
+//	grouting-bench -run all -parallel 0       # fan cells out over all cores
+//
+// Each figure's independent (policy, configuration, dataset) cells run on
+// a bounded worker pool when -parallel is set; every cell owns a private
+// System and virtual timeline, so the reported numbers are bit-identical
+// to a serial run at any worker count.
 //
 // Output is a paper-style text table per experiment, with the expected
 // qualitative shape quoted from the paper next to the measured rows.
@@ -28,8 +34,10 @@ func main() {
 		graphScale = flag.Float64("graphscale", 0, "override the dataset scale factor")
 		hotspots   = flag.Int("hotspots", 0, "override the number of workload hotspots")
 		seed       = flag.Int64("seed", 0, "override the experiment seed")
+		parallel   = flag.Int("parallel", 1, "worker pool size for independent experiment cells; 0 = GOMAXPROCS, 1 = serial (results are identical at any setting)")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	if *list {
 		for _, e := range experiments.All() {

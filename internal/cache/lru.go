@@ -8,11 +8,11 @@
 // performs well with our smart routing schemes."
 //
 // The cache is generic over the cached value so processors can cache
-// decoded records without re-parsing. It is not safe for concurrent use;
-// each processor owns one cache.
+// decoded records without re-parsing. Entries live in a slot array linked
+// by indices (recency list) with evicted slots recycled through a free
+// list, so steady-state insert/evict churn allocates nothing. It is not
+// safe for concurrent use; each processor owns one cache.
 package cache
-
-import "container/list"
 
 // EntryOverhead approximates the per-entry bookkeeping cost (map bucket +
 // list element + headers) charged against the capacity in addition to the
@@ -31,19 +31,27 @@ type Stats struct {
 	CumInsertBytes int64
 }
 
+// none marks an empty list link / absent slot index.
+const none = int32(-1)
+
+// slot is one cache entry, linked into the recency list by index.
+type slot[V any] struct {
+	key        uint64
+	val        V
+	cost       int64
+	prev, next int32
+}
+
 // LRU is a least-recently-used cache with byte-capacity accounting.
 type LRU[V any] struct {
 	capacity int64
 	size     int64
-	ll       *list.List // front = most recent
-	items    map[uint64]*list.Element
+	slots    []slot[V]
+	free     []int32
+	head     int32 // most recent; none when empty
+	tail     int32 // least recent; none when empty
+	items    map[uint64]int32
 	stats    Stats
-}
-
-type entry[V any] struct {
-	key  uint64
-	val  V
-	cost int64
 }
 
 // New creates a cache holding up to capacity bytes (values + per-entry
@@ -52,17 +60,49 @@ type entry[V any] struct {
 func New[V any](capacity int64) *LRU[V] {
 	return &LRU[V]{
 		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[uint64]*list.Element),
+		head:     none,
+		tail:     none,
+		items:    make(map[uint64]int32),
+	}
+}
+
+// unlink detaches slot i from the recency list.
+func (c *LRU[V]) unlink(i int32) {
+	s := &c.slots[i]
+	if s.prev != none {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next != none {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+}
+
+// pushFront links slot i as most-recently used.
+func (c *LRU[V]) pushFront(i int32) {
+	s := &c.slots[i]
+	s.prev, s.next = none, c.head
+	if c.head != none {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == none {
+		c.tail = i
 	}
 }
 
 // Get returns the cached value for key, marking it most-recently-used.
 func (c *LRU[V]) Get(key uint64) (V, bool) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
+	if i, ok := c.items[key]; ok {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 		c.stats.Hits++
-		return el.Value.(*entry[V]).val, true
+		return c.slots[i].val, true
 	}
 	var zero V
 	c.stats.Misses++
@@ -85,20 +125,32 @@ func (c *LRU[V]) Put(key uint64, val V, valBytes int64) int {
 		c.stats.Rejected++
 		// An existing entry under this key keeps its old value; the caller
 		// replaced it with something uncacheable, so drop it.
-		if el, ok := c.items[key]; ok {
-			c.removeElement(el)
+		if i, ok := c.items[key]; ok {
+			c.removeSlot(i)
 		}
 		return 0
 	}
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*entry[V])
-		c.size += cost - e.cost
-		e.val = val
-		e.cost = cost
-		c.ll.MoveToFront(el)
+	if i, ok := c.items[key]; ok {
+		s := &c.slots[i]
+		c.size += cost - s.cost
+		s.val = val
+		s.cost = cost
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 	} else {
-		el := c.ll.PushFront(&entry[V]{key: key, val: val, cost: cost})
-		c.items[key] = el
+		var i int32
+		if n := len(c.free); n > 0 {
+			i = c.free[n-1]
+			c.free = c.free[:n-1]
+			c.slots[i] = slot[V]{key: key, val: val, cost: cost}
+		} else {
+			i = int32(len(c.slots))
+			c.slots = append(c.slots, slot[V]{key: key, val: val, cost: cost})
+		}
+		c.pushFront(i)
+		c.items[key] = i
 		c.size += cost
 		c.stats.Inserts++
 		c.stats.CumInsertBytes += valBytes
@@ -113,31 +165,34 @@ func (c *LRU[V]) Put(key uint64, val V, valBytes int64) int {
 
 // Remove drops key from the cache, reporting whether it was resident.
 func (c *LRU[V]) Remove(key uint64) bool {
-	el, ok := c.items[key]
+	i, ok := c.items[key]
 	if ok {
-		c.removeElement(el)
+		c.removeSlot(i)
 	}
 	return ok
 }
 
 func (c *LRU[V]) evictOldest() {
-	el := c.ll.Back()
-	if el == nil {
+	if c.tail == none {
 		return
 	}
-	c.removeElement(el)
+	c.removeSlot(c.tail)
 	c.stats.Evictions++
 }
 
-func (c *LRU[V]) removeElement(el *list.Element) {
-	e := el.Value.(*entry[V])
-	c.ll.Remove(el)
-	delete(c.items, e.key)
-	c.size -= e.cost
+// removeSlot unlinks slot i, forgets its key and recycles the slot.
+func (c *LRU[V]) removeSlot(i int32) {
+	s := &c.slots[i]
+	c.unlink(i)
+	delete(c.items, s.key)
+	c.size -= s.cost
+	var zero slot[V]
+	*s = zero // release the value for GC
+	c.free = append(c.free, i)
 }
 
 // Len returns the number of resident entries.
-func (c *LRU[V]) Len() int { return c.ll.Len() }
+func (c *LRU[V]) Len() int { return len(c.items) }
 
 // Size returns the current charged bytes (values + overhead).
 func (c *LRU[V]) Size() int64 { return c.size }
@@ -156,7 +211,10 @@ func (c *LRU[V]) Stats() Stats {
 // Reset empties the cache and zeroes the statistics (cold-cache start, as
 // every experiment in Section 4 begins with an empty cache).
 func (c *LRU[V]) Reset() {
-	c.ll.Init()
+	clear(c.slots) // release cached values for GC before truncating
+	c.slots = c.slots[:0]
+	c.free = c.free[:0]
+	c.head, c.tail = none, none
 	clear(c.items)
 	c.size = 0
 	c.stats = Stats{}
@@ -165,9 +223,9 @@ func (c *LRU[V]) Reset() {
 // Keys returns the resident keys from most- to least-recently used.
 // Intended for tests and debugging.
 func (c *LRU[V]) Keys() []uint64 {
-	out := make([]uint64, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*entry[V]).key)
+	out := make([]uint64, 0, len(c.items))
+	for i := c.head; i != none; i = c.slots[i].next {
+		out = append(out, c.slots[i].key)
 	}
 	return out
 }

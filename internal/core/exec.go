@@ -25,6 +25,7 @@ type proc struct {
 	id       int
 	useCache bool
 	cache    *cache.LRU[cached]
+	sc       scratch
 }
 
 // execStats accounts one query's data movement, following Eq 8/9: hits is
@@ -44,42 +45,50 @@ func (a *execStats) add(b execStats) {
 // fetchRecords obtains the records of ids for processor p starting at
 // virtual time now: cache first, then one batched multi-read per owning
 // storage server (charged on the contention timeline, halves of the RTT on
-// each side). It returns the records, the elapsed virtual time, and the
-// hit/miss accounting.
-func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl *simnet.Timeline) (map[graph.NodeID]gstore.Record, time.Duration, execStats, error) {
+// each side). It returns the results positionally aligned with ids (OK is
+// false for dangling ids), the elapsed virtual time, and the hit/miss
+// accounting. The returned slice is p's scratch buffer: it is valid only
+// until the next fetchRecords call on the same processor.
+func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl *simnet.Timeline) ([]gstore.FetchResult, time.Duration, execStats, error) {
 	prof := s.cfg.Network
 	var cost time.Duration
 	var st execStats
-	recs := make(map[graph.NodeID]gstore.Record, len(ids))
+	sc := &p.sc
+	recs := sc.fetchBuf(len(ids))
+	sc.missIDs = sc.missIDs[:0]
+	sc.missPos = sc.missPos[:0]
 	var missIDs []graph.NodeID
+	var missDst []gstore.FetchResult
 	if p.useCache {
-		for _, id := range ids {
+		for i, id := range ids {
 			if c, ok := p.cache.Get(uint64(id)); ok {
-				recs[id] = c.rec
+				recs[i] = gstore.FetchResult{Record: c.rec, Bytes: c.bytes, OK: true}
 				st.hits++
 				cost += prof.CacheHit
 			} else {
-				missIDs = append(missIDs, id)
+				recs[i] = gstore.FetchResult{}
+				sc.missIDs = append(sc.missIDs, id)
+				sc.missPos = append(sc.missPos, int32(i))
 				cost += prof.CacheLookupMiss
 			}
 		}
+		missIDs = sc.missIDs
+		missDst = sc.missResults(len(missIDs))
 	} else {
 		missIDs = ids
+		missDst = recs // no scatter needed: FetchBatchInto fills every slot
 	}
 	if len(missIDs) == 0 {
 		return recs, cost, st, nil
 	}
 
 	st.misses += int64(len(missIDs))
-	var results map[graph.NodeID]gstore.FetchResult
 	var err error
 	if s.cfg.NoBatching {
 		// Ablation: one full round trip per key, strictly sequential.
 		clock := now + cost
-		results = make(map[graph.NodeID]gstore.FetchResult, len(missIDs))
-		for _, id := range missIDs {
-			var one map[graph.NodeID]gstore.FetchResult
-			one, err = s.tier.FetchBatch([]graph.NodeID{id}, func(b kvstore.Batch, bytes int64) {
+		for j := range missIDs {
+			err = s.tier.FetchBatchInto(missIDs[j:j+1], missDst[j:j+1], func(b kvstore.Batch, bytes int64) {
 				work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
 				finish := tl.Serve(b.Server, clock+prof.RTT/2, work)
 				clock = finish + prof.RTT/2
@@ -88,13 +97,12 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 			if err != nil {
 				break
 			}
-			results[id] = one[id]
 		}
 		cost = clock - now
 	} else {
 		depart := now + cost + prof.RTT/2
 		arrival := depart
-		results, err = s.tier.FetchBatch(missIDs, func(b kvstore.Batch, bytes int64) {
+		err = s.tier.FetchBatchInto(missIDs, missDst, func(b kvstore.Batch, bytes int64) {
 			work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
 			finish := tl.Serve(b.Server, depart, work)
 			if a := finish + prof.RTT/2; a > arrival {
@@ -107,14 +115,14 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 	if err != nil {
 		return nil, 0, st, fmt.Errorf("core: storage fetch: %w", err)
 	}
-	for _, id := range missIDs {
-		fr := results[id]
-		if !fr.OK {
-			continue // dangling id: nothing stored, nothing cached
-		}
-		recs[id] = fr.Record
-		if p.useCache {
-			p.cache.Put(uint64(id), cached{rec: fr.Record, bytes: fr.Bytes}, int64(fr.Bytes))
+	if p.useCache {
+		for j := range missIDs {
+			fr := missDst[j]
+			if !fr.OK {
+				continue // dangling id: nothing stored, nothing cached
+			}
+			recs[sc.missPos[j]] = fr
+			p.cache.Put(uint64(missIDs[j]), cached{rec: fr.Record, bytes: fr.Bytes}, int64(fr.Bytes))
 			cost += prof.CacheInsert
 		}
 	}
@@ -135,18 +143,25 @@ func (s *System) execute(p *proc, q query.Query, start time.Duration, tl *simnet
 	return query.Result{}, 0, execStats{}, fmt.Errorf("core: unknown query type %v", q.Type)
 }
 
-// edgesFor selects the adjacency of rec in the traversal direction.
-func edgesFor(rec gstore.Record, dir graph.Direction, fn func(graph.NodeID)) {
+// appendUnvisited extends next with every edge endpoint of rec in
+// direction dir not yet in vis, marking each as visited. Open-coded (no
+// closure) so the level expansion stays allocation-free.
+func appendUnvisited(next []graph.NodeID, rec *gstore.Record, dir graph.Direction, vis *visitSet) []graph.NodeID {
 	if dir == graph.Out || dir == graph.Both {
 		for _, e := range rec.Out {
-			fn(e.To)
+			if vis.visit(e.To) {
+				next = append(next, e.To)
+			}
 		}
 	}
 	if dir == graph.In || dir == graph.Both {
 		for _, e := range rec.In {
-			fn(e.To)
+			if vis.visit(e.To) {
+				next = append(next, e.To)
+			}
 		}
 	}
+	return next
 }
 
 // execNeighborAgg implements the h-hop neighbour aggregation by levelwise
@@ -165,8 +180,11 @@ func (s *System) execNeighborAgg(p *proc, q query.Query, start time.Duration, tl
 		wantLabel, filterKnown = s.g.LabelID(q.CountLabel)
 	}
 
-	visited := map[graph.NodeID]struct{}{q.Node: {}}
-	frontier := []graph.NodeID{q.Node}
+	sc := &p.sc
+	sc.visited.reset(s.g.MaxNodeID())
+	sc.visited.visit(q.Node)
+	frontier := append(sc.frontier[:0], q.Node)
+	next := sc.next[:0]
 	count := 0
 	for level := 0; level <= q.Hops && len(frontier) > 0; level++ {
 		recs, dt, fst, err := s.fetchRecords(p, frontier, now, tl)
@@ -176,13 +194,12 @@ func (s *System) execNeighborAgg(p *proc, q query.Query, start time.Duration, tl
 		now += dt
 		st.add(fst)
 		if level > 0 {
-			for _, u := range frontier {
+			for i := range frontier {
 				if !filter {
 					count++
 					continue
 				}
-				rec, ok := recs[u]
-				if ok && filterKnown && rec.NodeLabel == wantLabel {
+				if fr := &recs[i]; fr.OK && filterKnown && fr.Record.NodeLabel == wantLabel {
 					count++
 				}
 			}
@@ -190,22 +207,16 @@ func (s *System) execNeighborAgg(p *proc, q query.Query, start time.Duration, tl
 		if level == q.Hops {
 			break
 		}
-		var next []graph.NodeID
-		for _, u := range frontier {
-			rec, ok := recs[u]
-			if !ok {
-				continue
+		next = next[:0]
+		for i := range frontier {
+			if fr := &recs[i]; fr.OK {
+				next = appendUnvisited(next, &fr.Record, q.Dir, &sc.visited)
 			}
-			edgesFor(rec, q.Dir, func(v graph.NodeID) {
-				if _, seen := visited[v]; !seen {
-					visited[v] = struct{}{}
-					next = append(next, v)
-				}
-			})
 		}
 		now += time.Duration(len(next)) * prof.ComputePerNode
-		frontier = next
+		frontier, next = next, frontier
 	}
+	sc.frontier, sc.next = frontier, next
 	return query.Result{Type: q.Type, Count: count}, now - start, st, nil
 }
 
@@ -217,19 +228,24 @@ func (s *System) execRandomWalk(p *proc, q query.Query, start time.Duration, tl 
 	now := start
 	var st execStats
 	rng := xrand.New(q.Seed)
+	sc := &p.sc
 	cur := q.Node
 	for step := 0; step < q.Hops; step++ {
 		if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
 			cur = q.Node
 			continue
 		}
-		recs, dt, fst, err := s.fetchRecords(p, []graph.NodeID{cur}, now, tl)
+		sc.one[0] = cur
+		recs, dt, fst, err := s.fetchRecords(p, sc.one[:1], now, tl)
 		if err != nil {
 			return query.Result{}, 0, st, err
 		}
 		now += dt
 		st.add(fst)
-		rec := recs[cur] // zero record when dangling: dead end
+		var rec gstore.Record // zero record when dangling: dead end
+		if recs[0].OK {
+			rec = recs[0].Record
+		}
 		next, ok := query.WalkStep(rec.Out, rec.In, q.Dir, rng)
 		if !ok {
 			cur = q.Node
@@ -239,6 +255,20 @@ func (s *System) execRandomWalk(p *proc, q query.Query, start time.Duration, tl 
 		now += prof.ComputePerNode
 	}
 	return query.Result{Type: q.Type, EndNode: cur}, now - start, st, nil
+}
+
+// expandReach extends next with rec's endpoints along edges, marking them
+// in mine and flagging reachability when one is already in other.
+func expandReach(next []graph.NodeID, edges []graph.Edge, mine, other *visitSet, reachable *bool) []graph.NodeID {
+	for _, e := range edges {
+		if other.seen(e.To) {
+			*reachable = true
+		}
+		if mine.visit(e.To) {
+			next = append(next, e.To)
+		}
+	}
+	return next
 }
 
 // execReachability runs the bidirectional BFS of Section 2.2: forward over
@@ -256,10 +286,15 @@ func (s *System) execReachability(p *proc, q query.Query, start time.Duration, t
 		return query.Result{Type: q.Type, Reachable: false}, 0, st, nil
 	}
 
-	fVis := map[graph.NodeID]struct{}{q.Node: {}}
-	bVis := map[graph.NodeID]struct{}{q.Target: {}}
-	fFront := []graph.NodeID{q.Node}
-	bFront := []graph.NodeID{q.Target}
+	sc := &p.sc
+	maxID := s.g.MaxNodeID()
+	sc.visited.reset(maxID)
+	sc.visitedB.reset(maxID)
+	sc.visited.visit(q.Node)
+	sc.visitedB.visit(q.Target)
+	fFront := append(sc.frontier[:0], q.Node)
+	bFront := append(sc.next[:0], q.Target)
+	spare := sc.spare
 	reachable := false
 
 	for levels := 0; levels < q.Hops && !reachable && len(fFront) > 0 && len(bFront) > 0; levels++ {
@@ -275,34 +310,29 @@ func (s *System) execReachability(p *proc, q query.Query, start time.Duration, t
 		now += dt
 		st.add(fst)
 
-		var next []graph.NodeID
-		for _, u := range front {
-			rec, ok := recs[u]
-			if !ok {
+		next := spare[:0]
+		mine, other := &sc.visited, &sc.visitedB
+		if !forward {
+			mine, other = other, mine
+		}
+		for i := range front {
+			fr := &recs[i]
+			if !fr.OK {
 				continue
 			}
-			dir := graph.Out
-			mine, other := fVis, bVis
-			if !forward {
-				dir = graph.In
-				mine, other = bVis, fVis
+			if forward {
+				next = expandReach(next, fr.Record.Out, mine, other, &reachable)
+			} else {
+				next = expandReach(next, fr.Record.In, mine, other, &reachable)
 			}
-			edgesFor(rec, dir, func(v graph.NodeID) {
-				if _, hit := other[v]; hit {
-					reachable = true
-				}
-				if _, seen := mine[v]; !seen {
-					mine[v] = struct{}{}
-					next = append(next, v)
-				}
-			})
 		}
 		now += time.Duration(len(next)) * prof.ComputePerNode
 		if forward {
-			fFront = next
+			spare, fFront = fFront, next
 		} else {
-			bFront = next
+			spare, bFront = bFront, next
 		}
 	}
+	sc.frontier, sc.next, sc.spare = fFront, bFront, spare
 	return query.Result{Type: q.Type, Reachable: reachable}, now - start, st, nil
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/gstore"
+)
+
+// denseVisitedLimit caps the generation-mark array at 4M node ids (16 MB
+// per set). Graphs with larger id spaces spill the tail into a map so huge
+// sparse id spaces never pin hundreds of megabytes per processor.
+const denseVisitedLimit = 1 << 22
+
+// visitSet is a reusable visited set keyed by NodeID. Instead of a fresh
+// map per query it keeps an epoch-stamped array: an id is visited in the
+// current query iff its mark equals the current generation, so reset is a
+// single counter bump. Ids at or beyond the dense window (bounded by
+// denseVisitedLimit) fall back to a generation-stamped map.
+type visitSet struct {
+	gen    uint32
+	dense  []uint32
+	sparse map[graph.NodeID]uint32
+}
+
+// reset starts a new query over an id space of [0, maxID), growing the
+// dense window up to the limit. O(1) except on growth and generation wrap.
+func (v *visitSet) reset(maxID graph.NodeID) {
+	v.gen++
+	if v.gen == 0 { // wrapped: stale marks could collide, wipe everything
+		v.gen = 1
+		for i := range v.dense {
+			v.dense[i] = 0
+		}
+		clear(v.sparse)
+	}
+	want := int(maxID)
+	if want > denseVisitedLimit {
+		want = denseVisitedLimit
+	}
+	if len(v.dense) < want {
+		v.dense = make([]uint32, want)
+	}
+}
+
+// visit marks id and reports whether it was unvisited in this generation.
+func (v *visitSet) visit(id graph.NodeID) bool {
+	if int(id) < len(v.dense) {
+		if v.dense[id] == v.gen {
+			return false
+		}
+		v.dense[id] = v.gen
+		return true
+	}
+	if v.sparse[id] == v.gen {
+		return false
+	}
+	if v.sparse == nil {
+		v.sparse = make(map[graph.NodeID]uint32)
+	}
+	v.sparse[id] = v.gen
+	return true
+}
+
+// seen reports whether id is visited in the current generation.
+func (v *visitSet) seen(id graph.NodeID) bool {
+	if int(id) < len(v.dense) {
+		return v.dense[id] == v.gen
+	}
+	return v.sparse[id] == v.gen
+}
+
+// scratch is one processor's reusable query workspace: visited sets,
+// frontier double-buffers and fetch-result buffers. Everything here is
+// overwritten per query/level, so records that must outlive a level (cache
+// entries) are copied out by value, never referenced.
+type scratch struct {
+	visited  visitSet // BFS visited / forward reachability side
+	visitedB visitSet // backward reachability side
+	frontier []graph.NodeID
+	next     []graph.NodeID
+	spare    []graph.NodeID // third buffer for the bidirectional search
+	fetch    []gstore.FetchResult
+	missBuf  []gstore.FetchResult
+	missIDs  []graph.NodeID
+	missPos  []int32
+	one      [1]graph.NodeID // single-id frontier for random-walk steps
+}
+
+// fetchBuf returns the positional fetch-result buffer sized for n ids.
+func (sc *scratch) fetchBuf(n int) []gstore.FetchResult {
+	if cap(sc.fetch) < n {
+		sc.fetch = make([]gstore.FetchResult, n)
+	}
+	return sc.fetch[:n]
+}
+
+// missResults returns the miss-result buffer sized for n ids.
+func (sc *scratch) missResults(n int) []gstore.FetchResult {
+	if cap(sc.missBuf) < n {
+		sc.missBuf = make([]gstore.FetchResult, n)
+	}
+	return sc.missBuf[:n]
+}

@@ -42,19 +42,38 @@ func runAblationStealing(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
+	type pair struct{ on, off *core.Report }
+	rows := make([]pair, len(fig8Policies))
+	var cells []func() error
+	for i, policy := range fig8Policies {
+		i, policy := i, policy
+		cells = append(cells,
+			func() error {
+				rep, err := runPolicy(g, sysConfig(policy, sc), qs)
+				if err != nil {
+					return err
+				}
+				rows[i].on = rep
+				return nil
+			},
+			func() error {
+				cfg := sysConfig(policy, sc)
+				cfg.DisableStealing = true
+				rep, err := runPolicy(g, cfg, qs)
+				if err != nil {
+					return err
+				}
+				rows[i].off = rep
+				return nil
+			},
+		)
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
 	t := metrics.NewTable("policy", "throughput(stealing)", "throughput(no-steal)", "stolen", "gain")
-	for _, policy := range fig8Policies {
-		on := sysConfig(policy, sc)
-		repOn, err := runPolicy(g, on, qs)
-		if err != nil {
-			return err
-		}
-		off := sysConfig(policy, sc)
-		off.DisableStealing = true
-		repOff, err := runPolicy(g, off, qs)
-		if err != nil {
-			return err
-		}
+	for i, policy := range fig8Policies {
+		repOn, repOff := rows[i].on, rows[i].off
 		t.AddRow(policyLabel(policy), repOn.ThroughputQPS, repOff.ThroughputQPS,
 			repOn.Stolen, fmt.Sprintf("%.2fx", repOn.ThroughputQPS/repOff.ThroughputQPS))
 	}
@@ -85,22 +104,42 @@ func runAblationPartition(w io.Writer, sc Scale) error {
 		{"ldg-streaming", kvstore.TablePlacer{Assign: ldg.Of}, ldg.CutFraction(g)},
 		{"ldg+refine", kvstore.TablePlacer{Assign: refined.Of}, refined.CutFraction(g)},
 	}
+	type pair struct{ embed, noCache *core.Report }
+	rows := make([]pair, len(placers))
+	var cells []func() error
+	for i := range placers {
+		i := i
+		pl := placers[i]
+		cells = append(cells,
+			func() error {
+				cfg := sysConfig(core.PolicyEmbed, sc)
+				cfg.Placer = pl.p
+				rep, err := runPolicy(g, cfg, qs)
+				if err != nil {
+					return err
+				}
+				rows[i].embed = rep
+				return nil
+			},
+			func() error {
+				cfg := sysConfig(core.PolicyNoCache, sc)
+				cfg.Placer = pl.p
+				rep, err := runPolicy(g, cfg, qs)
+				if err != nil {
+					return err
+				}
+				rows[i].noCache = rep
+				return nil
+			},
+		)
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
 	t := metrics.NewTable("storage-partitioning", "edge-cut", "Embed-response", "Embed-hit-rate", "NoCache-response")
-	for _, pl := range placers {
-		cfg := sysConfig(core.PolicyEmbed, sc)
-		cfg.Placer = pl.p
-		rep, err := runPolicy(g, cfg, qs)
-		if err != nil {
-			return err
-		}
-		nc := sysConfig(core.PolicyNoCache, sc)
-		nc.Placer = pl.p
-		repNC, err := runPolicy(g, nc, qs)
-		if err != nil {
-			return err
-		}
-		t.AddRow(pl.name, fmt.Sprintf("%.3f", pl.cut), rep.MeanResponse,
-			fmt.Sprintf("%.3f", rep.HitRate), repNC.MeanResponse)
+	for i, pl := range placers {
+		t.AddRow(pl.name, fmt.Sprintf("%.3f", pl.cut), rows[i].embed.MeanResponse,
+			fmt.Sprintf("%.3f", rows[i].embed.HitRate), rows[i].noCache.MeanResponse)
 	}
 	fmt.Fprintln(w, "expected: under smart routing the storage partitioning barely matters (the paper's core claim)")
 	_, err = fmt.Fprint(w, t.String())
@@ -115,16 +154,30 @@ func runAblationFailure(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
+	failCounts := []int{0, 1, 2, 3}
+	reps := make([]*core.Report, len(failCounts))
+	cells := make([]func() error, len(failCounts))
+	for i, nFail := range failCounts {
+		i, nFail := i, nFail
+		cells[i] = func() error {
+			cfg := sysConfig(core.PolicyEmbed, sc)
+			for p := 0; p < nFail; p++ {
+				cfg.FailedProcessors = append(cfg.FailedProcessors, p*2) // spread failures
+			}
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			reps[i] = rep
+			return nil
+		}
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
 	t := metrics.NewTable("failed-processors", "Embed-throughput", "Embed-response", "diverted", "hit-rate")
-	for _, nFail := range []int{0, 1, 2, 3} {
-		cfg := sysConfig(core.PolicyEmbed, sc)
-		for p := 0; p < nFail; p++ {
-			cfg.FailedProcessors = append(cfg.FailedProcessors, p*2) // spread failures
-		}
-		rep, err := runPolicy(g, cfg, qs)
-		if err != nil {
-			return err
-		}
+	for i, nFail := range failCounts {
+		rep := reps[i]
 		t.AddRow(nFail, rep.ThroughputQPS, rep.MeanResponse, rep.Diverted,
 			fmt.Sprintf("%.3f", rep.HitRate))
 	}
@@ -141,19 +194,39 @@ func runAblationBatch(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
+	policies := []core.Policy{core.PolicyNoCache, core.PolicyHash, core.PolicyEmbed}
+	type pair struct{ batched, perKey *core.Report }
+	rows := make([]pair, len(policies))
+	var cells []func() error
+	for i, policy := range policies {
+		i, policy := i, policy
+		cells = append(cells,
+			func() error {
+				rep, err := runPolicy(g, sysConfig(policy, sc), qs)
+				if err != nil {
+					return err
+				}
+				rows[i].batched = rep
+				return nil
+			},
+			func() error {
+				cfg := sysConfig(policy, sc)
+				cfg.NoBatching = true
+				rep, err := runPolicy(g, cfg, qs)
+				if err != nil {
+					return err
+				}
+				rows[i].perKey = rep
+				return nil
+			},
+		)
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
 	t := metrics.NewTable("policy", "batched-response", "per-key-response", "slowdown")
-	for _, policy := range []core.Policy{core.PolicyNoCache, core.PolicyHash, core.PolicyEmbed} {
-		batched := sysConfig(policy, sc)
-		repB, err := runPolicy(g, batched, qs)
-		if err != nil {
-			return err
-		}
-		perKey := sysConfig(policy, sc)
-		perKey.NoBatching = true
-		repK, err := runPolicy(g, perKey, qs)
-		if err != nil {
-			return err
-		}
+	for i, policy := range policies {
+		repB, repK := rows[i].batched, rows[i].perKey
 		t.AddRow(policyLabel(policy), repB.MeanResponse, repK.MeanResponse,
 			fmt.Sprintf("%.1fx", float64(repK.MeanResponse)/float64(repB.MeanResponse)))
 	}

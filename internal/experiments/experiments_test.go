@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,72 @@ func TestAllSorted(t *testing.T) {
 func TestGetUnknown(t *testing.T) {
 	if _, ok := Get("fig99"); ok {
 		t.Fatal("unknown id found")
+	}
+}
+
+// TestSerialParallelIdentical asserts the engine-level determinism
+// invariant of the parallel harness: because every cell owns a private
+// System and virtual Timeline, a figure's Report-derived output is
+// bit-identical at any worker count.
+func TestSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full figure twice")
+	}
+	e, ok := Get("fig8a")
+	if !ok {
+		t.Fatal("fig8a not registered")
+	}
+	defer SetParallelism(1)
+	outputs := make([]string, 2)
+	for i, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, tiny); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outputs[i] = buf.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("serial and parallel harness outputs differ:\n--- serial ---\n%s\n--- parallel ---\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0) // 0 selects GOMAXPROCS
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(0)", got)
+	}
+}
+
+func TestRunCellsOrderAndErrors(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(4)
+	results := make([]int, 100)
+	cells := make([]func() error, 100)
+	for i := range cells {
+		i := i
+		cells[i] = func() error { results[i] = i * i; return nil }
+	}
+	if err := runCells(cells); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("cell %d wrote %d", i, r)
+		}
+	}
+	// The lowest-indexed error wins, matching serial semantics.
+	boom7 := fmt.Errorf("cell 7 failed")
+	boom3 := fmt.Errorf("cell 3 failed")
+	cells[7] = func() error { return boom7 }
+	cells[3] = func() error { return boom3 }
+	if err := runCells(cells); err != boom3 {
+		t.Fatalf("got error %v, want %v", err, boom3)
 	}
 }
 

@@ -49,6 +49,19 @@ func init() {
 	})
 }
 
+// hashRefCell returns a cell computing the hash-policy reference run that
+// most sweep figures plot alongside the smart policies.
+func hashRefCell(g *graphT, sc Scale, qs []queryT, dst **core.Report) func() error {
+	return func() error {
+		rep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+		if err != nil {
+			return err
+		}
+		*dst = rep
+		return nil
+	}
+}
+
 func runFig10(w io.Writer, sc Scale) error {
 	e, _ := Get("fig10")
 	header(w, e)
@@ -57,21 +70,22 @@ func runFig10(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	pcts := []int{20, 40, 60, 80, 100}
+	policies := []core.Policy{core.PolicyLandmark, core.PolicyEmbed}
+	var hashRep *core.Report
+	reps, err := policyGrid(len(pcts), policies, func(row int, policy core.Policy) (*core.Report, error) {
+		cfg := sysConfig(policy, sc)
+		cfg.PreprocessFraction = float64(pcts[row]) / 100
+		return runPolicy(g, cfg, qs)
+	}, hashRefCell(g, sc, qs, &hashRep))
 	if err != nil {
 		return err
 	}
 	t := metrics.NewTable("preprocessed-%", "Landmark", "Embed", "Hash-reference")
-	for _, pct := range []int{20, 40, 60, 80, 100} {
+	for i, pct := range pcts {
 		row := []any{pct}
-		for _, policy := range []core.Policy{core.PolicyLandmark, core.PolicyEmbed} {
-			cfg := sysConfig(policy, sc)
-			cfg.PreprocessFraction = float64(pct) / 100
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				return err
-			}
-			row = append(row, rep.MeanResponse)
+		for j := range policies {
+			row = append(row, reps[i][j].MeanResponse)
 		}
 		row = append(row, hashRep.MeanResponse)
 		t.AddRow(row...)
@@ -89,21 +103,22 @@ func runFig11a(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	factors := []float64{0.01, 0.1, 1, 10, 20, 100, 1000, 10000}
+	policies := []core.Policy{core.PolicyEmbed, core.PolicyLandmark}
+	var hashRep *core.Report
+	reps, err := policyGrid(len(factors), policies, func(row int, policy core.Policy) (*core.Report, error) {
+		cfg := sysConfig(policy, sc)
+		cfg.LoadFactor = factors[row]
+		return runPolicy(g, cfg, qs)
+	}, hashRefCell(g, sc, qs, &hashRep))
 	if err != nil {
 		return err
 	}
 	t := metrics.NewTable("load-factor", "Embed", "Landmark", "Hash-reference")
-	for _, lf := range []float64{0.01, 0.1, 1, 10, 20, 100, 1000, 10000} {
+	for i, lf := range factors {
 		row := []any{lf}
-		for _, policy := range []core.Policy{core.PolicyEmbed, core.PolicyLandmark} {
-			cfg := sysConfig(policy, sc)
-			cfg.LoadFactor = lf
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				return err
-			}
-			row = append(row, rep.ThroughputQPS)
+		for j := range policies {
+			row = append(row, reps[i][j].ThroughputQPS)
 		}
 		row = append(row, hashRep.ThroughputQPS)
 		t.AddRow(row...)
@@ -121,19 +136,29 @@ func runFig11b(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
-	if err != nil {
+	alphas := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	var hashRep *core.Report
+	reps := make([]*core.Report, len(alphas))
+	cells := []func() error{hashRefCell(g, sc, qs, &hashRep)}
+	for i, alpha := range alphas {
+		i, alpha := i, alpha
+		cells = append(cells, func() error {
+			cfg := sysConfig(core.PolicyEmbed, sc)
+			cfg.Alpha = alpha
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			reps[i] = rep
+			return nil
+		})
+	}
+	if err := runCells(cells); err != nil {
 		return err
 	}
 	t := metrics.NewTable("alpha", "Embed", "Hash-reference")
-	for _, alpha := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
-		cfg := sysConfig(core.PolicyEmbed, sc)
-		cfg.Alpha = alpha
-		rep, err := runPolicy(g, cfg, qs)
-		if err != nil {
-			return err
-		}
-		t.AddRow(alpha, rep.MeanResponse, hashRep.MeanResponse)
+	for i, alpha := range alphas {
+		t.AddRow(alpha, reps[i].MeanResponse, hashRep.MeanResponse)
 	}
 	fmt.Fprintln(w, "paper: response time lowest for alpha in [0.25, 0.75]")
 	_, err = fmt.Fprint(w, t.String())
@@ -149,15 +174,30 @@ func runFig12a(w io.Writer, sc Scale) error {
 	}
 	lms := landmark.Select(g, sc.Landmarks, sc.MinSep)
 	idx := landmark.BuildIndex(g, lms, 0)
-	t := metrics.NewTable("dimensions", "distance-fit-error(Eq4)", "2-hop-pair-error")
-	for _, d := range []int{2, 5, 10, 15, 20} {
-		emb, err := embed.Build(g, idx, embed.Options{Dimensions: d, Seed: sc.Seed, NM: embed.NMOptions{MaxIter: sc.NMIter}})
-		if err != nil {
-			return err
+	dims := []int{2, 5, 10, 15, 20}
+	type fitRow struct{ fit, pairErr float64 }
+	rows := make([]fitRow, len(dims))
+	cells := make([]func() error, len(dims))
+	for i, d := range dims {
+		i, d := i, d
+		cells[i] = func() error {
+			emb, err := embed.Build(g, idx, embed.Options{Dimensions: d, Seed: sc.Seed, NM: embed.NMOptions{MaxIter: sc.NMIter}})
+			if err != nil {
+				return err
+			}
+			rows[i] = fitRow{
+				fit:     embed.MeasureLandmarkFit(idx, emb, 400, sc.Seed+9),
+				pairErr: embed.MeasureRelativeError(g, emb, 300, 2, sc.Seed+9),
+			}
+			return nil
 		}
-		fit := embed.MeasureLandmarkFit(idx, emb, 400, sc.Seed+9)
-		pairErr := embed.MeasureRelativeError(g, emb, 300, 2, sc.Seed+9)
-		t.AddRow(d, fmt.Sprintf("%.3f", fit), fmt.Sprintf("%.3f", pairErr))
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
+	t := metrics.NewTable("dimensions", "distance-fit-error(Eq4)", "2-hop-pair-error")
+	for i, d := range dims {
+		t.AddRow(d, fmt.Sprintf("%.3f", rows[i].fit), fmt.Sprintf("%.3f", rows[i].pairErr))
 	}
 	fmt.Fprintln(w, "paper: error decreases with dimensions, saturating around 10")
 	_, err = fmt.Fprint(w, t.String())
@@ -172,19 +212,29 @@ func runFig12b(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
-	if err != nil {
+	dims := []int{2, 5, 10, 15, 20, 25, 30}
+	var hashRep *core.Report
+	reps := make([]*core.Report, len(dims))
+	cells := []func() error{hashRefCell(g, sc, qs, &hashRep)}
+	for i, d := range dims {
+		i, d := i, d
+		cells = append(cells, func() error {
+			cfg := sysConfig(core.PolicyEmbed, sc)
+			cfg.Dimensions = d
+			rep, err := runPolicy(g, cfg, qs)
+			if err != nil {
+				return err
+			}
+			reps[i] = rep
+			return nil
+		})
+	}
+	if err := runCells(cells); err != nil {
 		return err
 	}
 	t := metrics.NewTable("dimensions", "Embed", "Hash-reference")
-	for _, d := range []int{2, 5, 10, 15, 20, 25, 30} {
-		cfg := sysConfig(core.PolicyEmbed, sc)
-		cfg.Dimensions = d
-		rep, err := runPolicy(g, cfg, qs)
-		if err != nil {
-			return err
-		}
-		t.AddRow(d, rep.MeanResponse, hashRep.MeanResponse)
+	for i, d := range dims {
+		t.AddRow(d, reps[i].MeanResponse, hashRep.MeanResponse)
 	}
 	fmt.Fprintln(w, "paper: minimum response time at ~10 dimensions (accuracy vs routing-cost trade-off)")
 	_, err = fmt.Fprint(w, t.String())
@@ -199,25 +249,27 @@ func runFig13a(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
+	var counts []int
+	for _, L := range []int{4, 8, 16, 32, 64, 96, 128} {
+		if L <= g.NumNodes()/4 {
+			counts = append(counts, L)
+		}
+	}
+	policies := []core.Policy{core.PolicyLandmark, core.PolicyEmbed}
+	var hashRep *core.Report
+	reps, err := policyGrid(len(counts), policies, func(row int, policy core.Policy) (*core.Report, error) {
+		cfg := sysConfig(policy, sc)
+		cfg.Landmarks = counts[row]
+		return runPolicy(g, cfg, qs)
+	}, hashRefCell(g, sc, qs, &hashRep))
 	if err != nil {
 		return err
 	}
 	t := metrics.NewTable("landmarks", "Landmark", "Embed", "Hash-reference")
-	counts := []int{4, 8, 16, 32, 64, 96, 128}
-	for _, L := range counts {
-		if L > g.NumNodes()/4 {
-			continue
-		}
+	for i, L := range counts {
 		row := []any{L}
-		for _, policy := range []core.Policy{core.PolicyLandmark, core.PolicyEmbed} {
-			cfg := sysConfig(policy, sc)
-			cfg.Landmarks = L
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				return err
-			}
-			row = append(row, rep.MeanResponse)
+		for j := range policies {
+			row = append(row, reps[i][j].MeanResponse)
 		}
 		row = append(row, hashRep.MeanResponse)
 		t.AddRow(row...)
@@ -235,26 +287,42 @@ func runFig13b(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	hashRep, err := runPolicy(g, sysConfig(core.PolicyHash, sc), qs)
-	if err != nil {
+	seps := []int{1, 2, 3, 4, 5}
+	policies := []core.Policy{core.PolicyLandmark, core.PolicyEmbed}
+	var hashRep *core.Report
+	// On small graphs large separations can leave too few landmarks; a
+	// cell failure is reported as an infeasible row, not a runner error,
+	// so cells record their error instead of returning it.
+	reps := make([][]*core.Report, len(seps))
+	cellErrs := make([][]error, len(seps))
+	cells := []func() error{hashRefCell(g, sc, qs, &hashRep)}
+	for i, sep := range seps {
+		reps[i] = make([]*core.Report, len(policies))
+		cellErrs[i] = make([]error, len(policies))
+		for j, policy := range policies {
+			i, j, sep, policy := i, j, sep, policy
+			cells = append(cells, func() error {
+				cfg := sysConfig(policy, sc)
+				cfg.MinSeparation = sep
+				reps[i][j], cellErrs[i][j] = runPolicy(g, cfg, qs)
+				return nil
+			})
+		}
+	}
+	if err := runCells(cells); err != nil {
 		return err
 	}
 	t := metrics.NewTable("min-separation(hops)", "Landmark", "Embed", "Hash-reference")
-	for _, sep := range []int{1, 2, 3, 4, 5} {
+	for i, sep := range seps {
 		row := []any{sep}
 		feasible := true
-		for _, policy := range []core.Policy{core.PolicyLandmark, core.PolicyEmbed} {
-			cfg := sysConfig(policy, sc)
-			cfg.MinSeparation = sep
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				// On small graphs large separations can leave too few
-				// landmarks; report the row as infeasible rather than fail.
+		for j := range policies {
+			if cellErrs[i][j] != nil {
 				row = append(row, "n/a")
 				feasible = false
 				continue
 			}
-			row = append(row, rep.MeanResponse)
+			row = append(row, reps[i][j].MeanResponse)
 		}
 		row = append(row, hashRep.MeanResponse)
 		t.AddRow(row...)

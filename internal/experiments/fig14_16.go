@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 )
@@ -33,14 +34,21 @@ func runFig14(w io.Writer, sc Scale) error {
 	if err != nil {
 		return err
 	}
-	for _, r := range []int{1, 2} {
-		qs := workload(g, sc, r, 2)
+	radii := []int{1, 2}
+	workloads := make([][]queryT, len(radii))
+	for i, r := range radii {
+		workloads[i] = workload(g, sc, r, 2)
+	}
+	reps, err := policyGrid(len(radii), fig8Policies, func(row int, policy core.Policy) (*core.Report, error) {
+		return runPolicy(g, sysConfig(policy, sc), workloads[row])
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range radii {
 		t := metrics.NewTable("policy", "response-time", "cache-hits", "cache-misses", "hit-rate")
-		for _, policy := range fig8Policies {
-			rep, err := runPolicy(g, sysConfig(policy, sc), qs)
-			if err != nil {
-				return err
-			}
+		for j, policy := range fig8Policies {
+			rep := reps[i][j]
 			t.AddRow(policyLabel(policy), rep.MeanResponse, rep.CacheHits, rep.CacheMisses,
 				fmt.Sprintf("%.3f", rep.HitRate))
 		}
@@ -57,14 +65,21 @@ func runFig15(w io.Writer, sc Scale) error {
 	if err != nil {
 		return err
 	}
-	for _, h := range []int{1, 2, 3} {
-		qs := workload(g, sc, 2, h)
+	hops := []int{1, 2, 3}
+	workloads := make([][]queryT, len(hops))
+	for i, h := range hops {
+		workloads[i] = workload(g, sc, 2, h)
+	}
+	reps, err := policyGrid(len(hops), fig8Policies, func(row int, policy core.Policy) (*core.Report, error) {
+		return runPolicy(g, sysConfig(policy, sc), workloads[row])
+	})
+	if err != nil {
+		return err
+	}
+	for i, h := range hops {
 		t := metrics.NewTable("policy", "response-time", "hit-rate")
-		for _, policy := range fig8Policies {
-			rep, err := runPolicy(g, sysConfig(policy, sc), qs)
-			if err != nil {
-				return err
-			}
+		for j, policy := range fig8Policies {
+			rep := reps[i][j]
 			t.AddRow(policyLabel(policy), rep.MeanResponse, fmt.Sprintf("%.3f", rep.HitRate))
 		}
 		fmt.Fprintf(w, "-- 2-hop hotspot, %d-hop traversal --\n%s", h, t.String())
@@ -76,18 +91,35 @@ func runFig15(w io.Writer, sc Scale) error {
 func runFig16(w io.Writer, sc Scale) error {
 	e, _ := Get("fig16")
 	header(w, e)
-	for _, d := range []gen.Dataset{gen.Memetracker, gen.Friendster} {
-		g, err := loadPreset(d, sc)
-		if err != nil {
-			return err
-		}
-		qs := workload(g, sc, 2, 2)
-		t := metrics.NewTable("policy", "response-time", "hit-rate")
-		for _, policy := range fig8Policies {
-			rep, err := runPolicy(g, sysConfig(policy, sc), qs)
+	datasets := []gen.Dataset{gen.Memetracker, gen.Friendster}
+	graphs := make([]*graphT, len(datasets))
+	workloads := make([][]queryT, len(datasets))
+	loads := make([]func() error, len(datasets))
+	for i, d := range datasets {
+		i, d := i, d
+		loads[i] = func() error {
+			g, err := loadPreset(d, sc)
 			if err != nil {
 				return err
 			}
+			graphs[i] = g
+			workloads[i] = workload(g, sc, 2, 2)
+			return nil
+		}
+	}
+	if err := runCells(loads); err != nil {
+		return err
+	}
+	reps, err := policyGrid(len(datasets), fig8Policies, func(row int, policy core.Policy) (*core.Report, error) {
+		return runPolicy(graphs[row], sysConfig(policy, sc), workloads[row])
+	})
+	if err != nil {
+		return err
+	}
+	for i, d := range datasets {
+		t := metrics.NewTable("policy", "response-time", "hit-rate")
+		for j, policy := range fig8Policies {
+			rep := reps[i][j]
 			t.AddRow(policyLabel(policy), rep.MeanResponse, fmt.Sprintf("%.3f", rep.HitRate))
 		}
 		fmt.Fprintf(w, "-- %s --\n%s", d, t.String())

@@ -57,44 +57,84 @@ var fig7Datasets = []gen.Dataset{gen.WebGraph, gen.Memetracker, gen.Freebase}
 func runFig7(w io.Writer, sc Scale) error {
 	e, _ := Get("fig7")
 	header(w, e)
+	// Stage 1: generate every dataset (and its workload) concurrently.
+	graphs := make([]*graphT, len(fig7Datasets))
+	workloads := make([][]queryT, len(fig7Datasets))
+	loads := make([]func() error, len(fig7Datasets))
+	for i, d := range fig7Datasets {
+		i, d := i, d
+		loads[i] = func() error {
+			g, err := loadPreset(d, sc)
+			if err != nil {
+				return err
+			}
+			graphs[i] = g
+			workloads[i] = workload(g, sc, 2, 2)
+			return nil
+		}
+	}
+	if err := runCells(loads); err != nil {
+		return err
+	}
+	// Stage 2: the four system runs per dataset are independent cells.
+	type fig7Row struct{ bsp, pg, gre, gri float64 }
+	rows := make([]fig7Row, len(fig7Datasets))
+	var cells []func() error
+	for i := range fig7Datasets {
+		i := i
+		g, qs := graphs[i], workloads[i]
+		cells = append(cells,
+			func() error {
+				bsp, err := baseline.NewBSP(g, 12, simnet.Ethernet())
+				if err != nil {
+					return err
+				}
+				rep, err := bsp.RunWorkload(qs)
+				if err != nil {
+					return err
+				}
+				rows[i].bsp = rep.ThroughputQPS
+				return nil
+			},
+			func() error {
+				gas, err := baseline.NewGAS(g, 12, simnet.Ethernet())
+				if err != nil {
+					return err
+				}
+				rep, err := gas.RunWorkload(qs)
+				if err != nil {
+					return err
+				}
+				rows[i].pg = rep.ThroughputQPS
+				return nil
+			},
+			func() error {
+				cfg := sysConfig(core.PolicyEmbed, sc)
+				cfg.Network = simnet.Ethernet()
+				rep, err := runPolicy(g, cfg, qs)
+				if err != nil {
+					return err
+				}
+				rows[i].gre = rep.ThroughputQPS
+				return nil
+			},
+			func() error {
+				rep, err := runPolicy(g, sysConfig(core.PolicyEmbed, sc), qs)
+				if err != nil {
+					return err
+				}
+				rows[i].gri = rep.ThroughputQPS
+				return nil
+			},
+		)
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
 	t := metrics.NewTable("dataset", "SEDGE/Giraph", "PowerGraph", "gRouting-E", "gRouting", "gR/SEDGE", "gR/PG")
-	for _, d := range fig7Datasets {
-		g, err := loadPreset(d, sc)
-		if err != nil {
-			return err
-		}
-		qs := workload(g, sc, 2, 2)
-
-		bsp, err := baseline.NewBSP(g, 12, simnet.Ethernet())
-		if err != nil {
-			return err
-		}
-		rb, err := bsp.RunWorkload(qs)
-		if err != nil {
-			return err
-		}
-		gas, err := baseline.NewGAS(g, 12, simnet.Ethernet())
-		if err != nil {
-			return err
-		}
-		rp, err := gas.RunWorkload(qs)
-		if err != nil {
-			return err
-		}
-
-		cfgE := sysConfig(core.PolicyEmbed, sc)
-		cfgE.Network = simnet.Ethernet()
-		re, err := runPolicy(g, cfgE, qs)
-		if err != nil {
-			return err
-		}
-		cfgIB := sysConfig(core.PolicyEmbed, sc)
-		ri, err := runPolicy(g, cfgIB, qs)
-		if err != nil {
-			return err
-		}
-		t.AddRow(string(d), rb.ThroughputQPS, rp.ThroughputQPS, re.ThroughputQPS, ri.ThroughputQPS,
-			ri.ThroughputQPS/rb.ThroughputQPS, ri.ThroughputQPS/rp.ThroughputQPS)
+	for i, d := range fig7Datasets {
+		r := rows[i]
+		t.AddRow(string(d), r.bsp, r.pg, r.gre, r.gri, r.gri/r.bsp, r.gri/r.pg)
 	}
 	fmt.Fprintln(w, "paper: gRouting-E 5-10x over coupled systems; gRouting (Infiniband) 10-35x")
 	_, err := fmt.Fprint(w, t.String())
@@ -116,6 +156,36 @@ func runFig8b(w io.Writer, sc Scale) error {
 	return fig8Sweep(w, sc, false)
 }
 
+// policyGrid runs one cell per (row value, policy) pair — the common shape
+// of the figure sweeps — and returns the reports indexed [row][policy].
+// Extra cells (reference runs like the hash baseline) join the same
+// fan-out, scheduled before the grid to mirror the historical serial
+// order.
+func policyGrid(nRows int, policies []core.Policy, run func(row int, policy core.Policy) (*core.Report, error), extra ...func() error) ([][]*core.Report, error) {
+	reps := make([][]*core.Report, nRows)
+	for i := range reps {
+		reps[i] = make([]*core.Report, len(policies))
+	}
+	cells := append([]func() error(nil), extra...)
+	for i := 0; i < nRows; i++ {
+		for j, policy := range policies {
+			i, j, policy := i, j, policy
+			cells = append(cells, func() error {
+				rep, err := run(i, policy)
+				if err != nil {
+					return err
+				}
+				reps[i][j] = rep
+				return nil
+			})
+		}
+	}
+	if err := runCells(cells); err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
 func fig8Sweep(w io.Writer, sc Scale, throughput bool) error {
 	g, err := loadPreset(gen.WebGraph, sc)
 	if err != nil {
@@ -127,16 +197,18 @@ func fig8Sweep(w io.Writer, sc Scale, throughput bool) error {
 		head = append(head, policyLabel(p))
 	}
 	t := metrics.NewTable(head...)
+	reps, err := policyGrid(7, fig8Policies, func(row int, policy core.Policy) (*core.Report, error) {
+		cfg := sysConfig(policy, sc)
+		cfg.Processors = row + 1
+		return runPolicy(g, cfg, qs)
+	})
+	if err != nil {
+		return err
+	}
 	var totalTouched int64
-	for procs := 1; procs <= 7; procs++ {
-		row := []any{procs}
-		for _, policy := range fig8Policies {
-			cfg := sysConfig(policy, sc)
-			cfg.Processors = procs
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				return err
-			}
+	for i, procReps := range reps {
+		row := []any{i + 1}
+		for _, rep := range procReps {
 			if throughput {
 				row = append(row, rep.ThroughputQPS)
 			} else {
@@ -168,16 +240,18 @@ func runFig8c(w io.Writer, sc Scale) error {
 		head = append(head, policyLabel(p))
 	}
 	t := metrics.NewTable(head...)
-	for servers := 1; servers <= 7; servers++ {
-		row := []any{servers}
-		for _, policy := range fig8Policies {
-			cfg := sysConfig(policy, sc)
-			cfg.Processors = 4
-			cfg.StorageServers = servers
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				return err
-			}
+	reps, err := policyGrid(7, fig8Policies, func(row int, policy core.Policy) (*core.Report, error) {
+		cfg := sysConfig(policy, sc)
+		cfg.Processors = 4
+		cfg.StorageServers = row + 1
+		return runPolicy(g, cfg, qs)
+	})
+	if err != nil {
+		return err
+	}
+	for i, serverReps := range reps {
+		row := []any{i + 1}
+		for _, rep := range serverReps {
 			row = append(row, rep.ThroughputQPS)
 		}
 		t.AddRow(row...)
@@ -234,18 +308,32 @@ func runFig9b(w io.Writer, sc Scale) error {
 	return fig9Sweep(w, sc, false)
 }
 
+// fig9Prereqs runs the two inputs every Figure 9 panel needs — the
+// workload's working-set size and the no-cache reference — as parallel
+// cells.
+func fig9Prereqs(g *graphT, sc Scale, qs []queryT) (ws int64, noCache *core.Report, err error) {
+	err = runCells([]func() error{
+		func() error {
+			var err error
+			ws, err = workingSetBytes(g, sc, qs)
+			return err
+		},
+		func() error {
+			var err error
+			noCache, err = runPolicy(g, sysConfig(core.PolicyNoCache, sc), qs)
+			return err
+		},
+	})
+	return ws, noCache, err
+}
+
 func fig9Sweep(w io.Writer, sc Scale, responseTime bool) error {
 	g, err := loadPreset(gen.WebGraph, sc)
 	if err != nil {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	ws, err := workingSetBytes(g, sc, qs)
-	if err != nil {
-		return err
-	}
-	// The no-cache reference line.
-	noCache, err := runPolicy(g, sysConfig(core.PolicyNoCache, sc), qs)
+	ws, noCache, err := fig9Prereqs(g, sc, qs)
 	if err != nil {
 		return err
 	}
@@ -255,16 +343,19 @@ func fig9Sweep(w io.Writer, sc Scale, responseTime bool) error {
 		head = append(head, policyLabel(p))
 	}
 	t := metrics.NewTable(head...)
-	for _, f := range cacheFractions {
+	reps, err := policyGrid(len(cacheFractions), fig8Policies[1:], func(row int, policy core.Policy) (*core.Report, error) {
+		f := cacheFractions[row]
+		cfg := sysConfig(policy, sc)
+		cfg.CacheBytes = ws * f.num / f.den
+		return runPolicy(g, cfg, qs)
+	})
+	if err != nil {
+		return err
+	}
+	for i, f := range cacheFractions {
 		capacity := ws * f.num / f.den
 		row := []any{fmt.Sprintf("%s (%dB)", f.label, capacity)}
-		for _, policy := range fig8Policies[1:] {
-			cfg := sysConfig(policy, sc)
-			cfg.CacheBytes = capacity
-			rep, err := runPolicy(g, cfg, qs)
-			if err != nil {
-				return err
-			}
+		for _, rep := range reps[i] {
 			if responseTime {
 				row = append(row, rep.MeanResponse)
 			} else {
@@ -291,27 +382,35 @@ func runFig9c(w io.Writer, sc Scale) error {
 		return err
 	}
 	qs := workload(g, sc, 2, 2)
-	ws, err := workingSetBytes(g, sc, qs)
-	if err != nil {
-		return err
-	}
-	noCache, err := runPolicy(g, sysConfig(core.PolicyNoCache, sc), qs)
+	ws, noCache, err := fig9Prereqs(g, sc, qs)
 	if err != nil {
 		return err
 	}
 	target := noCache.MeanResponse
 
-	t := metrics.NewTable("policy", "min-cache-bytes", "fraction-of-ws", "response-at-min")
-	for _, policy := range fig8Policies[1:] {
-		minCap, resp, err := minCacheForTarget(g, sc, qs, policy, ws, target)
-		if err != nil {
+	// One cell per policy; the binary search inside each stays sequential.
+	policies := fig8Policies[1:]
+	minCaps := make([]int64, len(policies))
+	resps := make([]time.Duration, len(policies))
+	cells := make([]func() error, len(policies))
+	for j, policy := range policies {
+		j, policy := j, policy
+		cells[j] = func() error {
+			var err error
+			minCaps[j], resps[j], err = minCacheForTarget(g, sc, qs, policy, ws, target)
 			return err
 		}
-		if minCap < 0 {
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
+	t := metrics.NewTable("policy", "min-cache-bytes", "fraction-of-ws", "response-at-min")
+	for j, policy := range policies {
+		if minCaps[j] < 0 {
 			t.AddRow(policyLabel(policy), "not reached", "-", "-")
 			continue
 		}
-		t.AddRow(policyLabel(policy), minCap, float64(minCap)/float64(ws), resp)
+		t.AddRow(policyLabel(policy), minCaps[j], float64(minCaps[j])/float64(ws), resps[j])
 	}
 	fmt.Fprintf(w, "no-cache response time target: %v\n", target)
 	fmt.Fprintln(w, "paper: smart routings reach break-even with far less cache than baselines")

@@ -32,17 +32,35 @@ func init() {
 func runTable1(w io.Writer, sc Scale) error {
 	e, _ := Get("table1")
 	header(w, e)
-	t := metrics.NewTable("dataset", "nodes", "edges", "avg-deg", "p99-deg", "adj-bytes", "avg-2hop", "paper-nodes", "paper-edges", "paper-size")
-	for _, d := range gen.Datasets {
-		g, err := loadPreset(d, sc)
-		if err != nil {
-			return err
+	type dsRow struct {
+		st   graph.Stats
+		hop2 float64
+	}
+	rows := make([]dsRow, len(gen.Datasets))
+	cells := make([]func() error, len(gen.Datasets))
+	for i, d := range gen.Datasets {
+		i, d := i, d
+		cells[i] = func() error {
+			g, err := loadPreset(d, sc)
+			if err != nil {
+				return err
+			}
+			rows[i] = dsRow{
+				st:   graph.ComputeStats(g),
+				hop2: graph.AvgKHopSize(g, 2, 40, graph.Both),
+			}
+			return nil
 		}
-		st := graph.ComputeStats(g)
-		hop2 := graph.AvgKHopSize(g, 2, 40, graph.Both)
+	}
+	if err := runCells(cells); err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "nodes", "edges", "avg-deg", "p99-deg", "adj-bytes", "avg-2hop", "paper-nodes", "paper-edges", "paper-size")
+	for i, d := range gen.Datasets {
+		st := rows[i].st
 		spec := gen.Specs[d]
 		t.AddRow(string(d), st.Nodes, st.Edges, st.AvgOutDeg, st.DegreeP99, st.AdjListSize,
-			fmt.Sprintf("%.0f", hop2), spec.PaperNodes, spec.PaperEdges, spec.PaperSizeDisk)
+			fmt.Sprintf("%.0f", rows[i].hop2), spec.PaperNodes, spec.PaperEdges, spec.PaperSizeDisk)
 	}
 	_, err := fmt.Fprint(w, t.String())
 	return err

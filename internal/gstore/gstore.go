@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/kvstore"
@@ -52,7 +53,10 @@ func appendEdges(buf []byte, edges []graph.Edge) []byte {
 }
 
 // Decode parses a record produced by Encode. The node id is not part of the
-// value (it is the key), so the caller supplies it.
+// value (it is the key), so the caller supplies it. Both edge lists share a
+// single backing allocation: a cheap byte-level pre-scan finds the list
+// sizes, then one []graph.Edge serves Out and In — the hot fetch path
+// decodes millions of records, so halving its allocations matters.
 func Decode(node graph.NodeID, data []byte) (Record, error) {
 	r := Record{Node: node}
 	label, n := binary.Uvarint(data)
@@ -61,13 +65,21 @@ func Decode(node graph.NodeID, data []byte) (Record, error) {
 	}
 	data = data[n:]
 	r.NodeLabel = graph.Label(label)
-	var err error
-	r.Out, data, err = decodeEdges(data)
+	outCount, afterOut, err := scanEdgeList(data)
 	if err != nil {
 		return r, fmt.Errorf("%w: out edges", ErrCorrupt)
 	}
-	r.In, data, err = decodeEdges(data)
+	inCount, _, err := scanEdgeList(afterOut)
 	if err != nil {
+		return r, fmt.Errorf("%w: in edges", ErrCorrupt)
+	}
+	all := make([]graph.Edge, outCount+inCount)
+	r.Out = all[:outCount:outCount]
+	r.In = all[outCount:]
+	if data, err = decodeEdgeList(data, r.Out); err != nil {
+		return r, fmt.Errorf("%w: out edges", ErrCorrupt)
+	}
+	if data, err = decodeEdgeList(data, r.In); err != nil {
 		return r, fmt.Errorf("%w: in edges", ErrCorrupt)
 	}
 	if len(data) != 0 {
@@ -76,39 +88,62 @@ func Decode(node graph.NodeID, data []byte) (Record, error) {
 	return r, nil
 }
 
-func decodeEdges(data []byte) ([]graph.Edge, []byte, error) {
+// scanEdgeList reads an edge-list count and skips past its varints without
+// materialising anything, returning the count and the remaining bytes.
+// The count guard rejects absurd values before any allocation: a
+// legitimate edge costs at least 2 varint bytes (1 delta + 1 label), so
+// any count exceeding len(data)/2 cannot decode.
+func scanEdgeList(data []byte) (uint64, []byte, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
-		return nil, data, ErrCorrupt
+		return 0, data, ErrCorrupt
 	}
 	data = data[n:]
-	if count > uint64(len(data)) { // each edge needs >= 2 bytes minimum 1+1
-		// Guard against allocating absurd slices from corrupt counts. A
-		// legitimate edge costs at least 2 varint bytes.
-		if count*1 > uint64(len(data)) {
-			return nil, data, ErrCorrupt
+	if count > uint64(len(data))/2 {
+		return 0, data, ErrCorrupt
+	}
+	// Skip 2*count varints: a varint ends at its first byte without the
+	// continuation bit.
+	remaining := count * 2
+	i := 0
+	for ; remaining > 0 && i < len(data); i++ {
+		if data[i] < 0x80 {
+			remaining--
 		}
 	}
-	edges := make([]graph.Edge, 0, count)
+	if remaining > 0 {
+		return 0, data, ErrCorrupt
+	}
+	return count, data[i:], nil
+}
+
+// decodeEdgeList re-reads the count varint (validated by scanEdgeList) and
+// fills dst, which has exactly that length, returning the remaining bytes.
+func decodeEdgeList(data []byte, dst []graph.Edge) ([]byte, error) {
+	_, n := binary.Uvarint(data)
+	if n <= 0 {
+		return data, ErrCorrupt
+	}
+	data = data[n:]
 	prev := uint64(0)
-	for i := uint64(0); i < count; i++ {
+	for i := range dst {
 		delta, n := binary.Uvarint(data)
 		if n <= 0 {
-			return nil, data, ErrCorrupt
+			return data, ErrCorrupt
 		}
 		data = data[n:]
 		label, n := binary.Uvarint(data)
 		if n <= 0 || label > uint64(^graph.Label(0)) {
-			return nil, data, ErrCorrupt
+			return data, ErrCorrupt
 		}
 		data = data[n:]
 		prev += delta
 		if prev > uint64(^graph.NodeID(0)) {
-			return nil, data, ErrCorrupt
+			return data, ErrCorrupt
 		}
-		edges = append(edges, graph.Edge{To: graph.NodeID(prev), Label: graph.Label(label)})
+		dst[i] = graph.Edge{To: graph.NodeID(prev), Label: graph.Label(label)}
 	}
-	return edges, data, nil
+	return data, nil
 }
 
 // RecordOf extracts node u's storage record from an in-memory graph.
@@ -196,6 +231,62 @@ func (t *Tier) FetchBatch(ids []graph.NodeID, onBatch func(b kvstore.Batch, byte
 		}
 	}
 	return results, decodeErr
+}
+
+// fetchScratch holds the reusable planning and read buffers behind
+// FetchBatchInto. Pooled so concurrent callers (one per experiment cell)
+// never contend or share state.
+type fetchScratch struct {
+	keys []uint64
+	plan kvstore.BatchPlan
+	vals [][]byte
+	oks  []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(fetchScratch) }}
+
+// FetchBatchInto retrieves and decodes many node records grouped by owning
+// server, writing dst[i] for ids[i] (dst must have len >= len(ids)). It is
+// the allocation-lean counterpart of FetchBatch: batch planning and raw
+// reads run through pooled buffers, and only the decoded edge lists are
+// freshly allocated (records outlive the call — the engine caches them).
+// The onBatch hook observes each per-server batch exactly as in FetchBatch.
+func (t *Tier) FetchBatchInto(ids []graph.NodeID, dst []FetchResult, onBatch func(b kvstore.Batch, bytes int64)) error {
+	if len(dst) < len(ids) {
+		return fmt.Errorf("gstore: FetchBatchInto dst len %d < %d ids", len(dst), len(ids))
+	}
+	sc := scratchPool.Get().(*fetchScratch)
+	defer scratchPool.Put(sc)
+	if cap(sc.keys) < len(ids) {
+		sc.keys = make([]uint64, len(ids))
+		sc.vals = make([][]byte, len(ids))
+		sc.oks = make([]bool, len(ids))
+	}
+	keys := sc.keys[:len(ids)]
+	for i, id := range ids {
+		keys[i] = uint64(id)
+	}
+	var decodeErr error
+	for _, b := range t.store.PlanBatchesIn(&sc.plan, keys) {
+		vals, oks := sc.vals[:len(b.Keys)], sc.oks[:len(b.Keys)]
+		bytes := t.store.GetBatchInto(b, vals, oks)
+		for i, p := range b.Pos {
+			id := ids[p]
+			if !oks[i] {
+				dst[p] = FetchResult{Record: Record{Node: id}}
+				continue
+			}
+			r, err := Decode(id, vals[i])
+			if err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+			dst[p] = FetchResult{Record: r, Bytes: len(vals[i]), OK: true}
+		}
+		if onBatch != nil {
+			onBatch(b, bytes)
+		}
+	}
+	return decodeErr
 }
 
 // UpdateNode re-encodes node u from g and writes it back; used when the

@@ -1,6 +1,7 @@
 package gstore
 
 import (
+	"encoding/binary"
 	"reflect"
 	"sort"
 	"testing"
@@ -78,6 +79,55 @@ func TestDecodeCorrupt(t *testing.T) {
 	for i, data := range cases {
 		if _, err := Decode(0, data); err == nil {
 			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeOversizedCount(t *testing.T) {
+	// A legitimate edge costs >= 2 varint bytes, so any count above
+	// len(rest)/2 must be rejected before allocation. These payloads claim
+	// huge lists backed by almost no data.
+	cases := [][]byte{
+		append([]byte{0x00}, binary.AppendUvarint(nil, 1<<40)...),      // out count 2^40, no data
+		append([]byte{0x00, 0x03}, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00), // count 3 but only 3 edges' worth... exactly enough
+	}
+	if _, err := Decode(0, cases[0]); err == nil {
+		t.Error("oversized out count decoded without error")
+	}
+	// cases[1] is count=3 with exactly 6 bytes: valid out-list, then the
+	// in-list count is missing -> must error on the in list, not panic.
+	if _, err := Decode(0, cases[1]); err == nil {
+		t.Error("record with missing in-list decoded without error")
+	}
+	// count*2 overflow attempt: count near MaxUint64 must not wrap past
+	// the guard.
+	huge := append([]byte{0x00}, binary.AppendUvarint(nil, ^uint64(0)>>1)...)
+	if _, err := Decode(0, huge); err == nil {
+		t.Error("wrap-around count decoded without error")
+	}
+}
+
+// TestDecodeFuzzTruncatedAndMutated decodes every truncation and many
+// deterministic single-byte mutations of a real encoded record: Decode
+// must never panic or over-allocate, and full-length unmutated input must
+// round-trip.
+func TestDecodeFuzzTruncatedAndMutated(t *testing.T) {
+	g := gen.ErdosRenyi(200, 2000, 9)
+	buf := Encode(nil, RecordOf(g, g.NodesByDegreeDesc()[0]))
+	for n := 0; n < len(buf); n++ {
+		if _, err := Decode(1, buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	if _, err := Decode(1, buf); err != nil {
+		t.Fatalf("full record failed to decode: %v", err)
+	}
+	mut := make([]byte, len(buf))
+	for i := 0; i < len(buf); i++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			copy(mut, buf)
+			mut[i] ^= flip
+			_, _ = Decode(1, mut) // must not panic; error or reinterpretation both fine
 		}
 	}
 }
@@ -180,6 +230,62 @@ func TestFetchBatch(t *testing.T) {
 	}
 	if len(results[1].Record.Out) != g.OutDegree(1) {
 		t.Fatal("batched record content wrong")
+	}
+}
+
+// TestFetchBatchIntoAgreesWithFetchBatch checks the slice-backed fetch
+// path against the map-based one on a mix of present and dangling ids:
+// positional results, byte accounting and batch observations must match.
+func TestFetchBatchIntoAgreesWithFetchBatch(t *testing.T) {
+	tier, _ := newLoadedTier(t)
+	ids := []graph.NodeID{5, 99999, 0, 250, 77777, 1, 131, 2}
+	var mapBatches, sliceBatches int
+	var mapBytes, sliceBytes int64
+	want, err := tier.FetchBatch(ids, func(b kvstore.Batch, bytes int64) {
+		mapBatches++
+		mapBytes += bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]FetchResult, len(ids))
+	err = tier.FetchBatchInto(ids, dst, func(b kvstore.Batch, bytes int64) {
+		sliceBatches++
+		sliceBytes += bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		w := want[id]
+		if dst[i].OK != w.OK || dst[i].Bytes != w.Bytes {
+			t.Fatalf("id %d: got OK=%v bytes=%d, want OK=%v bytes=%d", id, dst[i].OK, dst[i].Bytes, w.OK, w.Bytes)
+		}
+		if !reflect.DeepEqual(dst[i].Record, w.Record) {
+			t.Fatalf("id %d: record differs between fetch paths", id)
+		}
+	}
+	if mapBatches != sliceBatches || mapBytes != sliceBytes {
+		t.Fatalf("batch accounting differs: %d/%d batches, %d/%d bytes",
+			mapBatches, sliceBatches, mapBytes, sliceBytes)
+	}
+	// Reusing the same destination (and the pooled scratch) must not leak
+	// state between calls.
+	sub := ids[:3]
+	if err := tier.FetchBatchInto(sub, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range sub {
+		if !reflect.DeepEqual(dst[i].Record, want[id].Record) {
+			t.Fatalf("id %d: record differs on scratch reuse", id)
+		}
+	}
+}
+
+func TestFetchBatchIntoShortDst(t *testing.T) {
+	tier, _ := newLoadedTier(t)
+	if err := tier.FetchBatchInto([]graph.NodeID{1, 2, 3}, make([]FetchResult, 2), nil); err == nil {
+		t.Fatal("short destination accepted")
 	}
 }
 

@@ -176,10 +176,13 @@ func (s *Store) TotalKeys() int {
 }
 
 // Batch is the portion of a multi-get owned by a single server: the unit
-// the engine charges to that server's timeline.
+// the engine charges to that server's timeline. Pos, when non-nil, holds
+// each key's position in the original input slice so callers can scatter
+// results back positionally (PlanBatches leaves it nil).
 type Batch struct {
 	Server int
 	Keys   []uint64
+	Pos    []int32
 }
 
 // PlanBatches groups keys by owning server, preserving the input order
@@ -204,14 +207,102 @@ func (s *Store) PlanBatches(keys []uint64) []Batch {
 	return out
 }
 
+// BatchPlan holds the reusable buffers behind PlanBatchesIn so the hot
+// fetch path plans every frontier without allocating. A plan belongs to
+// one caller at a time; the batches it returns alias its buffers and are
+// valid until the next PlanBatchesIn on the same plan.
+type BatchPlan struct {
+	batches []Batch
+	keys    []uint64 // grouped keys, one contiguous run per server
+	pos     []int32  // original input position of each grouped key
+	server  []int32  // scratch: owning server per input key
+	count   []int32  // scratch: keys per server, then the running offsets
+	order   []int32  // scratch: servers in first-seen order
+}
+
+// PlanBatchesIn groups keys by owning server exactly like PlanBatches
+// (batches in first-seen server order, input order preserved within each
+// batch) but reuses plan's buffers and records each key's input position
+// in Batch.Pos. The returned slice is valid until the next call on plan.
+func (s *Store) PlanBatchesIn(plan *BatchPlan, keys []uint64) []Batch {
+	if len(keys) == 0 {
+		return nil
+	}
+	n := len(keys)
+	ns := len(s.servers)
+	plan.keys = grow(plan.keys, n)
+	plan.pos = grow(plan.pos, n)
+	plan.server = grow(plan.server, n)
+	plan.count = grow(plan.count, ns)
+	plan.order = plan.order[:0]
+	for i := range plan.count[:ns] {
+		plan.count[i] = 0
+	}
+	for i, k := range keys {
+		sv := int32(s.ServerFor(k))
+		plan.server[i] = sv
+		if plan.count[sv] == 0 {
+			plan.order = append(plan.order, sv)
+		}
+		plan.count[sv]++
+	}
+	// Turn per-server counts into start offsets, following first-seen order
+	// so the grouped runs line up with the batch order.
+	off := int32(0)
+	for _, sv := range plan.order {
+		c := plan.count[sv]
+		plan.count[sv] = off
+		off += c
+	}
+	for i, k := range keys {
+		sv := plan.server[i]
+		j := plan.count[sv]
+		plan.count[sv]++
+		plan.keys[j] = k
+		plan.pos[j] = int32(i)
+	}
+	plan.batches = plan.batches[:0]
+	start := int32(0)
+	for _, sv := range plan.order {
+		end := plan.count[sv]
+		plan.batches = append(plan.batches, Batch{
+			Server: int(sv),
+			Keys:   plan.keys[start:end:end],
+			Pos:    plan.pos[start:end:end],
+		})
+		start = end
+	}
+	return plan.batches
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // GetBatch fetches every key in b, invoking fn for each (in order) with the
 // stored value (nil, false when absent). It returns the total bytes read.
 func (s *Store) GetBatch(b Batch, fn func(key uint64, val []byte, ok bool)) int64 {
+	vals := make([][]byte, len(b.Keys))
+	oks := make([]bool, len(b.Keys))
+	bytes := s.GetBatchInto(b, vals, oks)
+	for i, k := range b.Keys {
+		fn(k, vals[i], oks[i])
+	}
+	return bytes
+}
+
+// GetBatchInto fetches every key in b into the caller-owned vals/oks
+// slices (len(b.Keys) each, positionally aligned with b.Keys) and returns
+// the total bytes read. The values are owned by the store and must not be
+// modified. This is the allocation-free variant of GetBatch.
+func (s *Store) GetBatchInto(b Batch, vals [][]byte, oks []bool) int64 {
 	sv := s.servers[b.Server]
 	var bytes int64
 	sv.mu.RLock()
-	vals := make([][]byte, len(b.Keys))
-	oks := make([]bool, len(b.Keys))
 	for i, k := range b.Keys {
 		vals[i], oks[i] = sv.data[k]
 		bytes += int64(len(vals[i]))
@@ -225,8 +316,5 @@ func (s *Store) GetBatch(b Batch, fn func(key uint64, val []byte, ok bool)) int6
 		}
 	}
 	sv.mu.Unlock()
-	for i, k := range b.Keys {
-		fn(k, vals[i], oks[i])
-	}
 	return bytes
 }

@@ -254,6 +254,68 @@ func TestQuickPlanPartition(t *testing.T) {
 	}
 }
 
+// TestPlanBatchesInMatchesPlanBatches checks the buffer-reusing planner
+// against the map-based one: same batch order, same key grouping, plus
+// position indices that map every grouped key back to its input slot.
+func TestPlanBatchesInMatchesPlanBatches(t *testing.T) {
+	s, _ := New(5, nil)
+	var plan BatchPlan
+	rng := uint64(1)
+	for round := 0; round < 20; round++ {
+		n := round * 7 % 23
+		keys := make([]uint64, n)
+		for i := range keys {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			keys[i] = rng >> 33
+		}
+		want := s.PlanBatches(keys)
+		got := s.PlanBatchesIn(&plan, keys)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d batches, want %d", round, len(got), len(want))
+		}
+		for i, wb := range want {
+			gb := got[i]
+			if gb.Server != wb.Server {
+				t.Fatalf("round %d batch %d: server %d, want %d", round, i, gb.Server, wb.Server)
+			}
+			if len(gb.Keys) != len(wb.Keys) || len(gb.Pos) != len(wb.Keys) {
+				t.Fatalf("round %d batch %d: %d keys / %d pos, want %d", round, i, len(gb.Keys), len(gb.Pos), len(wb.Keys))
+			}
+			for j := range wb.Keys {
+				if gb.Keys[j] != wb.Keys[j] {
+					t.Fatalf("round %d batch %d key %d: %d, want %d", round, i, j, gb.Keys[j], wb.Keys[j])
+				}
+				if keys[gb.Pos[j]] != gb.Keys[j] {
+					t.Fatalf("round %d batch %d: pos %d does not map back to key %d", round, i, gb.Pos[j], gb.Keys[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGetBatchIntoMatchesGetBatch(t *testing.T) {
+	s, _ := New(3, nil)
+	for k := uint64(0); k < 50; k++ {
+		s.Put(k, []byte{byte(k), byte(k + 1)})
+	}
+	keys := []uint64{3, 999, 7, 1000, 11}
+	for _, b := range s.PlanBatches(keys) {
+		vals := make([][]byte, len(b.Keys))
+		oks := make([]bool, len(b.Keys))
+		gotBytes := s.GetBatchInto(b, vals, oks)
+		i := 0
+		wantBytes := s.GetBatch(b, func(key uint64, val []byte, ok bool) {
+			if oks[i] != ok || string(vals[i]) != string(val) {
+				t.Fatalf("key %d: GetBatchInto (%v, %q) != GetBatch (%v, %q)", key, oks[i], vals[i], ok, val)
+			}
+			i++
+		})
+		if gotBytes != wantBytes {
+			t.Fatalf("byte totals differ: %d vs %d", gotBytes, wantBytes)
+		}
+	}
+}
+
 func BenchmarkGet(b *testing.B) {
 	s, _ := New(4, nil)
 	for k := uint64(0); k < 10000; k++ {

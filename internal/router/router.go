@@ -18,6 +18,7 @@ type Router struct {
 	strategy Strategy
 	queues   [][]query.Query
 	heads    []int // pop index per queue (amortised O(1) pops)
+	loads    []int // scratch for Route: per-queue lengths, reused per call
 	stealing bool
 	alive    []bool
 	assigned []int // total queries routed per processor (pre-steal)
@@ -38,6 +39,7 @@ func New(strategy Strategy, procs int, stealing bool) (*Router, error) {
 		strategy: strategy,
 		queues:   make([][]query.Query, procs),
 		heads:    make([]int, procs),
+		loads:    make([]int, procs),
 		stealing: stealing,
 		alive:    make([]bool, procs),
 		assigned: make([]int, procs),
@@ -99,7 +101,7 @@ func (r *Router) Executed() []int { return append([]int(nil), r.executed...) }
 // Route asks the strategy for a destination and enqueues q there. It
 // returns the chosen processor.
 func (r *Router) Route(q query.Query) int {
-	loads := make([]int, len(r.queues))
+	loads := r.loads
 	for p := range r.queues {
 		loads[p] = r.QueueLen(p)
 	}

@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench-smoke bench suite
+.PHONY: ci fmt-check vet build test race examples bench-smoke bench suite
 
-ci: fmt-check vet build test bench-smoke
+ci: fmt-check vet build test race examples bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -16,14 +16,28 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-detect the concurrent surfaces: the networked transport and the
+# root-package client (ExecuteStream, pooled conns, cancellation).
+race:
+	$(GO) test -race ./internal/rpc .
+
+# Compile every example program so public-API drift breaks the build here,
+# not the examples.
+examples:
+	@for d in examples/*/; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null ./$$d || exit 1; \
+	done
+
 # One-iteration smoke of the hot-path benchmark: catches crashes and gross
 # regressions without CI-scale runtimes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkQueryEmbed' -benchtime 1x .
 
-# Full micro-benchmarks with allocation accounting.
+# Full micro-benchmarks with allocation accounting, including the
+# transport pipelining comparison (BenchmarkClientBatch).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkQuery|BenchmarkRunWorkload' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery|BenchmarkRunWorkload|BenchmarkClientBatch' -benchmem .
 
 # Regenerate every figure/table at quick scale on all cores.
 suite:

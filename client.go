@@ -1,0 +1,158 @@
+package grouting
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/query"
+)
+
+// Typed errors shared by every Client implementation. Both transports
+// classify failures into these sentinels (the networked deployment carries
+// them across the wire as codes), so downstream code can errors.Is against
+// them regardless of where execution landed.
+var (
+	// ErrBadQuery marks a query rejected by Query.Validate before any
+	// execution happened.
+	ErrBadQuery = query.ErrBadQuery
+	// ErrUnknownNode marks a query whose Node is not in the system (never
+	// added, or removed).
+	ErrUnknownNode = query.ErrUnknownNode
+	// ErrUnavailable marks a transport failure: the client is closed, a
+	// daemon is unreachable, or a connection broke mid-call.
+	ErrUnavailable = query.ErrUnavailable
+)
+
+// Client is the transport-agnostic query interface: the same client code
+// runs against the in-process virtual-time engine (NewLocalClient) and a
+// real networked deployment (Dial), with identical results, the same typed
+// errors, and context cancellation/deadlines honoured by both.
+type Client interface {
+	// Execute runs one query and returns its result.
+	Execute(ctx context.Context, q Query) (Result, error)
+	// ExecuteBatch runs a batch of queries, returning results positionally
+	// aligned with qs. Over the network the whole batch travels in one
+	// round trip and fans out across processors in parallel. One failing
+	// query fails the batch.
+	ExecuteBatch(ctx context.Context, qs []Query) ([]Result, error)
+	// ExecuteStream pipelines queries: it consumes in until the channel
+	// closes or ctx is cancelled, and delivers one Outcome per executed
+	// query on the returned channel, which is closed when the stream
+	// drains. Outcomes may arrive out of submission order on transports
+	// that execute concurrently; match them through Outcome.Query.
+	ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome
+	// Close releases the client. Calls after Close fail with
+	// ErrUnavailable.
+	Close() error
+}
+
+// Outcome pairs a streamed query with its result or error.
+type Outcome struct {
+	Query  Query
+	Result Result
+	Err    error
+}
+
+// stream is the shared ExecuteStream engine: workers goroutines consume in
+// and emit outcomes until the input drains or ctx is cancelled.
+func stream(ctx context.Context, in <-chan Query, workers int, exec func(context.Context, Query) (Result, error)) <-chan Outcome {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan Outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case q, ok := <-in:
+					if !ok {
+						return
+					}
+					res, err := exec(ctx, q)
+					select {
+					case out <- Outcome{Query: q, Result: res, Err: err}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// NewLocalClient returns a Client over the in-process virtual-time system:
+// a fresh session (cold caches) whose processor caches persist across the
+// client's lifetime. It is safe for concurrent use; queries execute one at
+// a time on the session's virtual clock.
+func NewLocalClient(sys *System) (Client, error) {
+	ses, err := sys.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &localClient{sys: sys, ses: ses}, nil
+}
+
+type localClient struct {
+	mu     sync.Mutex
+	sys    *System
+	ses    *Session
+	closed bool
+}
+
+func (c *localClient) exec(ctx context.Context, q Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Result{}, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	if !c.sys.Graph().Exists(q.Node) {
+		return Result{}, fmt.Errorf("%w: node %d not in graph", ErrUnknownNode, q.Node)
+	}
+	res, _, err := c.ses.Execute(q)
+	return res, err
+}
+
+func (c *localClient) Execute(ctx context.Context, q Query) (Result, error) {
+	return c.exec(ctx, q)
+}
+
+func (c *localClient) ExecuteBatch(ctx context.Context, qs []Query) ([]Result, error) {
+	results := make([]Result, len(qs))
+	for i, q := range qs {
+		res, err := c.exec(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+func (c *localClient) ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome {
+	// One worker: the virtual clock serialises execution anyway.
+	return stream(ctx, in, 1, c.exec)
+}
+
+func (c *localClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}

@@ -1,0 +1,63 @@
+package grouting_test
+
+import (
+	"context"
+	"testing"
+
+	grouting "repro"
+)
+
+// BenchmarkClientBatch quantifies the pipelining win on the loopback TCP
+// transport: the same workload submitted one round trip per query
+// (Execute), as a single batched round trip (ExecuteBatch), and as a
+// pipelined stream with several queries in flight (ExecuteStream).
+func BenchmarkClientBatch(b *testing.B) {
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.02, 7)
+	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
+		NumHotspots: 16, QueriesPerHotspot: 4, R: 2, H: 2, Seed: 3,
+	})
+	cl := startTCPCluster(b, g, 2, 3, grouting.PolicyHash)
+	ctx := context.Background()
+
+	// Warm the processor caches so every variant measures submission cost,
+	// not first-touch storage fetches.
+	if _, err := cl.ExecuteBatch(ctx, qs); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("execute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := cl.Execute(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(qs)), "queries/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.ExecuteBatch(ctx, qs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(qs)), "queries/op")
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := make(chan grouting.Query)
+			go func() {
+				defer close(in)
+				for _, q := range qs {
+					in <- q
+				}
+			}()
+			for o := range cl.ExecuteStream(ctx, in) {
+				if o.Err != nil {
+					b.Fatal(o.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(qs)), "queries/op")
+	})
+}

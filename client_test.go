@@ -1,0 +1,326 @@
+package grouting_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	grouting "repro"
+)
+
+// startTCPCluster assembles a real loopback deployment through the public
+// API: storage shards, processors, a router, and a dialled Client.
+func startTCPCluster(t testing.TB, g *grouting.Graph, nStorage, nProcs int, policy grouting.Policy) grouting.Client {
+	t.Helper()
+	ctx := context.Background()
+	var storageAddrs []string
+	for i := 0; i < nStorage; i++ {
+		ss, err := grouting.ServeStorage("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ss.Close() })
+		storageAddrs = append(storageAddrs, ss.Addr())
+	}
+	if err := grouting.LoadStorage(ctx, g, storageAddrs); err != nil {
+		t.Fatal(err)
+	}
+	var procAddrs []string
+	for i := 0; i < nProcs; i++ {
+		ps, err := grouting.ServeProcessor("127.0.0.1:0", storageAddrs, 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ps.Close() })
+		procAddrs = append(procAddrs, ps.Addr())
+	}
+	rs, err := grouting.ServeRouter("127.0.0.1:0", grouting.RouterSpec{
+		Processors: procAddrs,
+		Policy:     policy,
+		Graph:      g,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	cl, err := grouting.Dial(ctx, rs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// runWorkload is THE transport-agnostic client function: it exercises all
+// three submission paths (per-query Execute, one ExecuteBatch round trip,
+// pipelined ExecuteStream) against whatever Client it is handed, and
+// returns the results indexed by query ID. The same code runs unmodified
+// against the virtual-time system and a real TCP cluster.
+func runWorkload(ctx context.Context, c grouting.Client, qs []grouting.Query) ([]grouting.Result, error) {
+	results := make([]grouting.Result, len(qs))
+	third := len(qs) / 3
+
+	for _, q := range qs[:third] {
+		res, err := c.Execute(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		results[q.ID] = res
+	}
+
+	batch := qs[third : 2*third]
+	bres, err := c.ExecuteBatch(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range batch {
+		results[q.ID] = bres[i]
+	}
+
+	rest := qs[2*third:]
+	in := make(chan grouting.Query)
+	go func() {
+		defer close(in)
+		for _, q := range rest {
+			select {
+			case in <- q:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for o := range c.ExecuteStream(ctx, in) {
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		results[o.Query.ID] = o.Result
+	}
+	return results, ctx.Err()
+}
+
+// TestClientTwoTransports is the redesign's acceptance test: the same
+// client function runs unmodified against the in-process virtual-time
+// system and a real loopback TCP cluster, producing results identical to
+// each other and to the oracle, with the same typed errors from both.
+func TestClientTwoTransports(t *testing.T) {
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.02, 7)
+	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
+		NumHotspots: 9, QueriesPerHotspot: 5, R: 2, H: 2, Seed: 3,
+	})
+	ctx := context.Background()
+
+	sys, err := grouting.New(g,
+		grouting.WithProcessors(3),
+		grouting.WithStorageServers(2),
+		grouting.WithPolicy(grouting.PolicyLandmark),
+		grouting.WithLandmarks(8),
+		grouting.WithMinSeparation(1),
+		grouting.WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := grouting.NewLocalClient(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := startTCPCluster(t, g, 2, 3, grouting.PolicyLandmark)
+
+	clients := []struct {
+		name string
+		c    grouting.Client
+	}{{"virtual-time", local}, {"tcp", remote}}
+
+	var perClient [2][]grouting.Result
+	for i, tc := range clients {
+		results, err := runWorkload(ctx, tc.c, qs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, q := range qs {
+			if want := grouting.Answer(g, q); results[q.ID] != want {
+				t.Fatalf("%s: query %d (%v on %d): got %+v, want %+v",
+					tc.name, q.ID, q.Type, q.Node, results[q.ID], want)
+			}
+		}
+		perClient[i] = results
+	}
+	for id := range qs {
+		if perClient[0][id] != perClient[1][id] {
+			t.Fatalf("query %d differs between transports: %+v vs %+v",
+				id, perClient[0][id], perClient[1][id])
+		}
+	}
+
+	// Both transports return the same typed errors.
+	for _, tc := range clients {
+		bad := grouting.Query{Type: grouting.NeighborAgg, Node: 1, Hops: -2, Dir: grouting.Out}
+		if _, err := tc.c.Execute(ctx, bad); !errors.Is(err, grouting.ErrBadQuery) {
+			t.Fatalf("%s: bad query error = %v, want ErrBadQuery", tc.name, err)
+		}
+		unknown := grouting.Query{Type: grouting.NeighborAgg, Node: 1 << 30, Hops: 1, Dir: grouting.Out}
+		if _, err := tc.c.Execute(ctx, unknown); !errors.Is(err, grouting.ErrUnknownNode) {
+			t.Fatalf("%s: unknown node error = %v, want ErrUnknownNode", tc.name, err)
+		}
+		cancelled, cancel := context.WithCancel(ctx)
+		cancel()
+		ok := grouting.Query{Type: grouting.NeighborAgg, Node: 10, Hops: 1, Dir: grouting.Out}
+		if _, err := tc.c.Execute(cancelled, ok); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: cancelled execute error = %v, want context.Canceled", tc.name, err)
+		}
+	}
+}
+
+// TestClientStreamCancellation drives ExecuteStream on both transports
+// with an endless query feed and cancels mid-stream: every outcome
+// delivered before the cancel must match the oracle, outcomes racing the
+// cancel must carry a context error, and the stream must close promptly
+// even though the input channel never does. Run under -race this also
+// checks the concurrent client paths.
+func TestClientStreamCancellation(t *testing.T) {
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.02, 7)
+	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
+		NumHotspots: 40, QueriesPerHotspot: 10, R: 2, H: 2, Seed: 5,
+	})
+
+	sys, err := grouting.New(g,
+		grouting.WithProcessors(2),
+		grouting.WithStorageServers(2),
+		grouting.WithPolicy(grouting.PolicyHash),
+		grouting.WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := grouting.NewLocalClient(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := startTCPCluster(t, g, 2, 2, grouting.PolicyHash)
+
+	for _, tc := range []struct {
+		name string
+		c    grouting.Client
+	}{{"virtual-time", local}, {"tcp", remote}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			in := make(chan grouting.Query)
+			go func() {
+				for i := 0; ; i++ {
+					select {
+					case in <- qs[i%len(qs)]:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+			out := tc.c.ExecuteStream(ctx, in)
+
+			for seen := 0; seen < 25; seen++ {
+				o, ok := <-out
+				if !ok {
+					t.Fatal("stream closed before cancellation")
+				}
+				if o.Err != nil {
+					t.Fatalf("pre-cancel outcome error: %v", o.Err)
+				}
+				if want := grouting.Answer(g, o.Query); o.Result != want {
+					t.Fatalf("streamed query %d: got %+v, want %+v", o.Query.ID, o.Result, want)
+				}
+			}
+			cancel()
+
+			closed := make(chan struct{})
+			go func() {
+				defer close(closed)
+				for o := range out {
+					if o.Err == nil {
+						// In-flight queries may still complete; completed
+						// results must stay correct.
+						if want := grouting.Answer(g, o.Query); o.Result != want {
+							t.Errorf("post-cancel query %d: got %+v, want %+v", o.Query.ID, o.Result, want)
+						}
+					} else if !errors.Is(o.Err, context.Canceled) && !errors.Is(o.Err, grouting.ErrUnavailable) {
+						t.Errorf("post-cancel outcome error = %v, want context.Canceled or ErrUnavailable", o.Err)
+					}
+				}
+			}()
+			select {
+			case <-closed:
+			case <-time.After(10 * time.Second):
+				t.Fatal("stream did not close after cancellation")
+			}
+		})
+	}
+}
+
+// TestConfigOptionsEquivalence checks the functional options assemble the
+// same Config as the struct literal they sugar.
+func TestConfigOptionsEquivalence(t *testing.T) {
+	got := grouting.NewConfig(
+		grouting.WithProcessors(5),
+		grouting.WithStorageServers(3),
+		grouting.WithPolicy(grouting.PolicyLandmark),
+		grouting.WithNetwork(grouting.Ethernet()),
+		grouting.WithCacheBytes(1<<20),
+		grouting.WithLandmarks(12),
+		grouting.WithMinSeparation(2),
+		grouting.WithDimensions(4),
+		grouting.WithSeed(9),
+		grouting.WithLoadFactor(10),
+		grouting.WithAlpha(0.25),
+		grouting.WithoutStealing(),
+		grouting.WithPrepWorkers(2),
+	)
+	want := grouting.Config{
+		Processors:      5,
+		StorageServers:  3,
+		Policy:          grouting.PolicyLandmark,
+		Network:         grouting.Ethernet(),
+		CacheBytes:      1 << 20,
+		Landmarks:       12,
+		MinSeparation:   2,
+		Dimensions:      4,
+		Seed:            9,
+		LoadFactor:      10,
+		Alpha:           0.25,
+		DisableStealing: true,
+		PrepWorkers:     2,
+	}
+	if got.Processors != want.Processors || got.StorageServers != want.StorageServers ||
+		got.Policy != want.Policy || got.Network.Name != want.Network.Name ||
+		got.CacheBytes != want.CacheBytes || got.Landmarks != want.Landmarks ||
+		got.MinSeparation != want.MinSeparation || got.Dimensions != want.Dimensions ||
+		got.Seed != want.Seed || got.LoadFactor != want.LoadFactor ||
+		got.Alpha != want.Alpha || got.DisableStealing != want.DisableStealing ||
+		got.PrepWorkers != want.PrepWorkers {
+		t.Fatalf("options config %+v != struct config %+v", got, want)
+	}
+}
+
+// TestLocalClientClose checks closed clients fail with ErrUnavailable.
+func TestLocalClientClose(t *testing.T) {
+	g := grouting.GenerateDataset(grouting.Memetracker, 0.02, 3)
+	sys, err := grouting.New(g,
+		grouting.WithProcessors(2),
+		grouting.WithStorageServers(2),
+		grouting.WithPolicy(grouting.PolicyHash),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := grouting.NewLocalClient(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := grouting.Query{Type: grouting.NeighborAgg, Node: 1, Hops: 1, Dir: grouting.Out}
+	if _, err := c.Execute(context.Background(), q); !errors.Is(err, grouting.ErrUnavailable) {
+		t.Fatalf("closed client error = %v, want ErrUnavailable", err)
+	}
+}

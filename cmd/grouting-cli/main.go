@@ -1,6 +1,6 @@
 // Command grouting-cli is the client for a networked gRouting deployment:
 // it loads a dataset into the storage tier and issues queries through the
-// router.
+// router via the transport-agnostic grouting.Client API.
 //
 //	# load the (seeded, regenerable) dataset into the storage shards
 //	grouting-cli -load -dataset webgraph -graphscale 0.05 \
@@ -9,18 +9,21 @@
 //	# run a workload through the router and verify against the oracle
 //	grouting-cli -router 127.0.0.1:7200 -dataset webgraph -graphscale 0.05 \
 //	    -hotspots 20 -verify
+//
+//	# pipelined submission: batches of 32 queries per round trip
+//	grouting-cli -router 127.0.0.1:7200 -batch 32
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	grouting "repro"
 	"repro/internal/gen"
-	"repro/internal/query"
-	"repro/internal/rpc"
 )
 
 func main() {
@@ -35,9 +38,18 @@ func main() {
 		perHotspot = flag.Int("per-hotspot", 10, "queries per hotspot")
 		r          = flag.Int("r", 2, "hotspot radius (hops)")
 		h          = flag.Int("h", 2, "traversal depth (hops)")
+		batch      = flag.Int("batch", 1, "queries per round trip (1 = one Execute per query)")
+		timeout    = flag.Duration("timeout", 0, "overall deadline for the workload (0 = none)")
 		verify     = flag.Bool("verify", false, "check every result against the in-memory oracle")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
 	exitOn(err)
@@ -47,11 +59,8 @@ func main() {
 		if len(addrs) == 0 {
 			exitOn(fmt.Errorf("-load needs -storage"))
 		}
-		sc, err := rpc.DialStorage(addrs)
-		exitOn(err)
-		defer sc.Close()
 		start := time.Now()
-		exitOn(sc.LoadGraph(g))
+		exitOn(grouting.LoadStorage(ctx, g, addrs))
 		fmt.Printf("loaded %d nodes / %d edges across %d shards in %v\n",
 			g.NumNodes(), g.NumEdges(), len(addrs), time.Since(start).Round(time.Millisecond))
 		return
@@ -62,20 +71,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cl, err := rpc.DialRouter(*routerAddr)
+	cl, err := grouting.Dial(ctx, *routerAddr)
 	exitOn(err)
 	defer cl.Close()
 
-	qs := query.Hotspot(g, query.WorkloadSpec{
+	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
 		NumHotspots: *hotspots, QueriesPerHotspot: *perHotspot, R: *r, H: *h, Seed: *seed + 1,
 	})
+	results := make([]grouting.Result, len(qs))
 	start := time.Now()
-	wrong := 0
-	for _, q := range qs {
-		res, err := cl.Execute(q)
-		exitOn(err)
-		if *verify && res != query.Answer(g, q) {
-			wrong++
+	if *batch <= 1 {
+		for i, q := range qs {
+			res, err := cl.Execute(ctx, q)
+			exitOn(err)
+			results[i] = res
+		}
+	} else {
+		for lo := 0; lo < len(qs); lo += *batch {
+			hi := min(lo+*batch, len(qs))
+			res, err := cl.ExecuteBatch(ctx, qs[lo:hi])
+			exitOn(err)
+			copy(results[lo:hi], res)
 		}
 	}
 	elapsed := time.Since(start)
@@ -84,6 +100,12 @@ func main() {
 		float64(len(qs))/elapsed.Seconds(),
 		elapsed.Seconds()*1000/float64(len(qs)))
 	if *verify {
+		wrong := 0
+		for i, q := range qs {
+			if results[i] != grouting.Answer(g, q) {
+				wrong++
+			}
+		}
 		if wrong > 0 {
 			exitOn(fmt.Errorf("%d of %d results disagree with the oracle", wrong, len(qs)))
 		}

@@ -1,5 +1,7 @@
 // Command groutingd runs one daemon of the decoupled deployment: a storage
-// shard, a query processor, or the query router.
+// shard, a query processor, or the query router — the public
+// grouting.ServeStorage / ServeProcessor / ServeRouter entry points as a
+// binary.
 //
 // A minimal localhost deployment:
 //
@@ -13,7 +15,8 @@
 //
 // Smart routing policies need the graph for preprocessing, so the router
 // regenerates the named dataset (the same seeded generator grouting-cli
-// uses to load the storage tier).
+// uses to load the storage tier). Clients connect to the router with
+// grouting.Dial.
 package main
 
 import (
@@ -22,8 +25,8 @@ import (
 	"os"
 	"strings"
 
+	grouting "repro"
 	"repro/internal/gen"
-	"repro/internal/rpc"
 )
 
 func main() {
@@ -42,7 +45,7 @@ func main() {
 
 	switch *role {
 	case "storage":
-		s, err := rpc.NewStorageServer(*listen)
+		s, err := grouting.ServeStorage(*listen)
 		exitOn(err)
 		fmt.Printf("storage shard listening on %s\n", s.Addr())
 		select {}
@@ -51,7 +54,7 @@ func main() {
 		if len(addrs) == 0 {
 			exitOn(fmt.Errorf("processor role needs -storage"))
 		}
-		p, err := rpc.NewProcessorServer(*listen, addrs, *cacheMB<<20)
+		p, err := grouting.ServeProcessor(*listen, addrs, *cacheMB<<20)
 		exitOn(err)
 		fmt.Printf("processor listening on %s (storage: %s)\n", p.Addr(), *storage)
 		select {}
@@ -60,13 +63,17 @@ func main() {
 		if len(addrs) == 0 {
 			exitOn(fmt.Errorf("router role needs -processors"))
 		}
-		g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
+		pol, err := grouting.ParsePolicy(*policy)
 		exitOn(err)
-		strat, err := rpc.BuildStrategy(*policy, g, len(addrs), *seed)
+		spec := grouting.RouterSpec{Processors: addrs, Policy: pol, Seed: *seed}
+		if pol.NeedsLandmarks() {
+			g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
+			exitOn(err)
+			spec.Graph = g
+		}
+		r, err := grouting.ServeRouter(*listen, spec)
 		exitOn(err)
-		r, err := rpc.NewRouterServer(*listen, rpc.RouterConfig{ProcessorAddrs: addrs, Strategy: strat})
-		exitOn(err)
-		fmt.Printf("router listening on %s (policy %s, %d processors)\n", r.Addr(), *policy, len(addrs))
+		fmt.Printf("router listening on %s (policy %s, %d processors)\n", r.Addr(), pol, len(addrs))
 		select {}
 	default:
 		fmt.Fprintln(os.Stderr, "need -role storage|processor|router")

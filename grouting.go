@@ -17,13 +17,44 @@
 //
 // # Quick start
 //
+// Every deployment is driven through the transport-agnostic [Client]
+// interface — Execute, ExecuteBatch and the pipelined ExecuteStream, all
+// context-aware. The in-process virtual-time engine is one transport:
+//
 //	g := grouting.GenerateDataset(grouting.WebGraph, 0.1, 42)
-//	sys, err := grouting.NewSystem(g, grouting.Config{Policy: grouting.PolicyEmbed})
+//	sys, err := grouting.New(g, grouting.WithPolicy(grouting.PolicyEmbed))
 //	if err != nil { ... }
-//	ses, err := sys.NewSession()
-//	res, latency, err := ses.Execute(grouting.Query{
+//	c, err := grouting.NewLocalClient(sys)
+//	res, err := c.Execute(ctx, grouting.Query{
 //		Type: grouting.NeighborAgg, Node: 123, Hops: 2, Dir: grouting.Out,
 //	})
+//
+// # Same code, two transports
+//
+// A real networked deployment serves the identical interface, so client
+// code is written once against [Client] and runs unmodified on either:
+//
+//	func countNeighbours(ctx context.Context, c grouting.Client, n grouting.NodeID) (int, error) {
+//		res, err := c.Execute(ctx, grouting.Query{
+//			Type: grouting.NeighborAgg, Node: n, Hops: 2, Dir: grouting.Out,
+//		})
+//		return res.Count, err
+//	}
+//
+//	local, _ := grouting.NewLocalClient(sys)                  // virtual-time engine
+//	remote, _ := grouting.Dial(ctx, "10.0.0.7:7200")          // TCP cluster (ServeStorage/
+//	                                                          // ServeProcessor/ServeRouter)
+//
+// Both transports validate queries the same way (Query.Validate) and
+// classify failures into the same typed errors — [ErrBadQuery],
+// [ErrUnknownNode], [ErrUnavailable] — and both honour context
+// cancellation and deadlines (the networked router forwards the caller's
+// deadline to the processors).
+//
+// For measurement, [System.RunWorkload] executes a whole workload on the
+// virtual clock and reports the paper's figures (throughput, response
+// time, cache hit rates). Sessions ([System.NewSession]) remain as the
+// lower-level interactive handle the Client wraps.
 //
 // The package re-exports the building blocks (graph model, workload
 // generator, cluster profiles, routing policies) so downstream users never

@@ -223,8 +223,12 @@ func (s *System) NewSession() (*Session, error) {
 }
 
 // Execute routes and runs one query, returning its result and virtual
-// service latency.
+// service latency. Malformed queries are rejected with an error wrapping
+// query.ErrBadQuery, the same typed error every transport returns.
 func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, 0, err
+	}
 	q.ID = ses.count
 	p := ses.rt.Route(q)
 	q2, ok := ses.rt.Next(p)

@@ -161,11 +161,21 @@ func Hotspot(g *graph.Graph, spec WorkloadSpec) []Query {
 				Hotspot:     hs,
 			}
 			if qt == Reachability {
+				// Validate treats Target==0 on a nonzero Node as unset, so
+				// redraw until valid (both candidate sets contain a nonzero
+				// node — the region always includes the nonzero query node —
+				// so the seeded redraw terminates deterministically).
 				if rng.Float64() < 0.5 {
 					tgtRegion := regionOf(g, node, spec.H)
 					qu.Target = tgtRegion[rng.Intn(len(tgtRegion))]
+					for qu.Target == 0 && qu.Node != 0 {
+						qu.Target = tgtRegion[rng.Intn(len(tgtRegion))]
+					}
 				} else {
 					qu.Target = nodes[rng.Intn(len(nodes))]
+					for qu.Target == 0 && qu.Node != 0 {
+						qu.Target = nodes[rng.Intn(len(nodes))]
+					}
 				}
 			}
 			queries = append(queries, qu)

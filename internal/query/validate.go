@@ -1,0 +1,59 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Typed errors shared by every transport. Both the virtual-time client and
+// the networked deployment classify failures into these sentinels (the rpc
+// layer carries them across the wire as codes), so downstream code can use
+// errors.Is regardless of where execution landed.
+var (
+	// ErrBadQuery marks a query that fails Validate: it is rejected before
+	// any execution happens.
+	ErrBadQuery = errors.New("bad query")
+	// ErrUnknownNode marks a query whose Node has no record in the system
+	// (never added, or removed).
+	ErrUnknownNode = errors.New("unknown node")
+	// ErrUnavailable marks a transport failure: the client is closed, a
+	// daemon is unreachable, or a connection broke mid-call.
+	ErrUnavailable = errors.New("service unavailable")
+)
+
+// Validate checks the query's shape without consulting a graph. Every
+// transport runs it before executing, so a malformed query fails with the
+// same ErrBadQuery-wrapped error whether it was submitted to the
+// virtual-time engine or over TCP.
+//
+// A Reachability query with a zero Target on a nonzero Node is treated as
+// having forgotten its Target: the zero value of the field almost always
+// means the caller never set it. (Hotspot never generates that pattern.)
+func (q Query) Validate() error {
+	switch q.Type {
+	case NeighborAgg, RandomWalk, Reachability:
+	default:
+		return fmt.Errorf("%w: unknown query type %v", ErrBadQuery, q.Type)
+	}
+	if q.Hops < 0 {
+		return fmt.Errorf("%w: negative hops %d", ErrBadQuery, q.Hops)
+	}
+	switch q.Dir {
+	case graph.Out, graph.In, graph.Both:
+	default:
+		return fmt.Errorf("%w: unknown direction %v", ErrBadQuery, q.Dir)
+	}
+	switch q.Type {
+	case RandomWalk:
+		if q.RestartProb < 0 || q.RestartProb > 1 {
+			return fmt.Errorf("%w: restart probability %v outside [0,1]", ErrBadQuery, q.RestartProb)
+		}
+	case Reachability:
+		if q.Target == 0 && q.Node != 0 {
+			return fmt.Errorf("%w: reachability query missing Target", ErrBadQuery)
+		}
+	}
+	return nil
+}

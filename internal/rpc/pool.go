@@ -1,0 +1,108 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+
+	"sync"
+
+	"repro/internal/query"
+)
+
+// DefaultPoolSize bounds concurrent connections per remote daemon.
+const DefaultPoolSize = 8
+
+// Pool is a bounded pool of client connections to one daemon. Calls check
+// a connection out (dialing lazily when none is idle), so up to size calls
+// proceed in parallel instead of serialising on a single gob stream — the
+// conn-pool half of the pipelined client path. Connections broken by a
+// failure, cancellation or deadline are discarded, not reused.
+type Pool struct {
+	addr string
+	sem  chan struct{}
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool creates a pool of at most size connections to addr (size <= 0
+// means DefaultPoolSize). No connection is made until the first call.
+func NewPool(addr string, size int) *Pool {
+	if size <= 0 {
+		size = DefaultPoolSize
+	}
+	return &Pool{addr: addr, sem: make(chan struct{}, size)}
+}
+
+// Addr returns the remote address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Call performs one request over a pooled connection.
+func (p *Pool) Call(ctx context.Context, req *Request) (Response, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Response{}, fmt.Errorf("rpc: %s: %w", p.addr, ctx.Err())
+	}
+	defer func() { <-p.sem }()
+	cn, err := p.take(ctx)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := cn.Call(ctx, req)
+	p.put(cn)
+	return resp, err
+}
+
+// Ping checks the remote daemon is reachable and speaking the protocol.
+func (p *Pool) Ping(ctx context.Context) error {
+	_, err := p.Call(ctx, &Request{Op: OpPing})
+	return err
+}
+
+// take pops an idle connection or dials a new one under ctx's deadline.
+func (p *Pool) take(ctx context.Context) (*Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, &remoteError{addr: p.addr, msg: "pool closed", kind: query.ErrUnavailable}
+	}
+	if n := len(p.idle); n > 0 {
+		cn := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return cn, nil
+	}
+	p.mu.Unlock()
+	return DialContext(ctx, p.addr)
+}
+
+// put returns a connection to the idle list, discarding broken ones.
+func (p *Pool) put(cn *Conn) {
+	if cn.Broken() {
+		cn.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		cn.Close()
+		return
+	}
+	p.idle = append(p.idle, cn)
+	p.mu.Unlock()
+}
+
+// Close closes every idle connection and rejects future calls. Connections
+// checked out by in-flight calls are closed as they are returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, cn := range idle {
+		cn.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -14,14 +15,16 @@ import (
 )
 
 // ProcessorServer is one query processor of the processing tier: it
-// receives queries (from the router), executes the h-hop traversal against
-// the storage tier, and caches fetched records in a byte-bounded LRU.
-// Processors never talk to each other (Section 2.3).
+// receives query batches (from the router), executes the h-hop traversals
+// against the storage tier, and caches fetched records in a byte-bounded
+// LRU. Processors never talk to each other (Section 2.3). Concurrent
+// batches share the cache under a mutex; storage fetches ride the pooled
+// shard connections with the caller's deadline.
 type ProcessorServer struct {
 	ln      net.Listener
 	storage *StorageClient
 
-	mu    sync.Mutex // guards cache (queries are serialised per processor)
+	mu    sync.Mutex // guards cache
 	cache *cache.LRU[gstore.Record]
 
 	hits, misses atomic.Int64
@@ -54,30 +57,37 @@ func (p *ProcessorServer) Close() error {
 	return p.ln.Close()
 }
 
-func (p *ProcessorServer) handle(req *Request) Response {
+func (p *ProcessorServer) handle(ctx context.Context, req *Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 	case OpStats:
-		return Response{OK: true, Stats: Stats{
+		return Response{OK: true, Stats: &Stats{
 			Role:     "processor",
 			Hits:     p.hits.Load(),
 			Misses:   p.misses.Load(),
 			Executed: p.executed.Load(),
 		}}
 	case OpExecute:
-		res, err := p.execute(req.Query)
-		if err != nil {
-			return errorResponse(err)
+		if req.Exec == nil || len(req.Exec.Queries) == 0 {
+			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
 		}
-		p.executed.Add(1)
-		return Response{OK: true, Result: res}
+		results := make([]query.Result, len(req.Exec.Queries))
+		for i, q := range req.Exec.Queries {
+			res, err := p.execute(ctx, q)
+			if err != nil {
+				return errorResponse(err)
+			}
+			p.executed.Add(1)
+			results[i] = res
+		}
+		return Response{OK: true, Results: results}
 	}
 	return errorResponse(fmt.Errorf("processor: unknown op %q", req.Op))
 }
 
 // fetch obtains records through the cache, batching misses to storage.
-func (p *ProcessorServer) fetch(ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+func (p *ProcessorServer) fetch(ctx context.Context, ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
 	out := make(map[graph.NodeID]gstore.Record, len(ids))
 	var miss []graph.NodeID
 	p.mu.Lock()
@@ -94,7 +104,7 @@ func (p *ProcessorServer) fetch(ids []graph.NodeID) (map[graph.NodeID]gstore.Rec
 	if len(miss) == 0 {
 		return out, nil
 	}
-	fetched, err := p.storage.MultiGet(miss)
+	fetched, err := p.storage.MultiGet(ctx, miss)
 	if err != nil {
 		return nil, err
 	}
@@ -109,27 +119,47 @@ func (p *ProcessorServer) fetch(ids []graph.NodeID) (map[graph.NodeID]gstore.Rec
 	return out, nil
 }
 
-// execute runs one query with the same algorithms the virtual-time engine
-// uses (levelwise batched BFS, seeded walk, bidirectional BFS), so results
-// agree exactly with query.Answer.
-func (p *ProcessorServer) execute(q query.Query) (query.Result, error) {
+// execute validates and runs one query with the same algorithms the
+// virtual-time engine uses (levelwise batched BFS, seeded walk,
+// bidirectional BFS), so results agree exactly with query.Answer. A query
+// whose Node has no record in the storage tier fails with
+// query.ErrUnknownNode, matching the virtual-time client.
+func (p *ProcessorServer) execute(ctx context.Context, q query.Query) (query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	// Existence probe: one cached lookup of the query node's record. The
+	// fetch warms the cache, so the traversal's own level-0 fetch hits.
+	probe, err := p.fetch(ctx, []graph.NodeID{q.Node})
+	if err != nil {
+		return query.Result{}, err
+	}
+	if _, ok := probe[q.Node]; !ok {
+		return query.Result{}, fmt.Errorf("%w: node %d has no record in the storage tier", query.ErrUnknownNode, q.Node)
+	}
 	switch q.Type {
 	case query.NeighborAgg:
-		return p.execAgg(q)
+		return p.execAgg(ctx, q)
 	case query.RandomWalk:
-		return p.execWalk(q)
+		return p.execWalk(ctx, q)
 	case query.Reachability:
-		return p.execReach(q)
+		return p.execReach(ctx, q)
 	}
-	return query.Result{}, fmt.Errorf("processor: unknown query type %v", q.Type)
+	return query.Result{}, fmt.Errorf("%w: unknown query type %v", query.ErrBadQuery, q.Type)
 }
 
-func (p *ProcessorServer) execAgg(q query.Query) (query.Result, error) {
+func (p *ProcessorServer) execAgg(ctx context.Context, q query.Query) (query.Result, error) {
+	// Label filtering needs the graph's label table, which only the
+	// storage-side loader has; the networked processor serves unfiltered
+	// aggregation.
+	if q.CountLabel != "" {
+		return query.Result{}, fmt.Errorf("%w: label-filtered aggregation is not supported over rpc", query.ErrBadQuery)
+	}
 	visited := map[graph.NodeID]struct{}{q.Node: {}}
 	frontier := []graph.NodeID{q.Node}
 	count := 0
 	for level := 0; level <= q.Hops && len(frontier) > 0; level++ {
-		recs, err := p.fetch(frontier)
+		recs, err := p.fetch(ctx, frontier)
 		if err != nil {
 			return query.Result{}, err
 		}
@@ -154,15 +184,10 @@ func (p *ProcessorServer) execAgg(q query.Query) (query.Result, error) {
 		}
 		frontier = next
 	}
-	// Label filtering needs the records; the networked processor supports
-	// it the same way the engine does.
-	if q.CountLabel != "" {
-		return query.Result{}, fmt.Errorf("processor: label-filtered aggregation requires the label table; use unfiltered queries over RPC")
-	}
 	return query.Result{Type: q.Type, Count: count}, nil
 }
 
-func (p *ProcessorServer) execWalk(q query.Query) (query.Result, error) {
+func (p *ProcessorServer) execWalk(ctx context.Context, q query.Query) (query.Result, error) {
 	rng := xrand.New(q.Seed)
 	cur := q.Node
 	for step := 0; step < q.Hops; step++ {
@@ -170,7 +195,7 @@ func (p *ProcessorServer) execWalk(q query.Query) (query.Result, error) {
 			cur = q.Node
 			continue
 		}
-		recs, err := p.fetch([]graph.NodeID{cur})
+		recs, err := p.fetch(ctx, []graph.NodeID{cur})
 		if err != nil {
 			return query.Result{}, err
 		}
@@ -185,7 +210,7 @@ func (p *ProcessorServer) execWalk(q query.Query) (query.Result, error) {
 	return query.Result{Type: q.Type, EndNode: cur}, nil
 }
 
-func (p *ProcessorServer) execReach(q query.Query) (query.Result, error) {
+func (p *ProcessorServer) execReach(ctx context.Context, q query.Query) (query.Result, error) {
 	if q.Node == q.Target {
 		return query.Result{Type: q.Type, Reachable: true}, nil
 	}
@@ -205,7 +230,7 @@ func (p *ProcessorServer) execReach(q query.Query) (query.Result, error) {
 			front, dir = bFront, graph.In
 			mine, other = bVis, fVis
 		}
-		recs, err := p.fetch(front)
+		recs, err := p.fetch(ctx, front)
 		if err != nil {
 			return query.Result{}, err
 		}

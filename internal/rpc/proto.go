@@ -5,15 +5,22 @@
 // The virtual-time engine in internal/core is the instrument that
 // reproduces the paper's measurements; this package demonstrates that the
 // same components (hash-partitioned adjacency storage, LRU-cached
-// processors, strategy-driven router) run over a real network. The
-// examples/distributed program and cmd/groutingd use it.
+// processors, strategy-driven router) run over a real network. Every call
+// takes a context.Context: deadlines propagate over the wire (the router
+// forwards the client's remaining budget to the processors) and
+// cancellation unblocks in-flight calls. Failures map onto the shared
+// typed errors (query.ErrBadQuery, query.ErrUnknownNode,
+// query.ErrUnavailable) on both sides of the connection.
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/query"
 )
@@ -29,8 +36,8 @@ const (
 	OpMultiGet Op = "multiget"
 	// OpPut stores one value on a storage server.
 	OpPut Op = "put"
-	// OpExecute runs a query on a processor (or, via the router, on
-	// whichever processor the routing strategy picks).
+	// OpExecute runs a batch of one or more queries on a processor (or, via
+	// the router, on whichever processors the routing strategy picks).
 	OpExecute Op = "execute"
 	// OpStats asks a daemon for its counters.
 	OpStats Op = "stats"
@@ -38,25 +45,47 @@ const (
 	OpPing Op = "ping"
 )
 
-// Request is the single request envelope for every operation.
+// Request is the request envelope. Only the fields of the active operation
+// are populated; everything else stays at its zero value (nil for the
+// Exec payload), so gob never puts unused payloads on the wire — a ping
+// encodes to a few bytes, not the full union.
 type Request struct {
-	Op    Op
+	Op Op
+	// Key and Value serve OpGet / OpPut.
 	Key   uint64
-	Keys  []uint64
 	Value []byte
-	Query query.Query
+	// Keys serves OpMultiGet.
+	Keys []uint64
+	// Exec serves OpExecute; nil for every other op.
+	Exec *ExecRequest
 }
 
-// Response is the single response envelope.
+// ExecRequest is the OpExecute payload: a batch of queries plus the
+// client's absolute deadline, which daemons re-impose on their own
+// downstream calls (router → processor → storage).
+type ExecRequest struct {
+	Queries []query.Query
+	// Deadline is the client context's deadline in Unix nanoseconds
+	// (0 = none).
+	Deadline int64
+}
+
+// Response is the response envelope. As with Request, inactive payloads
+// stay zero/nil and are omitted from the wire.
 type Response struct {
-	OK     bool
-	Err    string
-	Value  []byte
-	Found  bool
+	OK   bool
+	Err  string
+	Code ErrCode
+	// Value and Found serve OpGet.
+	Value []byte
+	Found bool
+	// Values and Founds serve OpMultiGet.
 	Values [][]byte
 	Founds []bool
-	Result query.Result
-	Stats  Stats
+	// Results serves OpExecute, positionally aligned with Exec.Queries.
+	Results []query.Result
+	// Stats serves OpStats; nil for every other op.
+	Stats *Stats
 }
 
 // Stats carries daemon counters over the wire.
@@ -69,26 +98,108 @@ type Stats struct {
 	Executed int64
 }
 
-// errorResponse wraps err into a Response.
+// ErrCode classifies a remote failure so the client can reconstruct the
+// matching typed error.
+type ErrCode string
+
+// Error codes.
+const (
+	// CodeBadQuery maps to query.ErrBadQuery.
+	CodeBadQuery ErrCode = "bad-query"
+	// CodeUnknownNode maps to query.ErrUnknownNode.
+	CodeUnknownNode ErrCode = "unknown-node"
+	// CodeUnavailable maps to query.ErrUnavailable.
+	CodeUnavailable ErrCode = "unavailable"
+	// CodeInternal is everything else.
+	CodeInternal ErrCode = "internal"
+)
+
+// sentinelFor returns the typed error a code maps to (nil for internal).
+func sentinelFor(code ErrCode) error {
+	switch code {
+	case CodeBadQuery:
+		return query.ErrBadQuery
+	case CodeUnknownNode:
+		return query.ErrUnknownNode
+	case CodeUnavailable:
+		return query.ErrUnavailable
+	}
+	return nil
+}
+
+// errorResponse wraps err into a Response, classifying it for the client.
 func errorResponse(err error) Response {
-	return Response{Err: err.Error()}
+	code := CodeInternal
+	switch {
+	case errors.Is(err, query.ErrBadQuery):
+		code = CodeBadQuery
+	case errors.Is(err, query.ErrUnknownNode):
+		code = CodeUnknownNode
+	case errors.Is(err, query.ErrUnavailable), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = CodeUnavailable
+	}
+	return Response{Err: err.Error(), Code: code}
+}
+
+// remoteError is a failure reported by (or on the way to) a remote daemon.
+// It unwraps to the shared typed sentinel so errors.Is works across the
+// network boundary.
+type remoteError struct {
+	addr string
+	msg  string
+	kind error // sentinel, or nil
+}
+
+func (e *remoteError) Error() string { return "rpc: " + e.addr + ": " + e.msg }
+func (e *remoteError) Unwrap() error { return e.kind }
+
+// respError reconstructs the typed error carried by a response.
+func respError(addr string, resp *Response) error {
+	if resp.Err == "" {
+		return nil
+	}
+	return &remoteError{addr: addr, msg: resp.Err, kind: sentinelFor(resp.Code)}
+}
+
+// execRequest assembles an OpExecute request, capturing ctx's deadline so
+// daemons downstream can honour it.
+func execRequest(ctx context.Context, qs []query.Query) *Request {
+	ex := &ExecRequest{Queries: qs}
+	if dl, ok := ctx.Deadline(); ok {
+		ex.Deadline = dl.UnixNano()
+	}
+	return &Request{Op: OpExecute, Exec: ex}
 }
 
 // Conn is one gob-encoded client connection; safe for concurrent use
-// (requests are serialised).
+// (requests are serialised). A call that fails — including by cancellation
+// or deadline, which abandon a response mid-stream — breaks the
+// connection: subsequent calls return query.ErrUnavailable and the caller
+// (normally a Pool) discards it.
 type Conn struct {
-	mu   sync.Mutex
-	c    net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	addr string
+	mu     sync.Mutex
+	c      net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	addr   string
+	broken bool
 }
 
 // Dial connects to a daemon.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a daemon, abandoning the connection attempt
+// when ctx is cancelled or its deadline passes.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("rpc: %s: dial: %w", addr, cerr)
+		}
+		return nil, &remoteError{addr: addr, msg: "dial: " + err.Error(), kind: query.ErrUnavailable}
 	}
 	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), addr: addr}, nil
 }
@@ -96,30 +207,76 @@ func Dial(addr string) (*Conn, error) {
 // Addr returns the remote address.
 func (cn *Conn) Addr() string { return cn.addr }
 
-// Call sends req and waits for the response.
-func (cn *Conn) Call(req *Request) (Response, error) {
+// Broken reports whether an earlier failure poisoned the connection.
+func (cn *Conn) Broken() bool {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
+	return cn.broken
+}
+
+// Call sends req and waits for the response, honouring ctx: a deadline is
+// applied to the socket, and cancellation forces the blocked read/write to
+// return immediately.
+func (cn *Conn) Call(ctx context.Context, req *Request) (Response, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.broken {
+		return Response{}, &remoteError{addr: cn.addr, msg: "connection broken by earlier failure", kind: query.ErrUnavailable}
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, fmt.Errorf("rpc: %s: %w", cn.addr, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		cn.c.SetDeadline(dl)
+	} else {
+		cn.c.SetDeadline(time.Time{})
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				// Force the in-flight socket op to fail now.
+				cn.c.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() { close(stop); <-exited }()
+	}
 	if err := cn.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
+		cn.broken = true
+		return Response{}, cn.callError(ctx, "send", err)
 	}
 	var resp Response
 	if err := cn.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("rpc: recv from %s: %w", cn.addr, err)
+		cn.broken = true
+		return Response{}, cn.callError(ctx, "recv", err)
 	}
 	if resp.Err != "" {
-		return resp, fmt.Errorf("rpc: %s: %s", cn.addr, resp.Err)
+		return resp, respError(cn.addr, &resp)
 	}
 	return resp, nil
+}
+
+// callError attributes a transport failure: the context's own error when
+// the caller cancelled or timed out, query.ErrUnavailable otherwise.
+func (cn *Conn) callError(ctx context.Context, phase string, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("rpc: %s: %s: %w", cn.addr, phase, cerr)
+	}
+	return &remoteError{addr: cn.addr, msg: phase + ": " + err.Error(), kind: query.ErrUnavailable}
 }
 
 // Close shuts the connection down.
 func (cn *Conn) Close() error { return cn.c.Close() }
 
 // serve runs the accept loop for a daemon, dispatching each connection to
-// its own goroutine that calls handle per request. It returns when the
-// listener closes.
-func serve(ln net.Listener, handle func(*Request) Response) {
+// its own goroutine that calls handle per request. The handler context
+// carries the deadline an OpExecute request propagated from its client.
+// serve returns when the listener closes.
+func serve(ln net.Listener, handle func(context.Context, *Request) Response) {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -134,7 +291,15 @@ func serve(ln net.Listener, handle func(*Request) Response) {
 				if err := dec.Decode(&req); err != nil {
 					return
 				}
-				resp := handle(&req)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if req.Exec != nil && req.Exec.Deadline > 0 {
+					ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Exec.Deadline))
+				}
+				resp := handle(ctx, &req)
+				if cancel != nil {
+					cancel()
+				}
 				if err := enc.Encode(&resp); err != nil {
 					return
 				}

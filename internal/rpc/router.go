@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -13,16 +14,17 @@ import (
 	"repro/internal/router"
 )
 
-// RouterServer is the networked query router: it accepts client queries,
-// asks its routing strategy for a destination, forwards the query to that
-// processor and relays the answer. Per-processor in-flight counts are the
-// live load signal for the load-balanced distance (Eq 3/7).
+// RouterServer is the networked query router: it accepts client query
+// batches, asks its routing strategy for a destination per query, forwards
+// each sub-batch to its processor over a pooled connection (carrying the
+// client's deadline) and relays the answers. Per-processor in-flight
+// counts are the live load signal for the load-balanced distance (Eq 3/7).
 type RouterServer struct {
-	ln       net.Listener
-	procs    []*Conn
-	strategy router.Strategy
+	ln    net.Listener
+	procs []*Pool
 
 	mu       sync.Mutex // guards strategy and inflight
+	strategy router.Strategy
 	inflight []int
 
 	requests atomic.Int64
@@ -34,6 +36,8 @@ type RouterConfig struct {
 	ProcessorAddrs []string
 	// Strategy decides destinations; nil defaults to next-ready.
 	Strategy router.Strategy
+	// PoolSize bounds connections per processor (0 = DefaultPoolSize).
+	PoolSize int
 }
 
 // NewRouterServer starts a router on addr.
@@ -46,16 +50,17 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 	}
 	r := &RouterServer{strategy: cfg.Strategy, inflight: make([]int, len(cfg.ProcessorAddrs))}
 	for _, a := range cfg.ProcessorAddrs {
-		cn, err := Dial(a)
-		if err != nil {
-			r.closeConns()
+		p := NewPool(a, cfg.PoolSize)
+		if err := p.Ping(context.Background()); err != nil {
+			p.Close()
+			r.closePools()
 			return nil, err
 		}
-		r.procs = append(r.procs, cn)
+		r.procs = append(r.procs, p)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		r.closeConns()
+		r.closePools()
 		return nil, fmt.Errorf("rpc: router listen: %w", err)
 	}
 	r.ln = ln
@@ -68,56 +73,134 @@ func (r *RouterServer) Addr() string { return r.ln.Addr().String() }
 
 // Close stops the router.
 func (r *RouterServer) Close() error {
-	r.closeConns()
+	r.closePools()
 	return r.ln.Close()
 }
 
-func (r *RouterServer) closeConns() {
-	for _, cn := range r.procs {
-		if cn != nil {
-			cn.Close()
+func (r *RouterServer) closePools() {
+	for _, p := range r.procs {
+		if p != nil {
+			p.Close()
 		}
 	}
 }
 
-func (r *RouterServer) handle(req *Request) Response {
+func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 	r.requests.Add(1)
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 	case OpStats:
-		return Response{OK: true, Stats: Stats{Role: "router", Requests: r.requests.Load()}}
+		return Response{OK: true, Stats: &Stats{Role: "router", Requests: r.requests.Load()}}
 	case OpExecute:
-		// Routing decision under the current in-flight load.
-		r.mu.Lock()
-		loads := make([]int, len(r.procs))
+		if req.Exec == nil || len(req.Exec.Queries) == 0 {
+			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
+		}
+		return r.execute(ctx, req.Exec)
+	}
+	return errorResponse(fmt.Errorf("router: unknown op %q", req.Op))
+}
+
+// execute routes every query of the batch, groups them by destination
+// processor and forwards the per-processor sub-batches concurrently, so a
+// pipelined client pays one router round trip for the whole batch.
+func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
+	for _, q := range ex.Queries {
+		if err := q.Validate(); err != nil {
+			return errorResponse(err)
+		}
+	}
+
+	// Routing decisions under the current in-flight load (one strategy
+	// lock for the batch; the strategy is inherently sequential).
+	dest := make([]int, len(ex.Queries))
+	loads := make([]int, len(r.procs))
+	r.mu.Lock()
+	for i, q := range ex.Queries {
 		copy(loads, r.inflight)
-		p := r.strategy.Pick(req.Query, loads)
+		p := r.strategy.Pick(q, loads)
 		if p < 0 || p >= len(r.procs) {
 			p = 0
 		}
-		r.strategy.Observe(req.Query, p)
+		r.strategy.Observe(q, p)
 		r.inflight[p]++
-		r.mu.Unlock()
+		dest[i] = p
+	}
+	r.mu.Unlock()
 
-		resp, err := r.procs[p].Call(&Request{Op: OpExecute, Query: req.Query})
-
+	// Fast path — the whole batch (typically a single query) lands on one
+	// processor: forward the request as-is, no fan-out machinery.
+	single := true
+	for _, p := range dest[1:] {
+		if p != dest[0] {
+			single = false
+			break
+		}
+	}
+	if single {
+		p := dest[0]
+		resp, err := r.procs[p].Call(ctx, &Request{Op: OpExecute, Exec: ex})
 		r.mu.Lock()
-		r.inflight[p]--
+		r.inflight[p] -= len(dest)
 		r.mu.Unlock()
 		if err != nil {
 			return errorResponse(err)
 		}
 		return resp
 	}
-	return errorResponse(fmt.Errorf("router: unknown op %q", req.Op))
+
+	// Group the batch by destination, remembering original positions.
+	groups := make(map[int][]int, len(r.procs))
+	for i, p := range dest {
+		groups[p] = append(groups[p], i)
+	}
+
+	type procResult struct {
+		proc    int
+		indices []int
+		resp    Response
+		err     error
+	}
+	results := make(chan procResult, len(groups))
+	for p, indices := range groups {
+		go func(p int, indices []int) {
+			sub := &ExecRequest{Queries: make([]query.Query, len(indices)), Deadline: ex.Deadline}
+			for j, i := range indices {
+				sub.Queries[j] = ex.Queries[i]
+			}
+			resp, err := r.procs[p].Call(ctx, &Request{Op: OpExecute, Exec: sub})
+			results <- procResult{proc: p, indices: indices, resp: resp, err: err}
+		}(p, indices)
+	}
+
+	out := Response{OK: true, Results: make([]query.Result, len(ex.Queries))}
+	var firstErr error
+	for range groups {
+		pr := <-results
+		r.mu.Lock()
+		r.inflight[pr.proc] -= len(pr.indices)
+		r.mu.Unlock()
+		if pr.err != nil {
+			if firstErr == nil {
+				firstErr = pr.err
+			}
+			continue
+		}
+		for j, i := range pr.indices {
+			out.Results[i] = pr.resp.Results[j]
+		}
+	}
+	if firstErr != nil {
+		return errorResponse(firstErr)
+	}
+	return out
 }
 
 // BuildStrategy constructs a routing strategy for the networked router by
 // running the smart-routing preprocessing locally over the graph.
 func BuildStrategy(policy string, g *graph.Graph, procs int, seed int64) (router.Strategy, error) {
 	switch policy {
-	case "nextready", "":
+	case "nextready", "nocache", "":
 		return router.NewNextReady(), nil
 	case "hash":
 		return router.NewHash(), nil
@@ -139,28 +222,62 @@ func BuildStrategy(policy string, g *graph.Graph, procs int, seed int64) (router
 	return nil, fmt.Errorf("rpc: unknown policy %q", policy)
 }
 
-// Client is a gRouting client talking to a router daemon.
-type Client struct {
-	conn *Conn
+// RouterClient is a gRouting client talking to a router daemon over a
+// connection pool, so concurrent and pipelined submissions proceed in
+// parallel.
+type RouterClient struct {
+	pool *Pool
 }
 
-// DialRouter connects a client to the router.
-func DialRouter(addr string) (*Client, error) {
-	cn, err := Dial(addr)
-	if err != nil {
+// DialRouter connects a client to the router and verifies it responds.
+func DialRouter(ctx context.Context, addr string) (*RouterClient, error) {
+	p := NewPool(addr, 0)
+	if err := p.Ping(ctx); err != nil {
+		p.Close()
 		return nil, err
 	}
-	return &Client{conn: cn}, nil
+	return &RouterClient{pool: p}, nil
 }
 
 // Execute runs one query through the deployment.
-func (c *Client) Execute(q query.Query) (query.Result, error) {
-	resp, err := c.conn.Call(&Request{Op: OpExecute, Query: q})
+func (c *RouterClient) Execute(ctx context.Context, q query.Query) (query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	resp, err := c.pool.Call(ctx, execRequest(ctx, []query.Query{q}))
 	if err != nil {
 		return query.Result{}, err
 	}
-	return resp.Result, nil
+	if len(resp.Results) != 1 {
+		return query.Result{}, &remoteError{addr: c.pool.Addr(), msg: fmt.Sprintf("got %d results for 1 query", len(resp.Results)), kind: query.ErrUnavailable}
+	}
+	return resp.Results[0], nil
+}
+
+// ExecuteBatch runs a batch of queries in one round trip to the router,
+// which fans the sub-batches out to the processors in parallel. Results
+// align positionally with qs; one failing query fails the batch.
+func (c *RouterClient) ExecuteBatch(ctx context.Context, qs []query.Query) ([]query.Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.pool.Call(ctx, execRequest(ctx, qs))
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(qs) {
+		return nil, &remoteError{addr: c.pool.Addr(), msg: fmt.Sprintf("got %d results for %d queries", len(resp.Results), len(qs)), kind: query.ErrUnavailable}
+	}
+	return resp.Results, nil
 }
 
 // Close disconnects the client.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *RouterClient) Close() error {
+	c.pool.Close()
+	return nil
+}

@@ -1,8 +1,13 @@
 package rpc
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -12,7 +17,7 @@ import (
 // startCluster spins up a full localhost deployment: nStorage storage
 // shards, nProcs processors, one router with the given policy, loaded with
 // graph g. Cleanup is registered on t.
-func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy string) *Client {
+func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy string) *RouterClient {
 	t.Helper()
 	var storageAddrs []string
 	for i := 0; i < nStorage; i++ {
@@ -27,7 +32,7 @@ func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy str
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.LoadGraph(g); err != nil {
+	if err := sc.LoadGraph(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
 	sc.Close()
@@ -52,7 +57,7 @@ func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy str
 	}
 	t.Cleanup(func() { rs.Close() })
 
-	cl, err := DialRouter(rs.Addr())
+	cl, err := DialRouter(context.Background(), rs.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,6 +66,7 @@ func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy str
 }
 
 func TestStorageGetPut(t *testing.T) {
+	ctx := context.Background()
 	ss, err := NewStorageServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -71,28 +77,28 @@ func TestStorageGetPut(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cn.Close()
-	if _, err := cn.Call(&Request{Op: OpPut, Key: 7, Value: []byte("v7")}); err != nil {
+	if _, err := cn.Call(ctx, &Request{Op: OpPut, Key: 7, Value: []byte("v7")}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := cn.Call(&Request{Op: OpGet, Key: 7})
+	resp, err := cn.Call(ctx, &Request{Op: OpGet, Key: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Found || string(resp.Value) != "v7" {
 		t.Fatalf("get = %+v", resp)
 	}
-	resp, err = cn.Call(&Request{Op: OpGet, Key: 8})
+	resp, err = cn.Call(ctx, &Request{Op: OpGet, Key: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Found {
 		t.Fatal("missing key found")
 	}
-	resp, err = cn.Call(&Request{Op: OpStats})
+	resp, err = cn.Call(ctx, &Request{Op: OpStats})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Stats.Role != "storage" || resp.Stats.Keys != 1 {
+	if resp.Stats == nil || resp.Stats.Role != "storage" || resp.Stats.Keys != 1 {
 		t.Fatalf("stats = %+v", resp.Stats)
 	}
 }
@@ -108,7 +114,7 @@ func TestStorageUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cn.Close()
-	if _, err := cn.Call(&Request{Op: "bogus"}); err == nil {
+	if _, err := cn.Call(context.Background(), &Request{Op: "bogus"}); err == nil {
 		t.Fatal("bogus op accepted")
 	}
 }
@@ -121,8 +127,9 @@ func TestClusterMatchesOracle(t *testing.T) {
 	qs := query.Hotspot(g, query.WorkloadSpec{
 		NumHotspots: 8, QueriesPerHotspot: 5, R: 2, H: 2, Seed: 9,
 	})
+	ctx := context.Background()
 	for _, q := range qs {
-		got, err := cl.Execute(q)
+		got, err := cl.Execute(ctx, q)
 		if err != nil {
 			t.Fatalf("query %d: %v", q.ID, err)
 		}
@@ -132,12 +139,34 @@ func TestClusterMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestClusterBatchMatchesOracle sends the whole workload as one batch and
+// checks positional alignment with the oracle.
+func TestClusterBatchMatchesOracle(t *testing.T) {
+	g := gen.LocalWeb(1200, 8, 60, 0.01, 4)
+	cl := startCluster(t, g, 2, 3, "hash")
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots: 6, QueriesPerHotspot: 5, R: 2, H: 2, Seed: 11,
+	})
+	results, err := cl.ExecuteBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(results), len(qs))
+	}
+	for i, q := range qs {
+		if want := query.Answer(g, q); results[i] != want {
+			t.Fatalf("batch query %d: got %+v, want %+v", i, results[i], want)
+		}
+	}
+}
+
 func TestClusterSmartPolicies(t *testing.T) {
 	g := gen.LocalWeb(1200, 8, 60, 0.01, 6)
 	for _, policy := range []string{"landmark", "embed", "nextready"} {
 		cl := startCluster(t, g, 2, 2, policy)
 		q := query.Query{ID: 0, Type: query.NeighborAgg, Node: 100, Hops: 2, Dir: graph.Out}
-		got, err := cl.Execute(q)
+		got, err := cl.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
@@ -150,6 +179,7 @@ func TestClusterSmartPolicies(t *testing.T) {
 func TestClusterConcurrentClients(t *testing.T) {
 	g := gen.LocalWeb(1000, 6, 50, 0.01, 8)
 	cl := startCluster(t, g, 2, 3, "nextready")
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
 	for w := 0; w < 8; w++ {
@@ -159,7 +189,7 @@ func TestClusterConcurrentClients(t *testing.T) {
 			for i := 0; i < 10; i++ {
 				node := graph.NodeID((w*37 + i*11) % 1000)
 				q := query.Query{Type: query.NeighborAgg, Node: node, Hops: 1, Dir: graph.Out}
-				got, err := cl.Execute(q)
+				got, err := cl.Execute(ctx, q)
 				if err != nil {
 					errs <- err
 					return
@@ -178,8 +208,70 @@ func TestClusterConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestClusterTypedErrors checks that the typed sentinels survive the trip
+// over the wire.
+func TestClusterTypedErrors(t *testing.T) {
+	g := gen.LocalWeb(800, 6, 50, 0.01, 2)
+	cl := startCluster(t, g, 2, 2, "nextready")
+	ctx := context.Background()
+
+	// Malformed query: rejected client-side and (if forced through) by the
+	// router with the same sentinel.
+	bad := query.Query{Type: query.NeighborAgg, Node: 1, Hops: -1, Dir: graph.Out}
+	if _, err := cl.Execute(ctx, bad); !errors.Is(err, query.ErrBadQuery) {
+		t.Fatalf("bad query error = %v, want ErrBadQuery", err)
+	}
+	resp, err := cl.pool.Call(ctx, execRequest(ctx, []query.Query{bad}))
+	if err == nil || !errors.Is(err, query.ErrBadQuery) {
+		t.Fatalf("router-side bad query error = %v (resp %+v), want ErrBadQuery", err, resp)
+	}
+
+	// Unknown node: no record in the storage tier.
+	unknown := query.Query{Type: query.NeighborAgg, Node: 1 << 30, Hops: 1, Dir: graph.Out}
+	if _, err := cl.Execute(ctx, unknown); !errors.Is(err, query.ErrUnknownNode) {
+		t.Fatalf("unknown node error = %v, want ErrUnknownNode", err)
+	}
+
+	// Unavailable: dialing a closed port.
+	if _, err := DialRouter(context.Background(), "127.0.0.1:1"); !errors.Is(err, query.ErrUnavailable) {
+		t.Fatalf("dial error = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestCallCancellation checks that a cancelled context unblocks an
+// in-flight call and that an expired deadline fails fast.
+func TestCallCancellation(t *testing.T) {
+	g := gen.LocalWeb(600, 6, 50, 0.01, 3)
+	cl := startCluster(t, g, 1, 1, "nextready")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := query.Query{Type: query.NeighborAgg, Node: 10, Hops: 2, Dir: graph.Out}
+	if _, err := cl.Execute(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled execute error = %v, want context.Canceled", err)
+	}
+
+	// A deadline in the past must fail without hanging.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := cl.Execute(expired, q); err == nil {
+		t.Fatal("expired deadline succeeded")
+	}
+
+	// The client remains usable afterwards (broken conns are discarded by
+	// the pool).
+	got, err := cl.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.Answer(g, q); got != want {
+		t.Fatalf("post-cancel result %+v, want %+v", got, want)
+	}
+}
+
 func TestProcessorCacheWarms(t *testing.T) {
 	g := gen.Ring(100)
+	ctx := context.Background()
 	ss, err := NewStorageServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +281,7 @@ func TestProcessorCacheWarms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.LoadGraph(g); err != nil {
+	if err := sc.LoadGraph(ctx, g); err != nil {
 		t.Fatal(err)
 	}
 	sc.Close()
@@ -205,15 +297,15 @@ func TestProcessorCacheWarms(t *testing.T) {
 	defer cn.Close()
 	q := query.Query{Type: query.NeighborAgg, Node: 5, Hops: 3, Dir: graph.Out}
 	for i := 0; i < 2; i++ {
-		if _, err := cn.Call(&Request{Op: OpExecute, Query: q}); err != nil {
+		if _, err := cn.Call(ctx, execRequest(ctx, []query.Query{q})); err != nil {
 			t.Fatal(err)
 		}
 	}
-	resp, err := cn.Call(&Request{Op: OpStats})
+	resp, err := cn.Call(ctx, &Request{Op: OpStats})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Stats.Hits == 0 {
+	if resp.Stats == nil || resp.Stats.Hits == 0 {
 		t.Fatalf("repeat query produced no cache hits: %+v", resp.Stats)
 	}
 	if resp.Stats.Executed != 2 {
@@ -236,5 +328,58 @@ func TestDialFailure(t *testing.T) {
 	}
 	if _, err := DialStorage(nil); err == nil {
 		t.Fatal("empty storage list accepted")
+	}
+	if _, err := DialStorage([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable storage accepted")
+	}
+}
+
+// encodedSize gob-encodes v on a fresh stream (steady == false) or as the
+// second message of a stream (steady == true, excluding the one-time type
+// descriptors) and returns the byte count.
+func encodedSize(t *testing.T, v any, steady bool) int {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if steady {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+	}
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+// TestEnvelopeEncodedSize is the wire-waste regression test: ops must not
+// carry the payloads of other ops. A ping encodes to a handful of bytes;
+// a get stays small; an execute request never drags Stats or storage
+// payload descriptors along.
+func TestEnvelopeEncodedSize(t *testing.T) {
+	ping := &Request{Op: OpPing}
+	if n := encodedSize(t, ping, true); n > 16 {
+		t.Errorf("steady-state ping encodes to %d bytes, want <= 16", n)
+	}
+	if n := encodedSize(t, ping, false); n > 512 {
+		t.Errorf("first ping (with type descriptors) encodes to %d bytes, want <= 512", n)
+	}
+	get := &Request{Op: OpGet, Key: 123456789}
+	if n := encodedSize(t, get, true); n > 32 {
+		t.Errorf("steady-state get encodes to %d bytes, want <= 32", n)
+	}
+	// One-query execute: the query payload plus envelope, nothing else.
+	exec := execRequest(context.Background(), []query.Query{
+		{ID: 1, Type: query.NeighborAgg, Node: 42, Hops: 2, Dir: graph.Out},
+	})
+	execN := encodedSize(t, exec, true)
+	if execN > 128 {
+		t.Errorf("steady-state 1-query execute encodes to %d bytes, want <= 128", execN)
+	}
+	// An OK response to a ping must not carry result/stats payloads.
+	pong := &Response{OK: true}
+	if n := encodedSize(t, pong, true); n > 16 {
+		t.Errorf("steady-state pong encodes to %d bytes, want <= 16", n)
 	}
 }

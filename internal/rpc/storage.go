@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -41,7 +42,7 @@ func (s *StorageServer) Addr() string { return s.ln.Addr().String() }
 // Close stops the server.
 func (s *StorageServer) Close() error { return s.ln.Close() }
 
-func (s *StorageServer) handle(req *Request) Response {
+func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 	s.requests.Add(1)
 	switch req.Op {
 	case OpPing:
@@ -72,7 +73,7 @@ func (s *StorageServer) handle(req *Request) Response {
 		s.mu.RLock()
 		n := len(s.data)
 		s.mu.RUnlock()
-		return Response{OK: true, Stats: Stats{
+		return Response{OK: true, Stats: &Stats{
 			Role:     "storage",
 			Requests: s.requests.Load(),
 			Keys:     int64(n),
@@ -82,52 +83,55 @@ func (s *StorageServer) handle(req *Request) Response {
 }
 
 // StorageClient shards keys over a set of storage servers with the same
-// murmur placement the in-process tier uses.
+// murmur placement the in-process tier uses, over one connection pool per
+// shard.
 type StorageClient struct {
-	conns []*Conn
+	pools []*Pool
 }
 
-// DialStorage connects to every storage shard.
+// DialStorage connects to every storage shard, verifying each is
+// reachable.
 func DialStorage(addrs []string) (*StorageClient, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("rpc: no storage servers")
 	}
 	sc := &StorageClient{}
 	for _, a := range addrs {
-		cn, err := Dial(a)
-		if err != nil {
+		p := NewPool(a, 0)
+		if err := p.Ping(context.Background()); err != nil {
 			sc.Close()
+			p.Close()
 			return nil, err
 		}
-		sc.conns = append(sc.conns, cn)
+		sc.pools = append(sc.pools, p)
 	}
 	return sc, nil
 }
 
-// Close closes every shard connection.
+// Close closes every shard pool.
 func (sc *StorageClient) Close() {
-	for _, cn := range sc.conns {
-		if cn != nil {
-			cn.Close()
+	for _, p := range sc.pools {
+		if p != nil {
+			p.Close()
 		}
 	}
 }
 
 // shardFor returns the shard index owning key.
 func (sc *StorageClient) shardFor(key uint64) int {
-	return int(hash.Key64(key, 0) % uint64(len(sc.conns)))
+	return int(hash.Key64(key, 0) % uint64(len(sc.pools)))
 }
 
 // Put stores one encoded record.
-func (sc *StorageClient) Put(key uint64, value []byte) error {
-	_, err := sc.conns[sc.shardFor(key)].Call(&Request{Op: OpPut, Key: key, Value: value})
+func (sc *StorageClient) Put(ctx context.Context, key uint64, value []byte) error {
+	_, err := sc.pools[sc.shardFor(key)].Call(ctx, &Request{Op: OpPut, Key: key, Value: value})
 	return err
 }
 
 // MultiGet fetches the records for ids, grouping keys by owning shard and
 // issuing the per-shard multigets concurrently (the networked analogue of
 // the engine's batched frontier fetches).
-func (sc *StorageClient) MultiGet(ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+func (sc *StorageClient) MultiGet(ctx context.Context, ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
 	groups := make(map[int][]uint64)
 	for _, id := range ids {
 		sh := sc.shardFor(uint64(id))
@@ -141,7 +145,7 @@ func (sc *StorageClient) MultiGet(ids []graph.NodeID) (map[graph.NodeID]gstore.R
 	results := make(chan shardResult, len(groups))
 	for sh, keys := range groups {
 		go func(sh int, keys []uint64) {
-			resp, err := sc.conns[sh].Call(&Request{Op: OpMultiGet, Keys: keys})
+			resp, err := sc.pools[sh].Call(ctx, &Request{Op: OpMultiGet, Keys: keys})
 			results <- shardResult{keys: keys, resp: resp, err: err}
 		}(sh, keys)
 	}
@@ -173,14 +177,14 @@ func (sc *StorageClient) MultiGet(ids []graph.NodeID) (map[graph.NodeID]gstore.R
 }
 
 // LoadGraph bulk-loads every live node of g across the shards.
-func (sc *StorageClient) LoadGraph(g *graph.Graph) error {
+func (sc *StorageClient) LoadGraph(ctx context.Context, g *graph.Graph) error {
 	buf := make([]byte, 0, 1024)
 	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {
 		if !g.Exists(id) {
 			continue
 		}
 		buf = gstore.Encode(buf[:0], gstore.RecordOf(g, id))
-		if err := sc.Put(uint64(id), buf); err != nil {
+		if err := sc.Put(ctx, uint64(id), buf); err != nil {
 			return err
 		}
 	}

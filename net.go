@@ -1,0 +1,126 @@
+package grouting
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/rpc"
+)
+
+// Networked deployment daemons, promoted from internal/rpc: the same
+// decoupled tiers as the virtual-time engine, as real TCP servers.
+type (
+	// StorageServer is one shard of the networked storage tier.
+	StorageServer = rpc.StorageServer
+	// ProcessorServer is one networked query processor.
+	ProcessorServer = rpc.ProcessorServer
+	// RouterServer is the networked query router.
+	RouterServer = rpc.RouterServer
+)
+
+// ServeStorage starts a storage shard on addr ("127.0.0.1:0" for an
+// ephemeral port) serving in the background.
+func ServeStorage(addr string) (*StorageServer, error) { return rpc.NewStorageServer(addr) }
+
+// ServeProcessor starts a query processor on addr, fetching from the given
+// storage shards with cacheBytes of LRU capacity.
+func ServeProcessor(addr string, storageAddrs []string, cacheBytes int64) (*ProcessorServer, error) {
+	return rpc.NewProcessorServer(addr, storageAddrs, cacheBytes)
+}
+
+// RouterSpec configures a networked router.
+type RouterSpec struct {
+	// Processors lists the processing tier's addresses.
+	Processors []string
+	// Policy selects the routing scheme. Smart policies (PolicyLandmark,
+	// PolicyEmbed) need Graph for preprocessing.
+	Policy Policy
+	// Graph is the dataset the smart-routing preprocessing runs over
+	// (ignored by the baseline policies).
+	Graph *Graph
+	// Seed drives the preprocessing's stochastic choices.
+	Seed int64
+	// PoolSize bounds the router's connections per processor (0 = default).
+	PoolSize int
+}
+
+// ServeRouter starts a query router on addr: it builds the routing
+// strategy (running smart-routing preprocessing over spec.Graph when the
+// policy needs it), connects to the processors and serves in the
+// background.
+func ServeRouter(addr string, spec RouterSpec) (*RouterServer, error) {
+	if spec.Policy.NeedsLandmarks() && spec.Graph == nil {
+		return nil, fmt.Errorf("grouting: policy %v needs a graph for preprocessing", spec.Policy)
+	}
+	strat, err := rpc.BuildStrategy(spec.Policy.String(), spec.Graph, len(spec.Processors), spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewRouterServer(addr, rpc.RouterConfig{
+		ProcessorAddrs: spec.Processors,
+		Strategy:       strat,
+		PoolSize:       spec.PoolSize,
+	})
+}
+
+// LoadStorage bulk-loads every live node of g across the storage shards —
+// the networked analogue of what NewSystem does in-process.
+func LoadStorage(ctx context.Context, g *Graph, storageAddrs []string) error {
+	sc, err := rpc.DialStorage(storageAddrs)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	return sc.LoadGraph(ctx, g)
+}
+
+// DialOption customises a networked client.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	streamWorkers int
+}
+
+// WithStreamWorkers sets how many queries ExecuteStream keeps in flight
+// concurrently (default 4).
+func WithStreamWorkers(n int) DialOption {
+	return func(c *dialConfig) { c.streamWorkers = n }
+}
+
+const defaultStreamWorkers = 4
+
+// Dial connects a Client to a networked deployment's router. The returned
+// client satisfies the same Client interface as NewLocalClient: identical
+// results, the same typed errors, contexts honoured end to end (the
+// router forwards the caller's deadline to the processors).
+func Dial(ctx context.Context, routerAddr string, opts ...DialOption) (Client, error) {
+	cfg := dialConfig{streamWorkers: defaultStreamWorkers}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rc, err := rpc.DialRouter(ctx, routerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &netClient{rc: rc, workers: cfg.streamWorkers}, nil
+}
+
+// netClient adapts the pooled rpc router client to the Client interface.
+type netClient struct {
+	rc      *rpc.RouterClient
+	workers int
+}
+
+func (c *netClient) Execute(ctx context.Context, q Query) (Result, error) {
+	return c.rc.Execute(ctx, q)
+}
+
+func (c *netClient) ExecuteBatch(ctx context.Context, qs []Query) ([]Result, error) {
+	return c.rc.ExecuteBatch(ctx, qs)
+}
+
+func (c *netClient) ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome {
+	return stream(ctx, in, c.workers, c.rc.Execute)
+}
+
+func (c *netClient) Close() error { return c.rc.Close() }

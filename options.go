@@ -1,0 +1,77 @@
+package grouting
+
+import "fmt"
+
+// Option customises a deployment Config. Options compose with the paper's
+// defaults: New(g) alone builds the paper's primary setup (7 processors,
+// 4 storage servers, Infiniband, embed routing, 4 GB caches).
+type Option func(*Config)
+
+// WithPolicy selects the routing scheme.
+func WithPolicy(p Policy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithProcessors sets the number of query processors.
+func WithProcessors(n int) Option { return func(c *Config) { c.Processors = n } }
+
+// WithStorageServers sets the number of storage servers.
+func WithStorageServers(n int) Option { return func(c *Config) { c.StorageServers = n } }
+
+// WithNetwork sets the cluster cost profile (Infiniband or Ethernet).
+func WithNetwork(p NetworkProfile) Option { return func(c *Config) { c.Network = p } }
+
+// WithCacheBytes sets each processor's LRU cache capacity.
+func WithCacheBytes(b int64) Option { return func(c *Config) { c.CacheBytes = b } }
+
+// WithLandmarks sets |L|, the landmark count for smart routing.
+func WithLandmarks(n int) Option { return func(c *Config) { c.Landmarks = n } }
+
+// WithMinSeparation sets the minimum hop separation between landmarks.
+func WithMinSeparation(h int) Option { return func(c *Config) { c.MinSeparation = h } }
+
+// WithDimensions sets the graph-embedding dimensionality.
+func WithDimensions(d int) Option { return func(c *Config) { c.Dimensions = d } }
+
+// WithSeed drives every stochastic choice; identical graphs, options and
+// seeds produce identical systems.
+func WithSeed(s int64) Option { return func(c *Config) { c.Seed = s } }
+
+// WithLoadFactor sets Eq 3/7's load-balancing divisor.
+func WithLoadFactor(f float64) Option { return func(c *Config) { c.LoadFactor = f } }
+
+// WithAlpha sets Eq 5's EMA smoothing parameter.
+func WithAlpha(a float64) Option { return func(c *Config) { c.Alpha = a } }
+
+// WithoutStealing disables query stealing (Requirement 2).
+func WithoutStealing() Option { return func(c *Config) { c.DisableStealing = true } }
+
+// WithPrepWorkers bounds preprocessing parallelism (0 = GOMAXPROCS).
+func WithPrepWorkers(n int) Option { return func(c *Config) { c.PrepWorkers = n } }
+
+// ParsePolicy maps a policy name (as printed by Policy.String and used by
+// the daemons' -policy flags) back to the Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{PolicyNoCache, PolicyNextReady, PolicyHash, PolicyLandmark, PolicyEmbed} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("grouting: unknown policy %q", s)
+}
+
+// NewConfig assembles a Config from options (zero fields keep the paper's
+// defaults, exactly as the plain Config struct does).
+func NewConfig(opts ...Option) Config {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// New builds a system from functional options: it loads g into the storage
+// tier, runs the preprocessing the configured policy needs, and returns a
+// ready-to-query system. NewSystem with a Config struct remains supported;
+// New(g, opts...) is sugar over it.
+func New(g *Graph, opts ...Option) (*System, error) {
+	return NewSystem(g, NewConfig(opts...))
+}

@@ -16,10 +16,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrent surfaces: the networked transport and the
-# root-package client (ExecuteStream, pooled conns, cancellation).
+# Race-detect the concurrent surfaces: the networked transport, the
+# root-package client (ExecuteStream, pooled conns, cancellation) and the
+# router (strategy registry, stealing/diversion accounting).
 race:
-	$(GO) test -race ./internal/rpc .
+	$(GO) test -race ./internal/rpc ./internal/router .
 
 # Compile every example program so public-API drift breaks the build here,
 # not the examples.
@@ -29,10 +30,10 @@ examples:
 		$(GO) build -o /dev/null ./$$d || exit 1; \
 	done
 
-# One-iteration smoke of the hot-path benchmark: catches crashes and gross
-# regressions without CI-scale runtimes.
+# One-iteration smoke of every benchmark in the repo: catches crashes and
+# bit-rot in benchmark code without CI-scale runtimes.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkQueryEmbed' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full micro-benchmarks with allocation accounting, including the
 # transport pipelining comparison (BenchmarkClientBatch).

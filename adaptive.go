@@ -1,0 +1,76 @@
+package grouting
+
+// The adaptive hybrid strategy — registered through the same public API
+// user strategies use, as proof the extension point carries a real scheme.
+//
+// Rationale: hash routing (Eq 1) costs O(1) per decision and already wins
+// when a workload mostly repeats queries on the same nodes. The embedding
+// scheme (Section 3.4.2) costs O(P·D) per decision but additionally
+// co-routes *nearby* nodes, so it pays off exactly when the workload shows
+// cache locality. The hybrid starts on hash and watches the observed cache
+// hit rate through the StatsObserver feedback both transports provide;
+// once the hit rate crosses a threshold — evidence the workload has the
+// locality structure smart routing exploits — it hot-swaps to embed and
+// lets the EMA means (Eq 5) take over. This is a first step towards the
+// dynamic, workload-driven adaptation of PHD-Store and Peng et al.
+
+// PolicyAdaptive is the adaptive hybrid routing strategy: hash until the
+// observed cache hit rate crosses AdaptiveSwapHitRate (over at least
+// AdaptiveMinTouches record accesses), then embed.
+var PolicyAdaptive = RegisterStrategy("adaptive", newAdaptive, RequireEmbedding())
+
+const (
+	// AdaptiveMinTouches is the minimum record accesses before the hybrid
+	// trusts the hit rate (too-small samples would swap on noise).
+	AdaptiveMinTouches = 256
+	// AdaptiveSwapHitRate is the observed hit rate at which the hybrid
+	// switches from hash to embed.
+	AdaptiveSwapHitRate = 0.5
+)
+
+type adaptiveStrategy struct {
+	hash    Strategy
+	embed   Strategy
+	active  Strategy
+	swapped bool
+}
+
+func newAdaptive(res StrategyResources) (Strategy, error) {
+	h, err := NewStrategy(PolicyHash, res)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewStrategy(PolicyEmbed, res)
+	if err != nil {
+		return nil, err
+	}
+	return &adaptiveStrategy{hash: h, embed: e, active: h}, nil
+}
+
+// Name reports the currently active leg, so a Stats snapshot shows
+// whether the swap has happened.
+func (s *adaptiveStrategy) Name() string {
+	if s.swapped {
+		return "adaptive[embed]"
+	}
+	return "adaptive[hash]"
+}
+
+func (s *adaptiveStrategy) Pick(q Query, loads []int) int { return s.active.Pick(q, loads) }
+
+func (s *adaptiveStrategy) Observe(q Query, proc int) { s.active.Observe(q, proc) }
+
+func (s *adaptiveStrategy) DecisionUnits() int { return s.active.DecisionUnits() }
+
+// ObserveStats implements StatsObserver: the hot-swap trigger. Both
+// routers call it under their own lock, after each executed query, with
+// the system's cumulative cache counters.
+func (s *adaptiveStrategy) ObserveStats(c CacheCounters) {
+	if s.swapped {
+		return
+	}
+	if c.Touches() >= AdaptiveMinTouches && c.HitRate() >= AdaptiveSwapHitRate {
+		s.swapped = true
+		s.active = s.embed
+	}
+}

@@ -42,6 +42,12 @@ type Client interface {
 	// drains. Outcomes may arrive out of submission order on transports
 	// that execute concurrently; match them through Outcome.Query.
 	ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome
+	// Stats returns a snapshot of the system's runtime counters:
+	// per-processor assigned/executed/stolen/diverted counts, cache
+	// hit/miss/eviction counters, and routing-decision-time / queue-depth
+	// percentiles. Both transports report the identical structure (the
+	// networked client fetches it from the router in one round trip).
+	Stats(ctx context.Context) (Stats, error)
 	// Close releases the client. Calls after Close fail with
 	// ErrUnavailable.
 	Close() error
@@ -148,6 +154,18 @@ func (c *localClient) ExecuteBatch(ctx context.Context, qs []Query) ([]Result, e
 func (c *localClient) ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome {
 	// One worker: the virtual clock serialises execution anyway.
 	return stream(ctx, in, 1, c.exec)
+}
+
+func (c *localClient) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Stats{}, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	return *c.ses.Snapshot(), nil
 }
 
 func (c *localClient) Close() error {

@@ -12,6 +12,12 @@
 //
 //	# pipelined submission: batches of 32 queries per round trip
 //	grouting-cli -router 127.0.0.1:7200 -batch 32
+//
+//	# the system's observability snapshot after the run
+//	grouting-cli -router 127.0.0.1:7200 -stats
+//
+//	# what routing strategies are registered (built-ins + user strategies)
+//	grouting-cli -policy list
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	grouting "repro"
 	"repro/internal/gen"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,6 +38,7 @@ func main() {
 		load       = flag.Bool("load", false, "load the dataset into the storage tier and exit")
 		storage    = flag.String("storage", "", "comma-separated storage addresses (for -load)")
 		routerAddr = flag.String("router", "", "router address (for querying)")
+		policy     = flag.String("policy", "", "'list' prints the strategy registry; any other name resolves and prints it")
 		dataset    = flag.String("dataset", "webgraph", "dataset preset")
 		graphScale = flag.Float64("graphscale", 0.05, "dataset scale")
 		seed       = flag.Int64("seed", 42, "generator seed")
@@ -41,8 +49,21 @@ func main() {
 		batch      = flag.Int("batch", 1, "queries per round trip (1 = one Execute per query)")
 		timeout    = flag.Duration("timeout", 0, "overall deadline for the workload (0 = none)")
 		verify     = flag.Bool("verify", false, "check every result against the in-memory oracle")
+		stats      = flag.Bool("stats", false, "print the system's Stats() snapshot after the run")
 	)
 	flag.Parse()
+
+	if *policy != "" {
+		if *policy == "list" {
+			fmt.Print(policyTable())
+			return
+		}
+		pol, err := grouting.ParsePolicy(*policy)
+		exitOn(err)
+		fmt.Printf("%s resolves to policy %d (needs landmarks: %v, needs embedding: %v)\n",
+			pol, int(pol), pol.NeedsLandmarks(), pol.NeedsEmbedding())
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -111,6 +132,20 @@ func main() {
 		}
 		fmt.Println("all results verified against the oracle")
 	}
+	if *stats {
+		snap, err := cl.Stats(ctx)
+		exitOn(err)
+		fmt.Print(snap.String())
+	}
+}
+
+// policyTable renders the strategy registry as an aligned table.
+func policyTable() string {
+	t := metrics.NewTable("policy", "id", "landmarks", "embedding")
+	for _, in := range grouting.StrategyRegistry() {
+		t.AddRow(in.Name, int(in.Policy), in.NeedsLandmarks, in.NeedsEmbedding)
+	}
+	return t.String()
 }
 
 func splitAddrs(s string) []string {

@@ -17,13 +17,25 @@
 // regenerates the named dataset (the same seeded generator grouting-cli
 // uses to load the storage tier). Clients connect to the router with
 // grouting.Dial.
+//
+// Every role can additionally expose its runtime counters over HTTP with
+// -http addr: GET /statsz returns them as JSON (for the router, the full
+// system-wide grouting.Stats snapshot — per-processor placement, cache hit
+// rates, routing-decision percentiles), and /debug/vars serves the same
+// data through the standard expvar surface for scrapers.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	grouting "repro"
 	"repro/internal/gen"
@@ -33,9 +45,10 @@ func main() {
 	var (
 		role       = flag.String("role", "", "storage | processor | router")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		httpAddr   = flag.String("http", "", "serve /statsz (JSON) and expvar /debug/vars on this address (empty = disabled)")
 		storage    = flag.String("storage", "", "comma-separated storage addresses (processor role)")
 		processors = flag.String("processors", "", "comma-separated processor addresses (router role)")
-		policy     = flag.String("policy", "nextready", "routing policy: nextready | hash | landmark | embed")
+		policy     = flag.String("policy", "nextready", "routing policy (any registered strategy; see grouting-cli -policy list)")
 		cacheMB    = flag.Int64("cache-mb", 256, "processor cache capacity in MiB")
 		dataset    = flag.String("dataset", "webgraph", "dataset preset for smart-routing preprocessing (router role)")
 		graphScale = flag.Float64("graphscale", 0.05, "dataset scale for preprocessing (router role)")
@@ -48,6 +61,7 @@ func main() {
 		s, err := grouting.ServeStorage(*listen)
 		exitOn(err)
 		fmt.Printf("storage shard listening on %s\n", s.Addr())
+		serveHTTP(*httpAddr, func() (any, error) { return s.Stats(), nil })
 		select {}
 	case "processor":
 		addrs := splitAddrs(*storage)
@@ -57,6 +71,7 @@ func main() {
 		p, err := grouting.ServeProcessor(*listen, addrs, *cacheMB<<20)
 		exitOn(err)
 		fmt.Printf("processor listening on %s (storage: %s)\n", p.Addr(), *storage)
+		serveHTTP(*httpAddr, func() (any, error) { return p.Stats(), nil })
 		select {}
 	case "router":
 		addrs := splitAddrs(*processors)
@@ -74,12 +89,50 @@ func main() {
 		r, err := grouting.ServeRouter(*listen, spec)
 		exitOn(err)
 		fmt.Printf("router listening on %s (policy %s, %d processors)\n", r.Addr(), pol, len(addrs))
+		serveHTTP(*httpAddr, func() (any, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			return r.Snapshot(ctx)
+		})
 		select {}
 	default:
 		fmt.Fprintln(os.Stderr, "need -role storage|processor|router")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// serveHTTP exposes the daemon's counters on addr: /statsz as plain JSON
+// and /debug/vars through expvar (the snapshot is published as the
+// "grouting" variable). No-op when addr is empty.
+func serveHTTP(addr string, stats func() (any, error)) {
+	if addr == "" {
+		return
+	}
+	expvar.Publish("grouting", expvar.Func(func() any {
+		v, err := stats()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return v
+	}))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		v, err := stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	exitOn(err)
+	fmt.Printf("http stats on http://%s/statsz\n", ln.Addr())
+	go http.Serve(ln, mux)
 }
 
 func splitAddrs(s string) []string {

@@ -51,6 +51,25 @@
 // cancellation and deadlines (the networked router forwards the caller's
 // deadline to the processors).
 //
+// # Routing strategies are an extension point
+//
+// The routing policies are backed by an open registry: implement
+// [Strategy] (Pick/Observe/DecisionUnits, optionally [DistanceAware] and
+// [StatsObserver]), register it with [RegisterStrategy], and the returned
+// [Policy] works everywhere a built-in does — [WithPolicy]/[WithStrategy]
+// locally, [RouterSpec] over TCP, the daemons' -policy flags, and
+// [ParsePolicy]/[Policy.String] round-trips. [PolicyAdaptive] ships
+// through this API: hash routing until the observed cache hit rate shows
+// locality worth exploiting, then a hot-swap to the embedding scheme.
+//
+// # Observability
+//
+// Every Client reports [Client.Stats]: one snapshot structure
+// (per-processor placement counts, cache hit/miss/eviction counters,
+// routing-decision-time and queue-depth percentiles) identical across
+// transports; groutingd additionally serves it over HTTP (/statsz and
+// expvar) when started with -http.
+//
 // For measurement, [System.RunWorkload] executes a whole workload on the
 // virtual clock and reports the paper's figures (throughput, response
 // time, cache hit rates). Sessions ([System.NewSession]) remain as the

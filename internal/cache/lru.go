@@ -14,6 +14,8 @@
 // safe for concurrent use; each processor owns one cache.
 package cache
 
+import "repro/internal/metrics"
+
 // EntryOverhead approximates the per-entry bookkeeping cost (map bucket +
 // list element + headers) charged against the capacity in addition to the
 // caller-declared value size.
@@ -29,6 +31,20 @@ type Stats struct {
 	CurrentBytes   int64
 	CapacityBytes  int64
 	CumInsertBytes int64
+}
+
+// Counters converts the snapshot into the shared observability form every
+// transport reports through metrics.Snapshot.
+func (s Stats) Counters() metrics.CacheCounters {
+	return metrics.CacheCounters{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Inserts:       s.Inserts,
+		Evictions:     s.Evictions,
+		Rejected:      s.Rejected,
+		CurrentBytes:  s.CurrentBytes,
+		CapacityBytes: s.CapacityBytes,
+	}
 }
 
 // none marks an empty list link / absent slot index.

@@ -12,15 +12,21 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/embed"
 	"repro/internal/kvstore"
+	"repro/internal/router"
 	"repro/internal/simnet"
 )
 
 // Policy selects the routing scheme (Section 3.3-3.4) plus the paper's
-// no-cache control configuration.
+// no-cache control configuration. The constants below are sugar over the
+// strategy registry in internal/router: any strategy registered there —
+// including user strategies added through the public RegisterStrategy —
+// gets its own Policy value, and Policy.String / name parsing resolve
+// through the registry uniformly.
 type Policy int
 
 const (
@@ -45,24 +51,35 @@ var Policies = []Policy{PolicyNoCache, PolicyNextReady, PolicyHash, PolicyLandma
 var SmartPolicies = []Policy{PolicyLandmark, PolicyEmbed}
 
 func (p Policy) String() string {
-	switch p {
-	case PolicyNoCache:
-		return "nocache"
-	case PolicyNextReady:
-		return "nextready"
-	case PolicyHash:
-		return "hash"
-	case PolicyLandmark:
-		return "landmark"
-	case PolicyEmbed:
-		return "embed"
+	if reg, ok := router.LookupID(int(p)); ok {
+		return reg.Name
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
 // NeedsLandmarks reports whether the policy requires landmark
-// preprocessing.
-func (p Policy) NeedsLandmarks() bool { return p == PolicyLandmark || p == PolicyEmbed }
+// preprocessing (selection, BFS distance index, processor assignment).
+func (p Policy) NeedsLandmarks() bool {
+	reg, ok := router.LookupID(int(p))
+	return ok && reg.Prep >= router.PrepLandmarks
+}
+
+// NeedsEmbedding reports whether the policy additionally requires the
+// graph embedding.
+func (p Policy) NeedsEmbedding() bool {
+	reg, ok := router.LookupID(int(p))
+	return ok && reg.Prep >= router.PrepEmbedding
+}
+
+// ParsePolicy resolves a registered strategy name (exactly as printed by
+// Policy.String and used by the daemons' -policy flags) back to its
+// Policy. The error for an unknown name lists every registered name.
+func ParsePolicy(s string) (Policy, error) {
+	if reg, ok := router.LookupName(s); ok {
+		return Policy(reg.ID), nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (registered: %s)", s, strings.Join(router.Names(), ", "))
+}
 
 // Config describes one system deployment. The zero value plus a graph is
 // runnable: defaults follow the paper's setup (Section 4.1).
@@ -76,6 +93,10 @@ type Config struct {
 	// Policy picks the routing scheme (default PolicyEmbed, the paper's
 	// best performer).
 	Policy Policy
+	// Strategy selects the routing scheme by registered name instead
+	// ("hash", "embed", or anything added through the strategy registry).
+	// When non-empty it overrides Policy; unknown names fail validation.
+	Strategy string
 	// CacheBytes is each processor's cache capacity (paper default: 4 GB,
 	// "large enough for our queries").
 	CacheBytes int64
@@ -119,6 +140,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Strategy != "" {
+		if reg, ok := router.LookupName(c.Strategy); ok {
+			c.Policy = Policy(reg.ID)
+		}
+		// Unknown names are reported by validate, which runs after this.
+	}
 	if c.Processors == 0 {
 		c.Processors = 7
 	}
@@ -153,6 +180,14 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) validate() error {
+	if c.Strategy != "" {
+		if _, ok := router.LookupName(c.Strategy); !ok {
+			return fmt.Errorf("core: unknown strategy %q (registered: %s)", c.Strategy, strings.Join(router.Names(), ", "))
+		}
+	}
+	if _, ok := router.LookupID(int(c.Policy)); !ok {
+		return fmt.Errorf("core: unknown policy %v", c.Policy)
+	}
 	if c.Processors < 1 {
 		return fmt.Errorf("core: Processors = %d, need >= 1", c.Processors)
 	}

@@ -89,7 +89,13 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 	procs := s.newProcs()
 	tl := simnet.NewTimeline(s.cfg.StorageServers)
 	prof := s.cfg.Network
-	decisionCost := prof.RouterBase + time.Duration(strat.DecisionUnits())*prof.RouterPerUnit
+	// The decision cost is sampled at route time — DecisionUnits may change
+	// over a run for adaptive strategies that hot-swap schemes.
+	decisionCost := func() time.Duration {
+		return prof.RouterBase + time.Duration(strat.DecisionUnits())*prof.RouterPerUnit
+	}
+	statsObs, _ := strat.(router.StatsObserver)
+	costByID := make([]time.Duration, len(qs))
 
 	var routerBusy time.Duration
 
@@ -136,9 +142,11 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 		// and their lengths are a live load signal, exactly as when the
 		// paper's router releases the next query on a processor's ack.
 		for rt.QueueLen(p) == 0 && stream < len(qs) {
+			dc := decisionCost()
 			rt.Route(qs[stream])
+			costByID[qs[stream].ID] = dc
 			stream++
-			routerBusy += decisionCost
+			routerBusy += dc
 		}
 		q, ok := rt.Next(p)
 		if !ok {
@@ -152,9 +160,12 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 		rep.Results[q.ID] = res
 		rep.ExecProc[q.ID] = p
 		rep.HitsByID[q.ID] = st.hits
-		lat.Add(decisionCost + service)
+		lat.Add(costByID[q.ID] + service)
 		next[p] += service
 		agg.add(st)
+		if statsObs != nil {
+			statsObs.ObserveStats(aggregateCache(procs))
+		}
 		remaining--
 	}
 
@@ -195,13 +206,15 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 // calls. Examples and the networked daemon use it; experiments use
 // RunWorkload.
 type Session struct {
-	sys   *System
-	rt    *router.Router
-	procs []*proc
-	tl    *simnet.Timeline
-	now   time.Duration
-	stats execStats
-	count int
+	sys     *System
+	rt      *router.Router
+	procs   []*proc
+	tl      *simnet.Timeline
+	now     time.Duration
+	stats   execStats
+	count   int
+	routing metrics.Histogram // virtual routing decision cost per query (ns)
+	depth   metrics.Histogram // destination queue depth at each decision
 }
 
 // NewSession creates a session with cold caches.
@@ -230,7 +243,15 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 		return query.Result{}, 0, err
 	}
 	q.ID = ses.count
+	prof := ses.sys.cfg.Network
+	strat := ses.rt.Strategy()
+	decisionCost := prof.RouterBase + time.Duration(strat.DecisionUnits())*prof.RouterPerUnit
 	p := ses.rt.Route(q)
+	ses.routing.Observe(int64(decisionCost))
+	// Depth ahead of the new query. A session executes synchronously, so
+	// this is legitimately always 0 — the digest exists so the snapshot
+	// shape matches the networked router, where in-flight depth is real.
+	ses.depth.Observe(int64(ses.rt.QueueLen(p) - 1))
 	q2, ok := ses.rt.Next(p)
 	if !ok {
 		return query.Result{}, 0, fmt.Errorf("core: routed query vanished from queue %d", p)
@@ -242,7 +263,21 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 	ses.now += service
 	ses.stats.add(st)
 	ses.count++
+	if so, ok := strat.(router.StatsObserver); ok {
+		so.ObserveStats(aggregateCache(ses.procs))
+	}
 	return res, service, nil
+}
+
+// aggregateCache sums the processors' cache counters — the StatsObserver
+// feedback signal, fully populated (evictions, resident bytes, …) so
+// strategies see the same fields both transports report.
+func aggregateCache(procs []*proc) metrics.CacheCounters {
+	var agg metrics.CacheCounters
+	for _, p := range procs {
+		agg.Add(p.cache.Stats().Counters())
+	}
+	return agg
 }
 
 // Stats returns the session's cumulative cache accounting.
@@ -252,3 +287,38 @@ func (ses *Session) Stats() (hits, misses int64) {
 
 // Queries returns how many queries the session has executed.
 func (ses *Session) Queries() int { return ses.count }
+
+// Snapshot assembles the session's observability counters: per-processor
+// assignment/execution/steal/diversion counts, cache activity, and the
+// routing-decision and queue-depth digests. The networked router reports
+// the identical structure, so clients read one shape on both transports.
+func (ses *Session) Snapshot() *metrics.Snapshot {
+	strat := ses.rt.Strategy()
+	snap := &metrics.Snapshot{
+		Transport:    "local",
+		Policy:       ses.sys.cfg.Policy.String(),
+		Strategy:     strat.Name(),
+		Processors:   len(ses.procs),
+		Queries:      int64(ses.count),
+		Stolen:       int64(ses.rt.Stolen()),
+		Diverted:     int64(ses.rt.Diverted()),
+		RoutingNanos: ses.routing.Summary(),
+		QueueDepth:   ses.depth.Summary(),
+	}
+	assigned, executed := ses.rt.Assigned(), ses.rt.Executed()
+	stolenBy, divertedFrom := ses.rt.StolenBy(), ses.rt.DivertedFrom()
+	for i, p := range ses.procs {
+		cc := p.cache.Stats().Counters()
+		snap.PerProc = append(snap.PerProc, metrics.ProcCounters{
+			Proc:       i,
+			Assigned:   int64(assigned[i]),
+			Executed:   int64(executed[i]),
+			Stolen:     int64(stolenBy[i]),
+			Diverted:   int64(divertedFrom[i]),
+			QueueDepth: int64(ses.rt.QueueLen(i)),
+			Cache:      cc,
+		})
+		snap.Cache.Add(cc)
+	}
+	return snap
+}

@@ -106,7 +106,7 @@ func (s *System) preprocess() error {
 	s.prep.LandmarkBytes = s.assign.StorageBytes()
 	s.prep.IndexBytes = s.idx.StorageBytes()
 
-	if s.cfg.Policy == PolicyEmbed {
+	if s.cfg.Policy.NeedsEmbedding() {
 		t0 = time.Now()
 		e, err := embed.Build(s.g, s.idx, embed.Options{
 			Dimensions: s.cfg.Dimensions,
@@ -164,20 +164,23 @@ func inducedFraction(g *graph.Graph, fraction float64, seed int64) (*graph.Graph
 	return sub, leftOut
 }
 
-// buildStrategy creates a fresh routing strategy for one workload run, so
-// runs never share router state.
+// buildStrategy creates a fresh routing strategy for one workload run
+// through the strategy registry, so runs never share router state and
+// registered user strategies construct exactly like the built-ins.
 func (s *System) buildStrategy() (router.Strategy, error) {
-	switch s.cfg.Policy {
-	case PolicyNoCache, PolicyNextReady:
-		return router.NewNextReady(), nil
-	case PolicyHash:
-		return router.NewHash(), nil
-	case PolicyLandmark:
-		return router.NewLandmark(s.assign, s.cfg.LoadFactor), nil
-	case PolicyEmbed:
-		return router.NewEmbed(s.emb, s.cfg.Processors, s.cfg.Alpha, s.cfg.LoadFactor, s.cfg.Seed+1)
+	reg, ok := router.LookupID(int(s.cfg.Policy))
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %v", s.cfg.Policy)
 	}
-	return nil, fmt.Errorf("core: unknown policy %v", s.cfg.Policy)
+	return reg.New(router.Resources{
+		Procs:      s.cfg.Processors,
+		Seed:       s.cfg.Seed,
+		LoadFactor: s.cfg.LoadFactor,
+		Alpha:      s.cfg.Alpha,
+		Graph:      s.g,
+		Assignment: s.assign,
+		Embedding:  s.emb,
+	})
 }
 
 // newProcs provisions the per-run processor states (cold caches).

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a log₂-bucketed counter over non-negative int64 samples
+// (nanoseconds, queue depths, byte counts). Memory is constant, Observe is
+// O(1), and quantiles resolve to the upper bound of the owning bucket — a
+// ≤ 2× overestimate, which is plenty for the order-of-magnitude questions
+// the observability surface answers ("is routing µs or ms?"). The zero
+// value is ready to use. Not safe for concurrent use; callers that share
+// one (the networked router) guard it with their own lock.
+type Histogram struct {
+	counts [65]int64 // bucket b holds values with bit length b: [2^(b-1), 2^b)
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns an upper bound for the p-quantile (p in [0,1]); 0 when
+// empty. The bound is exact for bucket boundaries and never exceeds the
+// observed maximum.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(p*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if b == 0 {
+				return 0
+			}
+			upper := int64(1)<<uint(b) - 1
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Summary condenses the histogram into the fixed-size form that travels
+// over the wire.
+func (h *Histogram) Summary() Summary {
+	s := Summary{Count: h.count, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / h.count
+		s.P50 = h.Quantile(0.50)
+		s.P95 = h.Quantile(0.95)
+		s.P99 = h.Quantile(0.99)
+	}
+	return s
+}
+
+// Summary is a compact percentile digest of a Histogram: fixed size, so a
+// stats poll carrying several of them stays small on the wire.
+type Summary struct {
+	Count int64
+	Mean  int64
+	P50   int64
+	P95   int64
+	P99   int64
+	Max   int64
+}
+
+// CacheCounters is one cache's (or an aggregate's) activity counters, the
+// Eq 8/9 quantities every transport reports identically.
+type CacheCounters struct {
+	Hits          int64
+	Misses        int64
+	Inserts       int64
+	Evictions     int64
+	Rejected      int64
+	CurrentBytes  int64
+	CapacityBytes int64
+}
+
+// Add accumulates o into c (aggregation across processors).
+func (c *CacheCounters) Add(o CacheCounters) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.Inserts += o.Inserts
+	c.Evictions += o.Evictions
+	c.Rejected += o.Rejected
+	c.CurrentBytes += o.CurrentBytes
+	c.CapacityBytes += o.CapacityBytes
+}
+
+// Touches returns the total record accesses (hits + misses).
+func (c CacheCounters) Touches() int64 { return c.Hits + c.Misses }
+
+// HitRate returns hits / (hits + misses), 0 when nothing was touched.
+func (c CacheCounters) HitRate() float64 {
+	if t := c.Touches(); t > 0 {
+		return float64(c.Hits) / float64(t)
+	}
+	return 0
+}
+
+// ProcCounters is one processor's share of a Snapshot.
+type ProcCounters struct {
+	// Proc is the processor index.
+	Proc int
+	// Assigned counts queries the routing strategy sent here (pre-steal).
+	Assigned int64
+	// Executed counts queries that actually ran here (post-steal).
+	Executed int64
+	// Stolen counts dispatches this processor satisfied by stealing.
+	Stolen int64
+	// Diverted counts queries re-routed away because this processor was
+	// down when the strategy picked it.
+	Diverted int64
+	// QueueDepth is the current queue length (virtual-time router) or
+	// in-flight count (networked router).
+	QueueDepth int64
+	// Cache is this processor's cache activity.
+	Cache CacheCounters
+}
+
+// Snapshot is the system-wide observability surface: the quantities the
+// paper's evaluation is built on (per-processor placement, cache hit
+// rates, queue depths, routing decision cost), reported identically by the
+// virtual-time engine and the networked deployment.
+type Snapshot struct {
+	// Transport names the deployment kind: "local" or "tcp".
+	Transport string
+	// Policy is the configured routing policy's registered name.
+	Policy string
+	// Strategy is the live strategy's self-reported name — for adaptive
+	// strategies this reflects the currently active scheme.
+	Strategy string
+	// Processors is the processing-tier size.
+	Processors int
+	// Queries counts queries executed through this handle.
+	Queries int64
+	// Stolen and Diverted are the system-wide totals.
+	Stolen   int64
+	Diverted int64
+	// Cache aggregates every processor's cache counters.
+	Cache CacheCounters
+	// PerProc breaks the counters down by processor.
+	PerProc []ProcCounters
+	// RoutingNanos digests per-query routing decision time in nanoseconds
+	// (virtual router cost on the local transport, wall time on tcp).
+	RoutingNanos Summary
+	// QueueDepth digests the destination's queue depth (in-flight load for
+	// the networked router) observed at each routing decision. On the
+	// synchronous local client queries never queue, so every observation
+	// is legitimately 0 there; under concurrent networked load it reports
+	// real backpressure.
+	QueueDepth Summary
+}
+
+// String renders the snapshot as aligned tables (the same renderer the
+// experiment harnesses use for paper-style output).
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transport=%s policy=%s strategy=%s processors=%d queries=%d stolen=%d diverted=%d\n",
+		s.Transport, s.Policy, s.Strategy, s.Processors, s.Queries, s.Stolen, s.Diverted)
+	fmt.Fprintf(&b, "cache: %d hits / %d misses (%.1f%% hit rate), %d inserts, %d evictions\n",
+		s.Cache.Hits, s.Cache.Misses, 100*s.Cache.HitRate(), s.Cache.Inserts, s.Cache.Evictions)
+	fmt.Fprintf(&b, "routing decision: p50=%dns p95=%dns p99=%dns max=%dns (n=%d)\n",
+		s.RoutingNanos.P50, s.RoutingNanos.P95, s.RoutingNanos.P99, s.RoutingNanos.Max, s.RoutingNanos.Count)
+	fmt.Fprintf(&b, "queue depth: p50=%d p95=%d p99=%d max=%d\n",
+		s.QueueDepth.P50, s.QueueDepth.P95, s.QueueDepth.P99, s.QueueDepth.Max)
+	t := NewTable("proc", "assigned", "executed", "stolen", "diverted", "queue", "hits", "misses", "hit%", "evict")
+	for _, p := range s.PerProc {
+		t.AddRow(p.Proc, p.Assigned, p.Executed, p.Stolen, p.Diverted, p.QueueDepth,
+			p.Cache.Hits, p.Cache.Misses, 100*p.Cache.HitRate(), p.Cache.Evictions)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	for name, id := range map[string]int{
+		"nocache": 0, "nextready": 1, "hash": 2, "landmark": 3, "embed": 4,
+	} {
+		reg, ok := LookupName(name)
+		if !ok {
+			t.Fatalf("built-in %q not registered", name)
+		}
+		if reg.ID != id {
+			t.Fatalf("%q id = %d, want %d", name, reg.ID, id)
+		}
+		if back, ok := LookupID(id); !ok || back.Name != name {
+			t.Fatalf("id %d resolves to %+v, want %q", id, back, name)
+		}
+	}
+	if _, ok := LookupName("bogus"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestRegistryBuildBaselines(t *testing.T) {
+	for _, name := range []string{"nocache", "nextready", "hash"} {
+		s, err := Build(name, Resources{Procs: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p := s.Pick(query.Query{Node: 5}, []int{0, 0, 0}); p < 0 || p > 2 {
+			t.Fatalf("%s picked %d", name, p)
+		}
+	}
+	if _, err := Build("bogus", Resources{}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bogus build error = %v", err)
+	}
+}
+
+func TestRegistrySmartStrategiesNeedPrep(t *testing.T) {
+	// Without preprocessing products the smart constructors must refuse.
+	if _, err := Build("landmark", Resources{Procs: 2, LoadFactor: 20}); err == nil {
+		t.Fatal("landmark built without assignment")
+	}
+	if _, err := Build("embed", Resources{Procs: 2, Alpha: 0.5, LoadFactor: 20}); err == nil {
+		t.Fatal("embed built without embedding")
+	}
+	// With them, they build and route.
+	g := gen.Grid(10, 1)
+	idx := landmark.BuildIndex(g, []graph.NodeID{0, 9}, 0)
+	s, err := Build("landmark", Resources{Procs: 2, LoadFactor: 20, Assignment: landmark.Assign(idx, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "landmark" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	ctor := func(r Resources) (Strategy, error) { return NewHash(), nil }
+	id, err := Register("registry-test-custom", PrepNone, ctor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id < firstCustomID {
+		t.Fatalf("custom id %d collides with built-ins", id)
+	}
+	if _, err := Register("registry-test-custom", PrepNone, ctor); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := Register("", PrepNone, ctor); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := Register("registry-test-nil", PrepNone, nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "registry-test-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing custom entry", names)
+	}
+	// Built-ins come first, in id order.
+	if names[0] != "nocache" || names[4] != "embed" {
+		t.Fatalf("Names() order wrong: %v", names)
+	}
+}
+
+// adaptiveProbe flips destination once ObserveStats sees any hits —
+// exercising the StatsObserver feedback path in isolation.
+type adaptiveProbe struct {
+	swapped bool
+}
+
+func (s *adaptiveProbe) Name() string { return "probe" }
+func (s *adaptiveProbe) Pick(q query.Query, loads []int) int {
+	if s.swapped {
+		return 1
+	}
+	return 0
+}
+func (s *adaptiveProbe) Observe(query.Query, int) {}
+func (s *adaptiveProbe) DecisionUnits() int       { return 1 }
+func (s *adaptiveProbe) ObserveStats(c metrics.CacheCounters) {
+	if c.Hits > 0 {
+		s.swapped = true
+	}
+}
+
+func TestStatsObserverInterface(t *testing.T) {
+	var s Strategy = &adaptiveProbe{}
+	so, ok := s.(StatsObserver)
+	if !ok {
+		t.Fatal("probe does not satisfy StatsObserver")
+	}
+	if s.Pick(query.Query{}, []int{0, 0}) != 0 {
+		t.Fatal("pre-swap pick")
+	}
+	so.ObserveStats(metrics.CacheCounters{Hits: 1})
+	if s.Pick(query.Query{}, []int{0, 0}) != 1 {
+		t.Fatal("post-swap pick")
+	}
+}

@@ -15,16 +15,18 @@ import (
 // The router dispatches to a processor only on acknowledgement of its
 // previous query, so queue lengths are an online load estimate.
 type Router struct {
-	strategy Strategy
-	queues   [][]query.Query
-	heads    []int // pop index per queue (amortised O(1) pops)
-	loads    []int // scratch for Route: per-queue lengths, reused per call
-	stealing bool
-	alive    []bool
-	assigned []int // total queries routed per processor (pre-steal)
-	executed []int // total queries handed out per processor (post-steal)
-	stolen   int
-	diverted int // queries re-routed away from dead processors
+	strategy      Strategy
+	queues        [][]query.Query
+	heads         []int // pop index per queue (amortised O(1) pops)
+	loads         []int // scratch for Route: per-queue lengths, reused per call
+	stealing      bool
+	alive         []bool
+	assigned      []int // total queries routed per processor (pre-steal)
+	executed      []int // total queries handed out per processor (post-steal)
+	stolenBy      []int // dispatches processor p satisfied by stealing
+	diverted      []int // queries re-routed away from dead processor p
+	stolen        int
+	divertedTotal int
 }
 
 // New creates a router over procs processor connections.
@@ -44,6 +46,8 @@ func New(strategy Strategy, procs int, stealing bool) (*Router, error) {
 		alive:    make([]bool, procs),
 		assigned: make([]int, procs),
 		executed: make([]int, procs),
+		stolenBy: make([]int, procs),
+		diverted: make([]int, procs),
 	}
 	for i := range r.alive {
 		r.alive[i] = true
@@ -67,7 +71,15 @@ func (r *Router) Alive(p int) bool { return p >= 0 && p < len(r.alive) && r.aliv
 
 // Diverted returns how many queries were re-routed away from dead
 // processors.
-func (r *Router) Diverted() int { return r.diverted }
+func (r *Router) Diverted() int { return r.divertedTotal }
+
+// DivertedFrom returns a copy of the per-processor diversion counts (how
+// many queries each processor lost to being down when picked).
+func (r *Router) DivertedFrom() []int { return append([]int(nil), r.diverted...) }
+
+// StolenBy returns a copy of the per-processor steal counts (how many
+// dispatches each processor satisfied by stealing foreign work).
+func (r *Router) StolenBy() []int { return append([]int(nil), r.stolenBy...) }
 
 // Procs returns the number of processor connections.
 func (r *Router) Procs() int { return len(r.queues) }
@@ -110,8 +122,9 @@ func (r *Router) Route(q query.Query) int {
 		p = 0
 	}
 	if !r.alive[p] {
+		r.diverted[p]++
+		r.divertedTotal++
 		p = r.divert(q, loads)
-		r.diverted++
 	}
 	r.queues[p] = append(r.queues[p], q)
 	r.assigned[p]++
@@ -159,7 +172,14 @@ func (r *Router) RouteAll(qs []query.Query) {
 // work still matches p's cache contents); otherwise the oldest query of
 // the longest queue. ok is false when no work remains anywhere (or p's
 // queue is empty and stealing is disabled).
+//
+// A dead processor gets no work — not even its own backlog — so ok is
+// always false for it; queries queued before it died are recovered by the
+// live processors through stealing.
 func (r *Router) Next(p int) (query.Query, bool) {
+	if p < 0 || p >= len(r.alive) || !r.alive[p] {
+		return query.Query{}, false
+	}
 	if q, ok := r.pop(p); ok {
 		r.executed[p]++
 		return q, true
@@ -187,6 +207,7 @@ func (r *Router) Next(p int) (query.Query, bool) {
 		q := r.queues[victim][slot]
 		r.queues[victim] = append(r.queues[victim][:slot], r.queues[victim][slot+1:]...)
 		r.stolen++
+		r.stolenBy[p]++
 		r.executed[p]++
 		return q, true
 	}
@@ -202,6 +223,7 @@ func (r *Router) Next(p int) (query.Query, bool) {
 	}
 	q, _ := r.pop(victim)
 	r.stolen++
+	r.stolenBy[p]++
 	r.executed[p]++
 	return q, true
 }

@@ -57,17 +57,28 @@ func (p *ProcessorServer) Close() error {
 	return p.ln.Close()
 }
 
+// Stats returns the processor's counters, including the full cache
+// accounting (hits, misses, evictions, resident bytes).
+func (p *ProcessorServer) Stats() Stats {
+	p.mu.Lock()
+	cc := p.cache.Stats().Counters()
+	p.mu.Unlock()
+	return Stats{
+		Role:     "processor",
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+		Executed: p.executed.Load(),
+		Cache:    &cc,
+	}
+}
+
 func (p *ProcessorServer) handle(ctx context.Context, req *Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 	case OpStats:
-		return Response{OK: true, Stats: &Stats{
-			Role:     "processor",
-			Hits:     p.hits.Load(),
-			Misses:   p.misses.Load(),
-			Executed: p.executed.Load(),
-		}}
+		st := p.Stats()
+		return Response{OK: true, Stats: &st}
 	case OpExecute:
 		if req.Exec == nil || len(req.Exec.Queries) == 0 {
 			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
@@ -81,7 +92,10 @@ func (p *ProcessorServer) handle(ctx context.Context, req *Request) Response {
 			p.executed.Add(1)
 			results[i] = res
 		}
-		return Response{OK: true, Results: results}
+		p.mu.Lock()
+		cc := p.cache.Stats().Counters()
+		p.mu.Unlock()
+		return Response{OK: true, Results: results, ProcCache: &cc}
 	}
 	return errorResponse(fmt.Errorf("processor: unknown op %q", req.Op))
 }

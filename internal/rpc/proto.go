@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -84,6 +85,10 @@ type Response struct {
 	Founds []bool
 	// Results serves OpExecute, positionally aligned with Exec.Queries.
 	Results []query.Result
+	// ProcCache piggybacks the processor's cumulative cache counters on
+	// OpExecute responses, giving the router a live feedback signal for
+	// adaptive routing strategies without extra round trips.
+	ProcCache *metrics.CacheCounters
 	// Stats serves OpStats; nil for every other op.
 	Stats *Stats
 }
@@ -96,6 +101,13 @@ type Stats struct {
 	Hits     int64
 	Misses   int64
 	Executed int64
+	// Cache carries a processor's full cache counters (nil for other
+	// roles).
+	Cache *metrics.CacheCounters
+	// Snapshot carries the router's system-wide observability snapshot
+	// (nil for other roles): the same structure the virtual-time engine
+	// reports, so local and networked clients read identical stats.
+	Snapshot *metrics.Snapshot
 }
 
 // ErrCode classifies a remote failure so the client can reconstruct the

@@ -6,10 +6,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/embed"
 	"repro/internal/graph"
 	"repro/internal/landmark"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/router"
 )
@@ -19,15 +21,28 @@ import (
 // each sub-batch to its processor over a pooled connection (carrying the
 // client's deadline) and relays the answers. Per-processor in-flight
 // counts are the live load signal for the load-balanced distance (Eq 3/7).
+//
+// The router keeps the same per-processor accounting as the virtual-time
+// engine (assigned/completed counts, routing-decision-time and queue-depth
+// histograms) and serves it as a metrics.Snapshot on OpStats, so local and
+// networked clients report through one structure.
 type RouterServer struct {
-	ln    net.Listener
-	procs []*Pool
+	ln         net.Listener
+	procs      []*Pool
+	policyName string
 
-	mu       sync.Mutex // guards strategy and inflight
-	strategy router.Strategy
-	inflight []int
+	mu        sync.Mutex // guards strategy, inflight and the counters below
+	strategy  router.Strategy
+	statsObs  router.StatsObserver // strategy's optional feedback hook, nil if absent
+	inflight  []int
+	assigned  []int64                 // queries the strategy sent to each processor
+	completed []int64                 // queries each processor answered successfully
+	lastCache []metrics.CacheCounters // latest cache counters piggybacked per processor
+	routing   metrics.Histogram       // wall-clock routing decision time (ns)
+	depth     metrics.Histogram       // destination in-flight depth at each decision
 
 	requests atomic.Int64
+	queries  atomic.Int64
 }
 
 // RouterConfig configures a networked router.
@@ -36,6 +51,9 @@ type RouterConfig struct {
 	ProcessorAddrs []string
 	// Strategy decides destinations; nil defaults to next-ready.
 	Strategy router.Strategy
+	// PolicyName is the configured policy's registered name, reported in
+	// stats snapshots (defaults to the strategy's self-reported name).
+	PolicyName string
 	// PoolSize bounds connections per processor (0 = DefaultPoolSize).
 	PoolSize int
 }
@@ -48,7 +66,19 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 	if cfg.Strategy == nil {
 		cfg.Strategy = router.NewNextReady()
 	}
-	r := &RouterServer{strategy: cfg.Strategy, inflight: make([]int, len(cfg.ProcessorAddrs))}
+	if cfg.PolicyName == "" {
+		cfg.PolicyName = cfg.Strategy.Name()
+	}
+	n := len(cfg.ProcessorAddrs)
+	r := &RouterServer{
+		strategy:   cfg.Strategy,
+		policyName: cfg.PolicyName,
+		inflight:   make([]int, n),
+		assigned:   make([]int64, n),
+		completed:  make([]int64, n),
+		lastCache:  make([]metrics.CacheCounters, n),
+	}
+	r.statsObs, _ = cfg.Strategy.(router.StatsObserver)
 	for _, a := range cfg.ProcessorAddrs {
 		p := NewPool(a, cfg.PoolSize)
 		if err := p.Ping(context.Background()); err != nil {
@@ -91,7 +121,11 @@ func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 	case OpPing:
 		return Response{OK: true}
 	case OpStats:
-		return Response{OK: true, Stats: &Stats{Role: "router", Requests: r.requests.Load()}}
+		snap, err := r.Snapshot(ctx)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return Response{OK: true, Stats: &Stats{Role: "router", Requests: r.requests.Load(), Snapshot: snap}}
 	case OpExecute:
 		if req.Exec == nil || len(req.Exec.Queries) == 0 {
 			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
@@ -118,11 +152,15 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	r.mu.Lock()
 	for i, q := range ex.Queries {
 		copy(loads, r.inflight)
+		t0 := time.Now()
 		p := r.strategy.Pick(q, loads)
 		if p < 0 || p >= len(r.procs) {
 			p = 0
 		}
 		r.strategy.Observe(q, p)
+		r.routing.Observe(time.Since(t0).Nanoseconds())
+		r.depth.Observe(int64(r.inflight[p]))
+		r.assigned[p]++
 		r.inflight[p]++
 		dest[i] = p
 	}
@@ -140,12 +178,11 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	if single {
 		p := dest[0]
 		resp, err := r.procs[p].Call(ctx, &Request{Op: OpExecute, Exec: ex})
-		r.mu.Lock()
-		r.inflight[p] -= len(dest)
-		r.mu.Unlock()
+		r.finish(p, len(dest), &resp, err)
 		if err != nil {
 			return errorResponse(err)
 		}
+		resp.ProcCache = nil // router-internal feedback, not client payload
 		return resp
 	}
 
@@ -177,9 +214,7 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	var firstErr error
 	for range groups {
 		pr := <-results
-		r.mu.Lock()
-		r.inflight[pr.proc] -= len(pr.indices)
-		r.mu.Unlock()
+		r.finish(pr.proc, len(pr.indices), &pr.resp, pr.err)
 		if pr.err != nil {
 			if firstErr == nil {
 				firstErr = pr.err
@@ -196,30 +231,119 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	return out
 }
 
-// BuildStrategy constructs a routing strategy for the networked router by
-// running the smart-routing preprocessing locally over the graph.
+// finish settles the accounting for a completed sub-batch of n queries on
+// processor p: the in-flight load drops, successful completions advance
+// the per-processor counters, and the processor's piggybacked cache
+// counters feed the strategy's optional StatsObserver hook — the live
+// signal adaptive strategies hot-swap on.
+func (r *RouterServer) finish(p, n int, resp *Response, err error) {
+	r.mu.Lock()
+	r.inflight[p] -= n
+	if err == nil {
+		r.completed[p] += int64(n)
+		if resp.ProcCache != nil {
+			r.lastCache[p] = *resp.ProcCache
+			if r.statsObs != nil {
+				var agg metrics.CacheCounters
+				for i := range r.lastCache {
+					agg.Add(r.lastCache[i])
+				}
+				r.statsObs.ObserveStats(agg)
+			}
+		}
+	}
+	r.mu.Unlock()
+	if err == nil {
+		r.queries.Add(int64(n))
+	}
+}
+
+// Snapshot assembles the system-wide observability snapshot — the same
+// metrics.Snapshot structure the virtual-time engine reports — polling
+// each processor's OpStats for fresh cache counters (falling back to the
+// last piggybacked counters for processors that do not answer).
+func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) {
+	type procStats struct {
+		i  int
+		cc *metrics.CacheCounters
+	}
+	results := make(chan procStats, len(r.procs))
+	for i := range r.procs {
+		go func(i int) {
+			var cc *metrics.CacheCounters
+			if resp, err := r.procs[i].Call(ctx, &Request{Op: OpStats}); err == nil && resp.Stats != nil {
+				cc = resp.Stats.Cache
+			}
+			results <- procStats{i, cc}
+		}(i)
+	}
+	fresh := make([]*metrics.CacheCounters, len(r.procs))
+	for range r.procs {
+		ps := <-results
+		fresh[ps.i] = ps.cc
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := &metrics.Snapshot{
+		Transport:    "tcp",
+		Policy:       r.policyName,
+		Strategy:     r.strategy.Name(),
+		Processors:   len(r.procs),
+		Queries:      r.queries.Load(),
+		RoutingNanos: r.routing.Summary(),
+		QueueDepth:   r.depth.Summary(),
+	}
+	for i := range r.procs {
+		if fresh[i] != nil {
+			r.lastCache[i] = *fresh[i]
+		}
+		cc := r.lastCache[i]
+		snap.PerProc = append(snap.PerProc, metrics.ProcCounters{
+			Proc:       i,
+			Assigned:   r.assigned[i],
+			Executed:   r.completed[i],
+			QueueDepth: int64(r.inflight[i]),
+			Cache:      cc,
+		})
+		snap.Cache.Add(cc)
+	}
+	return snap, nil
+}
+
+// BuildStrategy constructs a routing strategy for the networked router
+// through the strategy registry, running whatever smart-routing
+// preprocessing the registration declares (landmark selection + BFS, and
+// the graph embedding when required) locally over the graph. Registered
+// user strategies resolve exactly like the built-ins.
 func BuildStrategy(policy string, g *graph.Graph, procs int, seed int64) (router.Strategy, error) {
-	switch policy {
-	case "nextready", "nocache", "":
-		return router.NewNextReady(), nil
-	case "hash":
-		return router.NewHash(), nil
-	case "landmark", "embed":
+	if policy == "" {
+		policy = "nextready"
+	}
+	reg, ok := router.LookupName(policy)
+	if !ok {
+		return nil, fmt.Errorf("rpc: unknown policy %q", policy)
+	}
+	res := router.Resources{Procs: procs, Seed: seed, LoadFactor: 20, Alpha: 0.5, Graph: g}
+	if reg.Prep >= router.PrepLandmarks {
+		if g == nil {
+			return nil, fmt.Errorf("rpc: policy %q needs a graph for preprocessing", policy)
+		}
 		lms := landmark.Select(g, 32, 2)
 		if len(lms) < 2 {
 			return nil, fmt.Errorf("rpc: graph too small for landmark selection")
 		}
 		idx := landmark.BuildIndex(g, lms, 0)
-		if policy == "landmark" {
-			return router.NewLandmark(landmark.Assign(idx, procs), 20), nil
+		res.Assignment = landmark.Assign(idx, procs)
+		if reg.Prep >= router.PrepEmbedding {
+			emb, err := embed.Build(g, idx, embed.Options{Dimensions: 8, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			res.Embedding = emb
 		}
-		emb, err := embed.Build(g, idx, embed.Options{Dimensions: 8, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		return router.NewEmbed(emb, procs, 0.5, 20, seed)
 	}
-	return nil, fmt.Errorf("rpc: unknown policy %q", policy)
+	return reg.New(res)
 }
 
 // RouterClient is a gRouting client talking to a router daemon over a
@@ -274,6 +398,19 @@ func (c *RouterClient) ExecuteBatch(ctx context.Context, qs []query.Query) ([]qu
 		return nil, &remoteError{addr: c.pool.Addr(), msg: fmt.Sprintf("got %d results for %d queries", len(resp.Results), len(qs)), kind: query.ErrUnavailable}
 	}
 	return resp.Results, nil
+}
+
+// Stats fetches the deployment's observability snapshot from the router
+// in one OpStats round trip.
+func (c *RouterClient) Stats(ctx context.Context) (*metrics.Snapshot, error) {
+	resp, err := c.pool.Call(ctx, &Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil || resp.Stats.Snapshot == nil {
+		return nil, &remoteError{addr: c.pool.Addr(), msg: "stats response carries no snapshot", kind: query.ErrUnavailable}
+	}
+	return resp.Stats.Snapshot, nil
 }
 
 // Close disconnects the client.

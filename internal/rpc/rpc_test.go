@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -381,5 +382,83 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 	pong := &Response{OK: true}
 	if n := encodedSize(t, pong, true); n > 16 {
 		t.Errorf("steady-state pong encodes to %d bytes, want <= 16", n)
+	}
+	// A stats poll is a bare request...
+	statsReq := &Request{Op: OpStats}
+	if n := encodedSize(t, statsReq, true); n > 16 {
+		t.Errorf("steady-state stats request encodes to %d bytes, want <= 16", n)
+	}
+	// ...and its response — a full system snapshot at the paper's 7-processor
+	// scale, every counter populated — must stay a small, fixed-size payload
+	// so a monitoring loop can poll it continuously.
+	snap := &metrics.Snapshot{
+		Transport:  "tcp",
+		Policy:     "embed",
+		Strategy:   "embed",
+		Processors: 7,
+		Queries:    123456,
+		Stolen:     321,
+		Diverted:   12,
+		RoutingNanos: metrics.Summary{
+			Count: 123456, Mean: 850, P50: 800, P95: 2047, P99: 4095, Max: 90000,
+		},
+		QueueDepth: metrics.Summary{Count: 123456, Mean: 2, P50: 1, P95: 7, P99: 15, Max: 31},
+	}
+	for i := 0; i < 7; i++ {
+		cc := metrics.CacheCounters{
+			Hits: 900000 + int64(i), Misses: 100000, Inserts: 100000,
+			Evictions: 55000, CurrentBytes: 4 << 30, CapacityBytes: 4 << 30,
+		}
+		snap.PerProc = append(snap.PerProc, metrics.ProcCounters{
+			Proc: i, Assigned: 17636, Executed: 17640, Stolen: 40, Diverted: 2,
+			QueueDepth: 3, Cache: cc,
+		})
+		snap.Cache.Add(cc)
+	}
+	statsResp := &Response{OK: true, Stats: &Stats{Role: "router", Requests: 999999, Snapshot: snap}}
+	if n := encodedSize(t, statsResp, true); n > 1024 {
+		t.Errorf("steady-state 7-proc stats response encodes to %d bytes, want <= 1024", n)
+	}
+}
+
+// TestClusterStatsSnapshot checks the networked deployment's OpStats
+// surface: after a workload, the router reports a system-wide snapshot
+// whose per-processor assignment counts sum to the executed queries and
+// whose cache/routing counters are live.
+func TestClusterStatsSnapshot(t *testing.T) {
+	g := gen.LocalWeb(1200, 8, 60, 0.01, 4)
+	cl := startCluster(t, g, 2, 3, "hash")
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots: 6, QueriesPerHotspot: 5, R: 2, H: 2, Seed: 11,
+	})
+	ctx := context.Background()
+	for _, q := range qs {
+		if _, err := cl.Execute(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Transport != "tcp" || snap.Policy != "hash" || snap.Processors != 3 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if snap.Queries != int64(len(qs)) {
+		t.Fatalf("Queries = %d, want %d", snap.Queries, len(qs))
+	}
+	var assigned, executed int64
+	for _, p := range snap.PerProc {
+		assigned += p.Assigned
+		executed += p.Executed
+	}
+	if assigned != int64(len(qs)) || executed != int64(len(qs)) {
+		t.Fatalf("assigned/executed = %d/%d, want %d", assigned, executed, len(qs))
+	}
+	if snap.Cache.Touches() == 0 {
+		t.Fatal("cache counters all zero after a workload")
+	}
+	if snap.RoutingNanos.Count != int64(len(qs)) {
+		t.Fatalf("routing decisions = %d, want %d", snap.RoutingNanos.Count, len(qs))
 	}
 }

@@ -70,16 +70,22 @@ func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 		s.mu.Unlock()
 		return Response{OK: true}
 	case OpStats:
-		s.mu.RLock()
-		n := len(s.data)
-		s.mu.RUnlock()
-		return Response{OK: true, Stats: &Stats{
-			Role:     "storage",
-			Requests: s.requests.Load(),
-			Keys:     int64(n),
-		}}
+		st := s.Stats()
+		return Response{OK: true, Stats: &st}
 	}
 	return errorResponse(fmt.Errorf("storage: unknown op %q", req.Op))
+}
+
+// Stats returns the shard's counters (request total, resident keys).
+func (s *StorageServer) Stats() Stats {
+	s.mu.RLock()
+	n := len(s.data)
+	s.mu.RUnlock()
+	return Stats{
+		Role:     "storage",
+		Requests: s.requests.Load(),
+		Keys:     int64(n),
+	}
 }
 
 // StorageClient shards keys over a set of storage servers with the same

@@ -59,6 +59,7 @@ func ServeRouter(addr string, spec RouterSpec) (*RouterServer, error) {
 	return rpc.NewRouterServer(addr, rpc.RouterConfig{
 		ProcessorAddrs: spec.Processors,
 		Strategy:       strat,
+		PolicyName:     spec.Policy.String(),
 		PoolSize:       spec.PoolSize,
 	})
 }
@@ -121,6 +122,14 @@ func (c *netClient) ExecuteBatch(ctx context.Context, qs []Query) ([]Result, err
 
 func (c *netClient) ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome {
 	return stream(ctx, in, c.workers, c.rc.Execute)
+}
+
+func (c *netClient) Stats(ctx context.Context) (Stats, error) {
+	snap, err := c.rc.Stats(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	return *snap, nil
 }
 
 func (c *netClient) Close() error { return c.rc.Close() }

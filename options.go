@@ -1,6 +1,10 @@
 package grouting
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Option customises a deployment Config. Options compose with the paper's
 // defaults: New(g) alone builds the paper's primary setup (7 processors,
@@ -48,14 +52,16 @@ func WithoutStealing() Option { return func(c *Config) { c.DisableStealing = tru
 func WithPrepWorkers(n int) Option { return func(c *Config) { c.PrepWorkers = n } }
 
 // ParsePolicy maps a policy name (as printed by Policy.String and used by
-// the daemons' -policy flags) back to the Policy.
+// the daemons' -policy flags) back to the Policy. It resolves through the
+// strategy registry, so it is an exact round-trip of Policy.String for
+// built-ins and RegisterStrategy additions alike; the unknown-name error
+// lists every registered name.
 func ParsePolicy(s string) (Policy, error) {
-	for _, p := range []Policy{PolicyNoCache, PolicyNextReady, PolicyHash, PolicyLandmark, PolicyEmbed} {
-		if p.String() == s {
-			return p, nil
-		}
+	p, err := core.ParsePolicy(s)
+	if err != nil {
+		return 0, fmt.Errorf("grouting: %w", err)
 	}
-	return 0, fmt.Errorf("grouting: unknown policy %q", s)
+	return p, nil
 }
 
 // NewConfig assembles a Config from options (zero fields keep the paper's

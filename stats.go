@@ -1,0 +1,23 @@
+package grouting
+
+import "repro/internal/metrics"
+
+// The observability surface: every Client reports the same structured
+// snapshot — per-processor assignment/execution/steal/diversion counts,
+// cache hit/miss/eviction counters and routing-decision/queue-depth
+// percentiles — whether it drives the in-process virtual-time engine or a
+// networked deployment (where the snapshot travels in one OpStats round
+// trip). groutingd additionally serves the same data over HTTP on
+// /statsz and expvar's /debug/vars when started with -http.
+type (
+	// Stats is a system-wide snapshot of runtime counters.
+	Stats = metrics.Snapshot
+	// ProcStats is one processor's share of a Stats snapshot.
+	ProcStats = metrics.ProcCounters
+	// CacheCounters is a cache's activity counters (also what
+	// StatsObserver strategies receive as their feedback signal).
+	CacheCounters = metrics.CacheCounters
+	// StatsSummary is a compact percentile digest (routing decision time,
+	// queue depth).
+	StatsSummary = metrics.Summary
+)

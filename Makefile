@@ -1,14 +1,24 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: ci fmt-check vet build test race examples bench-smoke bench suite
+.PHONY: ci fmt-check vet lint build test race examples bench-smoke bench suite
 
-ci: fmt-check vet build test race examples bench-smoke
+ci: fmt-check lint build test race examples bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (CI installs
+# it; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`).
+lint: vet
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; $(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (vet ran)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -17,10 +27,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrent surfaces: the networked transport, the
-# root-package client (ExecuteStream, pooled conns, cancellation) and the
-# router (strategy registry, stealing/diversion accounting).
+# root-package client (ExecuteStream, pooled conns, cancellation, elastic
+# topology transitions), the router (strategy registry, stealing/diversion
+# accounting) and the topology tracker.
 race:
-	$(GO) test -race ./internal/rpc ./internal/router .
+	$(GO) test -race ./internal/rpc ./internal/router ./internal/topology .
 
 # Compile every example program so public-API drift breaks the build here,
 # not the examples.

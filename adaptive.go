@@ -74,3 +74,16 @@ func (s *adaptiveStrategy) ObserveStats(c CacheCounters) {
 		s.active = s.embed
 	}
 }
+
+// SetTopology implements TopologyAware by forwarding the new view to both
+// legs, so whichever is active when the tier scales routes correctly (the
+// embed leg re-provisions its per-member means; the hash leg is modulo
+// over the slot count and relies on the router's diversion).
+func (s *adaptiveStrategy) SetTopology(v TopologyView) {
+	if ta, ok := s.hash.(TopologyAware); ok {
+		ta.SetTopology(v)
+	}
+	if ta, ok := s.embed.(TopologyAware); ok {
+		ta.SetTopology(v)
+	}
+}

@@ -16,6 +16,10 @@
 //	# the system's observability snapshot after the run
 //	grouting-cli -router 127.0.0.1:7200 -stats
 //
+//	# the processing tier's current topology (epoch, member status, the
+//	# per-epoch transition log) — watch a scale-out land
+//	grouting-cli -router 127.0.0.1:7200 -topology
+//
 //	# what routing strategies are registered (built-ins + user strategies)
 //	grouting-cli -policy list
 package main
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	grouting "repro"
+	"repro/internal/cliutil"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 )
@@ -50,6 +55,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "overall deadline for the workload (0 = none)")
 		verify     = flag.Bool("verify", false, "check every result against the in-memory oracle")
 		stats      = flag.Bool("stats", false, "print the system's Stats() snapshot after the run")
+		topo       = flag.Bool("topology", false, "print the processing tier's topology (epoch, member status, transition log) and exit")
 	)
 	flag.Parse()
 
@@ -72,11 +78,25 @@ func main() {
 		defer cancel()
 	}
 
+	if *topo {
+		if *routerAddr == "" {
+			exitOn(fmt.Errorf("-topology needs -router"))
+		}
+		cl, err := grouting.Dial(ctx, *routerAddr)
+		exitOn(err)
+		defer cl.Close()
+		snap, err := cl.Stats(ctx)
+		exitOn(err)
+		fmt.Print(topologyTable(&snap))
+		return
+	}
+
 	g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
 	exitOn(err)
 
 	if *load {
-		addrs := splitAddrs(*storage)
+		addrs, err := cliutil.SplitAddrs(*storage)
+		exitOn(err)
 		if len(addrs) == 0 {
 			exitOn(fmt.Errorf("-load needs -storage"))
 		}
@@ -148,14 +168,25 @@ func policyTable() string {
 	return t.String()
 }
 
-func splitAddrs(s string) []string {
-	var out []string
-	for _, a := range strings.Split(s, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			out = append(out, a)
-		}
+// topologyTable renders the tier membership and the epoch transition log
+// from a Stats snapshot.
+func topologyTable(snap *grouting.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d: %d active of %d slots (policy %s, strategy %s, %d reassigned across transitions)\n",
+		snap.Epoch, snap.Processors, len(snap.PerProc), snap.Policy, snap.Strategy, snap.Reassigned)
+	t := metrics.NewTable("slot", "status", "addr", "assigned", "executed", "queue")
+	for _, p := range snap.PerProc {
+		t.AddRow(p.Proc, p.Status, p.Addr, p.Assigned, p.Executed, p.QueueDepth)
 	}
-	return out
+	b.WriteString(t.String())
+	if len(snap.Epochs) > 0 {
+		te := metrics.NewTable("epoch", "joined", "left", "failed", "revived", "reassigned")
+		for _, e := range snap.Epochs {
+			te.AddRow(e.Epoch, e.Joined, e.Left, e.Failed, e.Revived, e.Reassigned)
+		}
+		b.WriteString(te.String())
+	}
+	return b.String()
 }
 
 func exitOn(err error) {

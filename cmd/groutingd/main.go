@@ -13,6 +13,17 @@
 //	    -processors 127.0.0.1:7101 -policy landmark \
 //	    -dataset webgraph -graphscale 0.05 &
 //
+// The processing tier is elastic: additional processors join the running
+// router at any time with -join (the router verifies them, bumps the
+// topology epoch and starts routing to them immediately), and SIGINT /
+// SIGTERM shuts every role down gracefully — a joined processor first
+// deregisters through the drain path, so the router sees a clean leave
+// rather than a dead peer:
+//
+//	groutingd -role processor -listen 127.0.0.1:7102 \
+//	    -storage 127.0.0.1:7001,127.0.0.1:7002 \
+//	    -join 127.0.0.1:7200 &
+//
 // Smart routing policies need the graph for preprocessing, so the router
 // regenerates the named dataset (the same seeded generator grouting-cli
 // uses to load the storage tier). Clients connect to the router with
@@ -20,9 +31,9 @@
 //
 // Every role can additionally expose its runtime counters over HTTP with
 // -http addr: GET /statsz returns them as JSON (for the router, the full
-// system-wide grouting.Stats snapshot — per-processor placement, cache hit
-// rates, routing-decision percentiles), and /debug/vars serves the same
-// data through the standard expvar surface for scrapers.
+// system-wide grouting.Stats snapshot — per-processor placement, topology
+// epoch, cache hit rates, routing-decision percentiles), and /debug/vars
+// serves the same data through the standard expvar surface for scrapers.
 package main
 
 import (
@@ -34,10 +45,12 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
 	grouting "repro"
+	"repro/internal/cliutil"
 	"repro/internal/gen"
 )
 
@@ -48,6 +61,8 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve /statsz (JSON) and expvar /debug/vars on this address (empty = disabled)")
 		storage    = flag.String("storage", "", "comma-separated storage addresses (processor role)")
 		processors = flag.String("processors", "", "comma-separated processor addresses (router role)")
+		join       = flag.String("join", "", "router address to register with at startup (processor role)")
+		advertise  = flag.String("advertise", "", "address announced to the router on -join (default: the listen address)")
 		policy     = flag.String("policy", "nextready", "routing policy (any registered strategy; see grouting-cli -policy list)")
 		cacheMB    = flag.Int64("cache-mb", 256, "processor cache capacity in MiB")
 		dataset    = flag.String("dataset", "webgraph", "dataset preset for smart-routing preprocessing (router role)")
@@ -62,21 +77,41 @@ func main() {
 		exitOn(err)
 		fmt.Printf("storage shard listening on %s\n", s.Addr())
 		serveHTTP(*httpAddr, func() (any, error) { return s.Stats(), nil })
-		select {}
+		awaitSignal()
+		fmt.Println("shutting down storage shard")
+		s.Close()
 	case "processor":
-		addrs := splitAddrs(*storage)
+		addrs, err := cliutil.SplitAddrs(*storage)
+		exitOn(err)
 		if len(addrs) == 0 {
 			exitOn(fmt.Errorf("processor role needs -storage"))
 		}
 		p, err := grouting.ServeProcessor(*listen, addrs, *cacheMB<<20)
 		exitOn(err)
 		fmt.Printf("processor listening on %s (storage: %s)\n", p.Addr(), *storage)
+		if *join != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			slot, err := p.Register(ctx, *join, *advertise)
+			cancel()
+			exitOn(err)
+			fmt.Printf("joined router %s as processor slot %d\n", *join, slot)
+		}
 		serveHTTP(*httpAddr, func() (any, error) { return p.Stats(), nil })
-		select {}
+		awaitSignal()
+		// Leave cleanly: the router drains us (no new work, in-flight
+		// queries finish on the old view) before we close the listener.
+		fmt.Println("shutting down processor")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := p.Deregister(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "deregister: %v\n", err)
+		}
+		cancel()
+		p.Close()
 	case "router":
-		addrs := splitAddrs(*processors)
+		addrs, err := cliutil.SplitAddrs(*processors)
+		exitOn(err)
 		if len(addrs) == 0 {
-			exitOn(fmt.Errorf("router role needs -processors"))
+			exitOn(fmt.Errorf("router role needs -processors (more can -join later)"))
 		}
 		pol, err := grouting.ParsePolicy(*policy)
 		exitOn(err)
@@ -88,18 +123,31 @@ func main() {
 		}
 		r, err := grouting.ServeRouter(*listen, spec)
 		exitOn(err)
-		fmt.Printf("router listening on %s (policy %s, %d processors)\n", r.Addr(), pol, len(addrs))
+		fmt.Printf("router listening on %s (policy %s, %d processors, epoch %d)\n",
+			r.Addr(), pol, len(addrs), r.Epoch())
 		serveHTTP(*httpAddr, func() (any, error) {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
 			return r.Snapshot(ctx)
 		})
-		select {}
+		awaitSignal()
+		fmt.Println("shutting down router")
+		r.Close()
 	default:
 		fmt.Fprintln(os.Stderr, "need -role storage|processor|router")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// awaitSignal blocks until SIGINT or SIGTERM, then returns so the caller
+// can shut its daemon down gracefully (close listeners, deregister from
+// the router) instead of dying mid-request.
+func awaitSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
 }
 
 // serveHTTP exposes the daemon's counters on addr: /statsz as plain JSON
@@ -133,16 +181,6 @@ func serveHTTP(addr string, stats func() (any, error)) {
 	exitOn(err)
 	fmt.Printf("http stats on http://%s/statsz\n", ln.Addr())
 	go http.Serve(ln, mux)
-}
-
-func splitAddrs(s string) []string {
-	var out []string
-	for _, a := range strings.Split(s, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			out = append(out, a)
-		}
-	}
-	return out
 }
 
 func exitOn(err error) {

@@ -180,6 +180,11 @@ const (
 	// PolicyEmbed routes by graph embedding (Section 3.4.2) — the paper's
 	// best performer and the default.
 	PolicyEmbed = core.PolicyEmbed
+	// PolicyStableHash routes by rendezvous hashing over the active
+	// processor set: the elastic-topology hash baseline, which remaps only
+	// ~1/N of the node space when the tier scales instead of reshuffling
+	// everything the way modulo hashing does.
+	PolicyStableHash = core.PolicyStableHash
 )
 
 // NewSystem loads g into the storage tier, runs the preprocessing the

@@ -1,0 +1,32 @@
+// Package cliutil holds small helpers shared by the command-line
+// binaries (groutingd, grouting-cli).
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SplitAddrs parses a comma-separated address list strictly: entries are
+// whitespace-trimmed, and empty entries or duplicates are an error rather
+// than something to silently dial later. An empty string is an empty
+// list.
+func SplitAddrs(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for i, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("address list %q: entry %d is empty", s, i+1)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("address list %q: duplicate address %s", s, a)
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out, nil
+}

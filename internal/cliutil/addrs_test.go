@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitAddrs(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+		err  string
+	}{
+		{in: "", want: nil},
+		{in: "   ", want: nil},
+		{in: "127.0.0.1:7001", want: []string{"127.0.0.1:7001"}},
+		{in: " a:1 , b:2 ", want: []string{"a:1", "b:2"}},
+		{in: "a:1,,b:2", err: "entry 2 is empty"},
+		{in: "a:1,b:2,", err: "entry 3 is empty"},
+		{in: ",a:1", err: "entry 1 is empty"},
+		{in: "a:1,b:2,a:1", err: "duplicate address a:1"},
+		{in: "a:1, a:1", err: "duplicate address a:1"},
+	} {
+		got, err := SplitAddrs(tc.in)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("SplitAddrs(%q) err = %v, want containing %q", tc.in, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SplitAddrs(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitAddrs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -41,6 +41,11 @@ const (
 	PolicyLandmark
 	// PolicyEmbed is smart routing via graph embedding (Section 3.4.2).
 	PolicyEmbed
+	// PolicyStableHash is the elastic-topology hash baseline: rendezvous
+	// hashing over the active processor set, so a scale-out/scale-in remaps
+	// only ~1/N of the node space instead of reshuffling everything the way
+	// modulo hashing (Eq 1) does. Not part of the paper's figures.
+	PolicyStableHash
 )
 
 // Policies lists every policy in presentation order (the order the paper's
@@ -129,9 +134,11 @@ type Config struct {
 	// fetched with its own round trip, sequentially. Exists for the
 	// batching ablation; always off in the paper configuration.
 	NoBatching bool
-	// FailedProcessors lists processor indices that are down for the whole
-	// run: the router diverts their queries to the next-best live
-	// processor (the decoupled design's fault-tolerance property).
+	// FailedProcessors lists processor slots that start in the Down state:
+	// the router diverts their queries to the next-best live processor
+	// (the decoupled design's fault-tolerance property). It seeds the
+	// system's epoch-versioned topology; ReviveProcessor and the other
+	// System membership methods move it afterwards.
 	FailedProcessors []int
 	// PrepWorkers bounds preprocessing parallelism (0 = GOMAXPROCS).
 	PrepWorkers int

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/topology"
+)
+
+// TestSessionScaleOutMidWorkload: add processors while a session executes;
+// results stay exact, the joined members execute work, and the snapshot
+// reports consistently under the new epoch.
+func TestSessionScaleOutMidWorkload(t *testing.T) {
+	g := testGraph()
+	qs := testWorkload(g)
+	for _, policy := range []Policy{PolicyHash, PolicyStableHash, PolicyLandmark, PolicyEmbed} {
+		cfg := testConfig(policy)
+		cfg.Processors = 2
+		sys, err := NewSystem(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses, err := sys.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var added []int
+		for i, q := range qs {
+			if i == len(qs)/3 {
+				added = append(added, sys.AddProcessor(), sys.AddProcessor())
+			}
+			res, _, err := ses.Execute(q)
+			if err != nil {
+				t.Fatalf("%v: %v", policy, err)
+			}
+			if res != query.Answer(g, q) {
+				t.Fatalf("%v: wrong result for query %d across the epoch change", policy, i)
+			}
+		}
+		snap := ses.Snapshot()
+		if snap.Epoch != sys.Topology().Epoch {
+			t.Fatalf("%v: snapshot epoch %d != system epoch %d", policy, snap.Epoch, sys.Topology().Epoch)
+		}
+		if snap.Processors != 4 || len(snap.PerProc) != 4 {
+			t.Fatalf("%v: snapshot sees %d/%d processors, want 4", policy, snap.Processors, len(snap.PerProc))
+		}
+		executedNew := int64(0)
+		for _, slot := range added {
+			executedNew += snap.PerProc[slot].Executed
+		}
+		if executedNew == 0 {
+			t.Fatalf("%v: joined processors executed nothing (per-proc %+v)", policy, snap.PerProc)
+		}
+	}
+}
+
+// TestSessionScaleInMidWorkload: drain a processor mid-stream; no query is
+// lost or answered wrongly, the departed slot stops executing, and its row
+// reports status "left".
+func TestSessionScaleInMidWorkload(t *testing.T) {
+	g := testGraph()
+	qs := testWorkload(g)
+	cfg := testConfig(PolicyStableHash)
+	cfg.Processors = 4
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const leaving = 2
+	executedAtDrain := int64(-1)
+	for i, q := range qs {
+		if i == len(qs)/2 {
+			executedAtDrain = ses.Snapshot().PerProc[leaving].Executed
+			if err := sys.DrainProcessor(leaving); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, _, err := ses.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != query.Answer(g, q) {
+			t.Fatalf("wrong result for query %d across the drain", i)
+		}
+	}
+	snap := ses.Snapshot()
+	if snap.Processors != 3 {
+		t.Fatalf("active processors = %d, want 3", snap.Processors)
+	}
+	if got := snap.PerProc[leaving].Status; got != "left" {
+		t.Fatalf("drained slot status = %q", got)
+	}
+	if snap.PerProc[leaving].Executed != executedAtDrain {
+		t.Fatalf("drained slot kept executing: %d -> %d", executedAtDrain, snap.PerProc[leaving].Executed)
+	}
+	var executed int64
+	for _, p := range snap.PerProc {
+		executed += p.Executed
+	}
+	if executed != int64(len(qs)) {
+		t.Fatalf("executed %d of %d queries — work lost in the transition", executed, len(qs))
+	}
+}
+
+// TestRunWorkloadSeesNewTopology: a workload run started after a scale-out
+// uses the wider tier from its first query.
+func TestRunWorkloadSeesNewTopology(t *testing.T) {
+	g := testGraph()
+	qs := testWorkload(g)
+	cfg := testConfig(PolicyStableHash)
+	cfg.Processors = 3
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sys.RunWorkload(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Processors != 3 || len(before.PerProc) != 3 {
+		t.Fatalf("pre-scale report: %d procs", before.Processors)
+	}
+	slot := sys.AddProcessor()
+	after, err := sys.RunWorkload(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Processors != 4 || len(after.PerProc) != 4 {
+		t.Fatalf("post-scale report: %d procs", after.Processors)
+	}
+	if after.Epoch <= before.Epoch {
+		t.Fatalf("epochs did not advance: %d -> %d", before.Epoch, after.Epoch)
+	}
+	if after.PerProc[slot].Executed == 0 {
+		t.Fatal("joined processor executed nothing in the new run")
+	}
+	for _, q := range qs {
+		if after.Results[q.ID] != query.Answer(g, q) {
+			t.Fatalf("wrong result after scale-out: query %d", q.ID)
+		}
+	}
+}
+
+func TestFailReviveKeepsSessionCacheWarm(t *testing.T) {
+	g := testGraph()
+	qs := testWorkload(g)
+	cfg := testConfig(PolicyStableHash)
+	cfg.Processors = 2
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs[:len(qs)/2] {
+		if _, _, err := ses.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := ses.Snapshot().PerProc[0].Cache
+	if err := sys.FailProcessor(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs[len(qs)/2:] {
+		if _, _, err := ses.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ses.Snapshot()
+	if snap.PerProc[0].Status != "down" {
+		t.Fatalf("failed slot status = %q", snap.PerProc[0].Status)
+	}
+	if err := sys.ReviveProcessor(0); err != nil {
+		t.Fatal(err)
+	}
+	snap = ses.Snapshot()
+	if snap.PerProc[0].Status != "active" {
+		t.Fatalf("revived slot status = %q", snap.PerProc[0].Status)
+	}
+	// The cache contents survived the outage.
+	if snap.PerProc[0].Cache.Inserts < warm.Inserts {
+		t.Fatal("revived processor lost its cache")
+	}
+}
+
+func TestDrainLastProcessorRefused(t *testing.T) {
+	g := testGraph()
+	cfg := testConfig(PolicyHash)
+	cfg.Processors = 1
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DrainProcessor(0); err == nil {
+		t.Fatal("drained the last active processor")
+	}
+	if err := sys.FailProcessor(0); err == nil {
+		t.Fatal("failed the last active processor")
+	}
+	if sys.Topology().NumActive() != 1 {
+		t.Fatal("refused transition still applied")
+	}
+}
+
+func TestTopologyViewIsolated(t *testing.T) {
+	g := testGraph()
+	cfg := testConfig(PolicyHash)
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sys.Topology()
+	v.Members[0].Status = topology.Left
+	if sys.Topology().Status(0) != topology.Active {
+		t.Fatal("mutating a returned view leaked into the system")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/router"
 	"repro/internal/simnet"
+	"repro/internal/topology"
 )
 
 // ProcReport summarises one processor's share of a workload run.
@@ -22,9 +23,12 @@ type ProcReport struct {
 // Report is the outcome of a workload run: the quantities every figure in
 // Section 4 plots.
 type Report struct {
-	Policy         string
-	Network        string
+	Policy  string
+	Network string
+	// Processors is the number of active members in the run's topology
+	// view; Epoch identifies that view.
 	Processors     int
+	Epoch          uint64
 	StorageServers int
 	Queries        int
 
@@ -69,12 +73,19 @@ type Report struct {
 // (cold caches, as in every experiment of Section 4) and returns the
 // report. Query IDs must be unique and within [0, len(qs)); the generator
 // in package query produces exactly that.
+//
+// The run executes under the topology view current at the call — a
+// processor added with AddProcessor before the call participates from the
+// first query — and holds it for the whole workload, so the reported
+// numbers belong to exactly one epoch. Live mid-workload transitions are
+// a Session/Client behaviour.
 func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 	strat, err := s.buildStrategy()
 	if err != nil {
 		return nil, err
 	}
-	rt, err := router.New(strat, s.cfg.Processors, !s.cfg.DisableStealing)
+	view := s.topo.View()
+	rt, err := router.NewFromView(strat, view, !s.cfg.DisableStealing)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +97,7 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 		seen[q.ID] = true
 	}
 
-	procs := s.newProcs()
+	procs := s.newProcs(view)
 	tl := simnet.NewTimeline(s.cfg.StorageServers)
 	prof := s.cfg.Network
 	// The decision cost is sampled at route time — DecisionUnits may change
@@ -102,7 +113,8 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 	rep := &Report{
 		Policy:         s.cfg.Policy.String(),
 		Network:        prof.Name,
-		Processors:     s.cfg.Processors,
+		Processors:     view.NumActive(),
+		Epoch:          view.Epoch,
 		StorageServers: s.cfg.StorageServers,
 		Queries:        len(qs),
 		Results:        make([]query.Result, len(qs)),
@@ -111,11 +123,11 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 		Prep:           s.prep,
 	}
 
-	next := make([]time.Duration, s.cfg.Processors) // per-processor availability
-	done := make([]bool, s.cfg.Processors)
-	for _, p := range s.cfg.FailedProcessors {
-		done[p] = true
-		rt.SetAlive(p, false)
+	slots := view.Slots()
+	next := make([]time.Duration, slots) // per-processor availability
+	done := make([]bool, slots)
+	for i := 0; i < slots; i++ {
+		done[i] = !view.IsActive(i)
 	}
 	var lat metrics.Durations
 	var agg execStats
@@ -170,11 +182,11 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 	}
 
 	for i, pr := range procs {
-		rep.PerProc = append(rep.PerProc, ProcReport{
-			Executed: rt.Executed()[i],
-			Busy:     next[i],
-			Cache:    pr.cache.Stats(),
-		})
+		r := ProcReport{Executed: rt.Executed()[i], Busy: next[i]}
+		if pr != nil {
+			r.Cache = pr.cache.Stats()
+		}
+		rep.PerProc = append(rep.PerProc, r)
 		if next[i] > rep.Makespan {
 			rep.Makespan = next[i]
 		}
@@ -205,9 +217,15 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 // one at a time through the router, processor caches persist between
 // calls. Examples and the networked daemon use it; experiments use
 // RunWorkload.
+//
+// A session follows the system's topology: epoch changes made through
+// AddProcessor / DrainProcessor / FailProcessor / ReviveProcessor are
+// applied atomically at the next Execute or Snapshot, so every query runs
+// — and every snapshot reports — under exactly one view.
 type Session struct {
 	sys     *System
 	rt      *router.Router
+	view    topology.View
 	procs   []*proc
 	tl      *simnet.Timeline
 	now     time.Duration
@@ -223,16 +241,45 @@ func (s *System) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := router.New(strat, s.cfg.Processors, !s.cfg.DisableStealing)
+	view := s.topo.View()
+	rt, err := router.NewFromView(strat, view, !s.cfg.DisableStealing)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{
 		sys:   s,
 		rt:    rt,
-		procs: s.newProcs(),
+		view:  view,
+		procs: s.newProcs(view),
 		tl:    simnet.NewTimeline(s.cfg.StorageServers),
 	}, nil
+}
+
+// applyTopology brings the session up to the system's current epoch:
+// joined members get fresh (cold-cache) processor state, departed members
+// drop theirs, and the router re-routes any backlog queued for members
+// that left. Failed members keep their caches, so a revive resumes warm.
+func (ses *Session) applyTopology() {
+	if ses.sys.topo.Epoch() == ses.view.Epoch {
+		return
+	}
+	v := ses.sys.topo.View()
+	for slot := range v.Members {
+		st := v.Status(slot)
+		if slot < len(ses.procs) {
+			if st == topology.Left {
+				ses.procs[slot] = nil // cache released with the member
+			}
+			continue
+		}
+		var p *proc
+		if st != topology.Left {
+			p = ses.sys.newProc(slot)
+		}
+		ses.procs = append(ses.procs, p)
+	}
+	ses.rt.ApplyView(v)
+	ses.view = v
 }
 
 // Execute routes and runs one query, returning its result and virtual
@@ -242,6 +289,7 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 	if err := q.Validate(); err != nil {
 		return query.Result{}, 0, err
 	}
+	ses.applyTopology()
 	q.ID = ses.count
 	prof := ses.sys.cfg.Network
 	strat := ses.rt.Strategy()
@@ -271,11 +319,14 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 
 // aggregateCache sums the processors' cache counters — the StatsObserver
 // feedback signal, fully populated (evictions, resident bytes, …) so
-// strategies see the same fields both transports report.
+// strategies see the same fields both transports report. Departed slots
+// (nil) contribute nothing.
 func aggregateCache(procs []*proc) metrics.CacheCounters {
 	var agg metrics.CacheCounters
 	for _, p := range procs {
-		agg.Add(p.cache.Stats().Counters())
+		if p != nil {
+			agg.Add(p.cache.Stats().Counters())
+		}
 	}
 	return agg
 }
@@ -292,25 +343,35 @@ func (ses *Session) Queries() int { return ses.count }
 // assignment/execution/steal/diversion counts, cache activity, and the
 // routing-decision and queue-depth digests. The networked router reports
 // the identical structure, so clients read one shape on both transports.
+// The snapshot is taken under a single topology view — the system's
+// current epoch, applied first — so its counters never mix two epochs.
 func (ses *Session) Snapshot() *metrics.Snapshot {
+	ses.applyTopology()
 	strat := ses.rt.Strategy()
 	snap := &metrics.Snapshot{
 		Transport:    "local",
 		Policy:       ses.sys.cfg.Policy.String(),
 		Strategy:     strat.Name(),
-		Processors:   len(ses.procs),
+		Processors:   ses.view.NumActive(),
+		Epoch:        ses.view.Epoch,
 		Queries:      int64(ses.count),
 		Stolen:       int64(ses.rt.Stolen()),
 		Diverted:     int64(ses.rt.Diverted()),
+		Reassigned:   ses.rt.Reassigned(),
+		Epochs:       ses.rt.Events(),
 		RoutingNanos: ses.routing.Summary(),
 		QueueDepth:   ses.depth.Summary(),
 	}
 	assigned, executed := ses.rt.Assigned(), ses.rt.Executed()
 	stolenBy, divertedFrom := ses.rt.StolenBy(), ses.rt.DivertedFrom()
 	for i, p := range ses.procs {
-		cc := p.cache.Stats().Counters()
+		var cc metrics.CacheCounters
+		if p != nil {
+			cc = p.cache.Stats().Counters()
+		}
 		snap.PerProc = append(snap.PerProc, metrics.ProcCounters{
 			Proc:       i,
+			Status:     ses.view.Status(i).String(),
 			Assigned:   int64(assigned[i]),
 			Executed:   int64(executed[i]),
 			Stolen:     int64(stolenBy[i]),

@@ -11,6 +11,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/landmark"
 	"repro/internal/router"
+	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
@@ -18,11 +19,19 @@ import (
 // loaded, preprocessing done, processors provisioned. Workload runs are
 // side-effect-free with respect to the System (caches and router state are
 // rebuilt per run), so one System can serve many experiments.
+//
+// The processing tier is elastic: Config.Processors only sizes the initial
+// membership, and AddProcessor / DrainProcessor / FailProcessor /
+// ReviveProcessor move the epoch-versioned topology afterwards. Sessions
+// and workload runs pick up the current view at their next boundary — the
+// decoupled design's core property that processors come and go without
+// repartitioning the graph.
 type System struct {
 	cfg   Config
 	g     *graph.Graph
 	store *kvstore.Store
 	tier  *gstore.Tier
+	topo  *topology.Tracker
 
 	idx    *landmark.Index
 	assign *landmark.Assignment
@@ -42,7 +51,13 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, g: g, store: st, tier: gstore.NewTier(st)}
+	s := &System{
+		cfg:   cfg,
+		g:     g,
+		store: st,
+		tier:  gstore.NewTier(st),
+		topo:  topology.NewTracker(cfg.Processors, cfg.FailedProcessors),
+	}
 	s.prep.GraphBytes = gstore.Load(st, g)
 	if cfg.Policy.NeedsLandmarks() {
 		if err := s.preprocess(); err != nil {
@@ -178,27 +193,78 @@ func (s *System) buildStrategy() (router.Strategy, error) {
 		LoadFactor: s.cfg.LoadFactor,
 		Alpha:      s.cfg.Alpha,
 		Graph:      s.g,
+		Index:      s.idx,
 		Assignment: s.assign,
 		Embedding:  s.emb,
 	})
 }
 
-// newProcs provisions the per-run processor states (cold caches).
-func (s *System) newProcs() []*proc {
-	procs := make([]*proc, s.cfg.Processors)
+// newProc provisions one processor slot's runtime state (cold cache).
+func (s *System) newProc(slot int) *proc {
 	useCache := s.cfg.Policy != PolicyNoCache
 	capacity := s.cfg.CacheBytes
 	if !useCache {
 		capacity = 0
 	}
+	return &proc{
+		id:       slot,
+		useCache: useCache,
+		cache:    cache.New[cached](capacity),
+	}
+}
+
+// newProcs provisions per-run processor states for every non-departed slot
+// of the view (cold caches); departed slots stay nil.
+func (s *System) newProcs(v topology.View) []*proc {
+	procs := make([]*proc, v.Slots())
 	for i := range procs {
-		procs[i] = &proc{
-			id:       i,
-			useCache: useCache,
-			cache:    cache.New[cached](capacity),
+		if v.Status(i) != topology.Left {
+			procs[i] = s.newProc(i)
 		}
 	}
 	return procs
+}
+
+// Topology returns the current epoch-versioned membership view.
+func (s *System) Topology() topology.View { return s.topo.View() }
+
+// AddProcessor grows the processing tier by one member and returns its
+// slot. Running sessions pick the new member up at their next query; a
+// workload run started afterwards includes it from the first query. No
+// storage repartitioning happens — that is the decoupled design's point.
+func (s *System) AddProcessor() int {
+	slot, _ := s.topo.Join("")
+	return slot
+}
+
+// DrainProcessor removes a member cleanly: it stops receiving new work and
+// its queued work is re-routed to the live members when each session
+// applies the new view — nothing is lost, unlike a failure. The slot is
+// never reused.
+func (s *System) DrainProcessor(slot int) error {
+	if _, err := s.topo.Leave(slot); err != nil {
+		return fmt.Errorf("core: drain processor %d: %w", slot, err)
+	}
+	return nil
+}
+
+// FailProcessor marks a member as down: new work is diverted away and its
+// backlog is recovered by the live processors through stealing. A failed
+// member can ReviveProcessor later.
+func (s *System) FailProcessor(slot int) error {
+	if _, err := s.topo.Fail(slot); err != nil {
+		return fmt.Errorf("core: fail processor %d: %w", slot, err)
+	}
+	return nil
+}
+
+// ReviveProcessor returns a failed member to service (its session-local
+// caches survive the outage, so it resumes warm).
+func (s *System) ReviveProcessor(slot int) error {
+	if _, err := s.topo.Revive(slot); err != nil {
+		return fmt.Errorf("core: revive processor %d: %w", slot, err)
+	}
+	return nil
 }
 
 // AddNode extends the running system with a new graph node: storage record,

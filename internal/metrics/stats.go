@@ -128,10 +128,36 @@ func (c CacheCounters) HitRate() float64 {
 	return 0
 }
 
+// EpochEvent records one topology transition: what changed and how many
+// queries had to move because of it. Routers keep a bounded log of these
+// (newest last) and report it in the Snapshot, so an operator can read the
+// cost of each scale-out/scale-in off /statsz.
+type EpochEvent struct {
+	// Epoch is the epoch this transition produced.
+	Epoch uint64
+	// Joined / Left / Failed / Revived count member transitions applied in
+	// this epoch change (an apply may batch several missed epochs).
+	Joined  int
+	Left    int
+	Failed  int
+	Revived int
+	// Reassigned counts queries moved by this transition: queued work
+	// re-routed off departed members (virtual-time router), or in-flight
+	// queries left to drain on the old view (networked router).
+	Reassigned int64
+}
+
 // ProcCounters is one processor's share of a Snapshot.
 type ProcCounters struct {
-	// Proc is the processor index.
+	// Proc is the processor slot (stable across epochs; slots are never
+	// reused, so departed members keep their row).
 	Proc int
+	// Status is the member's topology state: "active", "draining", "down"
+	// or "left".
+	Status string
+	// Addr is the member's network address (empty on the virtual-time
+	// engine).
+	Addr string
 	// Assigned counts queries the routing strategy sent here (pre-steal).
 	Assigned int64
 	// Executed counts queries that actually ran here (post-steal).
@@ -160,13 +186,21 @@ type Snapshot struct {
 	// Strategy is the live strategy's self-reported name — for adaptive
 	// strategies this reflects the currently active scheme.
 	Strategy string
-	// Processors is the processing-tier size.
+	// Processors is the number of active members in the current epoch.
 	Processors int
+	// Epoch is the topology epoch this snapshot was taken under; every
+	// counter below is consistent with that single epoch.
+	Epoch uint64
 	// Queries counts queries executed through this handle.
 	Queries int64
 	// Stolen and Diverted are the system-wide totals.
 	Stolen   int64
 	Diverted int64
+	// Reassigned totals the queries moved by topology transitions (see
+	// EpochEvent.Reassigned).
+	Reassigned int64
+	// Epochs is the bounded log of topology transitions, oldest first.
+	Epochs []EpochEvent
 	// Cache aggregates every processor's cache counters.
 	Cache CacheCounters
 	// PerProc breaks the counters down by processor.
@@ -186,19 +220,30 @@ type Snapshot struct {
 // experiment harnesses use for paper-style output).
 func (s *Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "transport=%s policy=%s strategy=%s processors=%d queries=%d stolen=%d diverted=%d\n",
-		s.Transport, s.Policy, s.Strategy, s.Processors, s.Queries, s.Stolen, s.Diverted)
+	fmt.Fprintf(&b, "transport=%s policy=%s strategy=%s processors=%d epoch=%d queries=%d stolen=%d diverted=%d reassigned=%d\n",
+		s.Transport, s.Policy, s.Strategy, s.Processors, s.Epoch, s.Queries, s.Stolen, s.Diverted, s.Reassigned)
 	fmt.Fprintf(&b, "cache: %d hits / %d misses (%.1f%% hit rate), %d inserts, %d evictions\n",
 		s.Cache.Hits, s.Cache.Misses, 100*s.Cache.HitRate(), s.Cache.Inserts, s.Cache.Evictions)
 	fmt.Fprintf(&b, "routing decision: p50=%dns p95=%dns p99=%dns max=%dns (n=%d)\n",
 		s.RoutingNanos.P50, s.RoutingNanos.P95, s.RoutingNanos.P99, s.RoutingNanos.Max, s.RoutingNanos.Count)
 	fmt.Fprintf(&b, "queue depth: p50=%d p95=%d p99=%d max=%d\n",
 		s.QueueDepth.P50, s.QueueDepth.P95, s.QueueDepth.P99, s.QueueDepth.Max)
-	t := NewTable("proc", "assigned", "executed", "stolen", "diverted", "queue", "hits", "misses", "hit%", "evict")
+	t := NewTable("proc", "status", "assigned", "executed", "stolen", "diverted", "queue", "hits", "misses", "hit%", "evict")
 	for _, p := range s.PerProc {
-		t.AddRow(p.Proc, p.Assigned, p.Executed, p.Stolen, p.Diverted, p.QueueDepth,
+		status := p.Status
+		if status == "" {
+			status = "active"
+		}
+		t.AddRow(p.Proc, status, p.Assigned, p.Executed, p.Stolen, p.Diverted, p.QueueDepth,
 			p.Cache.Hits, p.Cache.Misses, 100*p.Cache.HitRate(), p.Cache.Evictions)
 	}
 	b.WriteString(t.String())
+	if len(s.Epochs) > 0 {
+		te := NewTable("epoch", "joined", "left", "failed", "revived", "reassigned")
+		for _, e := range s.Epochs {
+			te.AddRow(e.Epoch, e.Joined, e.Left, e.Failed, e.Revived, e.Reassigned)
+		}
+		b.WriteString(te.String())
+	}
 	return b.String()
 }

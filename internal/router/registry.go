@@ -44,6 +44,11 @@ type Resources struct {
 	// Graph is the dataset being served (nil when the deployment hides it,
 	// e.g. a baseline networked router).
 	Graph *graph.Graph
+	// Index is the landmark BFS distance index (non-nil when the
+	// registration declared PrepLandmarks or higher). Topology-aware
+	// strategies keep it so they can re-derive processor assignments when
+	// the tier scales.
+	Index *landmark.Index
 	// Assignment is the landmark node→processor distance table (non-nil
 	// when the registration declared PrepLandmarks or higher).
 	Assignment *landmark.Assignment
@@ -92,6 +97,7 @@ const (
 	idHash
 	idLandmark
 	idEmbed
+	idStableHash
 	firstCustomID // user registrations start here
 )
 
@@ -104,13 +110,19 @@ func init() {
 		if r.Assignment == nil {
 			return nil, fmt.Errorf("router: landmark strategy needs the landmark assignment (preprocessing did not run?)")
 		}
-		return NewLandmark(r.Assignment, r.LoadFactor), nil
+		return NewLandmarkElastic(r.Index, r.Assignment, r.LoadFactor), nil
 	})
 	mustRegisterAt(idEmbed, "embed", PrepEmbedding, func(r Resources) (Strategy, error) {
 		if r.Embedding == nil {
 			return nil, fmt.Errorf("router: embed strategy needs the graph embedding (preprocessing did not run?)")
 		}
 		return NewEmbed(r.Embedding, r.Procs, r.Alpha, r.LoadFactor, r.Seed+1)
+	})
+	mustRegisterAt(idStableHash, "stablehash", PrepNone, func(r Resources) (Strategy, error) {
+		if r.Procs <= 0 {
+			return nil, fmt.Errorf("router: stablehash strategy needs procs > 0, got %d", r.Procs)
+		}
+		return NewStableHash(r.Procs), nil
 	})
 	nextID = firstCustomID
 }
@@ -121,7 +133,7 @@ func mustRegisterAt(id int, name string, prep Prep, ctor Constructor) {
 }
 
 // Register adds a named strategy to the registry and returns its allocated
-// id. Built-ins occupy ids 0–4; registered strategies get increasing ids
+// id. Built-ins occupy ids 0–5; registered strategies get increasing ids
 // after them, in registration order. Empty and duplicate names error.
 func Register(name string, prep Prep, ctor Constructor) (int, error) {
 	if name == "" {

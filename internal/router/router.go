@@ -3,7 +3,9 @@ package router
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/topology"
 )
 
 // Router owns one FIFO queue per processor connection and implements
@@ -14,45 +16,141 @@ import (
 //
 // The router dispatches to a processor only on acknowledgement of its
 // previous query, so queue lengths are an online load estimate.
+//
+// Membership is an epoch-versioned topology.View: slots are stable
+// processor ids that only grow, and ApplyView moves the router to a newer
+// view atomically — departed members' queued work is re-routed to live
+// ones, topology-aware strategies re-derive their assignments, and the
+// per-slot counters stay aligned across every epoch.
 type Router struct {
 	strategy      Strategy
+	topoAware     TopologyAware // strategy's optional topology hook, nil if absent
+	view          topology.View
 	queues        [][]query.Query
 	heads         []int // pop index per queue (amortised O(1) pops)
 	loads         []int // scratch for Route: per-queue lengths, reused per call
 	stealing      bool
-	alive         []bool
+	status        []topology.Status
 	assigned      []int // total queries routed per processor (pre-steal)
 	executed      []int // total queries handed out per processor (post-steal)
 	stolenBy      []int // dispatches processor p satisfied by stealing
 	diverted      []int // queries re-routed away from dead processor p
 	stolen        int
 	divertedTotal int
+	reassigned    int64
+	events        []metrics.EpochEvent
 }
 
-// New creates a router over procs processor connections.
+// New creates a router over procs processor connections — the static
+// single-epoch topology. Use ApplyView to move to newer views.
 func New(strategy Strategy, procs int, stealing bool) (*Router, error) {
 	if procs <= 0 {
 		return nil, fmt.Errorf("router: need procs > 0, got %d", procs)
 	}
+	return NewFromView(strategy, topology.Static(procs), stealing)
+}
+
+// NewFromView creates a router over an existing topology view.
+func NewFromView(strategy Strategy, v topology.View, stealing bool) (*Router, error) {
 	if strategy == nil {
 		return nil, fmt.Errorf("router: nil strategy")
 	}
 	r := &Router{
 		strategy: strategy,
-		queues:   make([][]query.Query, procs),
-		heads:    make([]int, procs),
-		loads:    make([]int, procs),
 		stealing: stealing,
-		alive:    make([]bool, procs),
-		assigned: make([]int, procs),
-		executed: make([]int, procs),
-		stolenBy: make([]int, procs),
-		diverted: make([]int, procs),
 	}
-	for i := range r.alive {
-		r.alive[i] = true
+	r.topoAware, _ = strategy.(TopologyAware)
+	r.grow(v.Slots())
+	r.view = v
+	for _, m := range v.Members {
+		r.status[m.Slot] = m.Status
+	}
+	if r.topoAware != nil {
+		r.topoAware.SetTopology(v)
 	}
 	return r, nil
+}
+
+// grow extends every slot-indexed array to n slots.
+func (r *Router) grow(n int) {
+	for len(r.queues) < n {
+		r.queues = append(r.queues, nil)
+		r.heads = append(r.heads, 0)
+		r.loads = append(r.loads, 0)
+		r.status = append(r.status, topology.Active)
+		r.assigned = append(r.assigned, 0)
+		r.executed = append(r.executed, 0)
+		r.stolenBy = append(r.stolenBy, 0)
+		r.diverted = append(r.diverted, 0)
+	}
+}
+
+// ApplyView moves the router to a newer topology view atomically: slot
+// arrays grow for joined members, statuses update, the strategy's
+// topology hook fires, and queries still queued for members that Left are
+// re-routed to live ones (the clean-drain property — a leaving processor's
+// backlog is not lost and not stolen piecemeal, it is re-dispatched under
+// the new view). It returns the number of re-routed queries. Views at or
+// below the current epoch are ignored.
+func (r *Router) ApplyView(v topology.View) int {
+	if v.Epoch <= r.view.Epoch {
+		return 0
+	}
+	r.grow(v.Slots())
+	d := topology.DiffViews(r.view, v)
+	ev := metrics.EpochEvent{Epoch: v.Epoch, Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived}
+	for _, m := range v.Members {
+		r.status[m.Slot] = m.Status
+	}
+	r.view = v
+	if r.topoAware != nil {
+		r.topoAware.SetTopology(v)
+	}
+
+	// Re-route the backlog of departed members under the new view. Down
+	// members keep their queue — stealing recovers it, exactly as before —
+	// but Left members are gone for good, so their queued work is
+	// re-dispatched now.
+	var strays []query.Query
+	for p := range r.queues {
+		if r.status[p] != topology.Left {
+			continue
+		}
+		for {
+			q, ok := r.pop(p)
+			if !ok {
+				break
+			}
+			strays = append(strays, q)
+		}
+		r.queues[p] = nil
+		r.heads[p] = 0
+	}
+	for _, q := range strays {
+		r.Route(q)
+	}
+	ev.Reassigned = int64(len(strays))
+	r.reassigned += ev.Reassigned
+	r.events = append(r.events, ev)
+	if len(r.events) > topology.EpochLogCap {
+		r.events = r.events[len(r.events)-topology.EpochLogCap:]
+	}
+	return len(strays)
+}
+
+// View returns the topology view the router currently operates under.
+func (r *Router) View() topology.View { return r.view }
+
+// Epoch returns the router's current topology epoch.
+func (r *Router) Epoch() uint64 { return r.view.Epoch }
+
+// Reassigned returns the total queries re-routed by topology transitions.
+func (r *Router) Reassigned() int64 { return r.reassigned }
+
+// Events returns a copy of the bounded topology-transition log, oldest
+// first.
+func (r *Router) Events() []metrics.EpochEvent {
+	return append([]metrics.EpochEvent(nil), r.events...)
 }
 
 // SetAlive marks processor p up or down. Queries already queued for a dead
@@ -60,14 +158,31 @@ func New(strategy Strategy, procs int, stealing bool) (*Router, error) {
 // the next-best live processor ("a query processor that is down can be
 // replaced without affecting the routing strategy", Section 1; the
 // distance metric "can also be used for ... fault tolerance", §3.4.1).
+// This is the whole-run failure switch; epoch-versioned transitions go
+// through ApplyView.
 func (r *Router) SetAlive(p int, alive bool) {
-	if p >= 0 && p < len(r.alive) {
-		r.alive[p] = alive
+	if p < 0 || p >= len(r.status) || r.status[p] == topology.Left {
+		return
+	}
+	if alive {
+		r.status[p] = topology.Active
+	} else {
+		r.status[p] = topology.Down
 	}
 }
 
-// Alive reports whether processor p is up.
-func (r *Router) Alive(p int) bool { return p >= 0 && p < len(r.alive) && r.alive[p] }
+// Alive reports whether processor p receives new work.
+func (r *Router) Alive(p int) bool {
+	return p >= 0 && p < len(r.status) && r.status[p] == topology.Active
+}
+
+// Status returns slot p's topology state.
+func (r *Router) Status(p int) topology.Status {
+	if p < 0 || p >= len(r.status) {
+		return topology.Left
+	}
+	return r.status[p]
+}
 
 // Diverted returns how many queries were re-routed away from dead
 // processors.
@@ -81,7 +196,8 @@ func (r *Router) DivertedFrom() []int { return append([]int(nil), r.diverted...)
 // dispatches each processor satisfied by stealing foreign work).
 func (r *Router) StolenBy() []int { return append([]int(nil), r.stolenBy...) }
 
-// Procs returns the number of processor connections.
+// Procs returns the number of processor slots (active or not; slots never
+// shrink).
 func (r *Router) Procs() int { return len(r.queues) }
 
 // Strategy returns the routing strategy in use.
@@ -115,13 +231,20 @@ func (r *Router) Executed() []int { return append([]int(nil), r.executed...) }
 func (r *Router) Route(q query.Query) int {
 	loads := r.loads
 	for p := range r.queues {
+		if r.status[p] == topology.Left {
+			// Departed slots look maximally loaded, so load-driven
+			// strategies that are not topology-aware steer clear without
+			// inflating the diversion counters.
+			loads[p] = 1 << 30
+			continue
+		}
 		loads[p] = r.QueueLen(p)
 	}
 	p := r.strategy.Pick(q, loads)
 	if p < 0 || p >= len(r.queues) {
 		p = 0
 	}
-	if !r.alive[p] {
+	if r.status[p] != topology.Active {
 		r.diverted[p]++
 		r.divertedTotal++
 		p = r.divert(q, loads)
@@ -140,7 +263,7 @@ func (r *Router) divert(q query.Query, loads []int) int {
 	da, aware := r.strategy.(DistanceAware)
 	best, bestScore := -1, 0.0
 	for p := range r.queues {
-		if !r.alive[p] {
+		if r.status[p] != topology.Active {
 			continue
 		}
 		var score float64
@@ -173,11 +296,11 @@ func (r *Router) RouteAll(qs []query.Query) {
 // the longest queue. ok is false when no work remains anywhere (or p's
 // queue is empty and stealing is disabled).
 //
-// A dead processor gets no work — not even its own backlog — so ok is
-// always false for it; queries queued before it died are recovered by the
-// live processors through stealing.
+// Only Active processors get work — not even their own backlog otherwise —
+// so ok is always false for down/draining/departed slots; queries queued
+// before a failure are recovered by the live processors through stealing.
 func (r *Router) Next(p int) (query.Query, bool) {
-	if p < 0 || p >= len(r.alive) || !r.alive[p] {
+	if p < 0 || p >= len(r.status) || r.status[p] != topology.Active {
 		return query.Query{}, false
 	}
 	if q, ok := r.pop(p); ok {

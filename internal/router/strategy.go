@@ -19,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/landmark"
 	"repro/internal/query"
+	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
@@ -29,6 +30,32 @@ import (
 // query nodes in the same way" (Section 3.4.1).
 type DistanceAware interface {
 	DistanceTo(q query.Query, proc int) float64
+}
+
+// TopologyAware is implemented by strategies that adapt to membership
+// changes in the processing tier. The routers call SetTopology under their
+// own lock — once at construction and again whenever a newer epoch is
+// applied — so a strategy can re-derive its internal assignments for the
+// new active set (the landmark strategy recomputes landmark→processor
+// ownership, the embedding strategy provisions means for joined members,
+// the stable-hash strategy re-ranks its rendezvous set). Strategies that
+// do not implement it keep seeing the full slot-indexed loads slice and
+// rely on the router's diversion to avoid departed members.
+type TopologyAware interface {
+	SetTopology(v topology.View)
+}
+
+// slotsEqual reports whether two ascending slot lists are identical.
+func slotsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Strategy decides the destination processor for each query.
@@ -105,18 +132,96 @@ func (s *Hash) Observe(query.Query, int) {}
 // DecisionUnits implements Strategy.
 func (s *Hash) DecisionUnits() int { return 1 }
 
+// StableHash dispatches by rendezvous hashing the query node over the
+// active processor set. Like modulo hashing it sends repeats of the same
+// node to the same processor, but unlike Eq 1 it remaps only ~k/N of the
+// node space when k processors join or leave — the elastic-topology
+// analogue of the hash baseline, where a scale-out keeps almost every
+// processor's cache intact.
+type StableHash struct {
+	active []int
+}
+
+// NewStableHash builds the stable-remap hash strategy over procs
+// processors (slots 0..procs-1 until a topology view says otherwise).
+func NewStableHash(procs int) *StableHash {
+	s := &StableHash{active: make([]int, procs)}
+	for i := range s.active {
+		s.active[i] = i
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (s *StableHash) Name() string { return "stablehash" }
+
+// Pick implements Strategy.
+func (s *StableHash) Pick(q query.Query, loads []int) int {
+	if p := topology.Rendezvous(uint64(q.Node), s.active); p >= 0 {
+		return p
+	}
+	return 0
+}
+
+// Observe implements Strategy.
+func (s *StableHash) Observe(query.Query, int) {}
+
+// DecisionUnits implements Strategy: one score per active member.
+func (s *StableHash) DecisionUnits() int {
+	if len(s.active) == 0 {
+		return 1
+	}
+	return len(s.active)
+}
+
+// SetTopology implements TopologyAware. The rendezvous set keeps Down
+// members — their keys divert while the member is out and return on
+// revive, preserving its cache — and drops only Left ones, which is what
+// permanently remaps their ~1/N share of the key space.
+func (s *StableHash) SetTopology(v topology.View) { s.active = v.RoutableSlots() }
+
 // Landmark routes to the processor owning the landmark region the query
 // node falls in, with load blended in via Equation 3. Routing is O(P) per
 // query against the precomputed d(u,p) table.
+//
+// The strategy is topology-aware when built with the landmark index (the
+// registry constructor always is): on an epoch change it re-runs
+// landmark.Assign over the new active member count, so landmark regions
+// are re-owned across the current tier instead of orphaned with departed
+// processors.
 type Landmark struct {
+	idx        *landmark.Index
 	assign     *landmark.Assignment
+	slots      []int // slots[v] is the member slot virtual processor v maps to
 	loadFactor float64
 }
 
 // NewLandmark builds the landmark strategy from a node→processor distance
 // assignment. loadFactor <= 0 disables the load term (pure locality).
+// Without an index the strategy cannot re-derive ownership on topology
+// changes (the router's diversion still keeps departed members workless);
+// use NewLandmarkElastic for full topology awareness.
 func NewLandmark(assign *landmark.Assignment, loadFactor float64) *Landmark {
-	return &Landmark{assign: assign, loadFactor: loadFactor}
+	s := &Landmark{assign: assign, loadFactor: loadFactor}
+	s.slots = identitySlots(assign.Procs())
+	return s
+}
+
+// NewLandmarkElastic builds the landmark strategy with the index retained,
+// so SetTopology can recompute the landmark→processor assignment for new
+// active sets.
+func NewLandmarkElastic(idx *landmark.Index, assign *landmark.Assignment, loadFactor float64) *Landmark {
+	s := NewLandmark(assign, loadFactor)
+	s.idx = idx
+	return s
+}
+
+func identitySlots(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // Name implements Strategy.
@@ -124,20 +229,23 @@ func (s *Landmark) Name() string { return "landmark" }
 
 // Pick implements Strategy.
 func (s *Landmark) Pick(q query.Query, loads []int) int {
-	best, bestD := 0, math.Inf(1)
-	for p := range loads {
-		d := float64(s.assign.DistToProc(q.Node, p))
+	best, bestD := -1, math.Inf(1)
+	for v, slot := range s.slots {
+		d := float64(s.assign.DistToProc(q.Node, v))
 		if d == float64(landmark.Inf) {
 			// Unknown node or landmark-less processor: a large but finite
 			// distance, so the load term can still steer queries here.
 			d = 1e6
 		}
-		if s.loadFactor > 0 {
-			d += float64(loads[p]) / s.loadFactor
+		if s.loadFactor > 0 && slot < len(loads) {
+			d += float64(loads[slot]) / s.loadFactor
 		}
 		if d < bestD {
-			best, bestD = p, d
+			best, bestD = slot, d
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -148,13 +256,43 @@ func (s *Landmark) Observe(query.Query, int) {}
 // DecisionUnits implements Strategy.
 func (s *Landmark) DecisionUnits() int { return s.assign.Procs() }
 
+// SetTopology implements TopologyAware: when built with the index, the
+// landmark→processor assignment (and with it the O(n·P) distance table) is
+// recomputed for the new membership, exactly as deployment-time
+// preprocessing would have produced for that member count. Down members
+// keep their landmark regions — their queries divert while they are out
+// and come back on revive — so only joins and leaves trigger the
+// recompute. Note the recompute is O(nodes · members) and runs inside
+// whatever lock the router applies views under; membership changes are
+// rare control-plane events, but on very large graphs the caller pays
+// that cost at the transition.
+func (s *Landmark) SetTopology(v topology.View) {
+	members := v.RoutableSlots()
+	if len(members) == 0 || slotsEqual(members, s.slots) {
+		return
+	}
+	if s.idx == nil {
+		// No index to re-derive from: keep the existing table; the router
+		// diverts picks that land on non-active members.
+		return
+	}
+	s.assign = landmark.Assign(s.idx, len(members))
+	s.slots = members
+}
+
 // DistanceTo implements DistanceAware: the raw d(u,p) of Section 3.4.1.
 func (s *Landmark) DistanceTo(q query.Query, proc int) float64 {
-	d := float64(s.assign.DistToProc(q.Node, proc))
-	if d == float64(landmark.Inf) {
-		return 1e6
+	for v, slot := range s.slots {
+		if slot != proc {
+			continue
+		}
+		d := float64(s.assign.DistToProc(q.Node, v))
+		if d == float64(landmark.Inf) {
+			return 1e6
+		}
+		return d
 	}
-	return d
+	return 1e6
 }
 
 // Embed routes using the graph embedding: each processor carries an
@@ -162,9 +300,18 @@ func (s *Landmark) DistanceTo(q query.Query, proc int) float64 {
 // received (Equation 5); a query goes to the processor whose mean is
 // closest to the query node's coordinates (Equation 6), blended with load
 // via Equation 7. Routing is O(P·D) per query.
+//
+// The strategy is topology-aware: joined members get a fresh seeded mean
+// inside the embedding's bounding box (derived from the slot id, so the
+// value is independent of join order and identical on both transports),
+// surviving members keep their learned means across the epoch change, and
+// departed members simply drop out of the candidate set.
 type Embed struct {
 	emb        *embed.Embedding
-	means      [][]float64
+	means      [][]float64 // slot-indexed; nil for slots never active
+	active     []int
+	lo, hi     []float64
+	seed       int64
 	alpha      float64
 	loadFactor float64
 }
@@ -182,8 +329,9 @@ func NewEmbed(emb *embed.Embedding, procs int, alpha, loadFactor float64, seed i
 	}
 	lo, hi := coordsBounds(emb)
 	rng := xrand.New(seed)
-	s := &Embed{emb: emb, alpha: alpha, loadFactor: loadFactor}
+	s := &Embed{emb: emb, alpha: alpha, loadFactor: loadFactor, lo: lo, hi: hi, seed: seed}
 	s.means = make([][]float64, procs)
+	s.active = identitySlots(procs)
 	for p := range s.means {
 		m := make([]float64, emb.D)
 		for j := range m {
@@ -192,6 +340,33 @@ func NewEmbed(emb *embed.Embedding, procs int, alpha, loadFactor float64, seed i
 		s.means[p] = m
 	}
 	return s, nil
+}
+
+// SetTopology implements TopologyAware: provision means for joined slots,
+// keep the learned means of surviving ones, and restrict routing to the
+// current membership. Down members stay candidates — their queries divert
+// while they are out (§3.4.1) and their learned mean survives for the
+// revive — only Left members drop out of the set.
+func (s *Embed) SetTopology(v topology.View) {
+	active := v.RoutableSlots()
+	if slotsEqual(active, s.active) {
+		return
+	}
+	for _, slot := range active {
+		for len(s.means) <= slot {
+			s.means = append(s.means, nil)
+		}
+		if s.means[slot] == nil {
+			// Per-slot rng: deterministic regardless of join order.
+			rng := xrand.New(s.seed ^ int64((uint64(slot)+1)*0x9e3779b97f4a7c15))
+			m := make([]float64, s.emb.D)
+			for j := range m {
+				m[j] = s.lo[j] + rng.Float64()*(s.hi[j]-s.lo[j])
+			}
+			s.means[slot] = m
+		}
+	}
+	s.active = active
 }
 
 func coordsBounds(emb *embed.Embedding) (lo, hi []float64) {
@@ -233,24 +408,30 @@ func (s *Embed) Pick(q query.Query, loads []int) int {
 	c := s.emb.Coords(q.Node)
 	if c == nil || math.IsNaN(float64(c[0])) {
 		// Unembedded node (e.g. added after preprocessing, not yet
-		// incorporated): fall back to least-loaded.
-		best, bestLoad := 0, math.MaxInt
-		for p, l := range loads {
-			if l < bestLoad {
-				best, bestLoad = p, l
+		// incorporated): fall back to least-loaded active member.
+		best, bestLoad := -1, math.MaxInt
+		for _, slot := range s.active {
+			if slot < len(loads) && loads[slot] < bestLoad {
+				best, bestLoad = slot, loads[slot]
 			}
+		}
+		if best < 0 {
+			return 0
 		}
 		return best
 	}
-	best, bestD := 0, math.Inf(1)
-	for p := range loads {
-		d := distTo(s.means[p], c)
-		if s.loadFactor > 0 {
-			d += float64(loads[p]) / s.loadFactor
+	best, bestD := -1, math.Inf(1)
+	for _, slot := range s.active {
+		d := distTo(s.means[slot], c)
+		if s.loadFactor > 0 && slot < len(loads) {
+			d += float64(loads[slot]) / s.loadFactor
 		}
 		if d < bestD {
-			best, bestD = p, d
+			best, bestD = slot, d
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -261,6 +442,9 @@ func (s *Embed) Observe(q query.Query, proc int) {
 	if c == nil || math.IsNaN(float64(c[0])) {
 		return
 	}
+	if proc < 0 || proc >= len(s.means) || s.means[proc] == nil {
+		return
+	}
 	m := s.means[proc]
 	for j := range m {
 		m[j] = s.alpha*m[j] + (1-s.alpha)*float64(c[j])
@@ -268,12 +452,20 @@ func (s *Embed) Observe(q query.Query, proc int) {
 }
 
 // DecisionUnits implements Strategy.
-func (s *Embed) DecisionUnits() int { return len(s.means) * s.emb.D }
+func (s *Embed) DecisionUnits() int {
+	if len(s.active) == 0 {
+		return s.emb.D
+	}
+	return len(s.active) * s.emb.D
+}
 
 // DistanceTo implements DistanceAware: the raw d1(u,p) of Equation 6.
 func (s *Embed) DistanceTo(q query.Query, proc int) float64 {
 	c := s.emb.Coords(q.Node)
 	if c == nil || math.IsNaN(float64(c[0])) {
+		return 1e6
+	}
+	if proc < 0 || proc >= len(s.means) || s.means[proc] == nil {
 		return 1e6
 	}
 	return distTo(s.means[proc], c)

@@ -27,6 +27,11 @@ type ProcessorServer struct {
 	mu    sync.Mutex // guards cache
 	cache *cache.LRU[gstore.Record]
 
+	regMu      sync.Mutex // guards the registration below
+	routerAddr string     // router this processor registered with ("" = none)
+	advertise  string     // address announced to the router
+	slot       int        // slot the router assigned
+
 	hits, misses atomic.Int64
 	executed     atomic.Int64
 }
@@ -43,13 +48,79 @@ func NewProcessorServer(addr string, storageAddrs []string, cacheBytes int64) (*
 		sc.Close()
 		return nil, fmt.Errorf("rpc: processor listen: %w", err)
 	}
-	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cacheBytes)}
+	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cacheBytes), slot: -1}
 	go serve(ln, p.handle)
 	return p, nil
 }
 
+// RegisteredSlot returns the slot the router assigned at Register, or -1
+// when the processor never registered (or has deregistered).
+func (p *ProcessorServer) RegisteredSlot() int {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	if p.routerAddr == "" {
+		return -1
+	}
+	return p.slot
+}
+
 // Addr returns the processor's listen address.
 func (p *ProcessorServer) Addr() string { return p.ln.Addr().String() }
+
+// Register announces this processor to a running router (OpJoin): the
+// router dials back to verify it, admits it into the topology at a new
+// epoch and starts routing to it immediately — scale-out without
+// restarting anything. advertise is the address announced to the router
+// ("" uses the listen address, right whenever router and processor share
+// a network). The returned slot is the processor's stable id; Deregister
+// uses the remembered registration for the clean-leave path.
+func (p *ProcessorServer) Register(ctx context.Context, routerAddr, advertise string) (int, error) {
+	if advertise == "" {
+		advertise = p.Addr()
+	}
+	cn, err := DialContext(ctx, routerAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer cn.Close()
+	resp, err := cn.Call(ctx, &Request{Op: OpJoin, Addr: advertise})
+	if err != nil {
+		return 0, err
+	}
+	p.regMu.Lock()
+	p.routerAddr, p.advertise, p.slot = routerAddr, advertise, resp.Proc
+	p.regMu.Unlock()
+	return resp.Proc, nil
+}
+
+// Deregister leaves the router cleanly (OpDrain): the router stops
+// sending new work and removes the member once its in-flight queries
+// finish, so shutting this processor down afterwards is invisible to
+// clients. No-op when the processor never registered.
+func (p *ProcessorServer) Deregister(ctx context.Context) error {
+	p.regMu.Lock()
+	routerAddr, advertise := p.routerAddr, p.advertise
+	p.regMu.Unlock()
+	if routerAddr == "" {
+		return nil
+	}
+	cn, err := DialContext(ctx, routerAddr)
+	if err != nil {
+		return err
+	}
+	defer cn.Close()
+	if _, err := cn.Call(ctx, &Request{Op: OpDrain, Addr: advertise}); err != nil {
+		// Keep the registration: the drain did not land, so a retry must
+		// still know who to deregister from.
+		return err
+	}
+	p.regMu.Lock()
+	if p.routerAddr == routerAddr {
+		p.routerAddr = ""
+	}
+	p.regMu.Unlock()
+	return nil
+}
 
 // Close stops the processor.
 func (p *ProcessorServer) Close() error {

@@ -44,6 +44,15 @@ const (
 	OpStats Op = "stats"
 	// OpPing checks liveness.
 	OpPing Op = "ping"
+	// OpJoin registers a processor with the router at runtime: the request
+	// carries the processor's advertised address, the response its assigned
+	// slot and the new topology epoch (membership op, router role only).
+	OpJoin Op = "join"
+	// OpDrain deregisters a processor cleanly: it stops receiving new work
+	// and leaves the membership once its in-flight queries finish on the
+	// old view — the graceful-shutdown path, as opposed to just vanishing
+	// and being a dead peer.
+	OpDrain Op = "drain"
 )
 
 // Request is the request envelope. Only the fields of the active operation
@@ -59,6 +68,12 @@ type Request struct {
 	Keys []uint64
 	// Exec serves OpExecute; nil for every other op.
 	Exec *ExecRequest
+	// Addr serves OpJoin (the joining processor's advertised address) and
+	// may identify the member to OpDrain instead of Proc.
+	Addr string
+	// Proc identifies the member slot for OpDrain (ignored when Addr is
+	// set).
+	Proc int
 }
 
 // ExecRequest is the OpExecute payload: a batch of queries plus the
@@ -85,6 +100,13 @@ type Response struct {
 	Founds []bool
 	// Results serves OpExecute, positionally aligned with Exec.Queries.
 	Results []query.Result
+	// Epoch stamps the router's topology epoch on the response: the epoch
+	// the queries of an OpExecute were routed under (in-flight queries
+	// drain on the view of the epoch that routed them), or the epoch a
+	// membership op produced.
+	Epoch uint64
+	// Proc serves OpJoin: the slot the router assigned to the joiner.
+	Proc int
 	// ProcCache piggybacks the processor's cumulative cache counters on
 	// OpExecute responses, giving the router a live feedback signal for
 	// adaptive routing strategies without extra round trips.

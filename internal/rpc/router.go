@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/router"
+	"repro/internal/topology"
 )
 
 // RouterServer is the networked query router: it accepts client query
@@ -22,24 +23,38 @@ import (
 // client's deadline) and relays the answers. Per-processor in-flight
 // counts are the live load signal for the load-balanced distance (Eq 3/7).
 //
+// Membership is elastic: processors self-register at runtime with OpJoin
+// (the router dials back and verifies them before admitting), leave
+// cleanly with OpDrain (no new work; the member departs once its in-flight
+// queries finish on the old view), and every epoch change re-derives the
+// topology-aware strategies' assignments. Slots are stable and never
+// reused, so the per-slot accounting stays aligned across epochs.
+//
 // The router keeps the same per-processor accounting as the virtual-time
 // engine (assigned/completed counts, routing-decision-time and queue-depth
 // histograms) and serves it as a metrics.Snapshot on OpStats, so local and
 // networked clients report through one structure.
 type RouterServer struct {
 	ln         net.Listener
-	procs      []*Pool
 	policyName string
+	poolSize   int
 
-	mu        sync.Mutex // guards strategy, inflight and the counters below
-	strategy  router.Strategy
-	statsObs  router.StatsObserver // strategy's optional feedback hook, nil if absent
-	inflight  []int
-	assigned  []int64                 // queries the strategy sent to each processor
-	completed []int64                 // queries each processor answered successfully
-	lastCache []metrics.CacheCounters // latest cache counters piggybacked per processor
-	routing   metrics.Histogram       // wall-clock routing decision time (ns)
-	depth     metrics.Histogram       // destination in-flight depth at each decision
+	mu         sync.Mutex // guards the topology, pools and counters below
+	topo       *topology.Tracker
+	view       topology.View
+	pools      []*Pool // slot-indexed; nil once a member has left
+	strategy   router.Strategy
+	statsObs   router.StatsObserver // strategy's optional feedback hook, nil if absent
+	topoAware  router.TopologyAware // strategy's optional topology hook, nil if absent
+	inflight   []int
+	assigned   []int64                 // queries the strategy sent to each slot
+	completed  []int64                 // queries each slot answered successfully
+	diverted   []int64                 // queries re-routed away from a non-active slot
+	lastCache  []metrics.CacheCounters // latest cache counters piggybacked per slot
+	routing    metrics.Histogram       // wall-clock routing decision time (ns)
+	depth      metrics.Histogram       // destination in-flight depth at each decision
+	reassigned int64
+	events     []metrics.EpochEvent
 
 	requests atomic.Int64
 	queries  atomic.Int64
@@ -47,7 +62,8 @@ type RouterServer struct {
 
 // RouterConfig configures a networked router.
 type RouterConfig struct {
-	// ProcessorAddrs lists the processing tier.
+	// ProcessorAddrs lists the initial processing tier; more processors can
+	// join at runtime with OpJoin.
 	ProcessorAddrs []string
 	// Strategy decides destinations; nil defaults to next-ready.
 	Strategy router.Strategy
@@ -71,14 +87,22 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 	}
 	n := len(cfg.ProcessorAddrs)
 	r := &RouterServer{
-		strategy:   cfg.Strategy,
 		policyName: cfg.PolicyName,
+		poolSize:   cfg.PoolSize,
+		topo:       topology.NewTrackerAddrs(cfg.ProcessorAddrs),
+		strategy:   cfg.Strategy,
 		inflight:   make([]int, n),
 		assigned:   make([]int64, n),
 		completed:  make([]int64, n),
+		diverted:   make([]int64, n),
 		lastCache:  make([]metrics.CacheCounters, n),
 	}
+	r.view = r.topo.View()
 	r.statsObs, _ = cfg.Strategy.(router.StatsObserver)
+	r.topoAware, _ = cfg.Strategy.(router.TopologyAware)
+	if r.topoAware != nil {
+		r.topoAware.SetTopology(r.view)
+	}
 	for _, a := range cfg.ProcessorAddrs {
 		p := NewPool(a, cfg.PoolSize)
 		if err := p.Ping(context.Background()); err != nil {
@@ -86,7 +110,7 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 			r.closePools()
 			return nil, err
 		}
-		r.procs = append(r.procs, p)
+		r.pools = append(r.pools, p)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -103,15 +127,76 @@ func (r *RouterServer) Addr() string { return r.ln.Addr().String() }
 
 // Close stops the router.
 func (r *RouterServer) Close() error {
-	r.closePools()
+	r.mu.Lock()
+	pools := append([]*Pool(nil), r.pools...)
+	r.mu.Unlock()
+	for _, p := range pools {
+		if p != nil {
+			p.Close()
+		}
+	}
 	return r.ln.Close()
 }
 
 func (r *RouterServer) closePools() {
-	for _, p := range r.procs {
+	for _, p := range r.pools {
 		if p != nil {
 			p.Close()
 		}
+	}
+}
+
+// Epoch returns the router's current topology epoch.
+func (r *RouterServer) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view.Epoch
+}
+
+// View returns the router's current topology view.
+func (r *RouterServer) View() topology.View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return topology.View{Epoch: r.view.Epoch, Members: append([]topology.Member(nil), r.view.Members...)}
+}
+
+// applyViewLocked moves the router to a newer view: slot arrays grow for
+// joiners, the strategy's topology hook fires, the transition is logged,
+// and departed members with no in-flight work have their pools closed.
+// Caller holds r.mu.
+func (r *RouterServer) applyViewLocked(v topology.View) {
+	if v.Epoch <= r.view.Epoch {
+		return
+	}
+	for len(r.inflight) < v.Slots() {
+		r.inflight = append(r.inflight, 0)
+		r.assigned = append(r.assigned, 0)
+		r.completed = append(r.completed, 0)
+		r.diverted = append(r.diverted, 0)
+		r.lastCache = append(r.lastCache, metrics.CacheCounters{})
+		r.pools = append(r.pools, nil)
+	}
+	d := topology.DiffViews(r.view, v)
+	ev := metrics.EpochEvent{Epoch: v.Epoch, Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived}
+	for _, slot := range d.LeftSlots {
+		// In-flight queries drain on the old view; they are the networked
+		// analogue of the virtual-time router's requeued backlog.
+		ev.Reassigned += int64(r.inflight[slot])
+	}
+	r.view = v
+	if r.topoAware != nil {
+		r.topoAware.SetTopology(v)
+	}
+	for slot := range r.pools {
+		if v.Status(slot) == topology.Left && r.pools[slot] != nil && r.inflight[slot] == 0 {
+			go r.pools[slot].Close()
+			r.pools[slot] = nil
+		}
+	}
+	r.reassigned += ev.Reassigned
+	r.events = append(r.events, ev)
+	if len(r.events) > topology.EpochLogCap {
+		r.events = r.events[len(r.events)-topology.EpochLogCap:]
 	}
 }
 
@@ -125,7 +210,11 @@ func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 		if err != nil {
 			return errorResponse(err)
 		}
-		return Response{OK: true, Stats: &Stats{Role: "router", Requests: r.requests.Load(), Snapshot: snap}}
+		return Response{OK: true, Epoch: snap.Epoch, Stats: &Stats{Role: "router", Requests: r.requests.Load(), Snapshot: snap}}
+	case OpJoin:
+		return r.join(ctx, req.Addr)
+	case OpDrain:
+		return r.drain(req)
 	case OpExecute:
 		if req.Exec == nil || len(req.Exec.Queries) == 0 {
 			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
@@ -135,9 +224,85 @@ func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 	return errorResponse(fmt.Errorf("router: unknown op %q", req.Op))
 }
 
+// join admits a processor into the running deployment: the router dials
+// back to the advertised address and verifies it answers before bumping
+// the epoch, so a bad address never becomes a member. Joins are
+// idempotent per address.
+func (r *RouterServer) join(ctx context.Context, addr string) Response {
+	if addr == "" {
+		return errorResponse(fmt.Errorf("%w: join request carries no address", query.ErrBadQuery))
+	}
+	if slot := r.topo.Lookup(addr); slot >= 0 {
+		r.mu.Lock()
+		epoch := r.view.Epoch
+		r.mu.Unlock()
+		return Response{OK: true, Proc: slot, Epoch: epoch}
+	}
+	p := NewPool(addr, r.poolSize)
+	if err := p.Ping(ctx); err != nil {
+		p.Close()
+		return errorResponse(fmt.Errorf("join %s: %w", addr, err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Re-check under the lock: a concurrent join of the same address wins.
+	// Only an Active member counts — a Draining/Down slot at this address
+	// is on its way out, and the (re)joining processor must get a fresh
+	// slot rather than one about to become Left.
+	for _, m := range r.view.Members {
+		if m.Addr == addr && m.Status == topology.Active {
+			go p.Close()
+			return Response{OK: true, Proc: m.Slot, Epoch: r.view.Epoch}
+		}
+	}
+	slot, v := r.topo.Join(addr)
+	r.applyViewLocked(v)
+	r.pools[slot] = p
+	return Response{OK: true, Proc: slot, Epoch: v.Epoch}
+}
+
+// drain begins a member's clean departure: Active→Draining immediately
+// (no new work), then Draining→Left once its in-flight queries finish —
+// right away when it is already idle, otherwise from finish().
+func (r *RouterServer) drain(req *Request) Response {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := req.Proc
+	if req.Addr != "" {
+		// Prefer the Active member at this address; an old Draining/Down
+		// slot may share it while on its way out.
+		slot = -1
+		for _, m := range r.view.Members {
+			if m.Addr != req.Addr || m.Status == topology.Left {
+				continue
+			}
+			if slot < 0 || m.Status == topology.Active {
+				slot = m.Slot
+			}
+		}
+		if slot < 0 {
+			return errorResponse(fmt.Errorf("%w: no member at %s", query.ErrBadQuery, req.Addr))
+		}
+	}
+	v, err := r.topo.Drain(slot)
+	if err != nil {
+		return errorResponse(fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+	}
+	r.applyViewLocked(v)
+	if r.inflight[slot] == 0 {
+		if v2, err := r.topo.Leave(slot); err == nil {
+			r.applyViewLocked(v2)
+		}
+	}
+	return Response{OK: true, Proc: slot, Epoch: r.view.Epoch}
+}
+
 // execute routes every query of the batch, groups them by destination
 // processor and forwards the per-processor sub-batches concurrently, so a
-// pipelined client pays one router round trip for the whole batch.
+// pipelined client pays one router round trip for the whole batch. The
+// whole batch is routed under one epoch, stamped on the response;
+// sub-batches already forwarded keep draining on that view even if the
+// topology moves mid-flight.
 func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	for _, q := range ex.Queries {
 		if err := q.Validate(); err != nil {
@@ -148,14 +313,29 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	// Routing decisions under the current in-flight load (one strategy
 	// lock for the batch; the strategy is inherently sequential).
 	dest := make([]int, len(ex.Queries))
-	loads := make([]int, len(r.procs))
 	r.mu.Lock()
+	if r.view.NumActive() == 0 {
+		r.mu.Unlock()
+		return errorResponse(fmt.Errorf("%w: no active processors", query.ErrUnavailable))
+	}
+	epoch := r.view.Epoch
+	loads := make([]int, len(r.inflight))
 	for i, q := range ex.Queries {
-		copy(loads, r.inflight)
+		for p := range r.inflight {
+			if r.view.Status(p) == topology.Left {
+				loads[p] = 1 << 30
+			} else {
+				loads[p] = r.inflight[p]
+			}
+		}
 		t0 := time.Now()
 		p := r.strategy.Pick(q, loads)
-		if p < 0 || p >= len(r.procs) {
+		if p < 0 || p >= len(r.pools) {
 			p = 0
+		}
+		if !r.view.IsActive(p) || r.pools[p] == nil {
+			r.diverted[p]++
+			p = r.divertLocked(q)
 		}
 		r.strategy.Observe(q, p)
 		r.routing.Observe(time.Since(t0).Nanoseconds())
@@ -164,6 +344,7 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 		r.inflight[p]++
 		dest[i] = p
 	}
+	pools := append([]*Pool(nil), r.pools...)
 	r.mu.Unlock()
 
 	// Fast path — the whole batch (typically a single query) lands on one
@@ -177,17 +358,18 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	}
 	if single {
 		p := dest[0]
-		resp, err := r.procs[p].Call(ctx, &Request{Op: OpExecute, Exec: ex})
+		resp, err := pools[p].Call(ctx, &Request{Op: OpExecute, Exec: ex})
 		r.finish(p, len(dest), &resp, err)
 		if err != nil {
 			return errorResponse(err)
 		}
 		resp.ProcCache = nil // router-internal feedback, not client payload
+		resp.Epoch = epoch
 		return resp
 	}
 
 	// Group the batch by destination, remembering original positions.
-	groups := make(map[int][]int, len(r.procs))
+	groups := make(map[int][]int, len(pools))
 	for i, p := range dest {
 		groups[p] = append(groups[p], i)
 	}
@@ -205,12 +387,12 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 			for j, i := range indices {
 				sub.Queries[j] = ex.Queries[i]
 			}
-			resp, err := r.procs[p].Call(ctx, &Request{Op: OpExecute, Exec: sub})
+			resp, err := pools[p].Call(ctx, &Request{Op: OpExecute, Exec: sub})
 			results <- procResult{proc: p, indices: indices, resp: resp, err: err}
 		}(p, indices)
 	}
 
-	out := Response{OK: true, Results: make([]query.Result, len(ex.Queries))}
+	out := Response{OK: true, Epoch: epoch, Results: make([]query.Result, len(ex.Queries))}
 	var firstErr error
 	for range groups {
 		pr := <-results
@@ -231,11 +413,38 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 	return out
 }
 
+// divertLocked picks the best active slot for q: the closest one when the
+// strategy is distance-aware, the least in-flight otherwise. Caller holds
+// r.mu and has checked at least one member is active.
+func (r *RouterServer) divertLocked(q query.Query) int {
+	da, aware := r.strategy.(router.DistanceAware)
+	best, bestScore := -1, 0.0
+	for p := range r.pools {
+		if !r.view.IsActive(p) || r.pools[p] == nil {
+			continue
+		}
+		var score float64
+		if aware {
+			score = da.DistanceTo(q, p)
+		} else {
+			score = float64(r.inflight[p])
+		}
+		if best < 0 || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
 // finish settles the accounting for a completed sub-batch of n queries on
 // processor p: the in-flight load drops, successful completions advance
-// the per-processor counters, and the processor's piggybacked cache
-// counters feed the strategy's optional StatsObserver hook — the live
-// signal adaptive strategies hot-swap on.
+// the per-processor counters, the processor's piggybacked cache counters
+// feed the strategy's optional StatsObserver hook — the live signal
+// adaptive strategies hot-swap on — and a draining member whose last
+// in-flight query just finished completes its departure.
 func (r *RouterServer) finish(p, n int, resp *Response, err error) {
 	r.mu.Lock()
 	r.inflight[p] -= n
@@ -252,6 +461,11 @@ func (r *RouterServer) finish(p, n int, resp *Response, err error) {
 			}
 		}
 	}
+	if r.inflight[p] == 0 && r.view.Status(p) == topology.Draining {
+		if v, lerr := r.topo.Leave(p); lerr == nil {
+			r.applyViewLocked(v)
+		}
+	}
 	r.mu.Unlock()
 	if err == nil {
 		r.queries.Add(int64(n))
@@ -260,25 +474,35 @@ func (r *RouterServer) finish(p, n int, resp *Response, err error) {
 
 // Snapshot assembles the system-wide observability snapshot — the same
 // metrics.Snapshot structure the virtual-time engine reports — polling
-// each processor's OpStats for fresh cache counters (falling back to the
-// last piggybacked counters for processors that do not answer).
+// each live processor's OpStats for fresh cache counters (falling back to
+// the last piggybacked counters for processors that do not answer). The
+// whole snapshot is assembled under one lock, so it never mixes epochs.
 func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) {
+	r.mu.Lock()
+	pools := append([]*Pool(nil), r.pools...)
+	r.mu.Unlock()
+
 	type procStats struct {
 		i  int
 		cc *metrics.CacheCounters
 	}
-	results := make(chan procStats, len(r.procs))
-	for i := range r.procs {
-		go func(i int) {
+	results := make(chan procStats, len(pools))
+	polled := 0
+	for i := range pools {
+		if pools[i] == nil {
+			continue
+		}
+		polled++
+		go func(i int, pool *Pool) {
 			var cc *metrics.CacheCounters
-			if resp, err := r.procs[i].Call(ctx, &Request{Op: OpStats}); err == nil && resp.Stats != nil {
+			if resp, err := pool.Call(ctx, &Request{Op: OpStats}); err == nil && resp.Stats != nil {
 				cc = resp.Stats.Cache
 			}
 			results <- procStats{i, cc}
-		}(i)
+		}(i, pools[i])
 	}
-	fresh := make([]*metrics.CacheCounters, len(r.procs))
-	for range r.procs {
+	fresh := make([]*metrics.CacheCounters, len(pools))
+	for k := 0; k < polled; k++ {
 		ps := <-results
 		fresh[ps.i] = ps.cc
 	}
@@ -289,24 +513,39 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 		Transport:    "tcp",
 		Policy:       r.policyName,
 		Strategy:     r.strategy.Name(),
-		Processors:   len(r.procs),
+		Processors:   r.view.NumActive(),
+		Epoch:        r.view.Epoch,
 		Queries:      r.queries.Load(),
+		Reassigned:   r.reassigned,
+		Epochs:       append([]metrics.EpochEvent(nil), r.events...),
 		RoutingNanos: r.routing.Summary(),
 		QueueDepth:   r.depth.Summary(),
 	}
-	for i := range r.procs {
-		if fresh[i] != nil {
+	for i := range r.inflight {
+		if i < len(fresh) && fresh[i] != nil {
 			r.lastCache[i] = *fresh[i]
 		}
 		cc := r.lastCache[i]
-		snap.PerProc = append(snap.PerProc, metrics.ProcCounters{
+		var addr string
+		if i < len(r.view.Members) {
+			addr = r.view.Members[i].Addr
+		}
+		pc := metrics.ProcCounters{
 			Proc:       i,
+			Status:     r.view.Status(i).String(),
+			Addr:       addr,
 			Assigned:   r.assigned[i],
 			Executed:   r.completed[i],
+			Diverted:   r.diverted[i],
 			QueueDepth: int64(r.inflight[i]),
 			Cache:      cc,
-		})
+		}
+		snap.PerProc = append(snap.PerProc, pc)
 		snap.Cache.Add(cc)
+	}
+	snap.Diverted = 0
+	for _, d := range r.diverted {
+		snap.Diverted += d
 	}
 	return snap, nil
 }
@@ -334,6 +573,7 @@ func BuildStrategy(policy string, g *graph.Graph, procs int, seed int64) (router
 			return nil, fmt.Errorf("rpc: graph too small for landmark selection")
 		}
 		idx := landmark.BuildIndex(g, lms, 0)
+		res.Index = idx
 		res.Assignment = landmark.Assign(idx, procs)
 		if reg.Prep >= router.PrepEmbedding {
 			emb, err := embed.Build(g, idx, embed.Options{Dimensions: 8, Seed: seed})

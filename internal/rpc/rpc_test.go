@@ -396,9 +396,15 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 		Policy:     "embed",
 		Strategy:   "embed",
 		Processors: 7,
+		Epoch:      9,
 		Queries:    123456,
 		Stolen:     321,
 		Diverted:   12,
+		Reassigned: 17,
+		Epochs: []metrics.EpochEvent{
+			{Epoch: 8, Joined: 2},
+			{Epoch: 9, Left: 1, Reassigned: 17},
+		},
 		RoutingNanos: metrics.Summary{
 			Count: 123456, Mean: 850, P50: 800, P95: 2047, P99: 4095, Max: 90000,
 		},
@@ -410,7 +416,8 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 			Evictions: 55000, CurrentBytes: 4 << 30, CapacityBytes: 4 << 30,
 		}
 		snap.PerProc = append(snap.PerProc, metrics.ProcCounters{
-			Proc: i, Assigned: 17636, Executed: 17640, Stolen: 40, Diverted: 2,
+			Proc: i, Status: "active", Addr: "10.0.0.71:7101",
+			Assigned: 17636, Executed: 17640, Stolen: 40, Diverted: 2,
 			QueueDepth: 3, Cache: cc,
 		})
 		snap.Cache.Add(cc)

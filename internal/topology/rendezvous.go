@@ -1,0 +1,35 @@
+package topology
+
+// Rendezvous picks the destination slot for key by highest-random-weight
+// (rendezvous) hashing over the given slots: every (key, slot) pair gets
+// an independent pseudo-random score and the highest score wins.
+//
+// This is the stable-remap property elastic routing needs: when the active
+// set grows from N to N+k, a key only moves if one of the k new slots wins
+// it, so the expected moved fraction is k/(N+k); when a slot leaves, only
+// its own ~1/N of the keys move. Naive modulo hashing (Eq 1) reshuffles
+// almost everything on any size change, throwing away every processor's
+// cache at once.
+//
+// Returns -1 when slots is empty.
+func Rendezvous(key uint64, slots []int) int {
+	best, bestScore := -1, uint64(0)
+	for _, s := range slots {
+		score := mix64(key ^ (uint64(s)+1)*0x9e3779b97f4a7c15)
+		if best < 0 || score > bestScore || (score == bestScore && s < best) {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// mixer, plenty for destination scoring.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -30,7 +30,10 @@ func ServeProcessor(addr string, storageAddrs []string, cacheBytes int64) (*Proc
 
 // RouterSpec configures a networked router.
 type RouterSpec struct {
-	// Processors lists the processing tier's addresses.
+	// Processors lists the initial processing tier's addresses; more
+	// processors can join the running router at any time with
+	// ProcessorServer.Register (groutingd -join) and leave cleanly with
+	// Deregister, each transition producing a new topology epoch.
 	Processors []string
 	// Policy selects the routing scheme. Smart policies (PolicyLandmark,
 	// PolicyEmbed) need Graph for preprocessing.

@@ -20,4 +20,8 @@ type (
 	// StatsSummary is a compact percentile digest (routing decision time,
 	// queue depth).
 	StatsSummary = metrics.Summary
+	// EpochEvent is one topology transition in a Stats snapshot's bounded
+	// epoch log: what changed and how many queries had to move because of
+	// it.
+	EpochEvent = metrics.EpochEvent
 )

@@ -1,9 +1,9 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: ci fmt-check vet lint build test race examples bench-smoke bench suite
+.PHONY: ci fmt-check vet lint build test race cover examples bench-smoke bench suite
 
-ci: fmt-check lint build test race examples bench-smoke
+ci: fmt-check lint build test race cover examples bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -28,10 +28,28 @@ test:
 
 # Race-detect the concurrent surfaces: the networked transport, the
 # root-package client (ExecuteStream, pooled conns, cancellation, elastic
-# topology transitions), the router (strategy registry, stealing/diversion
-# accounting) and the topology tracker.
+# topology transitions, mid-workload storage kills), the router (strategy
+# registry, stealing/diversion accounting), the topology tracker and the
+# replicated storage tier (membership transitions vs concurrent reads).
 race:
-	$(GO) test -race ./internal/rpc ./internal/router ./internal/topology .
+	$(GO) test -race ./internal/rpc ./internal/router ./internal/topology ./internal/kvstore ./internal/gstore .
+
+# Coverage ratchet for the storage stack the replication work lives in:
+# each package must stay at or above its floor (set just under the
+# current coverage — raise the floors as coverage grows, never lower
+# them). Current: gstore 95%, kvstore 90%, topology 79%.
+COVER_FLOORS = ./internal/gstore:90 ./internal/kvstore:85 ./internal/topology:75
+
+cover:
+	@set -e; for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		out=$$($(GO) test -cover $$pkg | tail -1); \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage figure for $$pkg: $$out"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then echo "FAIL: $$pkg coverage $$pct% is below the $$floor% ratchet"; exit 1; fi; \
+		echo "$$pkg: $$pct% (floor $$floor%)"; \
+	done
 
 # Compile every example program so public-API drift breaks the build here,
 # not the examples.

@@ -16,6 +16,8 @@ import (
 
 	grouting "repro"
 	"repro/internal/experiments"
+	"repro/internal/gstore"
+	"repro/internal/kvstore"
 )
 
 // benchExperiment runs the registered experiment once per iteration.
@@ -75,6 +77,54 @@ func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
 func BenchmarkAblationStealing(b *testing.B)  { benchExperiment(b, "ablation-stealing") }
 func BenchmarkAblationPartition(b *testing.B) { benchExperiment(b, "ablation-partition") }
 func BenchmarkAblationBatch(b *testing.B)     { benchExperiment(b, "ablation-batch") }
+
+// Elasticity and fault-tolerance experiments beyond the paper.
+func BenchmarkElastic(b *testing.B)      { benchExperiment(b, "elastic") }
+func BenchmarkStorageFault(b *testing.B) { benchExperiment(b, "storagefault") }
+
+// benchFetchBatch measures the storage tier's batched fetch path on a
+// warm store (the per-frontier hot path of every query).
+func benchFetchBatch(b *testing.B, st *kvstore.Store) {
+	b.Helper()
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.05, 42)
+	gstore.Load(st, g)
+	tier := gstore.NewTier(st)
+	ids := make([]grouting.NodeID, 64)
+	for i := range ids {
+		ids[i] = grouting.NodeID(uint32(i*131) % uint32(g.NumNodes()))
+	}
+	dst := make([]gstore.FetchResult, len(ids))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tier.FetchBatchInto(ids, dst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFetchBatch is the R=1 hot-path baseline (PR 1's
+// allocation-free work: only the decoded records allocate).
+func BenchmarkFetchBatch(b *testing.B) {
+	st, err := kvstore.New(4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFetchBatch(b, st)
+}
+
+// BenchmarkFetchBatchReplicated is the benchmark guard for the tentpole:
+// the R=2 happy path (rendezvous replica placement + health checks, no
+// faults) must stay within 6 allocs/op of the R=1 hot path. The paired
+// regression test lives in internal/gstore (TestFetchBatchReplicatedAllocs);
+// this benchmark tracks the time and allocation trajectory.
+func BenchmarkFetchBatchReplicated(b *testing.B) {
+	st, err := kvstore.NewReplicated(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFetchBatch(b, st)
+}
 
 // Micro-benchmarks: the per-query execution path under each policy on a
 // warm system (graph generation and preprocessing excluded).

@@ -42,6 +42,7 @@ func main() {
 	var (
 		load       = flag.Bool("load", false, "load the dataset into the storage tier and exit")
 		storage    = flag.String("storage", "", "comma-separated storage addresses (for -load)")
+		replicas   = flag.Int("replicas", 1, "storage replication factor for -load (start processors with the same -storage-replicas)")
 		routerAddr = flag.String("router", "", "router address (for querying)")
 		policy     = flag.String("policy", "", "'list' prints the strategy registry; any other name resolves and prints it")
 		dataset    = flag.String("dataset", "webgraph", "dataset preset")
@@ -101,9 +102,9 @@ func main() {
 			exitOn(fmt.Errorf("-load needs -storage"))
 		}
 		start := time.Now()
-		exitOn(grouting.LoadStorage(ctx, g, addrs))
-		fmt.Printf("loaded %d nodes / %d edges across %d shards in %v\n",
-			g.NumNodes(), g.NumEdges(), len(addrs), time.Since(start).Round(time.Millisecond))
+		exitOn(grouting.LoadStorageReplicated(ctx, g, addrs, *replicas))
+		fmt.Printf("loaded %d nodes / %d edges across %d shards (x%d replicas) in %v\n",
+			g.NumNodes(), g.NumEdges(), len(addrs), *replicas, time.Since(start).Round(time.Millisecond))
 		return
 	}
 
@@ -168,21 +169,34 @@ func policyTable() string {
 	return t.String()
 }
 
-// topologyTable renders the tier membership and the epoch transition log
-// from a Stats snapshot.
+// topologyTable renders both tiers' membership and the tier-tagged epoch
+// transition log from a Stats snapshot.
 func topologyTable(snap *grouting.Stats) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "epoch %d: %d active of %d slots (policy %s, strategy %s, %d reassigned across transitions)\n",
+	fmt.Fprintf(&b, "processors: epoch %d, %d active of %d slots (policy %s, strategy %s, %d reassigned across transitions)\n",
 		snap.Epoch, snap.Processors, len(snap.PerProc), snap.Policy, snap.Strategy, snap.Reassigned)
-	t := metrics.NewTable("slot", "status", "addr", "assigned", "executed", "queue")
+	t := metrics.NewTable("tier", "slot", "status", "addr", "assigned", "executed", "queue")
 	for _, p := range snap.PerProc {
-		t.AddRow(p.Proc, p.Status, p.Addr, p.Assigned, p.Executed, p.QueueDepth)
+		t.AddRow("proc", p.Proc, p.Status, p.Addr, p.Assigned, p.Executed, p.QueueDepth)
 	}
 	b.WriteString(t.String())
+	if len(snap.PerStorage) > 0 {
+		fmt.Fprintf(&b, "storage: epoch %d, %d members, %d replicas per record\n",
+			snap.StorageEpoch, len(snap.PerStorage), snap.StorageReplicas)
+		ts := metrics.NewTable("tier", "slot", "status", "addr", "keys", "gets", "failovers")
+		for _, m := range snap.PerStorage {
+			ts.AddRow("storage", m.Slot, m.Status, m.Addr, m.Keys, m.Gets, m.Failovers)
+		}
+		b.WriteString(ts.String())
+	}
 	if len(snap.Epochs) > 0 {
-		te := metrics.NewTable("epoch", "joined", "left", "failed", "revived", "reassigned")
+		te := metrics.NewTable("tier", "epoch", "joined", "left", "failed", "revived", "reassigned")
 		for _, e := range snap.Epochs {
-			te.AddRow(e.Epoch, e.Joined, e.Left, e.Failed, e.Revived, e.Reassigned)
+			tier := e.Tier
+			if tier == "" {
+				tier = "proc"
+			}
+			te.AddRow(tier, e.Epoch, e.Joined, e.Left, e.Failed, e.Revived, e.Reassigned)
 		}
 		b.WriteString(te.String())
 	}

@@ -13,16 +13,21 @@
 //	    -processors 127.0.0.1:7101 -policy landmark \
 //	    -dataset webgraph -graphscale 0.05 &
 //
-// The processing tier is elastic: additional processors join the running
-// router at any time with -join (the router verifies them, bumps the
-// topology epoch and starts routing to them immediately), and SIGINT /
-// SIGTERM shuts every role down gracefully — a joined processor first
-// deregisters through the drain path, so the router sees a clean leave
-// rather than a dead peer:
+// Both tiers are elastic: additional processors join the running router
+// at any time with -join (the router verifies them, bumps the topology
+// epoch and starts routing to them immediately), storage shards -join the
+// router's storage view the same way, and SIGINT / SIGTERM shuts every
+// role down gracefully — a joined member first deregisters through the
+// drain path, so the router sees a clean leave rather than a dead peer:
 //
 //	groutingd -role processor -listen 127.0.0.1:7102 \
 //	    -storage 127.0.0.1:7001,127.0.0.1:7002 \
 //	    -join 127.0.0.1:7200 &
+//
+// The storage tier can be replicated: load it with grouting-cli -load
+// -replicas 2 and start every processor with -storage-replicas 2. Reads
+// then fail over transparently when a shard dies and recover when it
+// answers again; grouting-cli -topology shows both tiers' membership.
 //
 // Smart routing policies need the graph for preprocessing, so the router
 // regenerates the named dataset (the same seeded generator grouting-cli
@@ -59,9 +64,10 @@ func main() {
 		role       = flag.String("role", "", "storage | processor | router")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
 		httpAddr   = flag.String("http", "", "serve /statsz (JSON) and expvar /debug/vars on this address (empty = disabled)")
-		storage    = flag.String("storage", "", "comma-separated storage addresses (processor role)")
+		storage    = flag.String("storage", "", "comma-separated storage addresses (processor role; optional for the router role, to seed its storage view)")
+		replicas   = flag.Int("storage-replicas", 1, "storage replication factor (processor + router roles; must match what the loader used)")
 		processors = flag.String("processors", "", "comma-separated processor addresses (router role)")
-		join       = flag.String("join", "", "router address to register with at startup (processor role)")
+		join       = flag.String("join", "", "router address to register with at startup (processor and storage roles)")
 		advertise  = flag.String("advertise", "", "address announced to the router on -join (default: the listen address)")
 		policy     = flag.String("policy", "nextready", "routing policy (any registered strategy; see grouting-cli -policy list)")
 		cacheMB    = flag.Int64("cache-mb", 256, "processor cache capacity in MiB")
@@ -76,9 +82,21 @@ func main() {
 		s, err := grouting.ServeStorage(*listen)
 		exitOn(err)
 		fmt.Printf("storage shard listening on %s\n", s.Addr())
+		if *join != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			slot, err := s.Register(ctx, *join, *advertise)
+			cancel()
+			exitOn(err)
+			fmt.Printf("joined router %s as storage slot %d\n", *join, slot)
+		}
 		serveHTTP(*httpAddr, func() (any, error) { return s.Stats(), nil })
 		awaitSignal()
 		fmt.Println("shutting down storage shard")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := s.Deregister(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "deregister: %v\n", err)
+		}
+		cancel()
 		s.Close()
 	case "processor":
 		addrs, err := cliutil.SplitAddrs(*storage)
@@ -86,9 +104,11 @@ func main() {
 		if len(addrs) == 0 {
 			exitOn(fmt.Errorf("processor role needs -storage"))
 		}
-		p, err := grouting.ServeProcessor(*listen, addrs, *cacheMB<<20)
+		p, err := grouting.ServeProcessorWith(*listen, grouting.ProcessorSpec{
+			Storage: addrs, StorageReplicas: *replicas, CacheBytes: *cacheMB << 20,
+		})
 		exitOn(err)
-		fmt.Printf("processor listening on %s (storage: %s)\n", p.Addr(), *storage)
+		fmt.Printf("processor listening on %s (storage: %s, replicas %d)\n", p.Addr(), *storage, *replicas)
 		if *join != "" {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			slot, err := p.Register(ctx, *join, *advertise)
@@ -115,7 +135,12 @@ func main() {
 		}
 		pol, err := grouting.ParsePolicy(*policy)
 		exitOn(err)
-		spec := grouting.RouterSpec{Processors: addrs, Policy: pol, Seed: *seed}
+		spec := grouting.RouterSpec{Processors: addrs, Policy: pol, Seed: *seed, StorageReplicas: *replicas}
+		if *storage != "" {
+			saddrs, err := cliutil.SplitAddrs(*storage)
+			exitOn(err)
+			spec.Storage = saddrs
+		}
 		if pol.NeedsLandmarks() {
 			g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
 			exitOn(err)

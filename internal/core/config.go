@@ -19,6 +19,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/router"
 	"repro/internal/simnet"
+	"repro/internal/topology"
 )
 
 // Policy selects the routing scheme (Section 3.3-3.4) plus the paper's
@@ -93,6 +94,16 @@ type Config struct {
 	Processors int
 	// StorageServers is the number of storage servers (paper: 4).
 	StorageServers int
+	// StorageReplicas is the storage tier's replication factor (default 1,
+	// the paper's unreplicated setup). With >= 2, every node record lives
+	// on that many replicas placed by rendezvous hashing over the
+	// epoch-versioned storage view: reads fail over transparently when a
+	// replica dies, and the AddStorage / DrainStorage / FailStorage /
+	// ReviveStorage System methods move the membership live, with
+	// re-replication of under-replicated records completing before each
+	// call returns. Incompatible with a custom Placer (the partitioning
+	// ablation is single-replica by construction).
+	StorageReplicas int
 	// Network is the cluster cost profile (default Infiniband).
 	Network simnet.Profile
 	// Policy picks the routing scheme (default PolicyEmbed, the paper's
@@ -159,6 +170,9 @@ func (c Config) withDefaults() Config {
 	if c.StorageServers == 0 {
 		c.StorageServers = 4
 	}
+	if c.StorageReplicas == 0 {
+		c.StorageReplicas = 1
+	}
 	if c.Network.Name == "" {
 		c.Network = simnet.Infiniband()
 	}
@@ -200,6 +214,15 @@ func (c Config) validate() error {
 	}
 	if c.StorageServers < 1 {
 		return fmt.Errorf("core: StorageServers = %d, need >= 1", c.StorageServers)
+	}
+	if c.StorageReplicas < 1 || c.StorageReplicas > topology.MaxReplicas {
+		return fmt.Errorf("core: StorageReplicas = %d outside [1,%d]", c.StorageReplicas, topology.MaxReplicas)
+	}
+	if c.StorageReplicas > c.StorageServers {
+		return fmt.Errorf("core: StorageReplicas = %d exceeds StorageServers = %d", c.StorageReplicas, c.StorageServers)
+	}
+	if c.StorageReplicas > 1 && c.Placer != nil {
+		return fmt.Errorf("core: StorageReplicas > 1 is incompatible with a custom Placer")
 	}
 	if c.Alpha < 0 || c.Alpha > 1 {
 		return fmt.Errorf("core: Alpha = %v outside [0,1]", c.Alpha)

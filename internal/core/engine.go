@@ -98,7 +98,7 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 	}
 
 	procs := s.newProcs(view)
-	tl := simnet.NewTimeline(s.cfg.StorageServers)
+	tl := simnet.NewTimeline(s.store.NumServers())
 	prof := s.cfg.Network
 	// The decision cost is sampled at route time — DecisionUnits may change
 	// over a run for adaptive strategies that hot-swap schemes.
@@ -251,7 +251,7 @@ func (s *System) NewSession() (*Session, error) {
 		rt:    rt,
 		view:  view,
 		procs: s.newProcs(view),
-		tl:    simnet.NewTimeline(s.cfg.StorageServers),
+		tl:    simnet.NewTimeline(s.store.NumServers()),
 	}, nil
 }
 
@@ -305,11 +305,15 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 		return query.Result{}, 0, fmt.Errorf("core: routed query vanished from queue %d", p)
 	}
 	res, service, st, err := ses.sys.execute(ses.procs[p], q2, ses.now, ses.tl)
-	if err != nil {
-		return query.Result{}, 0, err
-	}
+	// Virtual time spent is spent even when the query fails (e.g. a
+	// storage replica died and the fetch burned round trips discovering
+	// it) — failed queries cost real capacity, which is exactly what the
+	// storagefault experiment measures.
 	ses.now += service
 	ses.stats.add(st)
+	if err != nil {
+		return query.Result{}, service, err
+	}
 	ses.count++
 	if so, ok := strat.(router.StatsObserver); ok {
 		so.ObserveStats(aggregateCache(ses.procs))
@@ -336,8 +340,12 @@ func (ses *Session) Stats() (hits, misses int64) {
 	return ses.stats.hits, ses.stats.misses
 }
 
-// Queries returns how many queries the session has executed.
+// Queries returns how many queries the session has executed successfully.
 func (ses *Session) Queries() int { return ses.count }
+
+// Now returns the session's current virtual time: the cumulative service
+// time of every query executed (including the cost of failed attempts).
+func (ses *Session) Now() time.Duration { return ses.now }
 
 // Snapshot assembles the session's observability counters: per-processor
 // assignment/execution/steal/diversion counts, cache activity, and the
@@ -381,5 +389,23 @@ func (ses *Session) Snapshot() *metrics.Snapshot {
 		})
 		snap.Cache.Add(cc)
 	}
+	// Storage tier: membership, replication factor, per-member shard
+	// counters and the tier-tagged transition log.
+	sv := ses.sys.store.View()
+	snap.StorageEpoch = sv.Epoch
+	snap.StorageReplicas = ses.sys.store.Replicas()
+	for _, m := range sv.Members {
+		st := ses.sys.store.Stats(m.Slot)
+		snap.PerStorage = append(snap.PerStorage, metrics.StorageCounters{
+			Slot:      m.Slot,
+			Status:    m.Status.String(),
+			Keys:      int64(st.Keys),
+			Bytes:     st.Bytes,
+			Gets:      int64(st.Gets),
+			Misses:    int64(st.Misses),
+			Failovers: int64(st.Failovers),
+		})
+	}
+	snap.Epochs = append(snap.Epochs, ses.sys.storageEventLog()...)
 	return snap
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -89,6 +90,12 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 		clock := now + cost
 		for j := range missIDs {
 			err = s.tier.FetchBatchInto(missIDs[j:j+1], missDst[j:j+1], func(b kvstore.Batch, bytes int64) {
+				if bytes < 0 {
+					// Failed attempt: a round trip burned discovering the
+					// replica is gone, no data moved.
+					clock += prof.RTT
+					return
+				}
 				work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
 				finish := tl.Serve(b.Server, clock+prof.RTT/2, work)
 				clock = finish + prof.RTT/2
@@ -103,6 +110,19 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 		depart := now + cost + prof.RTT/2
 		arrival := depart
 		err = s.tier.FetchBatchInto(missIDs, missDst, func(b kvstore.Batch, bytes int64) {
+			if bytes < 0 {
+				// Failed attempt: the processor pays the round trip that
+				// found the replica dead. The hook cannot tell a retried
+				// batch from a same-round sibling, so depart is left alone:
+				// siblings (modelled as issued concurrently) must not be
+				// charged for the failure, and the retry's missing extra
+				// departure delay is bounded by the RTT already folded into
+				// arrival here.
+				if a := depart + prof.RTT; a > arrival {
+					arrival = a
+				}
+				return
+			}
 			work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
 			finish := tl.Serve(b.Server, depart, work)
 			if a := finish + prof.RTT/2; a > arrival {
@@ -113,7 +133,12 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 		cost = arrival - now
 	}
 	if err != nil {
-		return nil, 0, st, fmt.Errorf("core: storage fetch: %w", err)
+		if errors.Is(err, kvstore.ErrNoLiveReplica) {
+			err = fmt.Errorf("%w: storage fetch: %v", query.ErrUnavailable, err)
+		} else {
+			err = fmt.Errorf("core: storage fetch: %w", err)
+		}
+		return nil, cost, st, err
 	}
 	if p.useCache {
 		for j := range missIDs {
@@ -189,7 +214,8 @@ func (s *System) execNeighborAgg(p *proc, q query.Query, start time.Duration, tl
 	for level := 0; level <= q.Hops && len(frontier) > 0; level++ {
 		recs, dt, fst, err := s.fetchRecords(p, frontier, now, tl)
 		if err != nil {
-			return query.Result{}, 0, st, err
+			st.add(fst)
+			return query.Result{}, now + dt - start, st, err
 		}
 		now += dt
 		st.add(fst)
@@ -238,7 +264,8 @@ func (s *System) execRandomWalk(p *proc, q query.Query, start time.Duration, tl 
 		sc.one[0] = cur
 		recs, dt, fst, err := s.fetchRecords(p, sc.one[:1], now, tl)
 		if err != nil {
-			return query.Result{}, 0, st, err
+			st.add(fst)
+			return query.Result{}, now + dt - start, st, err
 		}
 		now += dt
 		st.add(fst)
@@ -305,7 +332,8 @@ func (s *System) execReachability(p *proc, q query.Query, start time.Duration, t
 		}
 		recs, dt, fst, err := s.fetchRecords(p, front, now, tl)
 		if err != nil {
-			return query.Result{}, 0, st, err
+			st.add(fst)
+			return query.Result{}, now + dt - start, st, err
 		}
 		now += dt
 		st.add(fst)

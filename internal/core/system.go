@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/gstore"
 	"repro/internal/kvstore"
 	"repro/internal/landmark"
+	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -38,6 +40,12 @@ type System struct {
 	emb    *embed.Embedding
 
 	prep PrepStats
+
+	// stMu guards the storage transition log below; the store itself
+	// orders the transitions.
+	stMu            sync.Mutex
+	lastStorageView topology.View
+	storageEvents   []metrics.EpochEvent
 }
 
 // NewSystem builds a system: loads the graph into the storage tier and
@@ -47,7 +55,13 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	st, err := kvstore.New(cfg.StorageServers, cfg.Placer)
+	var st *kvstore.Store
+	var err error
+	if cfg.StorageReplicas > 1 {
+		st, err = kvstore.NewReplicated(cfg.StorageServers, cfg.StorageReplicas)
+	} else {
+		st, err = kvstore.New(cfg.StorageServers, cfg.Placer)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +72,7 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 		tier:  gstore.NewTier(st),
 		topo:  topology.NewTracker(cfg.Processors, cfg.FailedProcessors),
 	}
+	s.lastStorageView = st.View()
 	s.prep.GraphBytes = gstore.Load(st, g)
 	if cfg.Policy.NeedsLandmarks() {
 		if err := s.preprocess(); err != nil {
@@ -264,6 +279,100 @@ func (s *System) ReviveProcessor(slot int) error {
 	if _, err := s.topo.Revive(slot); err != nil {
 		return fmt.Errorf("core: revive processor %d: %w", slot, err)
 	}
+	return nil
+}
+
+// StorageTopology returns the storage tier's current epoch-versioned
+// membership view.
+func (s *System) StorageTopology() topology.View { return s.store.View() }
+
+// Store exposes the storage tier (read-only use: stats, placement checks).
+func (s *System) Store() *kvstore.Store { return s.store }
+
+// logStorageTransitionLocked records the epoch events between the last
+// observed storage view and now, for the Snapshot's tier-tagged epoch
+// log. Caller holds s.stMu, which it acquired *before* the store
+// mutation — that ordering keeps concurrent membership calls from
+// diffing against each other's views out of order.
+func (s *System) logStorageTransitionLocked(v topology.View) {
+	d := topology.DiffViews(s.lastStorageView, v)
+	s.lastStorageView = v
+	s.storageEvents = append(s.storageEvents, metrics.EpochEvent{
+		Tier: "storage", Epoch: v.Epoch,
+		Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived,
+	})
+	if len(s.storageEvents) > topology.EpochLogCap {
+		s.storageEvents = s.storageEvents[len(s.storageEvents)-topology.EpochLogCap:]
+	}
+}
+
+// storageEventLog returns a copy of the bounded storage transition log.
+func (s *System) storageEventLog() []metrics.EpochEvent {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	return append([]metrics.EpochEvent(nil), s.storageEvents...)
+}
+
+// AddStorage grows the storage tier by one replica-bearing member and
+// returns its slot. The records whose placement now includes the new
+// member (~1/(N+1) of the key space, the rendezvous remap bound) are
+// re-replicated onto it before the call returns; queries running
+// concurrently keep reading their old replicas until the new placement is
+// fully populated. Requires StorageReplicas >= 2 (the elastic mode).
+func (s *System) AddStorage() (int, error) {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	slot, v, err := s.store.AddServer()
+	if err != nil {
+		return 0, fmt.Errorf("core: add storage: %w", err)
+	}
+	s.logStorageTransitionLocked(v)
+	return slot, nil
+}
+
+// DrainStorage removes a storage member cleanly: every record it holds is
+// re-replicated onto the survivors before the member leaves and its
+// memory is released. The slot is never reused.
+func (s *System) DrainStorage(slot int) error {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	v, err := s.store.DrainServer(slot)
+	if err != nil {
+		return fmt.Errorf("core: drain storage %d: %w", slot, err)
+	}
+	s.logStorageTransitionLocked(v)
+	return nil
+}
+
+// FailStorage marks a storage member as down: its data becomes
+// unreachable and reads fail over to the surviving replicas. With
+// StorageReplicas >= 2 the under-replicated records are immediately
+// re-replicated from their survivors, so a subsequent failure of another
+// member still loses nothing; with 1 replica the member's keys are
+// unavailable (typed query.ErrUnavailable) until ReviveStorage.
+func (s *System) FailStorage(slot int) error {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	v, err := s.store.FailServer(slot)
+	if err != nil {
+		return fmt.Errorf("core: fail storage %d: %w", slot, err)
+	}
+	s.logStorageTransitionLocked(v)
+	return nil
+}
+
+// ReviveStorage returns a down storage member to service, synchronising
+// it (missed writes copied in by version, missed deletions arriving as
+// tombstones) and garbage-collecting the stand-in copies created during
+// the outage.
+func (s *System) ReviveStorage(slot int) error {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	v, err := s.store.ReviveServer(slot)
+	if err != nil {
+		return fmt.Errorf("core: revive storage %d: %w", slot, err)
+	}
+	s.logStorageTransitionLocked(v)
 	return nil
 }
 

@@ -205,32 +205,16 @@ type FetchResult struct {
 // FetchBatch retrieves and decodes many node records grouped by owning
 // server. For every input id, results[id] is populated. The onBatch hook
 // (optional) observes each per-server batch with its total bytes — the
-// engine uses it to charge server timelines.
+// engine uses it to charge server timelines. Failover and availability
+// semantics match FetchBatchInto, which implements it.
 func (t *Tier) FetchBatch(ids []graph.NodeID, onBatch func(b kvstore.Batch, bytes int64)) (map[graph.NodeID]FetchResult, error) {
+	dst := make([]FetchResult, len(ids))
+	err := t.FetchBatchInto(ids, dst, onBatch)
 	results := make(map[graph.NodeID]FetchResult, len(ids))
-	keys := make([]uint64, len(ids))
 	for i, id := range ids {
-		keys[i] = uint64(id)
+		results[id] = dst[i]
 	}
-	var decodeErr error
-	for _, b := range t.store.PlanBatches(keys) {
-		bytes := t.store.GetBatch(b, func(key uint64, val []byte, ok bool) {
-			id := graph.NodeID(key)
-			if !ok {
-				results[id] = FetchResult{Record: Record{Node: id}}
-				return
-			}
-			r, err := Decode(id, val)
-			if err != nil && decodeErr == nil {
-				decodeErr = err
-			}
-			results[id] = FetchResult{Record: r, Bytes: len(val), OK: true}
-		})
-		if onBatch != nil {
-			onBatch(b, bytes)
-		}
-	}
-	return results, decodeErr
+	return results, err
 }
 
 // fetchScratch holds the reusable planning and read buffers behind
@@ -241,16 +225,35 @@ type fetchScratch struct {
 	plan kvstore.BatchPlan
 	vals [][]byte
 	oks  []bool
+	// Two retry buffer pairs, alternated per attempt: one holds the keys
+	// being retried (read side) while the other collects the next round's
+	// bounces (write side), so the lists never alias.
+	retryIDs [2][]graph.NodeID
+	retryPos [2][]int32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(fetchScratch) }}
 
+// fetchAttempts bounds the replan-and-retry loop: each retry reflects one
+// storage membership transition that raced the plan, so a handful covers
+// any realistic churn without risking a livelock under continuous faults.
+const fetchAttempts = 4
+
 // FetchBatchInto retrieves and decodes many node records grouped by owning
-// server, writing dst[i] for ids[i] (dst must have len >= len(ids)). It is
+// replica, writing dst[i] for ids[i] (dst must have len >= len(ids)). It is
 // the allocation-lean counterpart of FetchBatch: batch planning and raw
 // reads run through pooled buffers, and only the decoded edge lists are
 // freshly allocated (records outlive the call — the engine caches them).
-// The onBatch hook observes each per-server batch exactly as in FetchBatch.
+//
+// Reads fail over transparently: a batch bounced off a server that a
+// concurrent membership transition made unreadable is re-planned against
+// the new storage view and retried on the keys' surviving replicas. The
+// onBatch hook observes each served batch with its byte total; a failed
+// attempt is reported with bytes == -1 (a burned round trip, no data), so
+// the engine can charge failover latency without crediting a transfer.
+// Keys whose every replica is down fail the fetch with an error wrapping
+// kvstore.ErrNoLiveReplica (their dst entries read !OK, but they are
+// unavailable, not absent).
 func (t *Tier) FetchBatchInto(ids []graph.NodeID, dst []FetchResult, onBatch func(b kvstore.Batch, bytes int64)) error {
 	if len(dst) < len(ids) {
 		return fmt.Errorf("gstore: FetchBatchInto dst len %d < %d ids", len(dst), len(ids))
@@ -261,32 +264,79 @@ func (t *Tier) FetchBatchInto(ids []graph.NodeID, dst []FetchResult, onBatch fun
 		sc.keys = make([]uint64, len(ids))
 		sc.vals = make([][]byte, len(ids))
 		sc.oks = make([]bool, len(ids))
+		for p := range sc.retryIDs {
+			sc.retryIDs[p] = make([]graph.NodeID, 0, len(ids))
+			sc.retryPos[p] = make([]int32, 0, len(ids))
+		}
 	}
-	keys := sc.keys[:len(ids)]
-	for i, id := range ids {
-		keys[i] = uint64(id)
-	}
-	var decodeErr error
-	for _, b := range t.store.PlanBatchesIn(&sc.plan, keys) {
-		vals, oks := sc.vals[:len(b.Keys)], sc.oks[:len(b.Keys)]
-		bytes := t.store.GetBatchInto(b, vals, oks)
-		for i, p := range b.Pos {
-			id := ids[p]
-			if !oks[i] {
-				dst[p] = FetchResult{Record: Record{Node: id}}
+	// pend maps the current attempt's key list back to dst positions; the
+	// first attempt covers everything, retries only the bounced keys.
+	pendIDs, pendPos := ids, []int32(nil)
+	var firstErr error
+	for attempt := 0; len(pendIDs) > 0; attempt++ {
+		keys := sc.keys[:len(pendIDs)]
+		for i, id := range pendIDs {
+			keys[i] = uint64(id)
+		}
+		retryIDs := sc.retryIDs[attempt%2][:0]
+		retryPos := sc.retryPos[attempt%2][:0]
+		for _, b := range t.store.PlanBatchesIn(&sc.plan, keys) {
+			origPos := func(i int) int32 {
+				if pendPos == nil {
+					return b.Pos[i]
+				}
+				return pendPos[b.Pos[i]]
+			}
+			vals, oks := sc.vals[:len(b.Keys)], sc.oks[:len(b.Keys)]
+			bytes, err := t.store.GetBatchInto(b, vals, oks)
+			switch {
+			case errors.Is(err, kvstore.ErrServerDown) && attempt < fetchAttempts:
+				// Bounced: the keys have live replicas under the new view.
+				for i := range b.Keys {
+					retryIDs = append(retryIDs, graph.NodeID(b.Keys[i]))
+					retryPos = append(retryPos, origPos(i))
+				}
+				if onBatch != nil {
+					onBatch(b, -1)
+				}
+				continue
+			case err != nil:
+				// No live replica (or retries exhausted): the batch's keys
+				// cannot be distinguished from absent, so fail them all —
+				// conservative, never silently wrong.
+				for i := range b.Keys {
+					dst[origPos(i)] = FetchResult{Record: Record{Node: graph.NodeID(b.Keys[i])}}
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("gstore: %d keys on server %d: %w", len(b.Keys), b.Server, err)
+				}
+				if onBatch != nil {
+					onBatch(b, -1)
+				}
 				continue
 			}
-			r, err := Decode(id, vals[i])
-			if err != nil && decodeErr == nil {
-				decodeErr = err
+			for i := range b.Keys {
+				p := origPos(i)
+				id := graph.NodeID(b.Keys[i])
+				if !oks[i] {
+					dst[p] = FetchResult{Record: Record{Node: id}}
+					continue
+				}
+				r, derr := Decode(id, vals[i])
+				if derr != nil && firstErr == nil {
+					firstErr = derr
+				}
+				dst[p] = FetchResult{Record: r, Bytes: len(vals[i]), OK: true}
 			}
-			dst[p] = FetchResult{Record: r, Bytes: len(vals[i]), OK: true}
+			if onBatch != nil {
+				onBatch(b, bytes)
+			}
 		}
-		if onBatch != nil {
-			onBatch(b, bytes)
-		}
+		sc.retryIDs[attempt%2], sc.retryPos[attempt%2] = retryIDs, retryPos
+		pendIDs = retryIDs
+		pendPos = retryPos
 	}
-	return decodeErr
+	return firstErr
 }
 
 // UpdateNode re-encodes node u from g and writes it back; used when the

@@ -1,24 +1,57 @@
 // Package kvstore implements the storage tier of the decoupled architecture:
 // a RAMCloud-style distributed, in-memory key-value store (Section 4.1).
 //
-// All values live in the main memory of a set of storage servers. A key is
-// hashed (MurmurHash3, RAMCloud's default) to determine the owning server.
+// All values live in the main memory of a set of storage servers. Placement
+// comes in two modes:
+//
+//   - Legacy single-replica placement (New): a key is hashed (MurmurHash3,
+//     RAMCloud's default) to its one owning server, or placed by a custom
+//     Placer. The membership is fixed at construction; a server can Fail
+//     and Revive (reads to it return ErrNoLiveReplica while it is down) but
+//     never join or leave.
+//
+//   - Replicated elastic placement (NewReplicated): every key lives on up
+//     to R replicas chosen by rendezvous hashing over the epoch-versioned
+//     storage view (a topology.Tracker of TierStorage members). Reads go to
+//     the highest-scored live replica and transparently fail over; writes
+//     go to every live replica; membership moves with AddServer /
+//     DrainServer / FailServer / ReviveServer, each of which re-replicates
+//     under-replicated keys before it returns, so a single transition never
+//     loses availability while at least one live replica of each key
+//     survives.
+//
 // The store is purely functional with respect to time: latency and
 // contention are modelled by the engine's network profile, which consults
 // the batch plans this package produces (which keys land on which server).
 //
-// The store is safe for concurrent use; each server shard has its own lock.
+// The store is safe for concurrent use: a store-wide RWMutex orders
+// membership transitions against reads, and each server shard has its own
+// lock for data access.
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hash"
+	"repro/internal/topology"
 )
 
-// Placer decides which storage server owns a key. Implementations must be
-// deterministic and safe for concurrent use.
+// ErrNoLiveReplica is returned when a key (or a whole batch) cannot be
+// served because every replica that may hold it is down. The engine maps
+// it onto the shared query.ErrUnavailable.
+var ErrNoLiveReplica = errors.New("kvstore: no live replica")
+
+// ErrServerDown is returned when a batch was planned on a server that
+// stopped being readable before the read landed (a membership transition
+// raced the plan). It is retryable: re-planning against the current view
+// finds the keys' new replicas.
+var ErrServerDown = errors.New("kvstore: server no longer readable")
+
+// Placer decides which storage server owns a key in legacy single-replica
+// mode. Implementations must be deterministic and safe for concurrent use.
 type Placer interface {
 	Place(key uint64, numServers int) int
 }
@@ -58,26 +91,83 @@ func (t TablePlacer) Place(key uint64, numServers int) int {
 type ServerStats struct {
 	Gets, Puts, Deletes uint64
 	Misses              uint64
-	Keys                int
-	Bytes               int64
+	// Failovers counts reads that had to be served elsewhere (or failed)
+	// because this server was unreachable when it was the preferred
+	// replica — the per-replica health signal.
+	Failovers uint64
+	Keys      int
+	Bytes     int64
+}
+
+// entry is one stored value plus its write version. Versions are
+// monotonic across the store, so re-replication after a failure or revive
+// always converges on the newest write; dead entries are tombstones that
+// keep a deletion from being resurrected off a stale replica.
+type entry struct {
+	val  []byte
+	ver  uint64
+	dead bool
 }
 
 // server is one storage shard.
 type server struct {
 	mu    sync.RWMutex
-	data  map[uint64][]byte
+	data  map[uint64]entry
 	stats ServerStats
 }
 
-// Store is the distributed key-value store: a set of in-memory server
-// shards plus a placement function.
-type Store struct {
-	servers []*server
-	placer  Placer
+// put installs e under key if it is newer than what the shard holds,
+// maintaining the live-key accounting. Caller holds sv.mu.
+func (sv *server) put(key uint64, e entry) {
+	old, ok := sv.data[key]
+	if ok && old.ver >= e.ver {
+		return
+	}
+	if ok && !old.dead {
+		sv.stats.Keys--
+		sv.stats.Bytes -= int64(len(old.val))
+	}
+	sv.data[key] = e
+	if !e.dead {
+		sv.stats.Keys++
+		sv.stats.Bytes += int64(len(e.val))
+	}
 }
 
-// New creates a store with numServers shards using placer (nil means
-// MurmurPlacer with seed 0).
+// drop removes key entirely (garbage collection off a shard that is no
+// longer in the key's placement set). Caller holds sv.mu.
+func (sv *server) drop(key uint64) {
+	if old, ok := sv.data[key]; ok {
+		if !old.dead {
+			sv.stats.Keys--
+			sv.stats.Bytes -= int64(len(old.val))
+		}
+		delete(sv.data, key)
+	}
+}
+
+// Store is the distributed key-value store: a slot-indexed set of
+// in-memory server shards plus a placement rule and the storage tier's
+// epoch-versioned membership.
+type Store struct {
+	placer   Placer // legacy single-replica placement; nil in replicated mode
+	replicas int
+
+	topo    *topology.Tracker
+	version atomic.Uint64
+
+	// mu orders membership transitions (write side: add/drain/fail/revive
+	// plus their synchronous re-replication) against every read and write
+	// (read side), so a reader never observes a placement whose data has
+	// not been moved yet.
+	mu      sync.RWMutex
+	servers []*server
+	view    topology.View
+	active  []int // Active slots, ascending — the placement domain
+}
+
+// New creates a store with numServers shards in legacy single-replica
+// mode using placer (nil means MurmurPlacer with seed 0).
 func New(numServers int, placer Placer) (*Store, error) {
 	if numServers <= 0 {
 		return nil, fmt.Errorf("kvstore: need at least 1 server, got %d", numServers)
@@ -85,121 +175,538 @@ func New(numServers int, placer Placer) (*Store, error) {
 	if placer == nil {
 		placer = MurmurPlacer{}
 	}
-	s := &Store{servers: make([]*server, numServers), placer: placer}
+	s := &Store{placer: placer, replicas: 1, topo: topology.NewTierTracker(topology.TierStorage, numServers)}
+	s.servers = make([]*server, numServers)
 	for i := range s.servers {
-		s.servers[i] = &server{data: make(map[uint64][]byte)}
+		s.servers[i] = &server{data: make(map[uint64]entry)}
 	}
+	s.installViewLocked(s.topo.View())
 	return s, nil
 }
 
-// NumServers returns the number of storage shards.
-func (s *Store) NumServers() int { return len(s.servers) }
-
-// ServerFor returns the shard index owning key.
-func (s *Store) ServerFor(key uint64) int {
-	return s.placer.Place(key, len(s.servers))
+// NewReplicated creates a store with numServers shards in replicated
+// elastic mode: every key is placed on up to replicas shards by rendezvous
+// hashing over the active storage view.
+func NewReplicated(numServers, replicas int) (*Store, error) {
+	if numServers <= 0 {
+		return nil, fmt.Errorf("kvstore: need at least 1 server, got %d", numServers)
+	}
+	if replicas < 1 || replicas > topology.MaxReplicas {
+		return nil, fmt.Errorf("kvstore: replicas = %d outside [1,%d]", replicas, topology.MaxReplicas)
+	}
+	if replicas > numServers {
+		return nil, fmt.Errorf("kvstore: %d replicas need at least that many servers, have %d", replicas, numServers)
+	}
+	s := &Store{replicas: replicas, topo: topology.NewTierTracker(topology.TierStorage, numServers)}
+	s.servers = make([]*server, numServers)
+	for i := range s.servers {
+		s.servers[i] = &server{data: make(map[uint64]entry)}
+	}
+	s.installViewLocked(s.topo.View())
+	return s, nil
 }
 
-// Put stores val under key, replacing any prior value. The value is copied;
-// the caller may reuse its buffer.
+// replicated reports whether the store uses rendezvous replica placement.
+func (s *Store) replicated() bool { return s.placer == nil }
+
+// Replicated reports whether the store was built with NewReplicated.
+func (s *Store) Replicated() bool { return s.replicated() }
+
+// Replicas returns the replication factor (1 in legacy mode).
+func (s *Store) Replicas() int { return s.replicas }
+
+// installViewLocked caches the tracker view and the active-slot placement
+// domain. Caller holds s.mu (or is the constructor).
+func (s *Store) installViewLocked(v topology.View) {
+	s.view = v
+	s.active = s.active[:0]
+	for _, m := range v.Members {
+		if m.Status == topology.Active {
+			s.active = append(s.active, m.Slot)
+		}
+	}
+}
+
+// View returns the storage tier's current epoch-versioned membership.
+func (s *Store) View() topology.View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.viewCopyLocked()
+}
+
+// viewCopyLocked returns an isolated copy of the cached view. Caller
+// holds s.mu.
+func (s *Store) viewCopyLocked() topology.View {
+	return topology.View{Epoch: s.view.Epoch, Members: append([]topology.Member(nil), s.view.Members...)}
+}
+
+// Epoch returns the storage view's current epoch.
+func (s *Store) Epoch() uint64 { return s.topo.Epoch() }
+
+// NumServers returns the number of storage slots ever allocated (left
+// members keep their slot, as in the processing tier).
+func (s *Store) NumServers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.servers)
+}
+
+// NumActive returns the number of active storage members.
+func (s *Store) NumActive() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.active)
+}
+
+// ServerFor returns the shard index a read of key is directed to: the
+// legacy owner, or the primary (highest-scored active) replica.
+func (s *Store) ServerFor(key uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.readSlotLocked(key)
+}
+
+// readSlotLocked picks the slot a read of key goes to under the current
+// view. Caller holds s.mu. In legacy mode the placer decides regardless of
+// health (a down owner surfaces as ErrNoLiveReplica at read time); in
+// replicated mode it is the highest-scored active replica.
+func (s *Store) readSlotLocked(key uint64) int {
+	if !s.replicated() {
+		return s.placer.Place(key, len(s.servers))
+	}
+	var arr [topology.MaxReplicas]int
+	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	if len(pl) == 0 {
+		return -1
+	}
+	return pl[0]
+}
+
+// ReplicasFor appends key's current placement set (up to R active slots,
+// primary first) to dst and returns it. Exposed for placement tests and
+// the observability surface.
+func (s *Store) ReplicasFor(key uint64, dst []int) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.replicated() {
+		return append(dst[:0], s.placer.Place(key, len(s.servers)))
+	}
+	return topology.RendezvousN(key, s.active, s.replicas, dst)
+}
+
+// Put stores val under key, replacing any prior value: on the legacy
+// owner, or on every replica of the current placement set. The value is
+// copied; the caller may reuse its buffer.
 func (s *Store) Put(key uint64, val []byte) {
-	sv := s.servers[s.ServerFor(key)]
 	cp := make([]byte, len(val))
 	copy(cp, val)
-	sv.mu.Lock()
-	if old, ok := sv.data[key]; ok {
-		sv.stats.Bytes -= int64(len(old))
-		sv.stats.Keys--
+	e := entry{val: cp, ver: s.version.Add(1)}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.replicated() {
+		sv := s.servers[s.placer.Place(key, len(s.servers))]
+		sv.mu.Lock()
+		sv.put(key, e)
+		sv.stats.Puts++
+		sv.mu.Unlock()
+		return
 	}
-	sv.data[key] = cp
-	sv.stats.Puts++
-	sv.stats.Keys++
-	sv.stats.Bytes += int64(len(cp))
-	sv.mu.Unlock()
+	var arr [topology.MaxReplicas]int
+	for _, slot := range topology.RendezvousN(key, s.active, s.replicas, arr[:0]) {
+		sv := s.servers[slot]
+		sv.mu.Lock()
+		sv.put(key, e)
+		sv.stats.Puts++
+		sv.mu.Unlock()
+	}
 }
 
 // Get returns the value stored under key. The returned slice is owned by
-// the store and must not be modified.
+// the store and must not be modified. In replicated mode the read fails
+// over across the key's replicas; a key whose only copies are on down
+// servers reads as absent here (the batched path reports the distinction
+// through its typed errors).
 func (s *Store) Get(key uint64) ([]byte, bool) {
-	sv := s.servers[s.ServerFor(key)]
-	sv.mu.RLock()
-	v, ok := sv.data[key]
-	sv.mu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot := s.readSlotLocked(key)
+	if slot < 0 {
+		return nil, false
+	}
+	sv := s.servers[slot]
+	down := s.view.Status(slot) != topology.Active
+	var (
+		e  entry
+		ok bool
+	)
+	if !down {
+		sv.mu.RLock()
+		e, ok = sv.data[key]
+		sv.mu.RUnlock()
+	}
 	sv.mu.Lock()
 	sv.stats.Gets++
-	if !ok {
-		sv.stats.Misses++
+	if down {
+		sv.stats.Failovers++
 	}
 	sv.mu.Unlock()
-	return v, ok
-}
-
-// Delete removes key and reports whether it was present.
-func (s *Store) Delete(key uint64) bool {
-	sv := s.servers[s.ServerFor(key)]
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	old, ok := sv.data[key]
-	if ok {
-		delete(sv.data, key)
-		sv.stats.Keys--
-		sv.stats.Bytes -= int64(len(old))
+	if ok && !e.dead {
+		return e.val, true
 	}
-	sv.stats.Deletes++
-	return ok
+	var (
+		v     []byte
+		found bool
+	)
+	if s.replicated() {
+		v, found, _ = s.lookupSlowLocked(key, slot)
+	}
+	// A read served by another replica is not a miss: Misses counts reads
+	// of keys nobody could serve.
+	if !found {
+		sv.mu.Lock()
+		sv.stats.Misses++
+		sv.mu.Unlock()
+	}
+	return v, found
 }
 
-// Stats returns a snapshot of shard i's counters.
+// lookupSlowLocked serves a key its preferred replica missed: the rest
+// of the placement set first, then — if nothing live holds it — the down
+// shards' holdings classify the key as ErrNoLiveReplica rather than
+// absent. Non-placement active shards need no scan: every membership
+// mutator runs its re-replication synchronously under the write lock, so
+// a reader can never observe a live copy outside the placement set.
+// Caller holds s.mu (read).
+func (s *Store) lookupSlowLocked(key uint64, tried int) ([]byte, bool, error) {
+	var arr [topology.MaxReplicas]int
+	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	countFailover := func() {
+		sv := s.servers[tried]
+		sv.mu.Lock()
+		sv.stats.Failovers++
+		sv.mu.Unlock()
+	}
+	for _, slot := range pl {
+		if slot == tried {
+			continue
+		}
+		sv := s.servers[slot]
+		sv.mu.RLock()
+		e, ok := sv.data[key]
+		sv.mu.RUnlock()
+		if ok && !e.dead {
+			countFailover()
+			return e.val, true, nil
+		}
+	}
+	// Nothing live holds it. If a down shard does, the key is unavailable,
+	// not absent — exactly what a replica map would conclude.
+	for _, m := range s.view.Members {
+		if m.Status != topology.Down {
+			continue
+		}
+		sv := s.servers[m.Slot]
+		sv.mu.RLock()
+		e, ok := sv.data[key]
+		sv.mu.RUnlock()
+		if ok && !e.dead {
+			countFailover()
+			return nil, false, fmt.Errorf("key %d only on down server %d: %w", key, m.Slot, ErrNoLiveReplica)
+		}
+	}
+	return nil, false, nil
+}
+
+// Delete removes key and reports whether it was present. Replicated
+// deletions write tombstones so a stale replica cannot resurrect the key
+// during repair.
+func (s *Store) Delete(key uint64) bool {
+	ver := s.version.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.replicated() {
+		sv := s.servers[s.placer.Place(key, len(s.servers))]
+		sv.mu.Lock()
+		defer sv.mu.Unlock()
+		old, ok := sv.data[key]
+		present := ok && !old.dead
+		if present {
+			sv.stats.Keys--
+			sv.stats.Bytes -= int64(len(old.val))
+		}
+		delete(sv.data, key)
+		sv.stats.Deletes++
+		return present
+	}
+	present := false
+	var arr [topology.MaxReplicas]int
+	for _, slot := range topology.RendezvousN(key, s.active, s.replicas, arr[:0]) {
+		sv := s.servers[slot]
+		sv.mu.Lock()
+		if old, ok := sv.data[key]; ok && !old.dead {
+			present = true
+		}
+		sv.put(key, entry{ver: ver, dead: true})
+		sv.stats.Deletes++
+		sv.mu.Unlock()
+	}
+	return present
+}
+
+// Stats returns a snapshot of shard i's counters. The store-level read
+// lock is held for the whole read: membership transitions mutate shard
+// accounting under the write lock (repair runs lock-free over the
+// shards), so dropping s.mu before reading would race them.
 func (s *Store) Stats(i int) ServerStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sv := s.servers[i]
 	sv.mu.RLock()
 	defer sv.mu.RUnlock()
 	return sv.stats
 }
 
-// TotalBytes returns the bytes stored across all shards.
+// TotalBytes returns the bytes stored across all shards (each replica
+// counts — this is resident memory, not logical data size).
 func (s *Store) TotalBytes() int64 {
 	var total int64
-	for i := range s.servers {
+	for i, n := 0, s.NumServers(); i < n; i++ {
 		total += s.Stats(i).Bytes
 	}
 	return total
 }
 
-// TotalKeys returns the number of keys stored across all shards.
+// TotalKeys returns the number of live entries across all shards (each
+// replica counts).
 func (s *Store) TotalKeys() int {
 	total := 0
-	for i := range s.servers {
+	for i, n := 0, s.NumServers(); i < n; i++ {
 		total += s.Stats(i).Keys
 	}
 	return total
 }
 
-// Batch is the portion of a multi-get owned by a single server: the unit
-// the engine charges to that server's timeline. Pos, when non-nil, holds
-// each key's position in the original input slice so callers can scatter
-// results back positionally (PlanBatches leaves it nil).
+// AddServer grows the storage tier by one empty shard and re-replicates
+// the keys whose placement now includes it (~1/(N+1) of the key space,
+// the rendezvous remap bound) before returning. Replicated stores only.
+func (s *Store) AddServer() (int, topology.View, error) {
+	if !s.replicated() {
+		return 0, topology.View{}, errors.New("kvstore: elastic membership requires a replicated store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, v := s.topo.Join("")
+	s.servers = append(s.servers, &server{data: make(map[uint64]entry)})
+	s.installViewLocked(v)
+	s.repairLocked()
+	return slot, s.viewCopyLocked(), nil
+}
+
+// DrainServer removes a shard cleanly: it leaves the placement domain,
+// every key it held is re-replicated onto the surviving shards, and only
+// then does the member become Left and its memory get released. Replicated
+// stores only.
+func (s *Store) DrainServer(slot int) (topology.View, error) {
+	if !s.replicated() {
+		return topology.View{}, errors.New("kvstore: elastic membership requires a replicated store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.topo.Drain(slot)
+	if err != nil {
+		return topology.View{}, err
+	}
+	s.installViewLocked(v)
+	s.repairLocked()
+	if v, err = s.topo.Leave(slot); err != nil {
+		return topology.View{}, err
+	}
+	s.installViewLocked(v)
+	sv := s.servers[slot]
+	sv.mu.Lock()
+	sv.data = make(map[uint64]entry)
+	sv.stats.Keys, sv.stats.Bytes = 0, 0
+	sv.mu.Unlock()
+	return s.viewCopyLocked(), nil
+}
+
+// FailServer marks a shard as down: its data is retained but unreachable,
+// and (in replicated mode) the keys it served are re-replicated from
+// their surviving replicas so the tier is back at full replication before
+// the call returns. Refused for the last active shard.
+func (s *Store) FailServer(slot int) (topology.View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.topo.Fail(slot)
+	if err != nil {
+		return topology.View{}, err
+	}
+	s.installViewLocked(v)
+	if s.replicated() {
+		s.repairLocked()
+	}
+	return s.viewCopyLocked(), nil
+}
+
+// ReviveServer returns a down shard to service. In replicated mode the
+// revived shard is synchronised — writes it missed are copied in by
+// version, deletions it missed arrive as tombstones, and copies parked on
+// stand-in shards during the outage are garbage-collected.
+func (s *Store) ReviveServer(slot int) (topology.View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.topo.Revive(slot)
+	if err != nil {
+		return topology.View{}, err
+	}
+	s.installViewLocked(v)
+	if s.replicated() {
+		s.repairLocked()
+	}
+	return s.viewCopyLocked(), nil
+}
+
+// Repair runs one synchronous re-replication pass: every key converges to
+// its newest version on every shard of its current placement set, and
+// copies outside the placement set are dropped. The membership mutators
+// run it automatically; it is exposed for tests and manual anti-entropy.
+func (s *Store) Repair() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replicated() {
+		s.repairLocked()
+	}
+}
+
+// repairLocked is the re-replication pass. Caller holds s.mu (write), so
+// no reader can observe a half-moved placement. Sources are the active
+// shards only — a down shard's data is unreachable until it revives, at
+// which point it becomes a source (and a target) again.
+func (s *Store) repairLocked() {
+	type src struct {
+		slot int
+		e    entry
+	}
+	newest := make(map[uint64]src)
+	// Draining members are still readable — a drain copies *off* them, so
+	// they must be sources (with R=1 they hold the only copy).
+	for _, m := range s.view.Members {
+		if m.Status != topology.Active && m.Status != topology.Draining {
+			continue
+		}
+		for k, e := range s.servers[m.Slot].data {
+			if b, ok := newest[k]; !ok || e.ver > b.e.ver {
+				newest[k] = src{slot: m.Slot, e: e}
+			}
+		}
+	}
+	var arr [topology.MaxReplicas]int
+	for k, b := range newest {
+		pl := topology.RendezvousN(k, s.active, s.replicas, arr[:0])
+		for _, slot := range pl {
+			sv := s.servers[slot]
+			if e, ok := sv.data[k]; !ok || e.ver < b.e.ver {
+				sv.put(k, b.e)
+			}
+		}
+		for _, m := range s.view.Members {
+			if m.Status != topology.Active {
+				continue
+			}
+			inPl := false
+			for _, p := range pl {
+				if p == m.Slot {
+					inPl = true
+					break
+				}
+			}
+			if !inPl {
+				s.servers[m.Slot].drop(k)
+			}
+		}
+	}
+}
+
+// UnderReplicated returns how many keys currently have fewer live copies
+// than their target (min(R, active shards)) — the re-replication backlog.
+// It is zero after every membership mutator returns unless some keys'
+// every copy is trapped on down shards.
+func (s *Store) UnderReplicated() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	target := s.replicas
+	if len(s.active) < target {
+		target = len(s.active)
+	}
+	copies := make(map[uint64]int)
+	// Writers mutate the shard maps under s.mu's *read* side plus the
+	// per-shard lock, so this scan must take each sv.mu too.
+	for _, m := range s.view.Members {
+		if m.Status != topology.Active {
+			continue
+		}
+		sv := s.servers[m.Slot]
+		sv.mu.RLock()
+		for k, e := range sv.data {
+			if !e.dead {
+				copies[k]++
+			}
+		}
+		sv.mu.RUnlock()
+	}
+	// Keys visible only on down shards count as under-replicated too.
+	for _, m := range s.view.Members {
+		if m.Status != topology.Down {
+			continue
+		}
+		sv := s.servers[m.Slot]
+		sv.mu.RLock()
+		for k, e := range sv.data {
+			if !e.dead {
+				if _, ok := copies[k]; !ok {
+					copies[k] = 0
+				}
+			}
+		}
+		sv.mu.RUnlock()
+	}
+	under := 0
+	for _, c := range copies {
+		if c < target {
+			under++
+		}
+	}
+	return under
+}
+
+// Batch is the portion of a multi-get directed at a single server: the
+// unit the engine charges to that server's timeline. Pos, when non-nil,
+// holds each key's position in the original input slice so callers can
+// scatter results back positionally (PlanBatches leaves it nil).
 type Batch struct {
 	Server int
 	Keys   []uint64
 	Pos    []int32
 }
 
-// PlanBatches groups keys by owning server, preserving the input order
-// within each group. The result references fresh slices.
+// PlanBatches groups keys by read destination (legacy owner or primary
+// replica), preserving the input order within each group. The result
+// references fresh slices.
 func (s *Store) PlanBatches(keys []uint64) []Batch {
 	if len(keys) == 0 {
 		return nil
 	}
 	groups := make(map[int][]uint64)
-	order := make([]int, 0, len(s.servers))
+	order := make([]int, 0, 8)
+	s.mu.RLock()
 	for _, k := range keys {
-		sv := s.ServerFor(k)
+		sv := s.readSlotLocked(k)
 		if _, seen := groups[sv]; !seen {
 			order = append(order, sv)
 		}
 		groups[sv] = append(groups[sv], k)
 	}
+	s.mu.RUnlock()
 	out := make([]Batch, 0, len(order))
 	for _, sv := range order {
 		out = append(out, Batch{Server: sv, Keys: groups[sv]})
@@ -220,7 +727,7 @@ type BatchPlan struct {
 	order   []int32  // scratch: servers in first-seen order
 }
 
-// PlanBatchesIn groups keys by owning server exactly like PlanBatches
+// PlanBatchesIn groups keys by read destination exactly like PlanBatches
 // (batches in first-seen server order, input order preserved within each
 // batch) but reuses plan's buffers and records each key's input position
 // in Batch.Pos. The returned slice is valid until the next call on plan.
@@ -229,6 +736,7 @@ func (s *Store) PlanBatchesIn(plan *BatchPlan, keys []uint64) []Batch {
 		return nil
 	}
 	n := len(keys)
+	s.mu.RLock()
 	ns := len(s.servers)
 	plan.keys = grow(plan.keys, n)
 	plan.pos = grow(plan.pos, n)
@@ -239,13 +747,14 @@ func (s *Store) PlanBatchesIn(plan *BatchPlan, keys []uint64) []Batch {
 		plan.count[i] = 0
 	}
 	for i, k := range keys {
-		sv := int32(s.ServerFor(k))
+		sv := int32(s.readSlotLocked(k))
 		plan.server[i] = sv
 		if plan.count[sv] == 0 {
 			plan.order = append(plan.order, sv)
 		}
 		plan.count[sv]++
 	}
+	s.mu.RUnlock()
 	// Turn per-server counts into start offsets, following first-seen order
 	// so the grouped runs line up with the batch order.
 	off := int32(0)
@@ -283,38 +792,88 @@ func grow[T any](buf []T, n int) []T {
 	return buf[:n]
 }
 
-// GetBatch fetches every key in b, invoking fn for each (in order) with the
-// stored value (nil, false when absent). It returns the total bytes read.
-func (s *Store) GetBatch(b Batch, fn func(key uint64, val []byte, ok bool)) int64 {
+// GetBatch fetches every key in b, invoking fn for each (in order) with
+// the stored value (nil, false when absent). It returns the total bytes
+// read and the first availability error (see GetBatchInto).
+func (s *Store) GetBatch(b Batch, fn func(key uint64, val []byte, ok bool)) (int64, error) {
 	vals := make([][]byte, len(b.Keys))
 	oks := make([]bool, len(b.Keys))
-	bytes := s.GetBatchInto(b, vals, oks)
+	bytes, err := s.GetBatchInto(b, vals, oks)
 	for i, k := range b.Keys {
 		fn(k, vals[i], oks[i])
 	}
-	return bytes
+	return bytes, err
 }
 
 // GetBatchInto fetches every key in b into the caller-owned vals/oks
 // slices (len(b.Keys) each, positionally aligned with b.Keys) and returns
 // the total bytes read. The values are owned by the store and must not be
 // modified. This is the allocation-free variant of GetBatch.
-func (s *Store) GetBatchInto(b Batch, vals [][]byte, oks []bool) int64 {
+//
+// Errors classify availability, not absence: ErrServerDown means the
+// planned server stopped being readable (re-plan and retry — the keys
+// have live replicas elsewhere); ErrNoLiveReplica means at least one key's
+// every copy is on down shards (the batch's false oks are then
+// unavailable, not absent). A nil error with ok == false is a genuinely
+// absent key.
+func (s *Store) GetBatchInto(b Batch, vals [][]byte, oks []bool) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if b.Server < 0 || b.Server >= len(s.servers) {
+		return 0, fmt.Errorf("kvstore: batch server %d out of range [0,%d)", b.Server, len(s.servers))
+	}
 	sv := s.servers[b.Server]
+	if s.view.Status(b.Server) != topology.Active {
+		sv.mu.Lock()
+		sv.stats.Failovers += uint64(len(b.Keys))
+		sv.mu.Unlock()
+		if s.replicated() {
+			return 0, fmt.Errorf("server %d: %w", b.Server, ErrServerDown)
+		}
+		return 0, fmt.Errorf("server %d (sole replica of %d keys): %w", b.Server, len(b.Keys), ErrNoLiveReplica)
+	}
 	var bytes int64
+	misses := 0
 	sv.mu.RLock()
 	for i, k := range b.Keys {
-		vals[i], oks[i] = sv.data[k]
-		bytes += int64(len(vals[i]))
+		e, ok := sv.data[k]
+		if ok && !e.dead {
+			vals[i], oks[i] = e.val, true
+			bytes += int64(len(e.val))
+		} else {
+			vals[i], oks[i] = nil, false
+			misses++
+		}
 	}
 	sv.mu.RUnlock()
 	sv.mu.Lock()
 	sv.stats.Gets += uint64(len(b.Keys))
-	for _, ok := range oks {
-		if !ok {
-			sv.stats.Misses++
+	sv.mu.Unlock()
+	var err error
+	if misses > 0 && s.replicated() {
+		// Replicated slow path: a miss on the primary is either a genuinely
+		// absent key, a stale-plan window (serve it from its surviving
+		// replica), or an unavailable key whose copies are all down.
+		for i, ok := range oks {
+			if ok {
+				continue
+			}
+			v, found, e := s.lookupSlowLocked(b.Keys[i], b.Server)
+			if found {
+				vals[i], oks[i] = v, true
+				bytes += int64(len(v))
+				misses--
+			} else if e != nil && err == nil {
+				err = e
+			}
 		}
 	}
-	sv.mu.Unlock()
-	return bytes
+	// Reads served by another replica are not misses: Misses counts reads
+	// nobody could serve.
+	if misses > 0 {
+		sv.mu.Lock()
+		sv.stats.Misses += uint64(misses)
+		sv.mu.Unlock()
+	}
+	return bytes, err
 }

@@ -171,7 +171,7 @@ func TestGetBatch(t *testing.T) {
 	var got, missing int
 	var bytes int64
 	for _, b := range s.PlanBatches(keys) {
-		bytes += s.GetBatch(b, func(k uint64, v []byte, ok bool) {
+		n, err := s.GetBatch(b, func(k uint64, v []byte, ok bool) {
 			if ok {
 				got++
 				if len(v) != 2 || v[0] != byte(k) {
@@ -181,6 +181,10 @@ func TestGetBatch(t *testing.T) {
 				missing++
 			}
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes += n
 	}
 	if got != 5 || missing != 1 {
 		t.Fatalf("got=%d missing=%d, want 5/1", got, missing)
@@ -302,14 +306,17 @@ func TestGetBatchIntoMatchesGetBatch(t *testing.T) {
 	for _, b := range s.PlanBatches(keys) {
 		vals := make([][]byte, len(b.Keys))
 		oks := make([]bool, len(b.Keys))
-		gotBytes := s.GetBatchInto(b, vals, oks)
+		gotBytes, gotErr := s.GetBatchInto(b, vals, oks)
 		i := 0
-		wantBytes := s.GetBatch(b, func(key uint64, val []byte, ok bool) {
+		wantBytes, wantErr := s.GetBatch(b, func(key uint64, val []byte, ok bool) {
 			if oks[i] != ok || string(vals[i]) != string(val) {
 				t.Fatalf("key %d: GetBatchInto (%v, %q) != GetBatch (%v, %q)", key, oks[i], vals[i], ok, val)
 			}
 			i++
 		})
+		if gotErr != nil || wantErr != nil {
+			t.Fatalf("unexpected errors: %v / %v", gotErr, wantErr)
+		}
 		if gotBytes != wantBytes {
 			t.Fatalf("byte totals differ: %d vs %d", gotBytes, wantBytes)
 		}

@@ -133,6 +133,10 @@ func (c CacheCounters) HitRate() float64 {
 // (newest last) and report it in the Snapshot, so an operator can read the
 // cost of each scale-out/scale-in off /statsz.
 type EpochEvent struct {
+	// Tier names the tier whose membership moved: "proc" or "storage"
+	// (empty reads as "proc" for snapshots recorded before the storage
+	// tier became elastic). The two tiers have independent epoch counters.
+	Tier string
 	// Epoch is the epoch this transition produced.
 	Epoch uint64
 	// Joined / Left / Failed / Revived count member transitions applied in
@@ -145,6 +149,29 @@ type EpochEvent struct {
 	// re-routed off departed members (virtual-time router), or in-flight
 	// queries left to drain on the old view (networked router).
 	Reassigned int64
+}
+
+// StorageCounters is one storage member's share of a Snapshot: its
+// membership state plus the shard-level read/write accounting, including
+// the per-replica health signal (Failovers).
+type StorageCounters struct {
+	// Slot is the storage slot (stable across epochs, never reused).
+	Slot int
+	// Status is the member's topology state: "active", "draining", "down"
+	// or "left".
+	Status string
+	// Addr is the member's network address (empty on the virtual-time
+	// engine).
+	Addr string
+	// Keys and Bytes are the shard's resident live entries.
+	Keys  int64
+	Bytes int64
+	// Gets and Misses count reads served and reads of absent keys.
+	Gets   int64
+	Misses int64
+	// Failovers counts reads bounced off this member while it was
+	// unreachable — the per-replica health signal behind read failover.
+	Failovers int64
 }
 
 // ProcCounters is one processor's share of a Snapshot.
@@ -199,12 +226,21 @@ type Snapshot struct {
 	// Reassigned totals the queries moved by topology transitions (see
 	// EpochEvent.Reassigned).
 	Reassigned int64
-	// Epochs is the bounded log of topology transitions, oldest first.
+	// Epochs is the bounded log of topology transitions, oldest first,
+	// processor-tier entries before storage-tier entries (each tier's
+	// entries are internally ordered; EpochEvent.Tier tells them apart).
 	Epochs []EpochEvent
 	// Cache aggregates every processor's cache counters.
 	Cache CacheCounters
 	// PerProc breaks the counters down by processor.
 	PerProc []ProcCounters
+	// StorageEpoch is the storage tier's topology epoch; StorageReplicas
+	// its replication factor (1 = unreplicated).
+	StorageEpoch    uint64
+	StorageReplicas int
+	// PerStorage breaks the storage tier down by member (empty on
+	// deployments that do not expose a storage view).
+	PerStorage []StorageCounters
 	// RoutingNanos digests per-query routing decision time in nanoseconds
 	// (virtual router cost on the local transport, wall time on tcp).
 	RoutingNanos Summary
@@ -238,10 +274,23 @@ func (s *Snapshot) String() string {
 			p.Cache.Hits, p.Cache.Misses, 100*p.Cache.HitRate(), p.Cache.Evictions)
 	}
 	b.WriteString(t.String())
+	if len(s.PerStorage) > 0 {
+		fmt.Fprintf(&b, "storage: epoch=%d replicas=%d members=%d\n",
+			s.StorageEpoch, s.StorageReplicas, len(s.PerStorage))
+		ts := NewTable("slot", "status", "keys", "bytes", "gets", "misses", "failovers")
+		for _, m := range s.PerStorage {
+			ts.AddRow(m.Slot, m.Status, m.Keys, m.Bytes, m.Gets, m.Misses, m.Failovers)
+		}
+		b.WriteString(ts.String())
+	}
 	if len(s.Epochs) > 0 {
-		te := NewTable("epoch", "joined", "left", "failed", "revived", "reassigned")
+		te := NewTable("tier", "epoch", "joined", "left", "failed", "revived", "reassigned")
 		for _, e := range s.Epochs {
-			te.AddRow(e.Epoch, e.Joined, e.Left, e.Failed, e.Revived, e.Reassigned)
+			tier := e.Tier
+			if tier == "" {
+				tier = "proc"
+			}
+			te.AddRow(tier, e.Epoch, e.Joined, e.Left, e.Failed, e.Revived, e.Reassigned)
 		}
 		b.WriteString(te.String())
 	}

@@ -98,7 +98,7 @@ func (r *Router) ApplyView(v topology.View) int {
 	}
 	r.grow(v.Slots())
 	d := topology.DiffViews(r.view, v)
-	ev := metrics.EpochEvent{Epoch: v.Epoch, Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived}
+	ev := metrics.EpochEvent{Tier: "proc", Epoch: v.Epoch, Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived}
 	for _, m := range v.Members {
 		r.status[m.Slot] = m.Status
 	}

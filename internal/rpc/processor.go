@@ -22,6 +22,7 @@ import (
 // shard connections with the caller's deadline.
 type ProcessorServer struct {
 	ln      net.Listener
+	ct      connTracker
 	storage *StorageClient
 
 	mu    sync.Mutex // guards cache
@@ -36,10 +37,32 @@ type ProcessorServer struct {
 	executed     atomic.Int64
 }
 
+// ProcessorConfig configures a networked query processor.
+type ProcessorConfig struct {
+	// Storage lists the storage shards the processor fetches from.
+	Storage []string
+	// StorageReplicas is the storage tier's replication factor: it must
+	// match what the loader used, since placement is client-side. 0 or 1
+	// means unreplicated.
+	StorageReplicas int
+	// CacheBytes is the processor's LRU capacity.
+	CacheBytes int64
+}
+
 // NewProcessorServer starts a processor on addr, fetching from the given
-// storage shards with cacheBytes of LRU capacity.
+// unreplicated storage shards with cacheBytes of LRU capacity.
 func NewProcessorServer(addr string, storageAddrs []string, cacheBytes int64) (*ProcessorServer, error) {
-	sc, err := DialStorage(storageAddrs)
+	return NewProcessorServerWith(addr, ProcessorConfig{Storage: storageAddrs, CacheBytes: cacheBytes})
+}
+
+// NewProcessorServerWith starts a processor on addr with the full
+// configuration, including the storage replication factor.
+func NewProcessorServerWith(addr string, cfg ProcessorConfig) (*ProcessorServer, error) {
+	replicas := cfg.StorageReplicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	sc, err := DialStorageReplicated(cfg.Storage, replicas)
 	if err != nil {
 		return nil, err
 	}
@@ -48,8 +71,8 @@ func NewProcessorServer(addr string, storageAddrs []string, cacheBytes int64) (*
 		sc.Close()
 		return nil, fmt.Errorf("rpc: processor listen: %w", err)
 	}
-	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cacheBytes), slot: -1}
-	go serve(ln, p.handle)
+	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cfg.CacheBytes), slot: -1}
+	go serve(ln, p.handle, &p.ct)
 	return p, nil
 }
 
@@ -122,10 +145,12 @@ func (p *ProcessorServer) Deregister(ctx context.Context) error {
 	return nil
 }
 
-// Close stops the processor.
+// Close stops the processor, severing live connections.
 func (p *ProcessorServer) Close() error {
 	p.storage.Close()
-	return p.ln.Close()
+	err := p.ln.Close()
+	p.ct.closeAll()
+	return err
 }
 
 // Stats returns the processor's counters, including the full cache

@@ -68,12 +68,17 @@ type Request struct {
 	Keys []uint64
 	// Exec serves OpExecute; nil for every other op.
 	Exec *ExecRequest
-	// Addr serves OpJoin (the joining processor's advertised address) and
+	// Addr serves OpJoin (the joining member's advertised address) and
 	// may identify the member to OpDrain instead of Proc.
 	Addr string
 	// Proc identifies the member slot for OpDrain (ignored when Addr is
 	// set).
 	Proc int
+	// Tier selects which tier a membership op (OpJoin / OpDrain) targets:
+	// "storage" for the storage tier, empty or "proc" for the processing
+	// tier. Each tier has its own epoch counter; the response's Epoch is
+	// the targeted tier's.
+	Tier string
 }
 
 // ExecRequest is the OpExecute payload: a batch of queries plus the
@@ -120,6 +125,10 @@ type Stats struct {
 	Role     string
 	Requests int64
 	Keys     int64
+	// Reads counts key reads served (storage role): unlike Requests it
+	// excludes puts, pings and stats polls, so it is the read-traffic
+	// signal the router's storage snapshot reports.
+	Reads    int64
 	Hits     int64
 	Misses   int64
 	Executed int64
@@ -306,18 +315,73 @@ func (cn *Conn) callError(ctx context.Context, phase string, err error) error {
 // Close shuts the connection down.
 func (cn *Conn) Close() error { return cn.c.Close() }
 
+// connTracker records a daemon's live connections so Close can sever
+// them: closing only the listener would leave pooled client connections
+// answering, which is not how a killed server behaves — and the replica
+// failover machinery exists precisely for servers that stop answering.
+type connTracker struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// add registers c, reporting false when the tracker is already closed.
+func (ct *connTracker) add(c net.Conn) bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.closed {
+		return false
+	}
+	if ct.conns == nil {
+		ct.conns = make(map[net.Conn]struct{})
+	}
+	ct.conns[c] = struct{}{}
+	return true
+}
+
+func (ct *connTracker) remove(c net.Conn) {
+	ct.mu.Lock()
+	delete(ct.conns, c)
+	ct.mu.Unlock()
+}
+
+// closeAll severs every live connection and refuses new ones.
+func (ct *connTracker) closeAll() {
+	ct.mu.Lock()
+	ct.closed = true
+	conns := make([]net.Conn, 0, len(ct.conns))
+	for c := range ct.conns {
+		conns = append(conns, c)
+	}
+	ct.conns = nil
+	ct.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 // serve runs the accept loop for a daemon, dispatching each connection to
 // its own goroutine that calls handle per request. The handler context
 // carries the deadline an OpExecute request propagated from its client.
-// serve returns when the listener closes.
-func serve(ln net.Listener, handle func(context.Context, *Request) Response) {
+// serve returns when the listener closes; ct (optional) lets the daemon
+// sever live connections on Close.
+func serve(ln net.Listener, handle func(context.Context, *Request) Response, ct *connTracker) {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
 			return
 		}
+		if ct != nil && !ct.add(c) {
+			c.Close()
+			return
+		}
 		go func(c net.Conn) {
-			defer c.Close()
+			defer func() {
+				if ct != nil {
+					ct.remove(c)
+				}
+				c.Close()
+			}()
 			dec := gob.NewDecoder(c)
 			enc := gob.NewEncoder(c)
 			for {

@@ -36,6 +36,7 @@ import (
 // networked clients report through one structure.
 type RouterServer struct {
 	ln         net.Listener
+	ct         connTracker
 	policyName string
 	poolSize   int
 
@@ -56,6 +57,18 @@ type RouterServer struct {
 	reassigned int64
 	events     []metrics.EpochEvent
 
+	// The storage tier's membership, tracked for observability: storage
+	// shards self-register (OpJoin, Tier "storage") and deregister, each
+	// transition bumping the storage epoch; Snapshot polls the members for
+	// shard counters. The router never routes storage reads — placement is
+	// client-side in the processors — so this view is descriptive, which
+	// is exactly what -topology and /statsz need.
+	storageTopo     *topology.Tracker
+	storageView     topology.View
+	storagePools    []*Pool // storage-slot-indexed; nil once a member left
+	storageEvents   []metrics.EpochEvent
+	storageReplicas int
+
 	requests atomic.Int64
 	queries  atomic.Int64
 }
@@ -72,6 +85,13 @@ type RouterConfig struct {
 	PolicyName string
 	// PoolSize bounds connections per processor (0 = DefaultPoolSize).
 	PoolSize int
+	// StorageAddrs optionally seeds the router's storage view (for
+	// observability); more shards can join at runtime with OpJoin. Seeded
+	// shards are ping-verified like processors.
+	StorageAddrs []string
+	// StorageReplicas is the deployment's storage replication factor,
+	// reported in stats snapshots (0 reads as 1).
+	StorageReplicas int
 }
 
 // NewRouterServer starts a router on addr.
@@ -98,6 +118,12 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 		lastCache:  make([]metrics.CacheCounters, n),
 	}
 	r.view = r.topo.View()
+	r.storageReplicas = cfg.StorageReplicas
+	if r.storageReplicas == 0 {
+		r.storageReplicas = 1
+	}
+	r.storageTopo = topology.NewTierTrackerAddrs(topology.TierStorage, cfg.StorageAddrs)
+	r.storageView = r.storageTopo.View()
 	r.statsObs, _ = cfg.Strategy.(router.StatsObserver)
 	r.topoAware, _ = cfg.Strategy.(router.TopologyAware)
 	if r.topoAware != nil {
@@ -112,13 +138,22 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 		}
 		r.pools = append(r.pools, p)
 	}
+	for _, a := range cfg.StorageAddrs {
+		p := NewPool(a, cfg.PoolSize)
+		if err := p.Ping(context.Background()); err != nil {
+			p.Close()
+			r.closePools()
+			return nil, err
+		}
+		r.storagePools = append(r.storagePools, p)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		r.closePools()
 		return nil, fmt.Errorf("rpc: router listen: %w", err)
 	}
 	r.ln = ln
-	go serve(ln, r.handle)
+	go serve(ln, r.handle, &r.ct)
 	return r, nil
 }
 
@@ -129,17 +164,25 @@ func (r *RouterServer) Addr() string { return r.ln.Addr().String() }
 func (r *RouterServer) Close() error {
 	r.mu.Lock()
 	pools := append([]*Pool(nil), r.pools...)
+	pools = append(pools, r.storagePools...)
 	r.mu.Unlock()
 	for _, p := range pools {
 		if p != nil {
 			p.Close()
 		}
 	}
-	return r.ln.Close()
+	err := r.ln.Close()
+	r.ct.closeAll()
+	return err
 }
 
 func (r *RouterServer) closePools() {
 	for _, p := range r.pools {
+		if p != nil {
+			p.Close()
+		}
+	}
+	for _, p := range r.storagePools {
 		if p != nil {
 			p.Close()
 		}
@@ -177,7 +220,7 @@ func (r *RouterServer) applyViewLocked(v topology.View) {
 		r.pools = append(r.pools, nil)
 	}
 	d := topology.DiffViews(r.view, v)
-	ev := metrics.EpochEvent{Epoch: v.Epoch, Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived}
+	ev := metrics.EpochEvent{Tier: "proc", Epoch: v.Epoch, Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived}
 	for _, slot := range d.LeftSlots {
 		// In-flight queries drain on the old view; they are the networked
 		// analogue of the virtual-time router's requeued backlog.
@@ -212,8 +255,14 @@ func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 		}
 		return Response{OK: true, Epoch: snap.Epoch, Stats: &Stats{Role: "router", Requests: r.requests.Load(), Snapshot: snap}}
 	case OpJoin:
+		if req.Tier == "storage" {
+			return r.joinStorage(ctx, req.Addr)
+		}
 		return r.join(ctx, req.Addr)
 	case OpDrain:
+		if req.Tier == "storage" {
+			return r.drainStorage(req)
+		}
 		return r.drain(req)
 	case OpExecute:
 		if req.Exec == nil || len(req.Exec.Queries) == 0 {
@@ -258,6 +307,87 @@ func (r *RouterServer) join(ctx context.Context, addr string) Response {
 	slot, v := r.topo.Join(addr)
 	r.applyViewLocked(v)
 	r.pools[slot] = p
+	return Response{OK: true, Proc: slot, Epoch: v.Epoch}
+}
+
+// logStorageLocked records a storage-tier transition in the bounded
+// tier-tagged event log. Caller holds r.mu.
+func (r *RouterServer) logStorageLocked(v topology.View) {
+	d := topology.DiffViews(r.storageView, v)
+	r.storageView = v
+	r.storageEvents = append(r.storageEvents, metrics.EpochEvent{
+		Tier: "storage", Epoch: v.Epoch,
+		Joined: d.Joined, Left: d.Left, Failed: d.Failed, Revived: d.Revived,
+	})
+	if len(r.storageEvents) > topology.EpochLogCap {
+		r.storageEvents = r.storageEvents[len(r.storageEvents)-topology.EpochLogCap:]
+	}
+}
+
+// joinStorage admits a storage shard into the router's storage view after
+// dialling back to verify it answers. Idempotent per address.
+func (r *RouterServer) joinStorage(ctx context.Context, addr string) Response {
+	if addr == "" {
+		return errorResponse(fmt.Errorf("%w: storage join request carries no address", query.ErrBadQuery))
+	}
+	if slot := r.storageTopo.Lookup(addr); slot >= 0 {
+		r.mu.Lock()
+		epoch := r.storageView.Epoch
+		r.mu.Unlock()
+		return Response{OK: true, Proc: slot, Epoch: epoch}
+	}
+	p := NewPool(addr, r.poolSize)
+	if err := p.Ping(ctx); err != nil {
+		p.Close()
+		return errorResponse(fmt.Errorf("storage join %s: %w", addr, err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.storageView.Members {
+		if m.Addr == addr && m.Status == topology.Active {
+			go p.Close()
+			return Response{OK: true, Proc: m.Slot, Epoch: r.storageView.Epoch}
+		}
+	}
+	slot, v := r.storageTopo.Join(addr)
+	r.logStorageLocked(v)
+	for len(r.storagePools) < v.Slots() {
+		r.storagePools = append(r.storagePools, nil)
+	}
+	r.storagePools[slot] = p
+	return Response{OK: true, Proc: slot, Epoch: v.Epoch}
+}
+
+// drainStorage removes a storage shard from the view (membership only —
+// over TCP the shard's replicas are not copied off; reads fail over to
+// the keys' surviving replicas).
+func (r *RouterServer) drainStorage(req *Request) Response {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := req.Proc
+	if req.Addr != "" {
+		slot = -1
+		for _, m := range r.storageView.Members {
+			if m.Addr != req.Addr || m.Status == topology.Left {
+				continue
+			}
+			if slot < 0 || m.Status == topology.Active {
+				slot = m.Slot
+			}
+		}
+		if slot < 0 {
+			return errorResponse(fmt.Errorf("%w: no storage member at %s", query.ErrBadQuery, req.Addr))
+		}
+	}
+	v, err := r.storageTopo.Leave(slot)
+	if err != nil {
+		return errorResponse(fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+	}
+	r.logStorageLocked(v)
+	if slot < len(r.storagePools) && r.storagePools[slot] != nil {
+		go r.storagePools[slot].Close()
+		r.storagePools[slot] = nil
+	}
 	return Response{OK: true, Proc: slot, Epoch: v.Epoch}
 }
 
@@ -480,6 +610,7 @@ func (r *RouterServer) finish(p, n int, resp *Response, err error) {
 func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) {
 	r.mu.Lock()
 	pools := append([]*Pool(nil), r.pools...)
+	storagePools := append([]*Pool(nil), r.storagePools...)
 	r.mu.Unlock()
 
 	type procStats struct {
@@ -505,6 +636,33 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 	for k := 0; k < polled; k++ {
 		ps := <-results
 		fresh[ps.i] = ps.cc
+	}
+
+	// Poll the storage members' shard counters the same way (members that
+	// do not answer keep zero counters but still report their status).
+	type shardStats struct {
+		i  int
+		st *Stats
+	}
+	sresults := make(chan shardStats, len(storagePools))
+	spolled := 0
+	for i := range storagePools {
+		if storagePools[i] == nil {
+			continue
+		}
+		spolled++
+		go func(i int, pool *Pool) {
+			var st *Stats
+			if resp, err := pool.Call(ctx, &Request{Op: OpStats}); err == nil && resp.Stats != nil {
+				st = resp.Stats
+			}
+			sresults <- shardStats{i, st}
+		}(i, storagePools[i])
+	}
+	shardFresh := make([]*Stats, len(storagePools))
+	for k := 0; k < spolled; k++ {
+		ss := <-sresults
+		shardFresh[ss.i] = ss.st
 	}
 
 	r.mu.Lock()
@@ -547,6 +705,17 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 	for _, d := range r.diverted {
 		snap.Diverted += d
 	}
+	snap.StorageEpoch = r.storageView.Epoch
+	snap.StorageReplicas = r.storageReplicas
+	for _, m := range r.storageView.Members {
+		sc := metrics.StorageCounters{Slot: m.Slot, Status: m.Status.String(), Addr: m.Addr}
+		if m.Slot < len(shardFresh) && shardFresh[m.Slot] != nil {
+			sc.Keys = shardFresh[m.Slot].Keys
+			sc.Gets = shardFresh[m.Slot].Reads
+		}
+		snap.PerStorage = append(snap.PerStorage, sc)
+	}
+	snap.Epochs = append(snap.Epochs, r.storageEvents...)
 	return snap, nil
 }
 

@@ -6,22 +6,34 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/gstore"
 	"repro/internal/hash"
+	"repro/internal/query"
+	"repro/internal/topology"
 )
 
 // StorageServer is one shard of the networked storage tier: an in-memory
-// key→value map served over TCP. Which server owns which key is decided by
-// the clients (murmur hash over the server list, as RAMCloud's coordinator
-// would), so servers are completely independent.
+// key→value map served over TCP. Which servers own which key is decided
+// by the clients (murmur hash when unreplicated, rendezvous hashing over
+// the shard list with R replicas otherwise — as RAMCloud's coordinator
+// would), so servers are completely independent. A shard can announce
+// itself to a running router's storage view with Register (groutingd
+// -join for the storage role) and leave it cleanly with Deregister.
 type StorageServer struct {
 	ln       net.Listener
+	ct       connTracker
 	mu       sync.RWMutex
 	data     map[uint64][]byte
 	requests atomic.Int64
 	keys     atomic.Int64
+
+	regMu      sync.Mutex // guards the registration below
+	routerAddr string     // router this shard registered with ("" = none)
+	advertise  string     // address announced to the router
+	slot       int        // slot the router assigned
 }
 
 // NewStorageServer starts a storage shard on addr (use "127.0.0.1:0" for
@@ -31,16 +43,84 @@ func NewStorageServer(addr string) (*StorageServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc: storage listen: %w", err)
 	}
-	s := &StorageServer{ln: ln, data: make(map[uint64][]byte)}
-	go serve(ln, s.handle)
+	s := &StorageServer{ln: ln, data: make(map[uint64][]byte), slot: -1}
+	go serve(ln, s.handle, &s.ct)
 	return s, nil
 }
 
 // Addr returns the server's listen address.
 func (s *StorageServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *StorageServer) Close() error { return s.ln.Close() }
+// Close stops the server, severing live connections — the crash
+// semantics replica failover is built for.
+func (s *StorageServer) Close() error {
+	err := s.ln.Close()
+	s.ct.closeAll()
+	return err
+}
+
+// Register announces this shard to a running router's storage view
+// (OpJoin with the storage tier): the router dials back to verify it,
+// admits it at a new storage epoch, and reports it under -topology /
+// Stats. advertise defaults to the listen address. The returned slot is
+// the shard's stable storage-slot id.
+func (s *StorageServer) Register(ctx context.Context, routerAddr, advertise string) (int, error) {
+	if advertise == "" {
+		advertise = s.Addr()
+	}
+	cn, err := DialContext(ctx, routerAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer cn.Close()
+	resp, err := cn.Call(ctx, &Request{Op: OpJoin, Addr: advertise, Tier: "storage"})
+	if err != nil {
+		return 0, err
+	}
+	s.regMu.Lock()
+	s.routerAddr, s.advertise, s.slot = routerAddr, advertise, resp.Proc
+	s.regMu.Unlock()
+	return resp.Proc, nil
+}
+
+// Deregister removes this shard from the router's storage view (OpDrain,
+// storage tier). Over TCP this is membership-only: the shard's replicas
+// are not copied off — reads of keys it held fail over to their other
+// replicas, so drain a shard only when the replication factor covers it.
+// No-op when the shard never registered.
+func (s *StorageServer) Deregister(ctx context.Context) error {
+	s.regMu.Lock()
+	routerAddr, advertise := s.routerAddr, s.advertise
+	s.regMu.Unlock()
+	if routerAddr == "" {
+		return nil
+	}
+	cn, err := DialContext(ctx, routerAddr)
+	if err != nil {
+		return err
+	}
+	defer cn.Close()
+	if _, err := cn.Call(ctx, &Request{Op: OpDrain, Addr: advertise, Tier: "storage"}); err != nil {
+		return err
+	}
+	s.regMu.Lock()
+	if s.routerAddr == routerAddr {
+		s.routerAddr = ""
+	}
+	s.regMu.Unlock()
+	return nil
+}
+
+// RegisteredSlot returns the storage slot the router assigned at
+// Register, or -1 when the shard never registered (or has deregistered).
+func (s *StorageServer) RegisteredSlot() int {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.routerAddr == "" {
+		return -1
+	}
+	return s.slot
+}
 
 func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 	s.requests.Add(1)
@@ -76,7 +156,8 @@ func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 	return errorResponse(fmt.Errorf("storage: unknown op %q", req.Op))
 }
 
-// Stats returns the shard's counters (request total, resident keys).
+// Stats returns the shard's counters (request total, key reads served,
+// resident keys).
 func (s *StorageServer) Stats() Stats {
 	s.mu.RLock()
 	n := len(s.data)
@@ -84,25 +165,59 @@ func (s *StorageServer) Stats() Stats {
 	return Stats{
 		Role:     "storage",
 		Requests: s.requests.Load(),
+		Reads:    s.keys.Load(),
 		Keys:     int64(n),
 	}
 }
 
-// StorageClient shards keys over a set of storage servers with the same
-// murmur placement the in-process tier uses, over one connection pool per
-// shard.
+// storageProbeInterval is how often the client re-pings shards it marked
+// down, so a restarted or network-partition-healed shard rejoins the read
+// path without any coordination.
+const storageProbeInterval = 200 * time.Millisecond
+
+// StorageClient shards keys over a set of storage servers, over one
+// connection pool per shard. Unreplicated (replicas == 1) placement is
+// the same murmur hash the legacy in-process tier uses; with replicas
+// >= 2 every key lives on R shards placed by rendezvous hashing over the
+// shard list, writes go to every replica, and reads prefer the
+// highest-scored healthy replica with transparent failover: a shard that
+// fails a call is marked down (per-replica health), its keys retry on
+// their next replica, and a background probe revives it when it answers
+// pings again.
 type StorageClient struct {
-	pools []*Pool
+	pools    []*Pool
+	replicas int
+	slots    []int // 0..n-1, the rendezvous placement domain
+
+	down      []atomic.Bool
+	failovers atomic.Int64
+
+	probeStop chan struct{}
+	closeOnce sync.Once
 }
 
-// DialStorage connects to every storage shard, verifying each is
-// reachable.
+// DialStorage connects to every storage shard unreplicated, verifying
+// each is reachable.
 func DialStorage(addrs []string) (*StorageClient, error) {
+	return DialStorageReplicated(addrs, 1)
+}
+
+// DialStorageReplicated connects to every storage shard with the given
+// replication factor, verifying each shard is reachable. The loader and
+// every processor of a deployment must agree on the factor — placement is
+// client-side, exactly like the hash placement it generalises.
+func DialStorageReplicated(addrs []string, replicas int) (*StorageClient, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("rpc: no storage servers")
 	}
-	sc := &StorageClient{}
-	for _, a := range addrs {
+	if replicas < 1 || replicas > topology.MaxReplicas {
+		return nil, fmt.Errorf("rpc: storage replicas = %d outside [1,%d]", replicas, topology.MaxReplicas)
+	}
+	if replicas > len(addrs) {
+		return nil, fmt.Errorf("rpc: %d storage replicas need at least that many shards, have %d", replicas, len(addrs))
+	}
+	sc := &StorageClient{replicas: replicas, probeStop: make(chan struct{})}
+	for i, a := range addrs {
 		p := NewPool(a, 0)
 		if err := p.Ping(context.Background()); err != nil {
 			sc.Close()
@@ -110,12 +225,19 @@ func DialStorage(addrs []string) (*StorageClient, error) {
 			return nil, err
 		}
 		sc.pools = append(sc.pools, p)
+		sc.slots = append(sc.slots, i)
 	}
+	sc.down = make([]atomic.Bool, len(sc.pools))
+	// The probe runs in every mode: even unreplicated clients mark a
+	// shard down after a failure, and only the probe clears the flag when
+	// the shard answers again.
+	go sc.probeLoop()
 	return sc, nil
 }
 
-// Close closes every shard pool.
+// Close closes every shard pool and stops the health probe.
 func (sc *StorageClient) Close() {
+	sc.closeOnce.Do(func() { close(sc.probeStop) })
 	for _, p := range sc.pools {
 		if p != nil {
 			p.Close()
@@ -123,66 +245,205 @@ func (sc *StorageClient) Close() {
 	}
 }
 
-// shardFor returns the shard index owning key.
-func (sc *StorageClient) shardFor(key uint64) int {
-	return int(hash.Key64(key, 0) % uint64(len(sc.pools)))
-}
+// Replicas returns the client's replication factor.
+func (sc *StorageClient) Replicas() int { return sc.replicas }
 
-// Put stores one encoded record.
-func (sc *StorageClient) Put(ctx context.Context, key uint64, value []byte) error {
-	_, err := sc.pools[sc.shardFor(key)].Call(ctx, &Request{Op: OpPut, Key: key, Value: value})
-	return err
-}
+// Failovers returns how many times a shard call failed and its keys were
+// retried on another replica — the client-side health signal.
+func (sc *StorageClient) Failovers() int64 { return sc.failovers.Load() }
 
-// MultiGet fetches the records for ids, grouping keys by owning shard and
-// issuing the per-shard multigets concurrently (the networked analogue of
-// the engine's batched frontier fetches).
-func (sc *StorageClient) MultiGet(ctx context.Context, ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
-	groups := make(map[int][]uint64)
-	for _, id := range ids {
-		sh := sc.shardFor(uint64(id))
-		groups[sh] = append(groups[sh], uint64(id))
-	}
-	type shardResult struct {
-		keys []uint64
-		resp Response
-		err  error
-	}
-	results := make(chan shardResult, len(groups))
-	for sh, keys := range groups {
-		go func(sh int, keys []uint64) {
-			resp, err := sc.pools[sh].Call(ctx, &Request{Op: OpMultiGet, Keys: keys})
-			results <- shardResult{keys: keys, resp: resp, err: err}
-		}(sh, keys)
-	}
-	out := make(map[graph.NodeID]gstore.Record, len(ids))
-	var firstErr error
-	for range groups {
-		r := <-results
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
+// probeLoop re-pings down shards so they rejoin the read path once they
+// answer again.
+func (sc *StorageClient) probeLoop() {
+	t := time.NewTicker(storageProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.probeStop:
+			return
+		case <-t.C:
+			for i := range sc.down {
+				if !sc.down[i].Load() {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), storageProbeInterval)
+				if err := sc.pools[i].Ping(ctx); err == nil {
+					sc.down[i].Store(false)
+				}
+				cancel()
 			}
+		}
+	}
+}
+
+// markDown records a failed shard call.
+func (sc *StorageClient) markDown(shard int) {
+	sc.failovers.Add(1)
+	sc.down[shard].Store(true)
+}
+
+// placement appends key's replica shards (primary first) to dst.
+func (sc *StorageClient) placement(key uint64, dst []int) []int {
+	if sc.replicas <= 1 {
+		return append(dst[:0], int(hash.Key64(key, 0)%uint64(len(sc.pools))))
+	}
+	return topology.RendezvousN(key, sc.slots, sc.replicas, dst)
+}
+
+// shardFor returns the shard a read of key prefers.
+func (sc *StorageClient) shardFor(key uint64) int {
+	var buf [topology.MaxReplicas]int
+	return sc.placement(key, buf[:0])[0]
+}
+
+// Put stores one encoded record on every replica of its placement set.
+// Shards marked down are skipped on the first pass (their copy is
+// repaired by reloading) — but the flag is advisory, so if no replica
+// looked up, every placement shard is tried anyway. The write fails only
+// when no replica accepted it.
+func (sc *StorageClient) Put(ctx context.Context, key uint64, value []byte) error {
+	var buf [topology.MaxReplicas]int
+	pl := sc.placement(key, buf[:0])
+	var firstErr error
+	wrote := 0
+	tryPut := func(shard int) {
+		if _, err := sc.pools[shard].Call(ctx, &Request{Op: OpPut, Key: key, Value: value}); err != nil {
+			// Don't poison the health flags with our own cancellation.
+			if ctx.Err() == nil {
+				sc.markDown(shard)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		wrote++
+	}
+	var tried uint8
+	for i, shard := range pl {
+		if sc.down[shard].Load() {
 			continue
 		}
-		for i, k := range r.keys {
-			if !r.resp.Founds[i] {
+		tried |= 1 << i
+		tryPut(shard)
+	}
+	if wrote == 0 {
+		for i, shard := range pl {
+			if tried&(1<<i) != 0 {
 				continue
 			}
-			rec, err := gstore.Decode(graph.NodeID(k), r.resp.Values[i])
-			if err != nil {
+			tryPut(shard)
+		}
+	}
+	if wrote == 0 {
+		if firstErr != nil {
+			return firstErr
+		}
+		return &remoteError{addr: "storage", msg: fmt.Sprintf("no live replica accepted key %d", key), kind: query.ErrUnavailable}
+	}
+	return nil
+}
+
+// MultiGet fetches the records for ids, grouping keys by their preferred
+// replica and issuing the per-shard multigets concurrently (the networked
+// analogue of the engine's batched frontier fetches). A shard that fails
+// mid-call is marked down and its keys transparently retry on their next
+// replica; only a key with no answering replica left fails the call.
+func (sc *StorageClient) MultiGet(ctx context.Context, ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+	out := make(map[graph.NodeID]gstore.Record, len(ids))
+	// tried is a bitmask over each key's placement indices: a key is
+	// exhausted only once every replica has actually been contacted —
+	// down flags are advisory and must never skip a replica for good.
+	tried := make(map[graph.NodeID]uint8, len(ids))
+	pending := ids
+	var firstErr error
+	for round := 0; len(pending) > 0 && round <= sc.replicas; round++ {
+		groups := make(map[int][]graph.NodeID)
+		chosen := make(map[graph.NodeID]int, len(pending))
+		var buf [topology.MaxReplicas]int
+		for _, id := range pending {
+			pl := sc.placement(uint64(id), buf[:0])
+			// Prefer the first untried healthy replica, falling back to
+			// the first untried one of any health.
+			pick := -1
+			for j := range pl {
+				if tried[id]&(1<<j) != 0 {
+					continue
+				}
+				if pick < 0 {
+					pick = j
+				}
+				if !sc.down[pl[j]].Load() {
+					pick = j
+					break
+				}
+			}
+			if pick < 0 {
 				if firstErr == nil {
-					firstErr = err
+					firstErr = &remoteError{addr: "storage", msg: fmt.Sprintf("key %d: every replica failed", id), kind: query.ErrUnavailable}
 				}
 				continue
 			}
-			out[graph.NodeID(k)] = rec
+			chosen[id] = pick
+			groups[pl[pick]] = append(groups[pl[pick]], id)
 		}
+		type shardResult struct {
+			shard int
+			ids   []graph.NodeID
+			resp  Response
+			err   error
+		}
+		results := make(chan shardResult, len(groups))
+		for shard, gids := range groups {
+			go func(shard int, gids []graph.NodeID) {
+				keys := make([]uint64, len(gids))
+				for i, id := range gids {
+					keys[i] = uint64(id)
+				}
+				resp, err := sc.pools[shard].Call(ctx, &Request{Op: OpMultiGet, Keys: keys})
+				results <- shardResult{shard: shard, ids: gids, resp: resp, err: err}
+			}(shard, gids)
+		}
+		var retry []graph.NodeID
+		for range groups {
+			r := <-results
+			if r.err != nil {
+				// The caller gave up (ctx done) — don't burn the health
+				// flags or retries on our own cancellation.
+				if ctx.Err() != nil {
+					if firstErr == nil {
+						firstErr = r.err
+					}
+					continue
+				}
+				sc.markDown(r.shard)
+				for _, id := range r.ids {
+					tried[id] |= 1 << chosen[id]
+				}
+				retry = append(retry, r.ids...)
+				continue
+			}
+			for i, id := range r.ids {
+				if !r.resp.Founds[i] {
+					continue
+				}
+				rec, err := gstore.Decode(graph.NodeID(id), r.resp.Values[i])
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				out[id] = rec
+			}
+		}
+		pending = retry
 	}
 	return out, firstErr
 }
 
-// LoadGraph bulk-loads every live node of g across the shards.
+// LoadGraph bulk-loads every live node of g across the shards (all
+// replicas of each key).
 func (sc *StorageClient) LoadGraph(ctx context.Context, g *graph.Graph) error {
 	buf := make([]byte, 0, 1024)
 	for id := graph.NodeID(0); id < g.MaxNodeID(); id++ {

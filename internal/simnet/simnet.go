@@ -124,11 +124,23 @@ func NewTimeline(n int) *Timeline {
 	}
 }
 
+// ensure grows the timeline to cover server s: the storage tier is
+// elastic, so a server added mid-run starts idle at whatever virtual time
+// its first request arrives.
+func (t *Timeline) ensure(s int) {
+	for len(t.backlog) <= s {
+		t.backlog = append(t.backlog, 0)
+		t.lastAt = append(t.lastAt, 0)
+		t.busy = append(t.busy, 0)
+	}
+}
+
 // Serve charges work to server s for a request arriving at start and
 // returns its finish time (arrival + queueing wait + service). Arrivals
 // slightly out of virtual-time order join the current backlog without
 // draining it.
 func (t *Timeline) Serve(s int, start, work time.Duration) time.Duration {
+	t.ensure(s)
 	if start > t.lastAt[s] {
 		elapsed := start - t.lastAt[s]
 		if t.backlog[s] > elapsed {
@@ -145,10 +157,20 @@ func (t *Timeline) Serve(s int, start, work time.Duration) time.Duration {
 }
 
 // Busy returns the cumulative work time charged to server s.
-func (t *Timeline) Busy(s int) time.Duration { return t.busy[s] }
+func (t *Timeline) Busy(s int) time.Duration {
+	if s >= len(t.busy) {
+		return 0
+	}
+	return t.busy[s]
+}
 
 // Available returns the time at which server s' current backlog drains.
-func (t *Timeline) Available(s int) time.Duration { return t.lastAt[s] + t.backlog[s] }
+func (t *Timeline) Available(s int) time.Duration {
+	if s >= len(t.backlog) {
+		return 0
+	}
+	return t.lastAt[s] + t.backlog[s]
+}
 
 // Reset returns all servers to idle at t=0.
 func (t *Timeline) Reset() {

@@ -23,6 +23,50 @@ func Rendezvous(key uint64, slots []int) int {
 	return best
 }
 
+// MaxReplicas bounds the replica sets RendezvousN produces: large enough
+// for any sensible replication factor, small enough that the per-key
+// top-R selection runs on fixed-size stack scratch with zero allocations.
+const MaxReplicas = 8
+
+// RendezvousN appends the top-r slots for key to dst (pass dst[:0] to
+// reuse a buffer) in descending rendezvous-score order, so dst[0] is
+// exactly Rendezvous(key, slots). This is the replica-placement primitive
+// of the storage tier: the top-R set shares Rendezvous's stable-remap
+// property — adding k slots to N displaces each of a key's R replicas
+// with probability ~k/(N+k), and removing a slot moves only the keys it
+// held. r is clamped to [0, MaxReplicas]; fewer than r slots yields them
+// all. Allocation-free when dst has capacity r.
+func RendezvousN(key uint64, slots []int, r int, dst []int) []int {
+	dst = dst[:0]
+	if r <= 0 || len(slots) == 0 {
+		return dst
+	}
+	if r > MaxReplicas {
+		r = MaxReplicas
+	}
+	var scores [MaxReplicas]uint64
+	for _, s := range slots {
+		sc := mix64(key ^ (uint64(s)+1)*0x9e3779b97f4a7c15)
+		// Insertion position: higher score first, smaller slot on ties
+		// (the same tie-break Rendezvous uses).
+		i := len(dst)
+		for i > 0 && (scores[i-1] < sc || (scores[i-1] == sc && dst[i-1] > s)) {
+			i--
+		}
+		if i >= r {
+			continue
+		}
+		if len(dst) < r {
+			dst = append(dst, 0)
+		}
+		for j := len(dst) - 1; j > i; j-- {
+			dst[j], scores[j] = dst[j-1], scores[j-1]
+		}
+		dst[i], scores[i] = s, sc
+	}
+	return dst
+}
+
 // mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
 // mixer, plenty for destination scoring.
 func mix64(z uint64) uint64 {

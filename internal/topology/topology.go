@@ -28,6 +28,31 @@ import (
 // stats snapshots (oldest entries drop first).
 const EpochLogCap = 32
 
+// Tier names which tier of the decoupled architecture a member belongs
+// to. One Tracker owns one tier's membership: the processing tier and the
+// storage tier evolve independently — that independence is the paper's
+// core decoupling argument — so each gets its own tracker and epoch
+// counter, but both share the Member/View/transition machinery.
+type Tier int8
+
+const (
+	// TierProcessor members are query processors.
+	TierProcessor Tier = iota
+	// TierStorage members are storage servers.
+	TierStorage
+)
+
+// String renders the tier the way stats snapshots and the CLI print it.
+func (t Tier) String() string {
+	switch t {
+	case TierProcessor:
+		return "proc"
+	case TierStorage:
+		return "storage"
+	}
+	return fmt.Sprintf("Tier(%d)", int8(t))
+}
+
 // Status is a member's lifecycle state.
 type Status int8
 
@@ -59,15 +84,19 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
 
-// Member is one processor slot's membership record.
+// Member is one slot's membership record.
 type Member struct {
-	// Slot is the stable processor id: assigned at join, never reused.
+	// Slot is the stable member id: assigned at join, never reused.
 	Slot int
 	// Addr is the member's network address (empty on the virtual-time
-	// engine, where processors are in-process).
+	// engine, where both tiers are in-process).
 	Addr string
 	// Status is the member's lifecycle state.
 	Status Status
+	// Tier records which tier the member serves (processor or storage),
+	// so mixed renderings — the CLI topology table, the epoch log — can
+	// tell the two apart.
+	Tier Tier
 }
 
 // View is an immutable snapshot of the processing tier at one epoch.
@@ -192,18 +221,16 @@ func Static(n int) View {
 type Tracker struct {
 	mu      sync.Mutex
 	epoch   uint64
+	tier    Tier
 	members []Member
 }
 
-// NewTracker seeds a tracker with n active in-process members (slots
-// 0..n-1) at epoch 1. Slots listed in down start in the Down state — the
-// whole-run failure configuration the virtual-time engine's
-// FailedProcessors maps onto.
+// NewTracker seeds a processor-tier tracker with n active in-process
+// members (slots 0..n-1) at epoch 1. Slots listed in down start in the
+// Down state — the whole-run failure configuration the virtual-time
+// engine's FailedProcessors maps onto.
 func NewTracker(n int, down []int) *Tracker {
-	t := &Tracker{epoch: 1, members: make([]Member, n)}
-	for i := range t.members {
-		t.members[i] = Member{Slot: i, Status: Active}
-	}
+	t := NewTierTracker(TierProcessor, n)
 	for _, s := range down {
 		if s >= 0 && s < n {
 			t.members[s].Status = Down
@@ -212,15 +239,34 @@ func NewTracker(n int, down []int) *Tracker {
 	return t
 }
 
-// NewTrackerAddrs seeds a tracker with one active member per address
-// (slots in argument order) at epoch 1.
-func NewTrackerAddrs(addrs []string) *Tracker {
-	t := &Tracker{epoch: 1, members: make([]Member, len(addrs))}
-	for i, a := range addrs {
-		t.members[i] = Member{Slot: i, Addr: a, Status: Active}
+// NewTierTracker seeds a tracker for the given tier with n active
+// in-process members (slots 0..n-1) at epoch 1.
+func NewTierTracker(tier Tier, n int) *Tracker {
+	t := &Tracker{epoch: 1, tier: tier, members: make([]Member, n)}
+	for i := range t.members {
+		t.members[i] = Member{Slot: i, Status: Active, Tier: tier}
 	}
 	return t
 }
+
+// NewTrackerAddrs seeds a processor-tier tracker with one active member
+// per address (slots in argument order) at epoch 1.
+func NewTrackerAddrs(addrs []string) *Tracker {
+	return NewTierTrackerAddrs(TierProcessor, addrs)
+}
+
+// NewTierTrackerAddrs seeds a tracker for the given tier with one active
+// member per address (slots in argument order) at epoch 1.
+func NewTierTrackerAddrs(tier Tier, addrs []string) *Tracker {
+	t := &Tracker{epoch: 1, tier: tier, members: make([]Member, len(addrs))}
+	for i, a := range addrs {
+		t.members[i] = Member{Slot: i, Addr: a, Status: Active, Tier: tier}
+	}
+	return t
+}
+
+// Tier returns which tier this tracker's members serve.
+func (t *Tracker) Tier() Tier { return t.tier }
 
 // View returns the current view.
 func (t *Tracker) View() View {
@@ -246,7 +292,7 @@ func (t *Tracker) Join(addr string) (int, View) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	slot := len(t.members)
-	t.members = append(t.members, Member{Slot: slot, Addr: addr, Status: Active})
+	t.members = append(t.members, Member{Slot: slot, Addr: addr, Status: Active, Tier: t.tier})
 	t.epoch++
 	return slot, t.viewLocked()
 }

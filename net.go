@@ -23,9 +23,33 @@ type (
 func ServeStorage(addr string) (*StorageServer, error) { return rpc.NewStorageServer(addr) }
 
 // ServeProcessor starts a query processor on addr, fetching from the given
-// storage shards with cacheBytes of LRU capacity.
+// unreplicated storage shards with cacheBytes of LRU capacity.
 func ServeProcessor(addr string, storageAddrs []string, cacheBytes int64) (*ProcessorServer, error) {
 	return rpc.NewProcessorServer(addr, storageAddrs, cacheBytes)
+}
+
+// ProcessorSpec configures a networked query processor.
+type ProcessorSpec struct {
+	// Storage lists the storage shards the processor fetches from.
+	Storage []string
+	// StorageReplicas is the storage tier's replication factor (0 or 1 =
+	// unreplicated). It must match what the loader used — placement is
+	// client-side. With >= 2 the processor's reads fail over
+	// transparently when a replica dies and recover it when it answers
+	// again.
+	StorageReplicas int
+	// CacheBytes is the processor's LRU capacity.
+	CacheBytes int64
+}
+
+// ServeProcessorWith starts a query processor on addr with the full
+// configuration, including the storage replication factor.
+func ServeProcessorWith(addr string, spec ProcessorSpec) (*ProcessorServer, error) {
+	return rpc.NewProcessorServerWith(addr, rpc.ProcessorConfig{
+		Storage:         spec.Storage,
+		StorageReplicas: spec.StorageReplicas,
+		CacheBytes:      spec.CacheBytes,
+	})
 }
 
 // RouterSpec configures a networked router.
@@ -45,6 +69,14 @@ type RouterSpec struct {
 	Seed int64
 	// PoolSize bounds the router's connections per processor (0 = default).
 	PoolSize int
+	// Storage optionally seeds the router's storage view: the listed
+	// shards appear in Stats()/grouting-cli -topology with their status
+	// and shard counters, and more can join at runtime with
+	// StorageServer.Register (groutingd -role storage -join).
+	Storage []string
+	// StorageReplicas is the deployment's storage replication factor,
+	// reported in Stats() (0 reads as 1).
+	StorageReplicas int
 }
 
 // ServeRouter starts a query router on addr: it builds the routing
@@ -60,17 +92,28 @@ func ServeRouter(addr string, spec RouterSpec) (*RouterServer, error) {
 		return nil, err
 	}
 	return rpc.NewRouterServer(addr, rpc.RouterConfig{
-		ProcessorAddrs: spec.Processors,
-		Strategy:       strat,
-		PolicyName:     spec.Policy.String(),
-		PoolSize:       spec.PoolSize,
+		ProcessorAddrs:  spec.Processors,
+		Strategy:        strat,
+		PolicyName:      spec.Policy.String(),
+		PoolSize:        spec.PoolSize,
+		StorageAddrs:    spec.Storage,
+		StorageReplicas: spec.StorageReplicas,
 	})
 }
 
 // LoadStorage bulk-loads every live node of g across the storage shards —
 // the networked analogue of what NewSystem does in-process.
 func LoadStorage(ctx context.Context, g *Graph, storageAddrs []string) error {
-	sc, err := rpc.DialStorage(storageAddrs)
+	return LoadStorageReplicated(ctx, g, storageAddrs, 1)
+}
+
+// LoadStorageReplicated bulk-loads every live node of g across the
+// storage shards with the given replication factor: each record is
+// written to every replica of its rendezvous placement set. Processors
+// reading the data must be started with the same factor
+// (ProcessorSpec.StorageReplicas / groutingd -storage-replicas).
+func LoadStorageReplicated(ctx context.Context, g *Graph, storageAddrs []string, replicas int) error {
+	sc, err := rpc.DialStorageReplicated(storageAddrs, replicas)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,15 @@ func WithProcessors(n int) Option { return func(c *Config) { c.Processors = n } 
 // WithStorageServers sets the number of storage servers.
 func WithStorageServers(n int) Option { return func(c *Config) { c.StorageServers = n } }
 
+// WithStorageReplicas sets the storage tier's replication factor. With
+// >= 2, every node record lives on that many replicas placed by
+// rendezvous hashing over the epoch-versioned storage view, reads fail
+// over transparently when a replica dies, and the storage tier becomes
+// elastic: System.AddStorage / DrainStorage / FailStorage / ReviveStorage
+// move the membership live, re-replicating under-replicated records
+// before each call returns.
+func WithStorageReplicas(r int) Option { return func(c *Config) { c.StorageReplicas = r } }
+
 // WithNetwork sets the cluster cost profile (Infiniband or Ethernet).
 func WithNetwork(p NetworkProfile) Option { return func(c *Config) { c.Network = p } }
 

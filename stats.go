@@ -21,7 +21,11 @@ type (
 	// queue depth).
 	StatsSummary = metrics.Summary
 	// EpochEvent is one topology transition in a Stats snapshot's bounded
-	// epoch log: what changed and how many queries had to move because of
-	// it.
+	// epoch log: what changed (tier-tagged "proc" or "storage") and how
+	// many queries had to move because of it.
 	EpochEvent = metrics.EpochEvent
+	// StorageStats is one storage member's share of a Stats snapshot:
+	// membership state plus shard counters, including the per-replica
+	// failover health signal.
+	StorageStats = metrics.StorageCounters
 )

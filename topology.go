@@ -29,6 +29,17 @@ type (
 	// strategy re-derive its assignments for the new active set (the
 	// built-in landmark, embed and stablehash strategies all do).
 	TopologyAware = router.TopologyAware
+	// TopologyTier tells processor members and storage members apart in
+	// mixed renderings (the CLI topology table, the epoch log).
+	TopologyTier = topology.Tier
+)
+
+// Topology tiers.
+const (
+	// TierProcessor members are query processors.
+	TierProcessor = topology.TierProcessor
+	// TierStorage members are storage servers.
+	TierStorage = topology.TierStorage
 )
 
 // Member lifecycle states.
@@ -50,4 +61,12 @@ const (
 // ~1/N remap property on topology changes. Returns -1 when slots is empty.
 func RendezvousHash(key uint64, slots []int) int {
 	return topology.Rendezvous(key, slots)
+}
+
+// RendezvousHashN appends key's top-r slots by rendezvous score to dst
+// (best first; dst may be nil) — the replica-placement primitive behind
+// WithStorageReplicas, exported for placement-aware tooling. r is capped
+// at 8.
+func RendezvousHashN(key uint64, slots []int, r int, dst []int) []int {
+	return topology.RendezvousN(key, slots, r, dst)
 }

@@ -183,9 +183,18 @@ func topologyTable(snap *grouting.Stats) string {
 	if len(snap.PerStorage) > 0 {
 		fmt.Fprintf(&b, "storage: epoch %d, %d members, %d replicas per record\n",
 			snap.StorageEpoch, len(snap.PerStorage), snap.StorageReplicas)
-		ts := metrics.NewTable("tier", "slot", "status", "addr", "keys", "gets", "failovers")
+		// The durability columns show each shard's crash-recovery state:
+		// "-" = in-memory only, "fresh" = WAL enabled and started empty,
+		// "warm" = recovered its state from local snapshot + WAL; dur-ver
+		// is the durable record watermark a rejoining shard announces.
+		ts := metrics.NewTable("tier", "slot", "status", "addr", "keys", "gets", "failovers", "durable", "dur-ver", "wal-kb", "snaps")
 		for _, m := range snap.PerStorage {
-			ts.AddRow("storage", m.Slot, m.Status, m.Addr, m.Keys, m.Gets, m.Failovers)
+			durable := m.Durable
+			if durable == "" {
+				durable = "-"
+			}
+			ts.AddRow("storage", m.Slot, m.Status, m.Addr, m.Keys, m.Gets, m.Failovers,
+				durable, m.DurableVersion, m.WALBytes>>10, m.Snapshots)
 		}
 		b.WriteString(ts.String())
 	}

@@ -68,6 +68,8 @@ func main() {
 		replicas   = flag.Int("storage-replicas", 1, "storage replication factor (processor + router roles; must match what the loader used)")
 		processors = flag.String("processors", "", "comma-separated processor addresses (router role)")
 		join       = flag.String("join", "", "router address to register with at startup (processor and storage roles)")
+		walDir     = flag.String("wal-dir", "", "storage role: log every write to a WAL under this directory and recover from it on restart (empty = in-memory only)")
+		walFsync   = flag.Bool("wal-fsync", false, "storage role: fsync every WAL append (machine-crash durable; default is process-death durable)")
 		advertise  = flag.String("advertise", "", "address announced to the router on -join (default: the listen address)")
 		policy     = flag.String("policy", "nextready", "routing policy (any registered strategy; see grouting-cli -policy list)")
 		cacheMB    = flag.Int64("cache-mb", 256, "processor cache capacity in MiB")
@@ -79,9 +81,19 @@ func main() {
 
 	switch *role {
 	case "storage":
-		s, err := grouting.ServeStorage(*listen)
-		exitOn(err)
-		fmt.Printf("storage shard listening on %s\n", s.Addr())
+		var s *grouting.StorageServer
+		var err error
+		if *walDir != "" {
+			s, err = grouting.ServeStorageDurable(*listen, *walDir, *walFsync)
+			exitOn(err)
+			st := s.Stats()
+			fmt.Printf("storage shard listening on %s (%s, %d durable records under %s)\n",
+				s.Addr(), st.Durable, st.DurableVersion, *walDir)
+		} else {
+			s, err = grouting.ServeStorage(*listen)
+			exitOn(err)
+			fmt.Printf("storage shard listening on %s\n", s.Addr())
+		}
 		if *join != "" {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			slot, err := s.Register(ctx, *join, *advertise)
@@ -91,7 +103,13 @@ func main() {
 		}
 		serveHTTP(*httpAddr, func() (any, error) { return s.Stats(), nil })
 		awaitSignal()
+		// Shutdown order matters for durability: flush + fsync the WAL
+		// while still serving (every acked write reaches disk), then leave
+		// the router's view cleanly, then close the listener.
 		fmt.Println("shutting down storage shard")
+		if err := s.SyncWAL(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal sync: %v\n", err)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := s.Deregister(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "deregister: %v\n", err)

@@ -1,0 +1,263 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// StepEvent records one fired step: the query index it fired at and,
+// for restart/heal steps, how many queries passed before the first
+// subsequent success (-1 = no success followed).
+type StepEvent struct {
+	Step     Step
+	Index    int
+	Recovery int
+}
+
+// Result is one scenario execution on one harness.
+type Result struct {
+	Scenario string
+	Harness  string
+
+	// Skipped is set when the harness cannot inject one of the
+	// scenario's actions; nothing was run.
+	Skipped    bool
+	SkipReason string
+
+	Total       int // queries submitted in the fault run
+	Answered    int // answered correctly
+	Wrong       int // answered differently from the oracle
+	Unavailable int // failed with the typed unavailable error
+
+	// ControlGoodput and Goodput are answered queries per second of
+	// harness time (virtual on sim, wall on live) for the fault-free
+	// control run and the fault run; GoodputRatio is their quotient.
+	ControlGoodput float64
+	Goodput        float64
+	GoodputRatio   float64
+
+	// MaxRecovery is the worst queries-to-first-success after any
+	// restart or heal step (-1 when none fired).
+	MaxRecovery int
+	// RejoinFraction is the worst restart's re-replication bytes as a
+	// fraction of the shard's pre-kill bytes (-1 when the harness cannot
+	// observe repair traffic or no restart fired).
+	RejoinFraction float64
+
+	Steps      []StepEvent
+	Violations []string
+}
+
+// Passed reports whether the run completed with no invariant violations
+// (a skipped run passes vacuously — it asserts nothing).
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+// String renders a one-scenario summary block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %-16s harness %-4s ", r.Scenario, r.Harness)
+	if r.Skipped {
+		fmt.Fprintf(&b, "SKIPPED (%s)\n", r.SkipReason)
+		return b.String()
+	}
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "%s\n", verdict)
+	fmt.Fprintf(&b, "  queries %d answered %d wrong %d unavailable %d\n", r.Total, r.Answered, r.Wrong, r.Unavailable)
+	fmt.Fprintf(&b, "  goodput %.0f/s vs control %.0f/s (ratio %.2f)\n", r.Goodput, r.ControlGoodput, r.GoodputRatio)
+	if r.MaxRecovery >= 0 {
+		fmt.Fprintf(&b, "  max recovery %d queries\n", r.MaxRecovery)
+	}
+	if r.RejoinFraction >= 0 {
+		fmt.Fprintf(&b, "  worst rejoin re-replication %.1f%% of shard\n", 100*r.RejoinFraction)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// Workload materialises a scenario's deterministic graph and query
+// workload with the oracle answers (shared by the control and fault
+// runs, and exported so callers can reuse it across harnesses).
+func Workload(sc *Scenario) (*graph.Graph, []query.Query, []query.Result) {
+	g := gen.LocalWeb(sc.Nodes, 8, 40, 0.01, sc.Seed)
+	per := 10
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots:       (sc.Queries + per - 1) / per,
+		QueriesPerHotspot: per,
+		R:                 2,
+		H:                 2,
+		Seed:              sc.Seed,
+	})
+	if len(qs) > sc.Queries {
+		qs = qs[:sc.Queries]
+	}
+	want := make([]query.Result, len(qs))
+	for i, q := range qs {
+		want[i] = query.Answer(g, q)
+	}
+	return g, qs, want
+}
+
+// Run executes the scenario on a harness built by mk: first a fault-free
+// control pass (its goodput is the invariant baseline), then the fault
+// pass with every step fired at its scheduled workload-progress point,
+// every successful answer checked against the oracle as it streams. The
+// returned Result carries measurements plus any invariant violations; a
+// non-nil error means the run itself broke (control failures, harness
+// setup), not that an invariant was violated.
+func Run(sc *Scenario, mk func() Harness) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	probe := mk()
+	res := &Result{Scenario: sc.Name, Harness: probe.Name(), MaxRecovery: -1, RejoinFraction: -1}
+	for _, st := range sc.Steps {
+		if !probe.Supports(st.Action) {
+			probe.Close()
+			res.Skipped = true
+			res.SkipReason = fmt.Sprintf("harness cannot inject %q", st.Action)
+			return res, nil
+		}
+	}
+	probe.Close()
+
+	g, qs, want := Workload(sc)
+
+	// Control pass: no faults; any failure here is a broken run, not a
+	// chaos finding.
+	control := mk()
+	if err := control.Start(sc, g); err != nil {
+		control.Close()
+		return nil, fmt.Errorf("chaos: %s: control start: %w", sc.Name, err)
+	}
+	c0 := control.Elapsed()
+	for i, q := range qs {
+		out, err := control.Execute(q)
+		if err != nil {
+			control.Close()
+			return nil, fmt.Errorf("chaos: %s: control query %d: %w", sc.Name, i, err)
+		}
+		if out != want[i] {
+			control.Close()
+			return nil, fmt.Errorf("chaos: %s: control query %d answered wrongly", sc.Name, i)
+		}
+	}
+	celapsed := control.Elapsed() - c0
+	control.Close()
+	if s := celapsed.Seconds(); s > 0 {
+		res.ControlGoodput = float64(len(qs)) / s
+	}
+
+	// Fault pass.
+	h := mk()
+	if err := h.Start(sc, g); err != nil {
+		h.Close()
+		return nil, fmt.Errorf("chaos: %s: start: %w", sc.Name, err)
+	}
+	defer h.Close()
+
+	res.Total = len(qs)
+	next := 0                    // next step to fire
+	killBytes := map[int]int64{} // shard bytes recorded at each kill
+	pending := map[int]int{}     // step index -> query index it fired at (awaiting first success)
+	events := make([]StepEvent, 0, len(sc.Steps))
+	f0 := h.Elapsed()
+	for i, q := range qs {
+		for next < len(sc.Steps) && float64(i) >= sc.Steps[next].At*float64(len(qs)) {
+			st := sc.Steps[next]
+			ev := StepEvent{Step: st, Index: i, Recovery: -1}
+			if st.Action == ActionKill {
+				killBytes[st.Target] = h.ShardBytes(st.Target)
+			}
+			var rb0 int64
+			if st.Action == ActionRestart {
+				rb0 = h.RepairBytes()
+			}
+			if err := h.Apply(st); err != nil {
+				return nil, fmt.Errorf("chaos: %s: step %d (%s slot %d): %w", sc.Name, next, st.Action, st.Target, err)
+			}
+			if st.Action == ActionRestart {
+				if rb1 := h.RepairBytes(); rb0 >= 0 && rb1 >= 0 {
+					if base := killBytes[st.Target]; base > 0 {
+						frac := float64(rb1-rb0) / float64(base)
+						if frac > res.RejoinFraction {
+							res.RejoinFraction = frac
+						}
+					}
+				}
+			}
+			if st.Action == ActionRestart || st.Action == ActionHeal {
+				pending[len(events)] = i
+			}
+			events = append(events, ev)
+			next++
+		}
+		out, err := h.Execute(q)
+		switch {
+		case err == nil && out == want[i]:
+			res.Answered++
+			for si, at := range pending {
+				rec := i - at
+				events[si].Recovery = rec
+				if rec > res.MaxRecovery {
+					res.MaxRecovery = rec
+				}
+				delete(pending, si)
+			}
+		case err == nil:
+			res.Wrong++
+		case errors.Is(err, query.ErrUnavailable):
+			res.Unavailable++
+		default:
+			return nil, fmt.Errorf("chaos: %s: query %d: %w", sc.Name, i, err)
+		}
+	}
+	elapsed := h.Elapsed() - f0
+	if s := elapsed.Seconds(); s > 0 {
+		res.Goodput = float64(res.Answered) / s
+	}
+	if res.ControlGoodput > 0 {
+		res.GoodputRatio = res.Goodput / res.ControlGoodput
+	}
+	res.Steps = events
+	res.Violations = checkInvariants(sc, res, pending)
+	return res, nil
+}
+
+// checkInvariants evaluates the scenario's invariants against the fault
+// run's measurements. pending holds restart/heal steps never followed by
+// a success — an unconditional recovery failure when non-empty.
+func checkInvariants(sc *Scenario, r *Result, pending map[int]int) []string {
+	var v []string
+	inv := sc.Invariants
+	if r.Wrong > 0 {
+		v = append(v, fmt.Sprintf("%d wrong answers (zero tolerated)", r.Wrong))
+	}
+	if r.Total > 0 {
+		if frac := float64(r.Unavailable) / float64(r.Total); frac > inv.MaxUnavailable {
+			v = append(v, fmt.Sprintf("%.1f%% of queries unavailable, max %.1f%%", 100*frac, 100*inv.MaxUnavailable))
+		}
+	}
+	if inv.GoodputFloor > 0 && r.GoodputRatio < inv.GoodputFloor {
+		v = append(v, fmt.Sprintf("goodput ratio %.2f below floor %.2f", r.GoodputRatio, inv.GoodputFloor))
+	}
+	if len(pending) > 0 {
+		v = append(v, fmt.Sprintf("%d restart/heal step(s) never followed by a successful query", len(pending)))
+	}
+	if inv.RecoveryWithin > 0 && r.MaxRecovery > inv.RecoveryWithin {
+		v = append(v, fmt.Sprintf("recovery took %d queries, deadline %d", r.MaxRecovery, inv.RecoveryWithin))
+	}
+	if inv.MaxRejoinFraction > 0 && r.RejoinFraction >= 0 && r.RejoinFraction > inv.MaxRejoinFraction {
+		v = append(v, fmt.Sprintf("restart re-replicated %.1f%% of the shard, max %.1f%%", 100*r.RejoinFraction, 100*inv.MaxRejoinFraction))
+	}
+	return v
+}

@@ -145,6 +145,20 @@ type Config struct {
 	// fetched with its own round trip, sequentially. Exists for the
 	// batching ablation; always off in the paper configuration.
 	NoBatching bool
+	// StorageDir, when non-empty, enables WAL + snapshot durability on the
+	// storage tier: each shard logs every write under this directory and a
+	// crashed shard restarts warm (CrashStorage / RestartStorage), with
+	// re-replication topping up only the delta written during the outage.
+	// A directory holding a previous run's files restarts the whole tier
+	// from disk.
+	StorageDir string
+	// StorageSnapshotEvery is the number of WAL records a shard
+	// accumulates before compacting them into a snapshot (default
+	// kvstore.DefaultSnapshotEvery). Ignored without StorageDir.
+	StorageSnapshotEvery int
+	// StorageFsync forces an fsync per logged write: durable against
+	// machine crashes, not just process death. Ignored without StorageDir.
+	StorageFsync bool
 	// FailedProcessors lists processor slots that start in the Down state:
 	// the router diverts their queries to the next-best live processor
 	// (the decoupled design's fault-tolerance property). It seeds the

@@ -347,6 +347,13 @@ func (ses *Session) Queries() int { return ses.count }
 // time of every query executed (including the cost of failed attempts).
 func (ses *Session) Now() time.Duration { return ses.now }
 
+// SetStorageDelay injects d of extra link latency on every fetch served
+// by storage slot (0 clears it) — the chaos framework's slow-link fault.
+// Latency only: the slow shard still answers, it just answers late.
+func (ses *Session) SetStorageDelay(slot int, d time.Duration) {
+	ses.tl.SetDelay(slot, d)
+}
+
 // Snapshot assembles the session's observability counters: per-processor
 // assignment/execution/steal/diversion counts, cache activity, and the
 // routing-decision and queue-depth digests. The networked router reports
@@ -396,15 +403,26 @@ func (ses *Session) Snapshot() *metrics.Snapshot {
 	snap.StorageReplicas = ses.sys.store.Replicas()
 	for _, m := range sv.Members {
 		st := ses.sys.store.Stats(m.Slot)
-		snap.PerStorage = append(snap.PerStorage, metrics.StorageCounters{
-			Slot:      m.Slot,
-			Status:    m.Status.String(),
-			Keys:      int64(st.Keys),
-			Bytes:     st.Bytes,
-			Gets:      int64(st.Gets),
-			Misses:    int64(st.Misses),
-			Failovers: int64(st.Failovers),
-		})
+		sc := metrics.StorageCounters{
+			Slot:        m.Slot,
+			Status:      m.Status.String(),
+			Keys:        int64(st.Keys),
+			Bytes:       st.Bytes,
+			Gets:        int64(st.Gets),
+			Misses:      int64(st.Misses),
+			Failovers:   int64(st.Failovers),
+			RepairBytes: st.RepairBytes,
+		}
+		if ds := ses.sys.store.Durability(m.Slot); ds.Enabled {
+			sc.Durable = ds.State
+			sc.WALBytes = ds.WALBytes
+			sc.WALRecords = ds.WALRecords
+			sc.Snapshots = int64(ds.Snapshots)
+			sc.DurableVersion = ds.DurableVersion
+			sc.ReplayedBytes = ds.ReplayedBytes
+			sc.RecoverNanos = ds.RecoverNanos
+		}
+		snap.PerStorage = append(snap.PerStorage, sc)
 	}
 	snap.Epochs = append(snap.Epochs, ses.sys.storageEventLog()...)
 	return snap

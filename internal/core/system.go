@@ -73,6 +73,19 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 		topo:  topology.NewTracker(cfg.Processors, cfg.FailedProcessors),
 	}
 	s.lastStorageView = st.View()
+	if cfg.StorageDir != "" {
+		// Durability goes on before the bulk load so every loaded record is
+		// logged — and so a directory with a previous run's files restarts
+		// the tier warm (the load then only freshens versions).
+		err := st.EnableDurability(kvstore.Durability{
+			Dir:           cfg.StorageDir,
+			SnapshotEvery: cfg.StorageSnapshotEvery,
+			Fsync:         cfg.StorageFsync,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.prep.GraphBytes = gstore.Load(st, g)
 	if cfg.Policy.NeedsLandmarks() {
 		if err := s.preprocess(); err != nil {
@@ -373,6 +386,57 @@ func (s *System) ReviveStorage(slot int) error {
 		return fmt.Errorf("core: revive storage %d: %w", slot, err)
 	}
 	s.logStorageTransitionLocked(v)
+	return nil
+}
+
+// CrashStorage kills a storage member with process-death semantics: its
+// in-memory data is gone and (when durability is on) its WAL is abandoned
+// without a sync — only what the log already handed the OS survives. The
+// tier repairs around it like a failure; RestartStorage brings it back.
+func (s *System) CrashStorage(slot int) error {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	v, err := s.store.CrashServer(slot)
+	if err != nil {
+		return fmt.Errorf("core: crash storage %d: %w", slot, err)
+	}
+	s.logStorageTransitionLocked(v)
+	return nil
+}
+
+// RestartStorage brings a crashed (or failed) storage member back the way
+// a restarted process would: local snapshot+WAL replay first (warm start,
+// when Config.StorageDir is set), then rejoin, with re-replication topping
+// up only the writes newer than its durable version. Without durability
+// the member rejoins empty and re-replication copies the full shard.
+func (s *System) RestartStorage(slot int) error {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	v, err := s.store.RestartServer(slot)
+	if err != nil {
+		return fmt.Errorf("core: restart storage %d: %w", slot, err)
+	}
+	s.logStorageTransitionLocked(v)
+	return nil
+}
+
+// PartitionStorage cuts a storage member off from the tier — a netsplit,
+// not a crash: its data and placement survive, but reads route around it
+// and writes skip it until HealStorage. No topology epoch is produced;
+// the system does not know the link is down, which is the point.
+func (s *System) PartitionStorage(slot int) error {
+	if err := s.store.PartitionServer(slot); err != nil {
+		return fmt.Errorf("core: partition storage %d: %w", slot, err)
+	}
+	return nil
+}
+
+// HealStorage reconnects a partitioned storage member and synchronises it
+// with the writes it missed.
+func (s *System) HealStorage(slot int) error {
+	if err := s.store.HealServer(slot); err != nil {
+		return fmt.Errorf("core: heal storage %d: %w", slot, err)
+	}
 	return nil
 }
 

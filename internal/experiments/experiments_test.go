@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b",
 		"fig14", "fig15", "fig16",
 		"ablation-stealing", "ablation-partition", "ablation-batch", "ablation-failure",
-		"elastic", "storagefault",
+		"elastic", "storagefault", "chaos",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

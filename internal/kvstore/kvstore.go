@@ -97,6 +97,11 @@ type ServerStats struct {
 	Failovers uint64
 	Keys      int
 	Bytes     int64
+	// RepairBytes counts the value bytes copied onto this shard by
+	// re-replication passes — the network cost a membership transition
+	// would incur on a real deployment. A warm (WAL-recovered) restart
+	// shows a small delta here; a cold restart shows a full shard copy.
+	RepairBytes int64
 }
 
 // entry is one stored value plus its write version. Versions are
@@ -114,14 +119,30 @@ type server struct {
 	mu    sync.RWMutex
 	data  map[uint64]entry
 	stats ServerStats
+	// log is the shard's WAL + snapshot pair, nil until EnableDurability.
+	// Its fields are guarded by the same regime as data: sv.mu, or the
+	// store-wide write lock during membership transitions.
+	log *shardLog
 }
 
+// put flags.
+const (
+	// putRepair marks a re-replication copy: the install counts toward
+	// RepairBytes, the transition-cost signal the chaos invariants bound.
+	putRepair = 1 << iota
+	// putReplay marks a WAL/snapshot replay install: it must not be
+	// appended back to the log it came from.
+	putReplay
+)
+
 // put installs e under key if it is newer than what the shard holds,
-// maintaining the live-key accounting. Caller holds sv.mu.
-func (sv *server) put(key uint64, e entry) {
+// maintaining the live-key accounting and the shard's WAL, and reports
+// whether the entry was installed. Caller holds sv.mu (or the store-wide
+// write lock, which excludes every shard reader).
+func (sv *server) put(key uint64, e entry, flags int) bool {
 	old, ok := sv.data[key]
 	if ok && old.ver >= e.ver {
-		return
+		return false
 	}
 	if ok && !old.dead {
 		sv.stats.Keys--
@@ -132,17 +153,32 @@ func (sv *server) put(key uint64, e entry) {
 		sv.stats.Keys++
 		sv.stats.Bytes += int64(len(e.val))
 	}
+	if flags&putRepair != 0 {
+		sv.stats.RepairBytes += int64(len(e.val))
+	}
+	if flags&putReplay == 0 {
+		op := WALPut
+		if e.dead {
+			op = WALTomb
+		}
+		sv.logMutation(op, key, e.ver, e.val)
+	}
+	return true
 }
 
 // drop removes key entirely (garbage collection off a shard that is no
-// longer in the key's placement set). Caller holds sv.mu.
-func (sv *server) drop(key uint64) {
+// longer in the key's placement set). Caller holds sv.mu (or the
+// store-wide write lock).
+func (sv *server) drop(key uint64, flags int) {
 	if old, ok := sv.data[key]; ok {
 		if !old.dead {
 			sv.stats.Keys--
 			sv.stats.Bytes -= int64(len(old.val))
 		}
 		delete(sv.data, key)
+		if flags&putReplay == 0 {
+			sv.logMutation(WALDrop, key, old.ver, nil)
+		}
 	}
 }
 
@@ -164,6 +200,14 @@ type Store struct {
 	servers []*server
 	view    topology.View
 	active  []int // Active slots, ascending — the placement domain
+	// parted marks slots cut off by an injected network partition: the
+	// shard is up and its data intact, but reads and writes cannot reach
+	// it and repair can neither source from nor copy to it. Placement is
+	// untouched — the system does not know the link is down, which is
+	// what distinguishes a netsplit from a failure.
+	parted []bool
+	// dur is the durability configuration, nil until EnableDurability.
+	dur *Durability
 }
 
 // New creates a store with numServers shards in legacy single-replica
@@ -180,6 +224,7 @@ func New(numServers int, placer Placer) (*Store, error) {
 	for i := range s.servers {
 		s.servers[i] = &server{data: make(map[uint64]entry)}
 	}
+	s.parted = make([]bool, numServers)
 	s.installViewLocked(s.topo.View())
 	return s, nil
 }
@@ -202,6 +247,7 @@ func NewReplicated(numServers, replicas int) (*Store, error) {
 	for i := range s.servers {
 		s.servers[i] = &server{data: make(map[uint64]entry)}
 	}
+	s.parted = make([]bool, numServers)
 	s.installViewLocked(s.topo.View())
 	return s, nil
 }
@@ -266,10 +312,18 @@ func (s *Store) ServerFor(key uint64) int {
 	return s.readSlotLocked(key)
 }
 
+// partedLocked reports whether slot is cut off by an injected partition.
+// Caller holds s.mu.
+func (s *Store) partedLocked(slot int) bool {
+	return slot >= 0 && slot < len(s.parted) && s.parted[slot]
+}
+
 // readSlotLocked picks the slot a read of key goes to under the current
 // view. Caller holds s.mu. In legacy mode the placer decides regardless of
 // health (a down owner surfaces as ErrNoLiveReplica at read time); in
-// replicated mode it is the highest-scored active replica.
+// replicated mode it is the highest-scored reachable replica — a parted
+// primary is routed around, and when the whole placement set is parted
+// the primary is returned so the read surfaces the unavailability there.
 func (s *Store) readSlotLocked(key uint64) int {
 	if !s.replicated() {
 		return s.placer.Place(key, len(s.servers))
@@ -278,6 +332,11 @@ func (s *Store) readSlotLocked(key uint64) int {
 	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
 	if len(pl) == 0 {
 		return -1
+	}
+	for _, slot := range pl {
+		if !s.partedLocked(slot) {
+			return slot
+		}
 	}
 	return pl[0]
 }
@@ -306,18 +365,37 @@ func (s *Store) Put(key uint64, val []byte) {
 	if !s.replicated() {
 		sv := s.servers[s.placer.Place(key, len(s.servers))]
 		sv.mu.Lock()
-		sv.put(key, e)
+		sv.put(key, e, 0)
 		sv.stats.Puts++
 		sv.mu.Unlock()
 		return
 	}
 	var arr [topology.MaxReplicas]int
-	for _, slot := range topology.RendezvousN(key, s.active, s.replicas, arr[:0]) {
+	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	// A parted replica cannot receive the write; the reachable replicas
+	// take it and repair catches the parted one up on heal. Only when the
+	// whole placement set is unreachable does the write land everywhere —
+	// the degenerate case a real client would retry until heal.
+	wrote := false
+	for _, slot := range pl {
+		if s.partedLocked(slot) {
+			continue
+		}
 		sv := s.servers[slot]
 		sv.mu.Lock()
-		sv.put(key, e)
+		sv.put(key, e, 0)
 		sv.stats.Puts++
 		sv.mu.Unlock()
+		wrote = true
+	}
+	if !wrote {
+		for _, slot := range pl {
+			sv := s.servers[slot]
+			sv.mu.Lock()
+			sv.put(key, e, 0)
+			sv.stats.Puts++
+			sv.mu.Unlock()
+		}
 	}
 }
 
@@ -334,7 +412,7 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 		return nil, false
 	}
 	sv := s.servers[slot]
-	down := s.view.Status(slot) != topology.Active
+	down := s.view.Status(slot) != topology.Active || s.partedLocked(slot)
 	var (
 		e  entry
 		ok bool
@@ -387,7 +465,7 @@ func (s *Store) lookupSlowLocked(key uint64, tried int) ([]byte, bool, error) {
 		sv.mu.Unlock()
 	}
 	for _, slot := range pl {
-		if slot == tried {
+		if slot == tried || s.partedLocked(slot) {
 			continue
 		}
 		sv := s.servers[slot]
@@ -399,10 +477,11 @@ func (s *Store) lookupSlowLocked(key uint64, tried int) ([]byte, bool, error) {
 			return e.val, true, nil
 		}
 	}
-	// Nothing live holds it. If a down shard does, the key is unavailable,
-	// not absent — exactly what a replica map would conclude.
+	// Nothing reachable holds it. If a down or parted shard does, the key
+	// is unavailable, not absent — exactly what a replica map would
+	// conclude.
 	for _, m := range s.view.Members {
-		if m.Status != topology.Down {
+		if m.Status != topology.Down && !(m.Status == topology.Active && s.partedLocked(m.Slot)) {
 			continue
 		}
 		sv := s.servers[m.Slot]
@@ -411,7 +490,7 @@ func (s *Store) lookupSlowLocked(key uint64, tried int) ([]byte, bool, error) {
 		sv.mu.RUnlock()
 		if ok && !e.dead {
 			countFailover()
-			return nil, false, fmt.Errorf("key %d only on down server %d: %w", key, m.Slot, ErrNoLiveReplica)
+			return nil, false, fmt.Errorf("key %d only on unreachable server %d: %w", key, m.Slot, ErrNoLiveReplica)
 		}
 	}
 	return nil, false, nil
@@ -430,25 +509,35 @@ func (s *Store) Delete(key uint64) bool {
 		defer sv.mu.Unlock()
 		old, ok := sv.data[key]
 		present := ok && !old.dead
-		if present {
-			sv.stats.Keys--
-			sv.stats.Bytes -= int64(len(old.val))
-		}
-		delete(sv.data, key)
+		sv.drop(key, 0)
 		sv.stats.Deletes++
 		return present
 	}
 	present := false
 	var arr [topology.MaxReplicas]int
-	for _, slot := range topology.RendezvousN(key, s.active, s.replicas, arr[:0]) {
+	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	tombstone := func(slot int) {
 		sv := s.servers[slot]
 		sv.mu.Lock()
 		if old, ok := sv.data[key]; ok && !old.dead {
 			present = true
 		}
-		sv.put(key, entry{ver: ver, dead: true})
+		sv.put(key, entry{ver: ver, dead: true}, 0)
 		sv.stats.Deletes++
 		sv.mu.Unlock()
+	}
+	wrote := false
+	for _, slot := range pl {
+		if s.partedLocked(slot) {
+			continue
+		}
+		tombstone(slot)
+		wrote = true
+	}
+	if !wrote {
+		for _, slot := range pl {
+			tombstone(slot)
+		}
 	}
 	return present
 }
@@ -496,7 +585,16 @@ func (s *Store) AddServer() (int, topology.View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	slot, v := s.topo.Join("")
-	s.servers = append(s.servers, &server{data: make(map[uint64]entry)})
+	sv := &server{data: make(map[uint64]entry)}
+	s.servers = append(s.servers, sv)
+	s.parted = append(s.parted, false)
+	if s.dur != nil {
+		l, _, err := openShardLog(*s.dur, slot, sv)
+		if err != nil {
+			return 0, topology.View{}, err
+		}
+		sv.log = l
+	}
 	s.installViewLocked(v)
 	s.repairLocked()
 	return slot, s.viewCopyLocked(), nil
@@ -526,6 +624,11 @@ func (s *Store) DrainServer(slot int) (topology.View, error) {
 	sv.mu.Lock()
 	sv.data = make(map[uint64]entry)
 	sv.stats.Keys, sv.stats.Bytes = 0, 0
+	if sv.log != nil {
+		// The shard left for good: its durable state is garbage now.
+		sv.log.discard()
+		sv.log = nil
+	}
 	sv.mu.Unlock()
 	return s.viewCopyLocked(), nil
 }
@@ -579,9 +682,10 @@ func (s *Store) Repair() {
 }
 
 // repairLocked is the re-replication pass. Caller holds s.mu (write), so
-// no reader can observe a half-moved placement. Sources are the active
-// shards only — a down shard's data is unreachable until it revives, at
-// which point it becomes a source (and a target) again.
+// no reader can observe a half-moved placement. Sources are the reachable
+// active shards only — a down shard's data is unreachable until it
+// revives, a parted shard's until the split heals, at which point each
+// becomes a source (and a target) again.
 func (s *Store) repairLocked() {
 	type src struct {
 		slot int
@@ -591,7 +695,7 @@ func (s *Store) repairLocked() {
 	// Draining members are still readable — a drain copies *off* them, so
 	// they must be sources (with R=1 they hold the only copy).
 	for _, m := range s.view.Members {
-		if m.Status != topology.Active && m.Status != topology.Draining {
+		if (m.Status != topology.Active && m.Status != topology.Draining) || s.partedLocked(m.Slot) {
 			continue
 		}
 		for k, e := range s.servers[m.Slot].data {
@@ -604,13 +708,16 @@ func (s *Store) repairLocked() {
 	for k, b := range newest {
 		pl := topology.RendezvousN(k, s.active, s.replicas, arr[:0])
 		for _, slot := range pl {
+			if s.partedLocked(slot) {
+				continue
+			}
 			sv := s.servers[slot]
 			if e, ok := sv.data[k]; !ok || e.ver < b.e.ver {
-				sv.put(k, b.e)
+				sv.put(k, b.e, putRepair)
 			}
 		}
 		for _, m := range s.view.Members {
-			if m.Status != topology.Active {
+			if m.Status != topology.Active || s.partedLocked(m.Slot) {
 				continue
 			}
 			inPl := false
@@ -621,7 +728,7 @@ func (s *Store) repairLocked() {
 				}
 			}
 			if !inPl {
-				s.servers[m.Slot].drop(k)
+				s.servers[m.Slot].drop(k, 0)
 			}
 		}
 	}
@@ -823,11 +930,21 @@ func (s *Store) GetBatchInto(b Batch, vals [][]byte, oks []bool) (int64, error) 
 		return 0, fmt.Errorf("kvstore: batch server %d out of range [0,%d)", b.Server, len(s.servers))
 	}
 	sv := s.servers[b.Server]
-	if s.view.Status(b.Server) != topology.Active {
+	if s.view.Status(b.Server) != topology.Active || s.partedLocked(b.Server) {
 		sv.mu.Lock()
 		sv.stats.Failovers += uint64(len(b.Keys))
 		sv.mu.Unlock()
 		if s.replicated() {
+			if s.partedLocked(b.Server) {
+				// ErrServerDown promises a replan will find a reachable
+				// replica; when some key's whole placement set is parted,
+				// that promise is false and the key is unavailable.
+				for _, k := range b.Keys {
+					if s.partedLocked(s.readSlotLocked(k)) {
+						return 0, fmt.Errorf("key %d: every replica parted: %w", k, ErrNoLiveReplica)
+					}
+				}
+			}
 			return 0, fmt.Errorf("server %d: %w", b.Server, ErrServerDown)
 		}
 		return 0, fmt.Errorf("server %d (sole replica of %d keys): %w", b.Server, len(b.Keys), ErrNoLiveReplica)

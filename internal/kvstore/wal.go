@@ -1,0 +1,322 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WALOp tags one write-ahead-log record.
+type WALOp byte
+
+// WAL record kinds. Every mutation a shard accepts is one record: a live
+// value, a deletion tombstone (which must survive restarts so a stale
+// replica cannot resurrect the key during repair), or a hard drop (garbage
+// collection of a copy that left the shard's placement set).
+const (
+	// WALPut installs a live value.
+	WALPut WALOp = 1
+	// WALTomb installs a deletion tombstone.
+	WALTomb WALOp = 2
+	// WALDrop removes the key entirely.
+	WALDrop WALOp = 3
+)
+
+// WAL framing: every record is [4B little-endian payload length]
+// [4B little-endian CRC-32C of the payload][payload]. The payload is
+// [1B op][uvarint key][uvarint version][uvarint value length][value]
+// (the value run is present only for WALPut). Replay accepts the longest
+// prefix of intact frames: a torn tail — a partial header, a short
+// payload, or a CRC mismatch from a write cut off mid-record — ends the
+// log there, which is exactly the state an acknowledged-writes-only crash
+// leaves behind.
+const walHeaderSize = 8
+
+// walMaxRecord bounds a single record so a corrupt length field cannot
+// drive replay into a giant allocation.
+const walMaxRecord = 64 << 20
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// walBufPool recycles append/replay scratch buffers, the same
+// single-allocation discipline the gstore codec uses on the fetch path.
+var walBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// WAL is one shard's append-only write-ahead log. Appends are written to
+// the OS with a single write syscall per record, so a killed *process*
+// never loses an acknowledged write; Fsync extends that to machine
+// crashes. Safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	fsync   bool
+	bytes   int64 // durable log length (good frames only)
+	records int64
+	durVer  uint64 // highest version ever appended or replayed
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays every intact
+// record through apply in append order, truncates any torn tail, and
+// returns the log positioned for appending. apply may be nil when the
+// caller only wants the log open (fresh shard).
+func OpenWAL(path string, fsync bool, apply func(op WALOp, key, ver uint64, val []byte)) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	w := &WAL{f: f, path: path, fsync: fsync}
+	records, good, maxVer, err := replayFrames(f, func(op WALOp, key, ver uint64, val []byte) {
+		if apply != nil {
+			apply(op, key, ver, val)
+		}
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate the torn tail (if any) so new appends start at the last
+	// good frame instead of interleaving with garbage.
+	if fi, serr := f.Stat(); serr == nil && fi.Size() > good {
+		if terr := f.Truncate(good); terr != nil {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: truncate wal tail: %w", terr)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seek wal: %w", err)
+	}
+	w.bytes, w.records, w.durVer = good, records, maxVer
+	return w, nil
+}
+
+// appendRecord encodes one record into buf (reused across calls).
+func appendRecord(buf []byte, op WALOp, key, ver uint64, val []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = append(buf, byte(op))
+	buf = binary.AppendUvarint(buf, key)
+	buf = binary.AppendUvarint(buf, ver)
+	if op == WALPut {
+		buf = binary.AppendUvarint(buf, uint64(len(val)))
+		buf = append(buf, val...)
+	}
+	payload := buf[start+walHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, walCRC))
+	return buf
+}
+
+// Append writes one record and flushes it to the OS (plus fsync when the
+// log was opened with it). The record is durable against process death
+// when Append returns.
+func (w *WAL) Append(op WALOp, key, ver uint64, val []byte) error {
+	bp := walBufPool.Get().(*[]byte)
+	buf := appendRecord((*bp)[:0], op, key, ver, val)
+	w.mu.Lock()
+	defer func() {
+		*bp = buf[:0]
+		walBufPool.Put(bp)
+		w.mu.Unlock()
+	}()
+	if w.f == nil {
+		return fmt.Errorf("kvstore: wal %s is closed", w.path)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("kvstore: wal fsync: %w", err)
+		}
+	}
+	w.bytes += int64(len(buf))
+	w.records++
+	if ver > w.durVer {
+		w.durVer = ver
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage (fsync), regardless of the
+// per-append setting — the graceful-shutdown path.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Reset truncates the log to empty — called after a snapshot has made its
+// contents redundant. The durable-version watermark survives (the
+// snapshot carries it).
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("kvstore: wal %s is closed", w.path)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("kvstore: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("kvstore: wal reset seek: %w", err)
+	}
+	w.bytes, w.records = 0, 0
+	return nil
+}
+
+// Close fsyncs and closes the log (the clean-shutdown path).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// Abandon closes the file descriptor without syncing — the kill -9 path:
+// whatever Append already pushed to the OS survives, nothing else is
+// promised.
+func (w *WAL) Abandon() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// Stats returns the log's durable length in bytes, its record count, and
+// the highest version it has made durable.
+func (w *WAL) Stats() (bytes, records int64, durableVersion uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes, w.records, w.durVer
+}
+
+// ReplayWAL scans the log at path, invoking fn for each intact record in
+// append order, and reports how many records were recovered and the byte
+// offset of the good prefix. A torn or corrupt tail ends the replay
+// without error — that is the crash contract, not a failure. A missing
+// file replays as empty.
+func ReplayWAL(path string, fn func(op WALOp, key, ver uint64, val []byte)) (records, goodBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	defer f.Close()
+	records, goodBytes, _, err = replayFrames(f, fn)
+	return records, goodBytes, err
+}
+
+// replayFrames reads frames from r until EOF or the first damaged frame,
+// returning the record count, the byte offset after the last good frame,
+// and the highest version seen. Only an I/O error (not corruption) is an
+// error.
+func replayFrames(r io.Reader, fn func(op WALOp, key, ver uint64, val []byte)) (records, good int64, maxVer uint64, err error) {
+	br := &byteCounter{r: r}
+	bp := walBufPool.Get().(*[]byte)
+	defer func() { walBufPool.Put(bp) }()
+	var hdr [walHeaderSize]byte
+	for {
+		if _, rerr := io.ReadFull(br, hdr[:]); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return records, good, maxVer, nil // clean end or torn header
+			}
+			return records, good, maxVer, fmt.Errorf("kvstore: wal read: %w", rerr)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > walMaxRecord {
+			return records, good, maxVer, nil // corrupt length: end of good prefix
+		}
+		buf := *bp
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+			*bp = buf
+		}
+		buf = buf[:n]
+		if _, rerr := io.ReadFull(br, buf); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return records, good, maxVer, nil // torn payload
+			}
+			return records, good, maxVer, fmt.Errorf("kvstore: wal read: %w", rerr)
+		}
+		if crc32.Checksum(buf, walCRC) != sum {
+			return records, good, maxVer, nil // corrupt record: stop here
+		}
+		op, key, ver, val, derr := decodeRecord(buf)
+		if derr != nil {
+			return records, good, maxVer, nil // CRC-valid but malformed: treat as corrupt
+		}
+		records++
+		good = br.n
+		if ver > maxVer {
+			maxVer = ver
+		}
+		if fn != nil {
+			fn(op, key, ver, val)
+		}
+	}
+}
+
+// decodeRecord parses one CRC-validated payload. The returned val aliases
+// buf — callers copy what they keep.
+func decodeRecord(buf []byte) (op WALOp, key, ver uint64, val []byte, err error) {
+	if len(buf) < 1 {
+		return 0, 0, 0, nil, fmt.Errorf("kvstore: empty wal record")
+	}
+	op = WALOp(buf[0])
+	if op != WALPut && op != WALTomb && op != WALDrop {
+		return 0, 0, 0, nil, fmt.Errorf("kvstore: unknown wal op %d", op)
+	}
+	buf = buf[1:]
+	key, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("kvstore: bad wal key")
+	}
+	buf = buf[n:]
+	ver, n = binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("kvstore: bad wal version")
+	}
+	buf = buf[n:]
+	if op == WALPut {
+		vlen, n := binary.Uvarint(buf)
+		if n <= 0 || vlen != uint64(len(buf)-n) {
+			return 0, 0, 0, nil, fmt.Errorf("kvstore: bad wal value length")
+		}
+		val = buf[n:]
+	} else if len(buf) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("kvstore: %d trailing wal bytes", len(buf))
+	}
+	return op, key, ver, val, nil
+}
+
+// byteCounter tracks how many bytes have been consumed from r.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}

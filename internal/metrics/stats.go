@@ -172,6 +172,29 @@ type StorageCounters struct {
 	// Failovers counts reads bounced off this member while it was
 	// unreachable — the per-replica health signal behind read failover.
 	Failovers int64
+	// RepairBytes counts the bytes copied onto this member by
+	// re-replication — the transition cost a warm (WAL-recovered) restart
+	// keeps small and a cold restart pays in full.
+	RepairBytes int64
+	// Durable is the member's durability state: "warm" (recovered and
+	// serving), "crashed" (killed, not yet restarted), or "" when the
+	// deployment has no durability layer (the remaining fields are then
+	// zero).
+	Durable string
+	// WALBytes / WALRecords measure the live write-ahead log (records
+	// since the last snapshot compaction).
+	WALBytes   int64
+	WALRecords int64
+	// Snapshots counts snapshot compactions taken by this member.
+	Snapshots int64
+	// DurableVersion is the highest write version the member has made
+	// durable — what its rejoin-warm handshake advertises.
+	DurableVersion uint64
+	// ReplayedBytes is the snapshot+WAL volume replayed by the member's
+	// most recent local recovery, and RecoverNanos how long that replay
+	// took: together the shard's warm-restart cost.
+	ReplayedBytes int64
+	RecoverNanos  int64
 }
 
 // ProcCounters is one processor's share of a Snapshot.
@@ -277,11 +300,29 @@ func (s *Snapshot) String() string {
 	if len(s.PerStorage) > 0 {
 		fmt.Fprintf(&b, "storage: epoch=%d replicas=%d members=%d\n",
 			s.StorageEpoch, s.StorageReplicas, len(s.PerStorage))
-		ts := NewTable("slot", "status", "keys", "bytes", "gets", "misses", "failovers")
+		ts := NewTable("slot", "status", "keys", "bytes", "gets", "misses", "failovers", "repair")
 		for _, m := range s.PerStorage {
-			ts.AddRow(m.Slot, m.Status, m.Keys, m.Bytes, m.Gets, m.Misses, m.Failovers)
+			ts.AddRow(m.Slot, m.Status, m.Keys, m.Bytes, m.Gets, m.Misses, m.Failovers, m.RepairBytes)
 		}
 		b.WriteString(ts.String())
+		durable := false
+		for _, m := range s.PerStorage {
+			if m.Durable != "" {
+				durable = true
+				break
+			}
+		}
+		if durable {
+			td := NewTable("slot", "durable", "wal-bytes", "wal-recs", "snaps", "dur-ver", "replayed", "recover-ms")
+			for _, m := range s.PerStorage {
+				if m.Durable == "" {
+					continue
+				}
+				td.AddRow(m.Slot, m.Durable, m.WALBytes, m.WALRecords, m.Snapshots,
+					m.DurableVersion, m.ReplayedBytes, float64(m.RecoverNanos)/1e6)
+			}
+			b.WriteString(td.String())
+		}
 	}
 	if len(s.Epochs) > 0 {
 		te := NewTable("tier", "epoch", "joined", "left", "failed", "revived", "reassigned")

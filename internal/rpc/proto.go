@@ -79,6 +79,13 @@ type Request struct {
 	// tier. Each tier has its own epoch counter; the response's Epoch is
 	// the targeted tier's.
 	Tier string
+	// Version serves OpJoin for the storage tier: the joining shard's
+	// durable version watermark (records recovered from its local WAL +
+	// snapshot). A restarting shard announces how warm it came back, so
+	// the router's topology view can distinguish a cold joiner (0) from a
+	// warm rejoin. Zero for non-durable shards and processor joins; gob
+	// omits it then.
+	Version uint64
 }
 
 // ExecRequest is the OpExecute payload: a batch of queries plus the
@@ -135,6 +142,18 @@ type Stats struct {
 	// Cache carries a processor's full cache counters (nil for other
 	// roles).
 	Cache *metrics.CacheCounters
+	// Durable reports a storage shard's durability state ("fresh" for a
+	// durable shard that started empty, "warm" for one that recovered
+	// state from its local snapshot + WAL; empty for shards running
+	// without a WAL). The fields below are the shard's durability
+	// counters; gob omits all of them when zero, so non-durable
+	// deployments pay no wire cost.
+	Durable        string
+	WALBytes       int64
+	WALRecords     int64
+	Snapshots      int64
+	DurableVersion uint64
+	ReplayedBytes  int64
 	// Snapshot carries the router's system-wide observability snapshot
 	// (nil for other roles): the same structure the virtual-time engine
 	// reports, so local and networked clients read identical stats.

@@ -68,6 +68,13 @@ type RouterServer struct {
 	storagePools    []*Pool // storage-slot-indexed; nil once a member left
 	storageEvents   []metrics.EpochEvent
 	storageReplicas int
+	// storageJoinVer holds the durable version watermark each storage
+	// shard announced on its latest (re)join — the rejoin-warm handshake:
+	// 0 means the shard joined cold (or runs without a WAL), anything
+	// higher means it recovered that many durable records locally and
+	// re-replication only needs to top up the delta. Slot-indexed,
+	// guarded by mu.
+	storageJoinVer []uint64
 
 	requests atomic.Int64
 	queries  atomic.Int64
@@ -256,7 +263,7 @@ func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 		return Response{OK: true, Epoch: snap.Epoch, Stats: &Stats{Role: "router", Requests: r.requests.Load(), Snapshot: snap}}
 	case OpJoin:
 		if req.Tier == "storage" {
-			return r.joinStorage(ctx, req.Addr)
+			return r.joinStorage(ctx, req.Addr, req.Version)
 		}
 		return r.join(ctx, req.Addr)
 	case OpDrain:
@@ -325,13 +332,17 @@ func (r *RouterServer) logStorageLocked(v topology.View) {
 }
 
 // joinStorage admits a storage shard into the router's storage view after
-// dialling back to verify it answers. Idempotent per address.
-func (r *RouterServer) joinStorage(ctx context.Context, addr string) Response {
+// dialling back to verify it answers. Idempotent per address; a rejoin at
+// a known address refreshes the shard's announced durable version (the
+// rejoin-warm handshake — a shard that crashed and restarted over its
+// local WAL re-announces how warm it came back).
+func (r *RouterServer) joinStorage(ctx context.Context, addr string, version uint64) Response {
 	if addr == "" {
 		return errorResponse(fmt.Errorf("%w: storage join request carries no address", query.ErrBadQuery))
 	}
 	if slot := r.storageTopo.Lookup(addr); slot >= 0 {
 		r.mu.Lock()
+		r.setStorageJoinVerLocked(slot, version)
 		epoch := r.storageView.Epoch
 		r.mu.Unlock()
 		return Response{OK: true, Proc: slot, Epoch: epoch}
@@ -346,6 +357,7 @@ func (r *RouterServer) joinStorage(ctx context.Context, addr string) Response {
 	for _, m := range r.storageView.Members {
 		if m.Addr == addr && m.Status == topology.Active {
 			go p.Close()
+			r.setStorageJoinVerLocked(m.Slot, version)
 			return Response{OK: true, Proc: m.Slot, Epoch: r.storageView.Epoch}
 		}
 	}
@@ -355,7 +367,17 @@ func (r *RouterServer) joinStorage(ctx context.Context, addr string) Response {
 		r.storagePools = append(r.storagePools, nil)
 	}
 	r.storagePools[slot] = p
+	r.setStorageJoinVerLocked(slot, version)
 	return Response{OK: true, Proc: slot, Epoch: v.Epoch}
+}
+
+// setStorageJoinVerLocked records the durable version a storage shard
+// announced when joining slot. Caller holds r.mu.
+func (r *RouterServer) setStorageJoinVerLocked(slot int, version uint64) {
+	for len(r.storageJoinVer) <= slot {
+		r.storageJoinVer = append(r.storageJoinVer, 0)
+	}
+	r.storageJoinVer[slot] = version
 }
 
 // drainStorage removes a storage shard from the view (membership only —
@@ -710,8 +732,20 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 	for _, m := range r.storageView.Members {
 		sc := metrics.StorageCounters{Slot: m.Slot, Status: m.Status.String(), Addr: m.Addr}
 		if m.Slot < len(shardFresh) && shardFresh[m.Slot] != nil {
-			sc.Keys = shardFresh[m.Slot].Keys
-			sc.Gets = shardFresh[m.Slot].Reads
+			sf := shardFresh[m.Slot]
+			sc.Keys = sf.Keys
+			sc.Gets = sf.Reads
+			sc.Durable = sf.Durable
+			sc.WALBytes = sf.WALBytes
+			sc.WALRecords = sf.WALRecords
+			sc.Snapshots = sf.Snapshots
+			sc.DurableVersion = sf.DurableVersion
+			sc.ReplayedBytes = sf.ReplayedBytes
+		}
+		if sc.DurableVersion == 0 && m.Slot < len(r.storageJoinVer) {
+			// Fall back to the version the shard announced at join time
+			// when it is not answering stats polls right now.
+			sc.DurableVersion = r.storageJoinVer[m.Slot]
 		}
 		snap.PerStorage = append(snap.PerStorage, sc)
 	}

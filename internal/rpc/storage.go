@@ -3,7 +3,10 @@ package rpc
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/gstore"
 	"repro/internal/hash"
+	"repro/internal/kvstore"
 	"repro/internal/query"
 	"repro/internal/topology"
 )
@@ -30,6 +34,22 @@ type StorageServer struct {
 	requests atomic.Int64
 	keys     atomic.Int64
 
+	// Durability (nil wal = in-memory only). The WAL and snapshot use the
+	// same on-disk format as the in-process tier (internal/kvstore): every
+	// put is logged before it is acked, and every snapEvery records the
+	// shard compacts map + log into an atomic snapshot and truncates the
+	// WAL. All fields below mu are guarded by it (writes take the write
+	// lock); durVer is atomic so Register and Stats can read it cheaply.
+	wal             *kvstore.WAL
+	walPath         string
+	snapPath        string
+	snapEvery       int
+	sinceSnap       int
+	snapshots       int64
+	replayedRecords int64
+	replayedBytes   int64
+	durVer          atomic.Uint64 // monotonic durable record counter
+
 	regMu      sync.Mutex // guards the registration below
 	routerAddr string     // router this shard registered with ("" = none)
 	advertise  string     // address announced to the router
@@ -48,15 +68,112 @@ func NewStorageServer(addr string) (*StorageServer, error) {
 	return s, nil
 }
 
+// NewStorageServerDurable starts a storage shard whose writes survive a
+// crash: every put is appended to a WAL under dir before it is acked, and
+// the shard compacts into a snapshot periodically. Starting over a
+// directory left by a previous (even killed) process replays snapshot +
+// WAL first, so the shard comes back warm with every acked write. With
+// fsync true each append is fsynced (machine-crash durable); false keeps
+// a single write syscall per put (process-death durable).
+func NewStorageServerDurable(addr, dir string, fsync bool) (*StorageServer, error) {
+	if dir == "" {
+		return NewStorageServer(addr)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rpc: storage wal dir: %w", err)
+	}
+	s := &StorageServer{
+		data:      make(map[uint64][]byte),
+		slot:      -1,
+		walPath:   filepath.Join(dir, "shard.wal"),
+		snapPath:  filepath.Join(dir, "shard.snap"),
+		snapEvery: kvstore.DefaultSnapshotEvery,
+	}
+	var maxVer uint64
+	apply := func(op kvstore.WALOp, key, ver uint64, val []byte) {
+		switch op {
+		case kvstore.WALPut:
+			cp := make([]byte, len(val))
+			copy(cp, val)
+			s.data[key] = cp
+		case kvstore.WALTomb, kvstore.WALDrop:
+			delete(s.data, key)
+		}
+		if ver > maxVer {
+			maxVer = ver
+		}
+		s.replayedRecords++
+	}
+	snapVer, snapBytes, err := kvstore.LoadSnapshot(s.snapPath, apply)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: storage snapshot: %w", err)
+	}
+	if snapVer > maxVer {
+		maxVer = snapVer
+	}
+	if snapBytes > 0 {
+		s.snapshots = 1
+		s.replayedBytes += snapBytes
+	}
+	wal, err := kvstore.OpenWAL(s.walPath, fsync, apply)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: storage wal: %w", err)
+	}
+	walBytes, _, _ := wal.Stats()
+	s.replayedBytes += walBytes
+	s.wal = wal
+	s.durVer.Store(maxVer)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("rpc: storage listen: %w", err)
+	}
+	s.ln = ln
+	go serve(ln, s.handle, &s.ct)
+	return s, nil
+}
+
 // Addr returns the server's listen address.
 func (s *StorageServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server, severing live connections — the crash
-// semantics replica failover is built for.
+// semantics replica failover is built for. A durable shard's WAL fd is
+// abandoned without a final fsync (records already written survive the
+// process; callers wanting machine-crash safety call SyncWAL first — the
+// daemon's graceful-shutdown path does).
 func (s *StorageServer) Close() error {
 	err := s.ln.Close()
 	s.ct.closeAll()
+	s.mu.Lock()
+	if s.wal != nil {
+		s.wal.Abandon()
+		s.wal = nil
+	}
+	s.mu.Unlock()
 	return err
+}
+
+// SetSnapshotEvery overrides how many WAL records the shard accumulates
+// before compacting into a snapshot (n <= 0 restores the default). No-op
+// without durability.
+func (s *StorageServer) SetSnapshotEvery(n int) {
+	if n <= 0 {
+		n = kvstore.DefaultSnapshotEvery
+	}
+	s.mu.Lock()
+	s.snapEvery = n
+	s.mu.Unlock()
+}
+
+// SyncWAL fsyncs the shard's WAL so every acked write is durable against
+// machine crash, not just process death. No-op without durability.
+func (s *StorageServer) SyncWAL() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
 }
 
 // Register announces this shard to a running router's storage view
@@ -73,7 +190,7 @@ func (s *StorageServer) Register(ctx context.Context, routerAddr, advertise stri
 		return 0, err
 	}
 	defer cn.Close()
-	resp, err := cn.Call(ctx, &Request{Op: OpJoin, Addr: advertise, Tier: "storage"})
+	resp, err := cn.Call(ctx, &Request{Op: OpJoin, Addr: advertise, Tier: "storage", Version: s.durVer.Load()})
 	if err != nil {
 		return 0, err
 	}
@@ -147,7 +264,14 @@ func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 		copy(cp, req.Value)
 		s.mu.Lock()
 		s.data[req.Key] = cp
+		var err error
+		if s.wal != nil {
+			err = s.logPutLocked(req.Key, req.Value)
+		}
 		s.mu.Unlock()
+		if err != nil {
+			return errorResponse(fmt.Errorf("storage wal: %w", err))
+		}
 		return Response{OK: true}
 	case OpStats:
 		st := s.Stats()
@@ -156,24 +280,79 @@ func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 	return errorResponse(fmt.Errorf("storage: unknown op %q", req.Op))
 }
 
+// logPutLocked appends one put to the WAL and compacts into a snapshot
+// once enough records accumulate. Caller holds s.mu (write).
+func (s *StorageServer) logPutLocked(key uint64, val []byte) error {
+	ver := s.durVer.Add(1)
+	if err := s.wal.Append(kvstore.WALPut, key, ver, val); err != nil {
+		return err
+	}
+	s.sinceSnap++
+	if s.sinceSnap < s.snapEvery {
+		return nil
+	}
+	if _, err := kvstore.WriteSnapshot(s.snapPath, s.durVer.Load(), func(emit func(op kvstore.WALOp, key, ver uint64, val []byte)) {
+		for k, v := range s.data {
+			emit(kvstore.WALPut, k, 0, v)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := s.wal.Reset(); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	s.snapshots++
+	return nil
+}
+
 // Stats returns the shard's counters (request total, key reads served,
-// resident keys).
+// resident keys) plus its durability counters when it runs a WAL.
 func (s *StorageServer) Stats() Stats {
 	s.mu.RLock()
 	n := len(s.data)
+	wal := s.wal
+	snapshots := s.snapshots
+	replayedRecords := s.replayedRecords
+	replayedBytes := s.replayedBytes
 	s.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Role:     "storage",
 		Requests: s.requests.Load(),
 		Reads:    s.keys.Load(),
 		Keys:     int64(n),
 	}
+	if wal != nil {
+		walBytes, walRecords, _ := wal.Stats()
+		st.Durable = "fresh"
+		if replayedRecords > 0 {
+			st.Durable = "warm"
+		}
+		st.WALBytes = walBytes
+		st.WALRecords = walRecords
+		st.Snapshots = snapshots
+		st.DurableVersion = s.durVer.Load()
+		st.ReplayedBytes = replayedBytes
+	}
+	return st
 }
 
-// storageProbeInterval is how often the client re-pings shards it marked
-// down, so a restarted or network-partition-healed shard rejoins the read
-// path without any coordination.
-const storageProbeInterval = 200 * time.Millisecond
+// Down-shard probe schedule: the first re-ping comes probeBase after a
+// shard is marked down (a restarted shard rejoins the read path fast),
+// then the per-shard interval doubles up to probeMax with jitter, so a
+// long-dead shard is not hammered in lockstep by every client. Each
+// ping's timeout is the shard's current interval.
+const (
+	probeBase = 50 * time.Millisecond
+	probeMax  = 2 * time.Second
+)
+
+// probeState tracks one down shard's re-ping schedule; the zero value
+// means the shard is healthy.
+type probeState struct {
+	interval time.Duration // current backoff interval
+	next     time.Time     // earliest next probe
+}
 
 // StorageClient shards keys over a set of storage servers, over one
 // connection pool per shard. Unreplicated (replicas == 1) placement is
@@ -253,26 +432,70 @@ func (sc *StorageClient) Replicas() int { return sc.replicas }
 func (sc *StorageClient) Failovers() int64 { return sc.failovers.Load() }
 
 // probeLoop re-pings down shards so they rejoin the read path once they
-// answer again.
+// answer again. Each down shard backs off independently: probeBase on
+// first detection, doubling to probeMax, with jitter spreading probes of
+// shards that died together. A successful ping clears both the health
+// flag and the backoff. Close cancels the loop's context, so even an
+// in-flight ping unblocks immediately.
 func (sc *StorageClient) probeLoop() {
-	t := time.NewTicker(storageProbeInterval)
+	root, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-sc.probeStop
+		cancel()
+	}()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	state := make([]probeState, len(sc.pools))
+	t := time.NewTimer(probeBase)
 	defer t.Stop()
 	for {
 		select {
 		case <-sc.probeStop:
 			return
 		case <-t.C:
-			for i := range sc.down {
-				if !sc.down[i].Load() {
-					continue
+		}
+		now := time.Now()
+		// Wake at least every probeBase to notice newly-down shards (a
+		// failed call flips the flag without signalling this loop).
+		wake := now.Add(probeBase)
+		for i := range sc.down {
+			if !sc.down[i].Load() {
+				state[i] = probeState{}
+				continue
+			}
+			if state[i].interval == 0 {
+				state[i] = probeState{interval: probeBase, next: now}
+			}
+			if state[i].next.After(now) {
+				if state[i].next.Before(wake) {
+					wake = state[i].next
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), storageProbeInterval)
-				if err := sc.pools[i].Ping(ctx); err == nil {
-					sc.down[i].Store(false)
-				}
-				cancel()
+				continue
+			}
+			ctx, pcancel := context.WithTimeout(root, state[i].interval)
+			err := sc.pools[i].Ping(ctx)
+			pcancel()
+			if err == nil {
+				sc.down[i].Store(false)
+				state[i] = probeState{}
+				continue
+			}
+			iv := state[i].interval * 2
+			if iv > probeMax {
+				iv = probeMax
+			}
+			// Jittered next probe in [iv/2, 3iv/2): capped exponential
+			// backoff without client lockstep.
+			state[i] = probeState{interval: iv, next: time.Now().Add(iv/2 + time.Duration(rng.Int63n(int64(iv))))}
+			if state[i].next.Before(wake) {
+				wake = state[i].next
 			}
 		}
+		d := time.Until(wake)
+		if d < probeBase/4 {
+			d = probeBase / 4
+		}
+		t.Reset(d)
 	}
 }
 

@@ -157,7 +157,7 @@ func TestStorageClientShardRecovery(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("shard never re-admitted after restart")
 		}
-		time.Sleep(storageProbeInterval / 2)
+		time.Sleep(probeBase / 2)
 	}
 	out, err := sc.MultiGet(ctx, ids)
 	if err != nil {

@@ -113,6 +113,10 @@ type Timeline struct {
 	backlog []time.Duration
 	lastAt  []time.Duration
 	busy    []time.Duration
+	// delay is per-server injected link latency (chaos slow-link faults):
+	// pure wire time added to every response, not server work, so it
+	// stretches latency without building backlog.
+	delay []time.Duration
 }
 
 // NewTimeline creates a timeline for n servers, all idle at t=0.
@@ -121,6 +125,7 @@ func NewTimeline(n int) *Timeline {
 		backlog: make([]time.Duration, n),
 		lastAt:  make([]time.Duration, n),
 		busy:    make([]time.Duration, n),
+		delay:   make([]time.Duration, n),
 	}
 }
 
@@ -132,7 +137,23 @@ func (t *Timeline) ensure(s int) {
 		t.backlog = append(t.backlog, 0)
 		t.lastAt = append(t.lastAt, 0)
 		t.busy = append(t.busy, 0)
+		t.delay = append(t.delay, 0)
 	}
+}
+
+// SetDelay injects d of extra link latency on every request served by
+// server s (0 clears it). This is the chaos framework's slow-link fault.
+func (t *Timeline) SetDelay(s int, d time.Duration) {
+	t.ensure(s)
+	t.delay[s] = d
+}
+
+// Delay returns the injected link latency for server s.
+func (t *Timeline) Delay(s int) time.Duration {
+	if s >= len(t.delay) {
+		return 0
+	}
+	return t.delay[s]
 }
 
 // Serve charges work to server s for a request arriving at start and
@@ -153,7 +174,7 @@ func (t *Timeline) Serve(s int, start, work time.Duration) time.Duration {
 	wait := t.backlog[s]
 	t.backlog[s] += work
 	t.busy[s] += work
-	return start + wait + work
+	return start + wait + work + t.delay[s]
 }
 
 // Busy returns the cumulative work time charged to server s.
@@ -172,7 +193,8 @@ func (t *Timeline) Available(s int) time.Duration {
 	return t.lastAt[s] + t.backlog[s]
 }
 
-// Reset returns all servers to idle at t=0.
+// Reset returns all servers to idle at t=0 (injected delays persist —
+// they model link state, not load).
 func (t *Timeline) Reset() {
 	for i := range t.backlog {
 		t.backlog[i] = 0

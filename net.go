@@ -22,6 +22,18 @@ type (
 // ephemeral port) serving in the background.
 func ServeStorage(addr string) (*StorageServer, error) { return rpc.NewStorageServer(addr) }
 
+// ServeStorageDurable starts a storage shard whose writes survive a
+// crash: every put is appended to a write-ahead log under dir before it
+// is acked, periodically compacted into a snapshot. Starting over a
+// directory left by a previous (even killed) process replays snapshot +
+// WAL, so the shard comes back warm with every acked write and announces
+// its recovered watermark when it re-registers with a router. With fsync
+// true each append is fsynced (durable against machine crash, not just
+// process death).
+func ServeStorageDurable(addr, dir string, fsync bool) (*StorageServer, error) {
+	return rpc.NewStorageServerDurable(addr, dir, fsync)
+}
+
 // ServeProcessor starts a query processor on addr, fetching from the given
 // unreplicated storage shards with cacheBytes of LRU capacity.
 func ServeProcessor(addr string, storageAddrs []string, cacheBytes int64) (*ProcessorServer, error) {

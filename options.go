@@ -29,6 +29,19 @@ func WithStorageServers(n int) Option { return func(c *Config) { c.StorageServer
 // before each call returns.
 func WithStorageReplicas(r int) Option { return func(c *Config) { c.StorageReplicas = r } }
 
+// WithStorageDir enables WAL + snapshot durability on the storage tier:
+// each shard logs every write under its own subdirectory of dir before
+// acking it, compacts the log into a snapshot periodically, and a shard
+// restarted over the same directory (System.RestartStorage after a
+// CrashStorage) recovers warm — every acked write intact — with rejoin
+// re-replication reduced to the missed delta.
+func WithStorageDir(dir string) Option { return func(c *Config) { c.StorageDir = dir } }
+
+// WithStorageSnapshotEvery sets how many WAL records a durable shard
+// accumulates before compacting them into a snapshot (0 = the kvstore
+// default). Ignored without WithStorageDir.
+func WithStorageSnapshotEvery(n int) Option { return func(c *Config) { c.StorageSnapshotEvery = n } }
+
 // WithNetwork sets the cluster cost profile (Infiniband or Ethernet).
 func WithNetwork(p NetworkProfile) Option { return func(c *Config) { c.Network = p } }
 

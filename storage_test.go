@@ -230,6 +230,63 @@ func TestKillReplicaMidWorkloadTCP(t *testing.T) {
 	}
 }
 
+// TestDurableCrashRestartLocal pins the public durability surface on the
+// virtual-time transport: with WithStorageDir, a crashed shard restarts
+// warm from its WAL directory mid-workload and every answer stays exact.
+func TestDurableCrashRestartLocal(t *testing.T) {
+	g := grouting.GenerateDataset(grouting.WebGraph, 0.03, 11)
+	qs := storageWorkload(g, 41)
+	sys, err := grouting.New(g,
+		grouting.WithPolicy(grouting.PolicyHash),
+		grouting.WithProcessors(3),
+		grouting.WithStorageServers(3),
+		grouting.WithStorageReplicas(2),
+		grouting.WithStorageDir(t.TempDir()),
+		grouting.WithStorageSnapshotEvery(64),
+		grouting.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := grouting.NewLocalClient(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	crash, restart := len(qs)/3, 2*len(qs)/3
+	for i, q := range qs {
+		if i == crash {
+			if err := sys.CrashStorage(1); err != nil {
+				t.Fatalf("CrashStorage: %v", err)
+			}
+		}
+		if i == restart {
+			if err := sys.RestartStorage(1); err != nil {
+				t.Fatalf("RestartStorage: %v", err)
+			}
+		}
+		res, err := cl.Execute(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d lost across crash/restart: %v", i, err)
+		}
+		if res != grouting.Answer(g, q) {
+			t.Fatalf("query %d answered wrongly across crash/restart", i)
+		}
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerStorage[1].Durable != "warm" {
+		t.Fatalf("restarted shard durability = %q, want warm", stats.PerStorage[1].Durable)
+	}
+	if stats.PerStorage[0].Durable != "fresh" && stats.PerStorage[0].Durable != "warm" {
+		t.Fatalf("surviving shard durability = %q", stats.PerStorage[0].Durable)
+	}
+}
+
 // TestUnreplicatedTCPLosesQueries pins the contrast the storagefault
 // experiment quantifies: without replication, killing a shard makes its
 // keys' queries fail with the typed unavailable error (never a wrong

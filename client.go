@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/query"
 )
 
@@ -22,7 +23,38 @@ var (
 	// ErrUnavailable marks a transport failure: the client is closed, a
 	// daemon is unreachable, or a connection broke mid-call.
 	ErrUnavailable = query.ErrUnavailable
+	// ErrConflict marks a mutation the graph's current state rejects:
+	// removing an edge that does not exist, or adding an edge whose
+	// endpoint was never created. The graph is unchanged.
+	ErrConflict = query.ErrConflict
 )
+
+// MutOp enumerates the online graph mutations.
+type MutOp = core.MutOp
+
+// Mutation operations.
+const (
+	// MutUpsertNode creates Node with Label, or relabels it. Idempotent.
+	MutUpsertNode = core.MutUpsertNode
+	// MutAddEdge ensures the edge Node->To with Label exists (no duplicate
+	// parallel edge is ever created); a missing endpoint is ErrConflict.
+	MutAddEdge = core.MutAddEdge
+	// MutRemoveEdge removes the edge Node->To (any label); an absent edge
+	// is ErrConflict.
+	MutRemoveEdge = core.MutRemoveEdge
+)
+
+// Mutation is one online graph write as clients express it: labels travel
+// as strings (the server side interns them), exactly like Query.CountLabel.
+// Node is the subject (the upserted node, or an edge's source); To is the
+// edge destination; Label is the node label for MutUpsertNode and the edge
+// label for MutAddEdge (ignored by MutRemoveEdge).
+type Mutation struct {
+	Op    MutOp
+	Node  NodeID
+	To    NodeID
+	Label string
+}
 
 // Client is the transport-agnostic query interface: the same client code
 // runs against the in-process virtual-time engine (NewLocalClient) and a
@@ -42,6 +74,24 @@ type Client interface {
 	// drains. Outcomes may arrive out of submission order on transports
 	// that execute concurrently; match them through Outcome.Query.
 	ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome
+	// UpsertNode ensures node id exists carrying label (creating or
+	// relabelling it). Idempotent; acked writes are replicated to every
+	// storage replica and durable when the tier runs with a WAL.
+	UpsertNode(ctx context.Context, id NodeID, label string) error
+	// AddEdge ensures the directed edge u->v with label exists. Adding an
+	// edge that is already present succeeds without duplicating it; a
+	// missing endpoint fails with ErrConflict.
+	AddEdge(ctx context.Context, u, v NodeID, label string) error
+	// RemoveEdge removes the directed edge u->v (any label). Removing an
+	// edge that does not exist fails with ErrConflict.
+	RemoveEdge(ctx context.Context, u, v NodeID) error
+	// Mutate applies a batch of mutations in order, stopping at the first
+	// failure. It returns how many were applied — the applied prefix
+	// stays applied (each mutation acks individually), so a conflict
+	// mid-batch does not roll back the writes before it. Both transports
+	// guarantee read-your-writes: a query issued through this client
+	// after Mutate returns observes the mutation.
+	Mutate(ctx context.Context, muts []Mutation) (int, error)
 	// Stats returns a snapshot of the system's runtime counters:
 	// per-processor assigned/executed/stolen/diverted counts, cache
 	// hit/miss/eviction counters, and routing-decision-time / queue-depth
@@ -154,6 +204,38 @@ func (c *localClient) ExecuteBatch(ctx context.Context, qs []Query) ([]Result, e
 func (c *localClient) ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome {
 	// One worker: the virtual clock serialises execution anyway.
 	return stream(ctx, in, 1, c.exec)
+}
+
+func (c *localClient) Mutate(ctx context.Context, muts []Mutation) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	g := c.sys.Graph()
+	cm := make([]core.Mutation, len(muts))
+	for i, m := range muts {
+		cm[i] = core.Mutation{Op: m.Op, Node: m.Node, To: m.To, Label: g.InternLabel(m.Label)}
+	}
+	return c.ses.Mutate(cm...)
+}
+
+func (c *localClient) UpsertNode(ctx context.Context, id NodeID, label string) error {
+	_, err := c.Mutate(ctx, []Mutation{{Op: MutUpsertNode, Node: id, Label: label}})
+	return err
+}
+
+func (c *localClient) AddEdge(ctx context.Context, u, v NodeID, label string) error {
+	_, err := c.Mutate(ctx, []Mutation{{Op: MutAddEdge, Node: u, To: v, Label: label}})
+	return err
+}
+
+func (c *localClient) RemoveEdge(ctx context.Context, u, v NodeID) error {
+	_, err := c.Mutate(ctx, []Mutation{{Op: MutRemoveEdge, Node: u, To: v}})
+	return err
 }
 
 func (c *localClient) Stats(ctx context.Context) (Stats, error) {

@@ -35,9 +35,11 @@ func main() {
 		hotspots   = flag.Int("hotspots", 0, "override the number of workload hotspots")
 		seed       = flag.Int64("seed", 0, "override the experiment seed")
 		parallel   = flag.Int("parallel", 1, "worker pool size for independent experiment cells; 0 = GOMAXPROCS, 1 = serial (results are identical at any setting)")
+		benchDir   = flag.String("benchdir", ".", "directory for machine-readable BENCH_*.json artifacts ('' disables them)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	experiments.SetBenchDir(*benchDir)
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -20,6 +20,17 @@
 //	# per-epoch transition log) — watch a scale-out land
 //	grouting-cli -router 127.0.0.1:7200 -topology
 //
+//	# online mutations through the router's write path: upsert nodes
+//	# ("id" or "id:label"), add edges ("u->v" or "u->v:label"), remove
+//	# edges ("u->v"); comma-separate for one atomic-feeling batch
+//	grouting-cli -router 127.0.0.1:7200 -put "900001:city,900001->17:near"
+//	grouting-cli -router 127.0.0.1:7200 -del "900001->17"
+//
+//	# adaptive placement: trigger a planning cycle, inspect the counters
+//	# and the migration log
+//	grouting-cli -router 127.0.0.1:7200 -migrate
+//	grouting-cli -router 127.0.0.1:7200 -placement
+//
 //	# what routing strategies are registered (built-ins + user strategies)
 //	grouting-cli -policy list
 package main
@@ -29,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +69,10 @@ func main() {
 		verify     = flag.Bool("verify", false, "check every result against the in-memory oracle")
 		stats      = flag.Bool("stats", false, "print the system's Stats() snapshot after the run")
 		topo       = flag.Bool("topology", false, "print the processing tier's topology (epoch, member status, transition log) and exit")
+		put        = flag.String("put", "", `mutations to apply and exit: "id", "id:label", "u->v", "u->v:label", comma-separated`)
+		del        = flag.String("del", "", `edges to remove and exit: "u->v", comma-separated (combines with -put in one batch, puts first)`)
+		migrate    = flag.Bool("migrate", false, "trigger one adaptive-placement planning cycle on the router and exit")
+		placementV = flag.Bool("placement", false, "print the adaptive-placement counters and migration log and exit")
 	)
 	flag.Parse()
 
@@ -89,6 +105,48 @@ func main() {
 		snap, err := cl.Stats(ctx)
 		exitOn(err)
 		fmt.Print(topologyTable(&snap))
+		return
+	}
+
+	if *put != "" || *del != "" {
+		if *routerAddr == "" {
+			exitOn(fmt.Errorf("-put/-del need -router"))
+		}
+		muts, err := parseMutations(*put, *del)
+		exitOn(err)
+		cl, err := grouting.Dial(ctx, *routerAddr)
+		exitOn(err)
+		defer cl.Close()
+		n, err := cl.Mutate(ctx, muts)
+		if err != nil {
+			exitOn(fmt.Errorf("applied %d of %d mutations: %w", n, len(muts), err))
+		}
+		fmt.Printf("applied %d mutations\n", n)
+		return
+	}
+
+	if *migrate {
+		if *routerAddr == "" {
+			exitOn(fmt.Errorf("-migrate needs -router"))
+		}
+		moved, err := grouting.TriggerPlacement(ctx, *routerAddr)
+		exitOn(err)
+		fmt.Printf("placement cycle moved %d records\n", moved)
+		if !*placementV {
+			return
+		}
+	}
+
+	if *placementV {
+		if *routerAddr == "" {
+			exitOn(fmt.Errorf("-placement needs -router"))
+		}
+		cl, err := grouting.Dial(ctx, *routerAddr)
+		exitOn(err)
+		defer cl.Close()
+		snap, err := cl.Stats(ctx)
+		exitOn(err)
+		fmt.Print(placementTable(&snap))
 		return
 	}
 
@@ -158,6 +216,101 @@ func main() {
 		exitOn(err)
 		fmt.Print(snap.String())
 	}
+}
+
+// parseMutations turns the -put and -del flag values into one mutation
+// batch, puts first. Each comma-separated spec is "id" / "id:label"
+// (upsert node) or "u->v" / "u->v:label" (edge); -del accepts edges only.
+func parseMutations(put, del string) ([]grouting.Mutation, error) {
+	var muts []grouting.Mutation
+	for _, spec := range splitSpecs(put) {
+		m, err := parseSpec(spec, false)
+		if err != nil {
+			return nil, fmt.Errorf("-put %q: %w", spec, err)
+		}
+		muts = append(muts, m)
+	}
+	for _, spec := range splitSpecs(del) {
+		m, err := parseSpec(spec, true)
+		if err != nil {
+			return nil, fmt.Errorf("-del %q: %w", spec, err)
+		}
+		muts = append(muts, m)
+	}
+	return muts, nil
+}
+
+func splitSpecs(s string) []string {
+	var specs []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			specs = append(specs, part)
+		}
+	}
+	return specs
+}
+
+func parseSpec(spec string, del bool) (grouting.Mutation, error) {
+	var m grouting.Mutation
+	body := spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		body, m.Label = spec[:i], spec[i+1:]
+	}
+	u, v, isEdge := strings.Cut(body, "->")
+	switch {
+	case del && !isEdge:
+		return m, fmt.Errorf(`want "u->v" (only edges can be removed)`)
+	case del && m.Label != "":
+		return m, fmt.Errorf("remove-edge matches any label; drop the :%s", m.Label)
+	case del:
+		m.Op = grouting.MutRemoveEdge
+	case isEdge:
+		m.Op = grouting.MutAddEdge
+	default:
+		m.Op = grouting.MutUpsertNode
+	}
+	id, err := parseNodeID(u)
+	if err != nil {
+		return m, err
+	}
+	m.Node = id
+	if isEdge {
+		if m.To, err = parseNodeID(v); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+func parseNodeID(s string) (grouting.NodeID, error) {
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	return grouting.NodeID(n), nil
+}
+
+// placementTable renders the adaptive-placement subsystem's counters and
+// its migration log from a Stats snapshot.
+func placementTable(snap *grouting.Stats) string {
+	var b strings.Builder
+	p := snap.Placement
+	budget := "unbounded"
+	if p.BudgetBytes > 0 {
+		budget = fmt.Sprintf("%d KiB", p.BudgetBytes>>10)
+	}
+	fmt.Fprintf(&b, "placement: %d cycles, %d moved of %d planned (%d KiB, budget %s/cycle), %d records pinned\n",
+		p.Cycles, p.Moved, p.Planned, p.MovedBytes>>10, budget, p.Overrides)
+	fmt.Fprintf(&b, "skipped: %d over budget, %d below hysteresis; %d mutations applied\n",
+		p.SkippedBudget, p.SkippedCold, snap.Mutations)
+	if len(snap.PlacementLog) > 0 {
+		t := metrics.NewTable("key", "from", "to", "reader", "reads", "bytes")
+		for _, e := range snap.PlacementLog {
+			t.AddRow(e.Key, e.From, e.To, e.Reader, e.Reads, e.Bytes)
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
 }
 
 // policyTable renders the strategy registry as an aligned table.

@@ -76,6 +76,11 @@ func main() {
 		dataset    = flag.String("dataset", "webgraph", "dataset preset for smart-routing preprocessing (router role)")
 		graphScale = flag.Float64("graphscale", 0.05, "dataset scale for preprocessing (router role)")
 		seed       = flag.Int64("seed", 42, "generator / preprocessing seed")
+
+		adaptive      = flag.Bool("adaptive", false, "router role: enable workload-adaptive placement (needs -storage)")
+		placeBudgetKB = flag.Int64("placement-budget-kb", 0, "router role: bytes migrated per placement cycle in KiB (0 = unbounded)")
+		placeEvery    = flag.Int("placement-every", 0, "router role: run a placement cycle every N completed queries (0 = only explicit grouting-cli -migrate)")
+		placeMinReads = flag.Int64("placement-min-reads", 0, "router role: planner hysteresis floor, reads per record per cycle (0 = default)")
 	)
 	flag.Parse()
 
@@ -153,7 +158,11 @@ func main() {
 		}
 		pol, err := grouting.ParsePolicy(*policy)
 		exitOn(err)
-		spec := grouting.RouterSpec{Processors: addrs, Policy: pol, Seed: *seed, StorageReplicas: *replicas}
+		spec := grouting.RouterSpec{
+			Processors: addrs, Policy: pol, Seed: *seed, StorageReplicas: *replicas,
+			AdaptivePlacement: *adaptive, PlacementBudget: *placeBudgetKB << 10,
+			PlacementEvery: *placeEvery, PlacementMinReads: *placeMinReads,
+		}
 		if *storage != "" {
 			saddrs, err := cliutil.SplitAddrs(*storage)
 			exitOn(err)

@@ -3,6 +3,8 @@ package chaos
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestBuiltinScenariosValidateAndRoundTrip(t *testing.T) {
@@ -154,6 +156,104 @@ func TestRollingRestartLive(t *testing.T) {
 	}
 	if res.Answered != res.Total {
 		t.Fatalf("answered %d of %d", res.Answered, res.Total)
+	}
+}
+
+// TestMutateRollingRestartSim runs the write-stream acceptance scenario
+// on the virtual-time engine: sustained mutations through rolling durable
+// restarts, with the settle + read-back machinery proving no acked write
+// was lost and no tombstoned edge resurrected.
+func TestMutateRollingRestartSim(t *testing.T) {
+	res := runSim(t, "mutate-rolling-restart")
+	if res.Writes == 0 {
+		t.Fatal("mutation scenario issued no writes")
+	}
+	if res.WritesAcked == 0 {
+		t.Fatal("no write ever acked")
+	}
+	if res.WriteProbes == 0 {
+		t.Fatal("settle phase ran no read-back probes")
+	}
+	if res.Wrong != 0 {
+		t.Fatalf("%d wrong answers under the write stream", res.Wrong)
+	}
+}
+
+// TestMutateRollingRestartLive is the same scenario against real TCP
+// daemons: the router's write-all path under real crash windows. Writes
+// that land on a killed shard fail unacked and must heal by retry; the
+// read-back probes then hold the zero-lost-acked-writes line.
+func TestMutateRollingRestartLive(t *testing.T) {
+	sc := Builtin("mutate-rolling-restart")
+	// Wall-clock goodput is noisy on shared machines; the sim run pins the
+	// floor deterministically.
+	sc.Invariants.GoodputFloor = 0
+	res, err := Run(sc, func() Harness { return NewLiveHarness() })
+	if err != nil {
+		t.Fatalf("mutate-rolling-restart on live: %v", err)
+	}
+	if res.Skipped {
+		t.Fatalf("mutate-rolling-restart skipped on live: %s", res.SkipReason)
+	}
+	if !res.Passed() {
+		t.Fatalf("mutate-rolling-restart on live violated invariants:\n%s", res.String())
+	}
+	if res.Wrong != 0 || res.Unavailable != 0 {
+		t.Fatalf("live mutate rolling restart: %d wrong, %d unavailable", res.Wrong, res.Unavailable)
+	}
+	if res.WriteProbes == 0 {
+		t.Fatal("settle phase ran no read-back probes")
+	}
+}
+
+// TestWriteScriptShape pins the write stream's structure: deterministic,
+// node ids strictly above the base, each chain edge removed at most once,
+// and every edge's endpoints upserted before the edge itself.
+func TestWriteScriptShape(t *testing.T) {
+	const base, n = 1000, 57
+	script := writeScript(base, n)
+	if len(script) != n {
+		t.Fatalf("script has %d writes, want %d", len(script), n)
+	}
+	nodes := map[int]bool{}
+	edges := map[[2]int]bool{}
+	removed := map[[2]int]bool{}
+	for i, m := range script {
+		if m.Node < base || (m.To != 0 && m.To < base) {
+			t.Fatalf("write %d touches node below base: %+v", i, m)
+		}
+		switch m.Op {
+		case core.MutUpsertNode:
+			nodes[int(m.Node)] = true
+		case core.MutAddEdge:
+			if !nodes[int(m.Node)] || !nodes[int(m.To)] {
+				t.Fatalf("write %d adds edge %d->%d before upserting both endpoints", i, m.Node, m.To)
+			}
+			edges[[2]int{int(m.Node), int(m.To)}] = true
+		case core.MutRemoveEdge:
+			e := [2]int{int(m.Node), int(m.To)}
+			if !edges[e] {
+				t.Fatalf("write %d removes edge %d->%d that was never added", i, m.Node, m.To)
+			}
+			if removed[e] {
+				t.Fatalf("write %d removes edge %d->%d twice", i, m.Node, m.To)
+			}
+			removed[e] = true
+		default:
+			t.Fatalf("write %d has unknown op %v", i, m.Op)
+		}
+	}
+	if len(removed) == 0 {
+		t.Fatal("script tombstones no edges")
+	}
+	again := writeScript(base, n)
+	for i := range script {
+		if script[i] != again[i] {
+			t.Fatalf("script is not deterministic at write %d", i)
+		}
+	}
+	if writeScript(base, 0) != nil {
+		t.Fatal("empty script not nil")
 	}
 }
 

@@ -25,6 +25,10 @@ type Harness interface {
 	Start(sc *Scenario, g *graph.Graph) error
 	// Execute runs one query to completion.
 	Execute(q query.Query) (query.Result, error)
+	// Mutate applies one online graph write through the deployment's
+	// write path. A nil return is an ack: the write is on every replica
+	// of its placement and visible to every subsequent read.
+	Mutate(m core.Mutation) error
 	// Apply fires one scheduled step.
 	Apply(st Step) error
 	// Elapsed is the harness clock — virtual time for the simnet engine,
@@ -92,6 +96,11 @@ func (h *SimHarness) Start(sc *Scenario, g *graph.Graph) error {
 func (h *SimHarness) Execute(q query.Query) (query.Result, error) {
 	res, _, err := h.ses.Execute(q)
 	return res, err
+}
+
+func (h *SimHarness) Mutate(m core.Mutation) error {
+	_, err := h.ses.Mutate(m)
+	return err
 }
 
 func (h *SimHarness) Apply(st Step) error {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/query"
 	"repro/internal/rpc"
@@ -88,8 +89,12 @@ func (h *LiveHarness) Start(sc *Scenario, g *graph.Graph) error {
 	for i, p := range h.procs {
 		procAddrs[i] = p.Addr()
 	}
+	// Seeding StorageAddrs gives the router the write path's placement
+	// domain (mutations need it); the Register calls below still run — a
+	// join at a seeded address is idempotent and doubles as the shards'
+	// durable-version announcement.
 	rs, err := rpc.NewRouterServer("127.0.0.1:0", rpc.RouterConfig{
-		ProcessorAddrs: procAddrs, StorageReplicas: sc.StorageReplicas,
+		ProcessorAddrs: procAddrs, StorageAddrs: h.addrs, StorageReplicas: sc.StorageReplicas,
 	})
 	if err != nil {
 		h.Close()
@@ -130,6 +135,17 @@ func (h *LiveHarness) Execute(q query.Query) (query.Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), liveTimeout)
 	defer cancel()
 	return h.client.Execute(ctx, q)
+}
+
+// Mutate pushes one write through the router's write path. The router
+// acks only after every replica of the record's placement took the write
+// and every processor cache dropped it, so a kill window surfaces here as
+// an unacked error — exactly what the runner's settle phase retries.
+func (h *LiveHarness) Mutate(m core.Mutation) error {
+	ctx, cancel := context.WithTimeout(context.Background(), liveTimeout)
+	defer cancel()
+	_, err := h.client.Mutate(ctx, []rpc.Mutation{{Op: uint8(m.Op), Node: m.Node, To: m.To}})
+	return err
 }
 
 func (h *LiveHarness) Apply(st Step) error {

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/query"
@@ -41,6 +43,16 @@ type Result struct {
 	Goodput        float64
 	GoodputRatio   float64
 
+	// Writes is the size of the scenario's write script (0 when
+	// MutateEvery is off); WritesAcked how many acked first try during
+	// the fault run; WritesHealed how many initially-unacked writes the
+	// settle phase landed by idempotent retry; WriteProbes how many
+	// read-back queries verified the written state afterwards.
+	Writes       int
+	WritesAcked  int
+	WritesHealed int
+	WriteProbes  int
+
 	// MaxRecovery is the worst queries-to-first-success after any
 	// restart or heal step (-1 when none fired).
 	MaxRecovery int
@@ -72,6 +84,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "%s\n", verdict)
 	fmt.Fprintf(&b, "  queries %d answered %d wrong %d unavailable %d\n", r.Total, r.Answered, r.Wrong, r.Unavailable)
 	fmt.Fprintf(&b, "  goodput %.0f/s vs control %.0f/s (ratio %.2f)\n", r.Goodput, r.ControlGoodput, r.GoodputRatio)
+	if r.Writes > 0 {
+		fmt.Fprintf(&b, "  writes %d acked %d healed-on-retry %d, read-back probes %d\n",
+			r.Writes, r.WritesAcked, r.WritesHealed, r.WriteProbes)
+	}
 	if r.MaxRecovery >= 0 {
 		fmt.Fprintf(&b, "  max recovery %d queries\n", r.MaxRecovery)
 	}
@@ -107,6 +123,81 @@ func Workload(sc *Scenario) (*graph.Graph, []query.Query, []query.Result) {
 	return g, qs, want
 }
 
+// The settle phase retries each unacked write this often before declaring
+// it unappliable.
+const (
+	settleAttempts = 10
+	settleBackoff  = 50 * time.Millisecond
+)
+
+// writeScript builds a scenario's deterministic online-write stream: a
+// chain of fresh nodes (ids above every dataset node, so the query
+// workload's precomputed oracle answers are untouched) grown edge by
+// edge, with every fifth write removing an earlier chain edge — so the
+// stream exercises the create, link and tombstone paths together. The
+// writes are unlabeled, and safe to retry after a failed ack: upserts and
+// edge adds are idempotent, and a retried remove whose first attempt
+// landed reports ErrConflict, which the settle phase reads as landed.
+func writeScript(base graph.NodeID, n int) []core.Mutation {
+	if n <= 0 {
+		return nil
+	}
+	muts := make([]core.Mutation, 0, n)
+	muts = append(muts, core.Mutation{Op: core.MutUpsertNode, Node: base})
+	next := base + 1
+	for len(muts) < n {
+		switch len(muts) % 5 {
+		case 0:
+			// Tombstone the first edge added in the previous period.
+			muts = append(muts, core.Mutation{Op: core.MutRemoveEdge, Node: next - 3, To: next - 2})
+		case 1, 3:
+			muts = append(muts, core.Mutation{Op: core.MutUpsertNode, Node: next})
+		case 2, 4:
+			muts = append(muts, core.Mutation{Op: core.MutAddEdge, Node: next - 1, To: next})
+			next++
+		}
+	}
+	return muts
+}
+
+// applyScript replays the write script onto a plain in-memory graph —
+// the reference state the read-back probes compare the deployment to.
+func applyScript(g *graph.Graph, script []core.Mutation) {
+	for _, m := range script {
+		switch m.Op {
+		case core.MutUpsertNode:
+			g.UpsertNode(m.Node, m.Label)
+		case core.MutAddEdge:
+			g.EnsureEdge(m.Node, m.To, m.Label)
+		case core.MutRemoveEdge:
+			g.RemoveEdge(m.Node, m.To)
+		}
+	}
+}
+
+// writeProbes builds the read-back queries for a settled write script: a
+// 2-hop neighborhood count from every written node (a lost node record,
+// lost edge or resurrected edge shifts a count) plus a 1-hop reachability
+// probe across every tombstoned edge (resurrection made explicit).
+func writeProbes(script []core.Mutation) []query.Query {
+	var probes []query.Query
+	seen := map[graph.NodeID]bool{}
+	for _, m := range script {
+		if m.Op == core.MutUpsertNode && !seen[m.Node] {
+			seen[m.Node] = true
+			probes = append(probes, query.Query{
+				Type: query.NeighborAgg, Node: m.Node, Hops: 2, Dir: graph.Both,
+			})
+		}
+		if m.Op == core.MutRemoveEdge {
+			probes = append(probes, query.Query{
+				Type: query.Reachability, Node: m.Node, Target: m.To, Hops: 1,
+			})
+		}
+	}
+	return probes
+}
+
 // Run executes the scenario on a harness built by mk: first a fault-free
 // control pass (its goodput is the invariant baseline), then the fault
 // pass with every step fired at its scheduled workload-progress point,
@@ -131,15 +222,21 @@ func Run(sc *Scenario, mk func() Harness) (*Result, error) {
 	probe.Close()
 
 	g, qs, want := Workload(sc)
+	var script []core.Mutation
+	if sc.MutateEvery > 0 {
+		script = writeScript(g.MaxNodeID()+1, len(qs)/sc.MutateEvery)
+	}
 
-	// Control pass: no faults; any failure here is a broken run, not a
-	// chaos finding.
+	// Control pass: no faults; any failure here (including a write that
+	// does not ack on a healthy deployment) is a broken run, not a chaos
+	// finding.
 	control := mk()
 	if err := control.Start(sc, g); err != nil {
 		control.Close()
 		return nil, fmt.Errorf("chaos: %s: control start: %w", sc.Name, err)
 	}
 	c0 := control.Elapsed()
+	wnext := 0
 	for i, q := range qs {
 		out, err := control.Execute(q)
 		if err != nil {
@@ -150,11 +247,25 @@ func Run(sc *Scenario, mk func() Harness) (*Result, error) {
 			control.Close()
 			return nil, fmt.Errorf("chaos: %s: control query %d answered wrongly", sc.Name, i)
 		}
+		if sc.MutateEvery > 0 && (i+1)%sc.MutateEvery == 0 && wnext < len(script) {
+			if err := control.Mutate(script[wnext]); err != nil {
+				control.Close()
+				return nil, fmt.Errorf("chaos: %s: control write %d (%s): %w", sc.Name, wnext, script[wnext].Op, err)
+			}
+			wnext++
+		}
 	}
 	celapsed := control.Elapsed() - c0
 	control.Close()
 	if s := celapsed.Seconds(); s > 0 {
 		res.ControlGoodput = float64(len(qs)) / s
+	}
+	if len(script) > 0 {
+		// The virtual-time engine mutates the workload graph in place, so
+		// the control pass's writes are now baked into g. Regenerate it so
+		// the fault deployment bulk-loads the pristine dataset and applies
+		// the script online, like the control pass did.
+		g, _, _ = Workload(sc)
 	}
 
 	// Fault pass.
@@ -166,6 +277,9 @@ func Run(sc *Scenario, mk func() Harness) (*Result, error) {
 	defer h.Close()
 
 	res.Total = len(qs)
+	res.Writes = len(script)
+	acked := make([]bool, len(script))
+	wnext = 0
 	next := 0                    // next step to fire
 	killBytes := map[int]int64{} // shard bytes recorded at each kill
 	pending := map[int]int{}     // step index -> query index it fired at (awaiting first success)
@@ -220,6 +334,17 @@ func Run(sc *Scenario, mk func() Harness) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("chaos: %s: query %d: %w", sc.Name, i, err)
 		}
+		if sc.MutateEvery > 0 && (i+1)%sc.MutateEvery == 0 && wnext < len(script) {
+			// Any write error is simply an unacked write — during a kill
+			// window the write-all ack cannot be had, and a conflict can
+			// cascade from an earlier unacked upsert. The settle phase
+			// retries; the invariant bounds how many fail here.
+			if err := h.Mutate(script[wnext]); err == nil {
+				acked[wnext] = true
+				res.WritesAcked++
+			}
+			wnext++
+		}
 	}
 	elapsed := h.Elapsed() - f0
 	if s := elapsed.Seconds(); s > 0 {
@@ -229,8 +354,74 @@ func Run(sc *Scenario, mk func() Harness) (*Result, error) {
 		res.GoodputRatio = res.Goodput / res.ControlGoodput
 	}
 	res.Steps = events
-	res.Violations = checkInvariants(sc, res, pending)
+	var writeViol []string
+	if len(script) > 0 {
+		writeViol = settleAndVerify(h, res, script, acked, sc)
+	}
+	res.Violations = append(checkInvariants(sc, res, pending), writeViol...)
 	return res, nil
+}
+
+// settleAndVerify closes out a mutation scenario after the workload: it
+// retries every unacked write in script order until it lands (idempotent
+// retry is the write path's documented recovery; a retried remove-edge
+// whose first attempt landed reports ErrConflict, which counts as
+// landed), then reads the whole written state back through the
+// deployment and compares it against the fully applied script. Any write
+// that cannot settle, any read-back disagreement (a lost acked write, or
+// a tombstoned edge that resurrected across a restart) and any probe
+// that errors is a violation.
+func settleAndVerify(h Harness, res *Result, script []core.Mutation, acked []bool, sc *Scenario) []string {
+	var v []string
+	for w, m := range script {
+		if acked[w] {
+			continue
+		}
+		var err error
+		for attempt := 0; attempt < settleAttempts; attempt++ {
+			if err = h.Mutate(m); err == nil {
+				break
+			}
+			if m.Op == core.MutRemoveEdge && errors.Is(err, query.ErrConflict) {
+				err = nil // the pre-settle attempt landed before failing its ack
+				break
+			}
+			time.Sleep(settleBackoff)
+		}
+		if err != nil {
+			v = append(v, fmt.Sprintf("write %d (%s %d->%d) would not settle after recovery: %v",
+				w, m.Op, m.Node, m.To, err))
+			continue
+		}
+		res.WritesHealed++
+	}
+	if len(v) > 0 {
+		// The reference state assumes a fully applied script; with writes
+		// that never landed, read-back mismatches would double-report.
+		return v
+	}
+	ge, _, _ := Workload(sc)
+	applyScript(ge, script)
+	probes := writeProbes(script)
+	res.WriteProbes = len(probes)
+	mismatches, errored := 0, 0
+	for _, pq := range probes {
+		out, err := h.Execute(pq)
+		if err != nil {
+			errored++
+			continue
+		}
+		if out != query.Answer(ge, pq) {
+			mismatches++
+		}
+	}
+	if errored > 0 {
+		v = append(v, fmt.Sprintf("%d of %d read-back probes errored after recovery", errored, len(probes)))
+	}
+	if mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d of %d read-back probes disagree with the applied write script (lost acked write or resurrected tombstone)", mismatches, len(probes)))
+	}
+	return v
 }
 
 // checkInvariants evaluates the scenario's invariants against the fault
@@ -258,6 +449,11 @@ func checkInvariants(sc *Scenario, r *Result, pending map[int]int) []string {
 	}
 	if inv.MaxRejoinFraction > 0 && r.RejoinFraction >= 0 && r.RejoinFraction > inv.MaxRejoinFraction {
 		v = append(v, fmt.Sprintf("restart re-replicated %.1f%% of the shard, max %.1f%%", 100*r.RejoinFraction, 100*inv.MaxRejoinFraction))
+	}
+	if r.Writes > 0 {
+		if frac := float64(r.Writes-r.WritesAcked) / float64(r.Writes); frac > inv.MaxWriteUnavailable {
+			v = append(v, fmt.Sprintf("%.1f%% of writes failed to ack during the run, max %.1f%%", 100*frac, 100*inv.MaxWriteUnavailable))
+		}
 	}
 	return v
 }

@@ -87,6 +87,13 @@ type Invariants struct {
 	// cold one needs a full copy). Checked only on harnesses that report
 	// repair bytes. 0 skips.
 	MaxRejoinFraction float64 `json:"max_rejoin_fraction,omitempty"`
+	// MaxWriteUnavailable bounds the fraction of the write script allowed
+	// to fail unacked during the fault run (the write path acks only after
+	// every replica took the write, so writes touching a down shard fail
+	// by design until the restart). The default 0 demands every write ack
+	// first try. Lost *acked* writes are never tolerated, whatever this is
+	// set to.
+	MaxWriteUnavailable float64 `json:"max_write_unavailable,omitempty"`
 }
 
 // Scenario is one declarative chaos experiment.
@@ -108,6 +115,16 @@ type Scenario struct {
 	Nodes   int   `json:"nodes"`
 	Queries int   `json:"queries"`
 	Seed    int64 `json:"seed"`
+
+	// MutateEvery interleaves online graph writes with the queries: after
+	// every MutateEvery-th query the runner issues the next write of a
+	// deterministic script (fresh nodes chained by edges, with periodic
+	// edge removals) through the deployment's write path. After the
+	// workload the runner retries every unacked write until it lands, then
+	// reads the whole written state back and compares it against the fully
+	// applied script — a lost acked write or a tombstoned edge that
+	// resurrected is a violation. 0 = read-only scenario.
+	MutateEvery int `json:"mutate_every,omitempty"`
 
 	Steps      []Step     `json:"steps"`
 	Invariants Invariants `json:"invariants"`
@@ -155,6 +172,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Nodes < 1 || sc.Queries < 1 {
 		return fmt.Errorf("chaos: %s: workload needs nodes and queries >= 1", sc.Name)
+	}
+	if sc.MutateEvery < 0 {
+		return fmt.Errorf("chaos: %s: mutate_every = %d, need >= 0", sc.Name, sc.MutateEvery)
 	}
 	if !sort.SliceIsSorted(sc.Steps, func(i, j int) bool { return sc.Steps[i].At < sc.Steps[j].At }) {
 		return fmt.Errorf("chaos: %s: steps must be sorted by at", sc.Name)
@@ -208,6 +228,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Invariants.MaxUnavailable < 0 || sc.Invariants.MaxUnavailable > 1 {
 		return fmt.Errorf("chaos: %s: max_unavailable outside [0,1]", sc.Name)
+	}
+	if sc.Invariants.MaxWriteUnavailable < 0 || sc.Invariants.MaxWriteUnavailable > 1 {
+		return fmt.Errorf("chaos: %s: max_write_unavailable outside [0,1]", sc.Name)
 	}
 	return nil
 }

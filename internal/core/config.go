@@ -159,6 +159,39 @@ type Config struct {
 	// StorageFsync forces an fsync per logged write: durable against
 	// machine crashes, not just process death. Ignored without StorageDir.
 	StorageFsync bool
+	// AdaptivePlacement enables the workload-adaptive placement subsystem
+	// (internal/placement): sessions accumulate per-record storage-read
+	// heat attributed to the reading processor, and a background planner
+	// migrates hot records toward their dominant reader's near storage
+	// slot as bounded copy-then-tombstone moves. Off by default — no heat
+	// is recorded and no record ever moves. Forces the replicated store
+	// (works at StorageReplicas = 1); incompatible with a custom Placer.
+	AdaptivePlacement bool
+	// PlacementBudget bounds the record bytes migrated per planning cycle
+	// (<= 0 means unbounded, the offline re-load baseline). Ignored
+	// without AdaptivePlacement.
+	PlacementBudget int64
+	// PlacementEvery auto-runs one planning cycle after this many queries
+	// on a Session (0 = only explicit PlacementTick calls). Ignored
+	// without AdaptivePlacement.
+	PlacementEvery int
+	// PlacementMinReads is the planner's heat floor: a record read fewer
+	// times than this since the last decay never moves (0 = the placement
+	// package default).
+	PlacementMinReads int64
+	// StorageAffinity makes storage locality matter to the cost model:
+	// a fetch served by a storage slot other than the processor's near
+	// slot (active storage slots in order, indexed by processor modulo
+	// their count) travels a longer network path — its round-trip legs
+	// are multiplied by this factor (shard occupancy is unchanged; a far
+	// read does not make the server work harder, it makes the reply
+	// travel further). 0 or 1 = uniform costs (the paper's model, the
+	// default). This is the lever the placement subsystem pulls: moving
+	// a hot record to its reader's near slot converts far fetches into
+	// near ones, and because a round's latency is the max over its
+	// batches, the win arrives only once whole neighbourhoods are near —
+	// exactly the bulk moves the planner makes.
+	StorageAffinity float64
 	// FailedProcessors lists processor slots that start in the Down state:
 	// the router diverts their queries to the next-best live processor
 	// (the decoupled design's fault-tolerance property). It seeds the
@@ -237,6 +270,15 @@ func (c Config) validate() error {
 	}
 	if c.StorageReplicas > 1 && c.Placer != nil {
 		return fmt.Errorf("core: StorageReplicas > 1 is incompatible with a custom Placer")
+	}
+	if c.AdaptivePlacement && c.Placer != nil {
+		return fmt.Errorf("core: AdaptivePlacement is incompatible with a custom Placer")
+	}
+	if c.StorageAffinity != 0 && c.StorageAffinity < 1 {
+		return fmt.Errorf("core: StorageAffinity = %v, need 0 (off) or >= 1", c.StorageAffinity)
+	}
+	if c.PlacementEvery < 0 {
+		return fmt.Errorf("core: PlacementEvery = %d, need >= 0", c.PlacementEvery)
 	}
 	if c.Alpha < 0 || c.Alpha > 1 {
 		return fmt.Errorf("core: Alpha = %v outside [0,1]", c.Alpha)

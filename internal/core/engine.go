@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/query"
 	"repro/internal/router"
 	"repro/internal/simnet"
@@ -233,6 +234,12 @@ type Session struct {
 	count   int
 	routing metrics.Histogram // virtual routing decision cost per query (ns)
 	depth   metrics.Histogram // destination queue depth at each decision
+
+	// Write path + adaptive placement (nil/zero unless enabled).
+	mutations int64
+	heat      *placement.Heat
+	planner   *placement.Planner
+	sinceTick int
 }
 
 // NewSession creates a session with cold caches.
@@ -246,13 +253,26 @@ func (s *System) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	ses := &Session{
 		sys:   s,
 		rt:    rt,
 		view:  view,
 		procs: s.newProcs(view),
 		tl:    simnet.NewTimeline(s.store.NumServers()),
-	}, nil
+	}
+	if s.cfg.AdaptivePlacement {
+		ses.heat = placement.NewHeat()
+		ses.planner = placement.New(placement.Config{
+			BudgetBytes: s.cfg.PlacementBudget,
+			MinReads:    s.cfg.PlacementMinReads,
+		})
+		for _, p := range ses.procs {
+			if p != nil {
+				p.heat = ses.heat
+			}
+		}
+	}
+	return ses, nil
 }
 
 // applyTopology brings the session up to the system's current epoch:
@@ -275,6 +295,7 @@ func (ses *Session) applyTopology() {
 		var p *proc
 		if st != topology.Left {
 			p = ses.sys.newProc(slot)
+			p.heat = ses.heat
 		}
 		ses.procs = append(ses.procs, p)
 	}
@@ -317,6 +338,13 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 	ses.count++
 	if so, ok := strat.(router.StatsObserver); ok {
 		so.ObserveStats(aggregateCache(ses.procs))
+	}
+	if every := ses.sys.cfg.PlacementEvery; every > 0 && ses.planner != nil {
+		ses.sinceTick++
+		if ses.sinceTick >= every {
+			ses.sinceTick = 0
+			ses.PlacementTick()
+		}
 	}
 	return res, service, nil
 }
@@ -370,6 +398,7 @@ func (ses *Session) Snapshot() *metrics.Snapshot {
 		Processors:   ses.view.NumActive(),
 		Epoch:        ses.view.Epoch,
 		Queries:      int64(ses.count),
+		Mutations:    ses.mutations,
 		Stolen:       int64(ses.rt.Stolen()),
 		Diverted:     int64(ses.rt.Diverted()),
 		Reassigned:   ses.rt.Reassigned(),
@@ -423,6 +452,12 @@ func (ses *Session) Snapshot() *metrics.Snapshot {
 			sc.RecoverNanos = ds.RecoverNanos
 		}
 		snap.PerStorage = append(snap.PerStorage, sc)
+	}
+	if ses.planner != nil {
+		pc := ses.planner.Counters()
+		pc.Overrides = ses.sys.store.Moves().Overrides
+		snap.Placement = pc
+		snap.PlacementLog = ses.planner.Log()
 	}
 	snap.Epochs = append(snap.Epochs, ses.sys.storageEventLog()...)
 	return snap

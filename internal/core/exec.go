@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/gstore"
 	"repro/internal/kvstore"
+	"repro/internal/placement"
 	"repro/internal/query"
 	"repro/internal/simnet"
 	"repro/internal/xrand"
@@ -27,6 +28,13 @@ type proc struct {
 	useCache bool
 	cache    *cache.LRU[cached]
 	sc       scratch
+	// near is the processor's affinity storage slot (System.nearStorageSlot
+	// at provisioning time; -1 when none) — the slot whose fetches escape
+	// the StorageAffinity penalty.
+	near int
+	// heat, when non-nil, accumulates per-record storage-read counts for
+	// the owning session's placement planner. Cache hits never reach it.
+	heat *placement.Heat
 }
 
 // execStats accounts one query's data movement, following Eq 8/9: hits is
@@ -41,6 +49,29 @@ func (a *execStats) add(b execStats) {
 	a.hits += b.hits
 	a.misses += b.misses
 	a.fetchedBytes += b.fetchedBytes
+}
+
+// farFactor returns the StorageAffinity cost multiplier for a batch served
+// by server on behalf of processor p (1 when the locality model is off or
+// the batch is served by p's near slot).
+func (s *System) farFactor(p *proc, server int) float64 {
+	f := s.cfg.StorageAffinity
+	if f <= 1 || p.near < 0 || server == p.near {
+		return 1
+	}
+	return f
+}
+
+// recordHeat attributes one storage read of each key to p, feeding the
+// owning session's placement planner. A no-op for workload-run processors
+// (no heat sink) and for cache hits (which never get here).
+func recordHeat(p *proc, keys []uint64) {
+	if p.heat == nil {
+		return
+	}
+	for _, k := range keys {
+		p.heat.Record(k, p.id, 1)
+	}
 }
 
 // fetchRecords obtains the records of ids for processor p starting at
@@ -97,9 +128,14 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 					return
 				}
 				work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
-				finish := tl.Serve(b.Server, clock+prof.RTT/2, work)
-				clock = finish + prof.RTT/2
+				rtt := prof.RTT
+				if f := s.farFactor(p, b.Server); f > 1 {
+					rtt = time.Duration(float64(rtt) * f)
+				}
+				finish := tl.Serve(b.Server, clock+rtt/2, work)
+				clock = finish + rtt/2
 				st.fetchedBytes += bytes
+				recordHeat(p, b.Keys)
 			})
 			if err != nil {
 				break
@@ -124,11 +160,23 @@ func (s *System) fetchRecords(p *proc, ids []graph.NodeID, now time.Duration, tl
 				return
 			}
 			work := time.Duration(len(b.Keys))*prof.PerKeyService + prof.TransferCost(bytes)
+			ret := prof.RTT / 2
+			if f := s.farFactor(p, b.Server); f > 1 {
+				// A far batch occupies the shard no longer than a near one —
+				// the penalty is the longer network path, so it lands on the
+				// round trip: the return leg stretches by f (depart is shared
+				// across the round's batches, so the whole penalty is here).
+				// Latency is a max() term — one far batch drags the entire
+				// round — which is why the planner moves whole neighbourhoods,
+				// not single records.
+				ret = time.Duration(float64(ret) * f)
+			}
 			finish := tl.Serve(b.Server, depart, work)
-			if a := finish + prof.RTT/2; a > arrival {
+			if a := finish + ret; a > arrival {
 				arrival = a
 			}
 			st.fetchedBytes += bytes
+			recordHeat(p, b.Keys)
 		})
 		cost = arrival - now
 	}

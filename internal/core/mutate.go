@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/placement"
+	"repro/internal/query"
+	"repro/internal/topology"
+)
+
+// MutOp enumerates the online graph mutations every transport accepts.
+type MutOp uint8
+
+const (
+	// MutUpsertNode creates Node with Label, or relabels it when it
+	// already exists. Idempotent: upserting the same (node, label) twice
+	// is a no-op the second time.
+	MutUpsertNode MutOp = iota + 1
+	// MutAddEdge ensures the edge Node->To with Label exists. Adding an
+	// edge that is already present succeeds without duplicating it; a
+	// missing endpoint is a conflict.
+	MutAddEdge
+	// MutRemoveEdge removes the edge Node->To (any label). Removing an
+	// edge that does not exist is a conflict.
+	MutRemoveEdge
+)
+
+func (op MutOp) String() string {
+	switch op {
+	case MutUpsertNode:
+		return "upsert-node"
+	case MutAddEdge:
+		return "add-edge"
+	case MutRemoveEdge:
+		return "remove-edge"
+	}
+	return fmt.Sprintf("MutOp(%d)", uint8(op))
+}
+
+// Mutation is one online graph write. Node is the subject (the upserted
+// node, or an edge's source); To is the edge destination; Label is the
+// node label for MutUpsertNode and the edge label for MutAddEdge.
+type Mutation struct {
+	Op    MutOp
+	Node  graph.NodeID
+	To    graph.NodeID
+	Label graph.Label
+}
+
+// Validate checks the mutation's shape without consulting a graph, the
+// same contract query.Query.Validate gives reads: malformed mutations are
+// rejected with the typed query.ErrBadQuery before anything executes.
+func (m Mutation) Validate() error {
+	switch m.Op {
+	case MutUpsertNode:
+		if m.To != 0 {
+			return fmt.Errorf("%w: upsert-node carries an edge destination", query.ErrBadQuery)
+		}
+	case MutAddEdge, MutRemoveEdge:
+		if m.Node == m.To {
+			return fmt.Errorf("%w: self-loop %d->%d", query.ErrBadQuery, m.Node, m.To)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mutation op %d", query.ErrBadQuery, uint8(m.Op))
+	}
+	return nil
+}
+
+// Mutate applies muts in order against the running system: the graph, the
+// storage tier (versioned, WAL-logged when durability is on), the
+// routing-side incremental indexes, and every session processor's cache
+// (evicted, so the session reads its own writes). It stops at the first
+// mutation that fails and returns how many were applied — the applied
+// prefix stays applied, exactly as individually acked writes would.
+//
+// Conflicts (removing an absent edge, adding an edge on a missing
+// endpoint) return query.ErrConflict; malformed mutations return
+// query.ErrBadQuery. Virtual time advances by the write cost: one
+// replicated round trip per rewritten record, served on the storage
+// contention timeline.
+func (ses *Session) Mutate(muts ...Mutation) (int, error) {
+	ses.applyTopology()
+	g := ses.sys.g
+	for i, m := range muts {
+		if err := m.Validate(); err != nil {
+			return i, err
+		}
+		switch m.Op {
+		case MutUpsertNode:
+			created := g.UpsertNode(m.Node, m.Label)
+			ses.writeRecord(m.Node)
+			if created {
+				ses.sys.incorporateNode(m.Node)
+			}
+		case MutAddEdge:
+			created, err := g.EnsureEdge(m.Node, m.To, m.Label)
+			if err != nil {
+				return i, fmt.Errorf("%w: add edge %d->%d: %v", query.ErrConflict, m.Node, m.To, err)
+			}
+			if created {
+				ses.writeEdge(m.Node, m.To)
+			}
+		case MutRemoveEdge:
+			if !g.RemoveEdge(m.Node, m.To) {
+				return i, fmt.Errorf("%w: remove edge %d->%d: no such edge", query.ErrConflict, m.Node, m.To)
+			}
+			ses.writeEdge(m.Node, m.To)
+		}
+		ses.mutations++
+	}
+	return len(muts), nil
+}
+
+// Mutations returns how many mutations the session has applied.
+func (ses *Session) Mutations() int64 { return ses.mutations }
+
+// writeRecord rewrites u's storage record from the graph, charges the
+// replicated write's virtual-time cost and evicts the record from every
+// session processor's cache (read-your-writes).
+func (ses *Session) writeRecord(u graph.NodeID) {
+	bytes, _ := ses.sys.tier.UpdateNode(ses.sys.g, u)
+	ses.chargeWrite(uint64(u), bytes)
+	for _, p := range ses.procs {
+		if p != nil {
+			p.cache.Remove(uint64(u))
+		}
+	}
+}
+
+// writeEdge rewrites both endpoint records after an edge change and runs
+// the routing-side refresh.
+func (ses *Session) writeEdge(u, v graph.NodeID) {
+	ses.writeRecord(u)
+	ses.writeRecord(v)
+	ses.sys.refreshEdge(u, v)
+}
+
+// chargeWrite advances the session clock by one write-all round trip for
+// key: every replica in the current placement serves the write on the
+// contention timeline, and the ack arrives when the slowest one finishes —
+// the same accounting shape fetchRecords uses for reads.
+func (ses *Session) chargeWrite(key uint64, bytes int) {
+	prof := ses.sys.cfg.Network
+	var arr [topology.MaxReplicas]int
+	depart := ses.now + prof.RTT/2
+	arrival := depart + prof.RTT/2
+	work := prof.PerKeyService + prof.TransferCost(int64(bytes))
+	for _, slot := range ses.sys.store.ReplicasFor(key, arr[:0]) {
+		finish := ses.tl.Serve(slot, depart, work)
+		if a := finish + prof.RTT/2; a > arrival {
+			arrival = a
+		}
+	}
+	ses.now = arrival
+}
+
+// sessionEnv adapts the session's deployment to the placement planner's
+// Env: placement truth comes from the store, locality from the same
+// nearStorageSlot mapping the cost model bills with.
+type sessionEnv struct{ ses *Session }
+
+func (e sessionEnv) Primary(key uint64) int {
+	var arr [topology.MaxReplicas]int
+	pl := e.ses.sys.store.ReplicasFor(key, arr[:0])
+	if len(pl) == 0 {
+		return -1
+	}
+	return pl[0]
+}
+
+func (e sessionEnv) Replicas(key uint64, dst []int) []int {
+	return e.ses.sys.store.ReplicasFor(key, dst)
+}
+
+func (e sessionEnv) SizeOf(key uint64) int { return e.ses.sys.store.SizeOf(key) }
+
+func (e sessionEnv) NearSlot(proc int) int {
+	if proc >= 0 && proc < len(e.ses.procs) && e.ses.procs[proc] != nil {
+		return e.ses.procs[proc].near
+	}
+	return e.ses.sys.nearStorageSlot(proc)
+}
+
+func (e sessionEnv) ReplicaTarget() int { return e.ses.sys.store.Replicas() }
+
+// PlacementTick runs one adaptive-placement planning cycle: the planner
+// proposes bounded migrations from the heat accumulated since the last
+// tick, each is executed as a versioned copy-then-tombstone move, the
+// migration traffic is charged to the storage contention timeline (it
+// occupies shards, it does not stall the query stream), and the heat
+// decays. Returns how many records moved; 0 (and no work) when the
+// subsystem is off. Sessions with Config.PlacementEvery > 0 tick
+// automatically; explicit calls compose with that.
+func (ses *Session) PlacementTick() int {
+	if ses.planner == nil {
+		return 0
+	}
+	ses.applyTopology()
+	moved := 0
+	for _, m := range ses.planner.Plan(ses.heat, sessionEnv{ses}) {
+		bytes, err := ses.sys.store.Move(m.Key, m.To)
+		ok := err == nil
+		ses.planner.Executed(m, ok)
+		if !ok {
+			continue
+		}
+		moved++
+		ses.chargeMigration(m, bytes)
+	}
+	ses.heat.Decay()
+	return moved
+}
+
+// chargeMigration books a move's copy traffic on the storage timeline:
+// the source shard serves the read, each new destination absorbs the
+// write. The session clock does not advance — migration is background
+// work that contends with queries for shard service, which is exactly the
+// budget's reason to exist.
+func (ses *Session) chargeMigration(m placement.Move, bytes int64) {
+	prof := ses.sys.cfg.Network
+	work := prof.PerKeyService + prof.TransferCost(bytes)
+	depart := ses.now + prof.RTT/2
+	if m.From >= 0 {
+		ses.tl.Serve(m.From, depart, work)
+	}
+	for _, slot := range m.To {
+		if slot != m.From {
+			ses.tl.Serve(slot, depart, work)
+		}
+	}
+}

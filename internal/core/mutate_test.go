@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+func TestMutationValidate(t *testing.T) {
+	bad := []Mutation{
+		{Op: MutOp(0)},
+		{Op: MutOp(99)},
+		{Op: MutUpsertNode, Node: 1, To: 2},
+		{Op: MutAddEdge, Node: 3, To: 3},
+		{Op: MutRemoveEdge, Node: 4, To: 4},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); !errors.Is(err, query.ErrBadQuery) {
+			t.Errorf("case %d (%v): err = %v, want ErrBadQuery", i, m, err)
+		}
+	}
+	for _, m := range []Mutation{
+		{Op: MutUpsertNode, Node: 1},
+		{Op: MutAddEdge, Node: 1, To: 2},
+		{Op: MutRemoveEdge, Node: 2, To: 1},
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", m, err)
+		}
+	}
+}
+
+func TestMutOpString(t *testing.T) {
+	want := map[MutOp]string{
+		MutUpsertNode: "upsert-node", MutAddEdge: "add-edge",
+		MutRemoveEdge: "remove-edge", MutOp(9): "MutOp(9)",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("MutOp(%d).String() = %q, want %q", uint8(op), op.String(), s)
+		}
+	}
+}
+
+// TestMutateConflictKeepsPrefix: a batch stops at the first conflicting
+// mutation, the applied prefix stays applied, and the error is typed.
+func TestMutateConflictKeepsPrefix(t *testing.T) {
+	g := testGraph()
+	sys, err := NewSystem(g, testConfig(PolicyHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl := g.InternLabel("t")
+	u := g.MaxNodeID()
+	n, err := ses.Mutate(
+		Mutation{Op: MutUpsertNode, Node: u, Label: lbl},
+		Mutation{Op: MutRemoveEdge, Node: u, To: 5}, // no such edge
+		Mutation{Op: MutAddEdge, Node: u, To: 7, Label: lbl},
+	)
+	if n != 1 || !errors.Is(err, query.ErrConflict) {
+		t.Fatalf("applied %d, err %v; want 1, ErrConflict", n, err)
+	}
+	if !g.Exists(u) {
+		t.Fatal("acked prefix lost: upserted node missing")
+	}
+	if g.HasEdge(u, 7) {
+		t.Fatal("mutation past the failure point was applied")
+	}
+	// An edge onto a node that was never created is also a conflict.
+	if _, err := ses.Mutate(Mutation{Op: MutAddEdge, Node: g.MaxNodeID() + 10, To: 0, Label: lbl}); !errors.Is(err, query.ErrConflict) {
+		t.Fatalf("edge on missing endpoint: err = %v, want ErrConflict", err)
+	}
+}
+
+// TestMutateReadYourWrites: after an acked write the same session's
+// queries see it — the processor caches were evicted and storage rewritten
+// — and the virtual clock paid for the replicated write round trips.
+func TestMutateReadYourWrites(t *testing.T) {
+	g := testGraph()
+	sys, err := NewSystem(g, testConfig(PolicyEmbed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache on node 5's neighbourhood first, so the write path
+	// must actually invalidate something.
+	q5 := query.Query{Type: query.NeighborAgg, Node: 5, Hops: 1, Dir: graph.Out}
+	if _, _, err := ses.Execute(q5); err != nil {
+		t.Fatal(err)
+	}
+	lbl := g.InternLabel("t")
+	u := g.MaxNodeID()
+	before := ses.Now()
+	if _, err := ses.Mutate(
+		Mutation{Op: MutUpsertNode, Node: u, Label: lbl},
+		Mutation{Op: MutAddEdge, Node: 5, To: u, Label: lbl},
+		Mutation{Op: MutAddEdge, Node: u, To: 9, Label: lbl},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if ses.Now() <= before {
+		t.Fatal("writes advanced no virtual time")
+	}
+	if ses.Mutations() != 3 {
+		t.Fatalf("Mutations() = %d, want 3", ses.Mutations())
+	}
+	for _, q := range []query.Query{
+		q5,
+		{Type: query.NeighborAgg, Node: u, Hops: 2, Dir: graph.Both},
+		{Type: query.Reachability, Node: 5, Target: 9, Hops: 2},
+	} {
+		res, _, err := ses.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := query.Answer(g, q); res != want {
+			t.Fatalf("stale read after acked write: %v got %+v, want %+v", q.Type, res, want)
+		}
+	}
+}
+
+// TestMutateDuringMigration is the write-path/placement race property
+// test: a session interleaves acked mutations with adaptive-placement
+// cycles whose copy-then-tombstone moves chase a drifting hot spot. Two
+// invariants must hold at every step, no matter how moves and writes
+// interleave: no acked write is ever lost (every query agrees with the
+// live graph), and no removed edge is ever resurrected by a stale copy.
+func TestMutateDuringMigration(t *testing.T) {
+	const base = 800
+	g := gen.LocalWeb(base, 6, 60, 0.01, 11)
+	cfg := testConfig(PolicyEmbed)
+	cfg.AdaptivePlacement = true
+	cfg.PlacementBudget = 4 << 10
+	cfg.PlacementMinReads = 2
+	cfg.CacheBytes = 1 << 10 // tiny cache: reads hit storage and accrue heat
+	cfg.StorageAffinity = 4
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(u graph.NodeID, hops int) {
+		t.Helper()
+		q := query.Query{Type: query.NeighborAgg, Node: u, Hops: hops, Dir: graph.Out}
+		res, _, err := ses.Execute(q)
+		if err != nil {
+			t.Fatalf("query on %d: %v", u, err)
+		}
+		if want := query.Answer(g, q); res != want {
+			t.Fatalf("node %d (hops %d): got %+v, want %+v — a migration lost or resurrected a write", u, hops, res, want)
+		}
+	}
+
+	lbl := g.InternLabel("live")
+	var acked []graph.NodeID
+	type edge struct{ u, v graph.NodeID }
+	var removed []edge
+	moved := 0
+	for round := 0; round < 6; round++ {
+		// A pinned hot spot that drifts each round: repeated 1-hop reads
+		// concentrate heat so the next tick wants to migrate this
+		// neighbourhood.
+		center := graph.NodeID((round * 131) % base)
+		for i := 0; i < 12; i++ {
+			check(center, 1)
+		}
+		// Acked writes wired into the very records about to move: a new
+		// node joins the hot neighbourhood, and a scratch edge is added
+		// then tombstoned.
+		u := g.MaxNodeID()
+		scratch := graph.NodeID((round*29 + 5) % base)
+		if n, err := ses.Mutate(
+			Mutation{Op: MutUpsertNode, Node: u, Label: lbl},
+			Mutation{Op: MutAddEdge, Node: center, To: u, Label: lbl},
+			Mutation{Op: MutAddEdge, Node: u, To: graph.NodeID((round*17 + 3) % base), Label: lbl},
+			Mutation{Op: MutAddEdge, Node: u, To: scratch, Label: lbl},
+			Mutation{Op: MutRemoveEdge, Node: u, To: scratch},
+		); err != nil || n != 5 {
+			t.Fatalf("round %d: applied %d, err %v", round, n, err)
+		}
+		acked = append(acked, u)
+		removed = append(removed, edge{u, scratch})
+		// The migration cycle races everything above.
+		moved += ses.PlacementTick()
+		// Every acked write is still visible; every tombstone still holds.
+		for _, a := range acked {
+			check(a, 1)
+			check(a, 2)
+		}
+		for _, e := range removed {
+			if g.HasEdge(e.u, e.v) {
+				t.Fatalf("edge %d->%d resurrected in the graph", e.u, e.v)
+			}
+			check(e.u, 1)
+		}
+		check(center, 2)
+	}
+	if moved == 0 {
+		t.Fatal("no migrations raced the writes — the property test is vacuous")
+	}
+	pc := ses.Snapshot().Placement
+	if pc.Moved != int64(moved) {
+		t.Fatalf("snapshot says %d moves, ticks returned %d", pc.Moved, moved)
+	}
+	if pc.MovedBytes > pc.Cycles*cfg.PlacementBudget {
+		t.Fatalf("migration volume %dB exceeds %d cycles x %dB budget",
+			pc.MovedBytes, pc.Cycles, cfg.PlacementBudget)
+	}
+}

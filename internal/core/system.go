@@ -57,7 +57,9 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 	}
 	var st *kvstore.Store
 	var err error
-	if cfg.StorageReplicas > 1 {
+	if cfg.StorageReplicas > 1 || cfg.AdaptivePlacement {
+		// Placement overrides (the adaptive subsystem's lever) only exist
+		// on the replicated store, which runs fine at R = 1.
 		st, err = kvstore.NewReplicated(cfg.StorageServers, cfg.StorageReplicas)
 	} else {
 		st, err = kvstore.New(cfg.StorageServers, cfg.Placer)
@@ -238,6 +240,7 @@ func (s *System) newProc(slot int) *proc {
 		id:       slot,
 		useCache: useCache,
 		cache:    cache.New[cached](capacity),
+		near:     s.nearStorageSlot(slot),
 	}
 }
 
@@ -452,6 +455,13 @@ func (s *System) AddNode(u graph.NodeID) {
 	for _, e := range s.g.InEdges(u) {
 		s.tier.UpdateNode(s.g, e.To)
 	}
+	s.incorporateNode(u)
+}
+
+// incorporateNode runs the routing-side incremental update for a new node
+// u (landmark distances, processor assignment, embedding coordinates) —
+// the non-storage half of AddNode, shared with the session write path.
+func (s *System) incorporateNode(u graph.NodeID) {
 	if s.idx != nil {
 		s.idx.IncorporateNode(s.g, u)
 		s.assign.SetNodeDistances(s.idx, u)
@@ -469,18 +479,56 @@ func (s *System) AddNode(u graph.NodeID) {
 func (s *System) UpdateEdge(u, v graph.NodeID) {
 	s.tier.UpdateNode(s.g, u)
 	s.tier.UpdateNode(s.g, v)
-	if s.idx != nil {
-		s.idx.RefreshAround(s.g, u, 2)
-		s.idx.RefreshAround(s.g, v, 2)
-		region := map[graph.NodeID]struct{}{u: {}, v: {}}
-		for w := range s.g.BFSBounded(u, 2, graph.Both) {
-			region[w] = struct{}{}
-		}
-		for w := range s.g.BFSBounded(v, 2, graph.Both) {
-			region[w] = struct{}{}
-		}
-		for w := range region {
-			s.assign.SetNodeDistances(s.idx, w)
+	s.refreshEdge(u, v)
+}
+
+// refreshEdge is the routing-side incremental update after an edge change
+// between u and v — the non-storage half of UpdateEdge, shared with the
+// session write path (which does its own tier writes to account their
+// virtual-time cost).
+func (s *System) refreshEdge(u, v graph.NodeID) {
+	if s.idx == nil {
+		return
+	}
+	s.idx.RefreshAround(s.g, u, 2)
+	s.idx.RefreshAround(s.g, v, 2)
+	region := map[graph.NodeID]struct{}{u: {}, v: {}}
+	for w := range s.g.BFSBounded(u, 2, graph.Both) {
+		region[w] = struct{}{}
+	}
+	for w := range s.g.BFSBounded(v, 2, graph.Both) {
+		region[w] = struct{}{}
+	}
+	for w := range region {
+		s.assign.SetNodeDistances(s.idx, w)
+	}
+}
+
+// nearStorageSlot maps a processor slot to its affinity storage slot: the
+// active storage members in slot order, indexed by the processor modulo
+// their count (-1 when the tier has no active member). The StorageAffinity
+// cost model and the placement planner both resolve locality through this
+// one function, so the slot the planner migrates a hot record to is
+// exactly the slot the cost model bills as near.
+func (s *System) nearStorageSlot(proc int) int {
+	v := s.store.View()
+	n := 0
+	for i := 0; i < v.Slots(); i++ {
+		if v.Status(i) == topology.Active {
+			n++
 		}
 	}
+	if n == 0 || proc < 0 {
+		return -1
+	}
+	want := proc % n
+	for i := 0; i < v.Slots(); i++ {
+		if v.Status(i) == topology.Active {
+			if want == 0 {
+				return i
+			}
+			want--
+		}
+	}
+	return -1
 }

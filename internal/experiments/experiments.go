@@ -9,8 +9,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/core"
@@ -94,6 +97,35 @@ func All() []Experiment {
 // header prints the experiment banner.
 func header(w io.Writer, e Experiment) {
 	fmt.Fprintf(w, "== %s (%s): %s ==\n", e.ID, e.Paper, e.Desc)
+}
+
+// benchDir is where experiments that produce machine-readable artifacts
+// (BENCH_<id>.json) write them. Empty — the default — disables emission,
+// so unit tests and ad-hoc library callers only get the text tables;
+// grouting-bench sets it (default: the working directory).
+var benchDir string
+
+// SetBenchDir sets the artifact output directory ("" disables emission).
+func SetBenchDir(dir string) { benchDir = dir }
+
+// writeBenchJSON emits v as BENCH_<id>.json under the bench directory and
+// notes the path on w. A no-op (reported as skipped) when no directory is
+// configured.
+func writeBenchJSON(w io.Writer, id string, v any) error {
+	if benchDir == "" {
+		fmt.Fprintf(w, "BENCH_%s.json: skipped (no bench dir; grouting-bench sets one)\n", id)
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal BENCH_%s.json: %w", id, err)
+	}
+	path := filepath.Join(benchDir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
 }
 
 // loadPreset generates a dataset preset at the run's scale.

@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b",
 		"fig14", "fig15", "fig16",
 		"ablation-stealing", "ablation-partition", "ablation-batch", "ablation-failure",
-		"elastic", "storagefault", "chaos",
+		"elastic", "storagefault", "chaos", "drift",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -115,6 +115,34 @@ func TestRunCellsOrderAndErrors(t *testing.T) {
 	cells[3] = func() error { return boom3 }
 	if err := runCells(cells); err != boom3 {
 		t.Fatalf("got error %v, want %v", err, boom3)
+	}
+}
+
+// TestDriftRecoversGoodput is the adaptive-placement acceptance run: at
+// the recorded quick scale, the bounded online planner must close at
+// least 90% of the static→re-load goodput gap after the hotspots move,
+// without ever exceeding its per-cycle migration budget.
+func TestDriftRecoversGoodput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full three-cell drift comparison")
+	}
+	var buf bytes.Buffer
+	rep, err := driftRun(&buf, Quick)
+	if err != nil {
+		t.Fatalf("drift failed: %v\n%s", err, buf.String())
+	}
+	if rep.Recovery < 0.90 {
+		t.Errorf("recovery fraction %.3f < 0.90\n%s", rep.Recovery, buf.String())
+	}
+	if !rep.BudgetRespected {
+		t.Errorf("migration volume exceeded the planner budget\n%s", buf.String())
+	}
+	ad := rep.Cells["adaptive"]
+	if ad.Moved.Moved == 0 {
+		t.Error("adaptive cell never migrated anything — the experiment is vacuous")
+	}
+	if st := rep.Cells["static"]; st.Moved.Moved != 0 {
+		t.Errorf("static cell migrated %d records; placement must not move", st.Moved.Moved)
 	}
 }
 

@@ -131,6 +131,53 @@ func (g *Graph) AddNodes(n int) NodeID {
 	return first
 }
 
+// UpsertNode ensures id names a live node carrying label, growing the id
+// space as needed (intermediate fresh ids stay non-existent until upserted
+// themselves) and reviving a tombstoned id. It is idempotent — the
+// distributed write path applies it once per transport without caring
+// whether the node already exists — and reports whether a node was created
+// (or revived) as opposed to relabelled in place.
+func (g *Graph) UpsertNode(id NodeID, label Label) bool {
+	for NodeID(len(g.out)) <= id {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+		g.nodeLabel = append(g.nodeLabel, NoLabel)
+		g.removed = append(g.removed, true)
+	}
+	created := g.removed[id]
+	if created {
+		g.removed[id] = false
+		g.liveNodes++
+	}
+	g.nodeLabel[id] = label
+	return created
+}
+
+// InternLabel interns label and returns its id — the form mutations carry
+// (records and queries store interned ids, never strings).
+func (g *Graph) InternLabel(label string) Label { return g.labels.intern(label) }
+
+// EnsureEdge inserts the directed edge u->v carrying label unless an
+// identical (u, v, label) edge already exists, and reports whether it
+// inserted one. This is the idempotent form the distributed write path
+// uses: applying the same mutation to the oracle graph and through a
+// Client (which may share the same graph on the local transport) cannot
+// produce a duplicate parallel edge.
+func (g *Graph) EnsureEdge(u, v NodeID, label Label) (bool, error) {
+	if !g.Exists(u) || !g.Exists(v) {
+		return false, ErrNoSuchNode
+	}
+	for _, e := range g.out[u] {
+		if e.To == v && e.Label == label {
+			return false, nil
+		}
+	}
+	g.out[u] = append(g.out[u], Edge{To: v, Label: label})
+	g.in[v] = append(g.in[v], Edge{To: u, Label: label})
+	g.numEdges++
+	return true, nil
+}
+
 // AddEdge inserts the directed edge u->v carrying label. Parallel edges are
 // permitted (the graph is a multigraph). It returns ErrNoSuchNode if either
 // endpoint is missing.

@@ -146,6 +146,72 @@ func decodeEdgeList(data []byte, dst []graph.Edge) ([]byte, error) {
 	return data, nil
 }
 
+// HasOut reports whether r carries the outgoing edge (v, label).
+func (r *Record) HasOut(v graph.NodeID, label graph.Label) bool {
+	for _, e := range r.Out {
+		if e.To == v && e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// EnsureOut inserts the outgoing edge (v, label) unless an identical one
+// exists, reporting whether it inserted. Decode shares one backing array
+// between Out and In, but Out is capacity-capped, so the append can never
+// clobber In.
+func (r *Record) EnsureOut(v graph.NodeID, label graph.Label) bool {
+	if r.HasOut(v, label) {
+		return false
+	}
+	r.Out = append(r.Out, graph.Edge{To: v, Label: label})
+	return true
+}
+
+// EnsureIn inserts the incoming edge (u, label) unless an identical one
+// exists, reporting whether it inserted.
+func (r *Record) EnsureIn(u graph.NodeID, label graph.Label) bool {
+	for _, e := range r.In {
+		if e.To == u && e.Label == label {
+			return false
+		}
+	}
+	r.In = append(r.In, graph.Edge{To: u, Label: label})
+	return true
+}
+
+// RemoveOut deletes the first outgoing edge to v (any label), mirroring
+// graph.RemoveEdge, and reports whether one was removed. The surviving
+// edges are compacted onto a fresh slice — Decode shares one backing
+// array between Out and In, so compacting in place would corrupt In.
+func (r *Record) RemoveOut(v graph.NodeID) bool {
+	var ok bool
+	r.Out, ok = removeEdgeCopy(r.Out, v)
+	return ok
+}
+
+// RemoveIn deletes the first incoming edge from u (any label) and reports
+// whether one was removed.
+func (r *Record) RemoveIn(u graph.NodeID) bool {
+	var ok bool
+	r.In, ok = removeEdgeCopy(r.In, u)
+	return ok
+}
+
+// removeEdgeCopy drops the first edge pointing at target, returning a
+// fresh slice (the input is never mutated) and whether one was found.
+func removeEdgeCopy(es []graph.Edge, target graph.NodeID) ([]graph.Edge, bool) {
+	for i, e := range es {
+		if e.To == target {
+			cp := make([]graph.Edge, 0, len(es)-1)
+			cp = append(cp, es[:i]...)
+			cp = append(cp, es[i+1:]...)
+			return cp, true
+		}
+	}
+	return es, false
+}
+
 // RecordOf extracts node u's storage record from an in-memory graph.
 func RecordOf(g *graph.Graph, u graph.NodeID) *Record {
 	return &Record{
@@ -339,13 +405,23 @@ func (t *Tier) FetchBatchInto(ids []graph.NodeID, dst []FetchResult, onBatch fun
 	return firstErr
 }
 
-// UpdateNode re-encodes node u from g and writes it back; used when the
-// graph mutates (Section 3.4, graph updates).
-func (t *Tier) UpdateNode(g *graph.Graph, u graph.NodeID) {
+// UpdateNode re-encodes node u from g and writes it back (or tombstones
+// it when the node no longer exists); used when the graph mutates
+// (Section 3.4, graph updates). It returns the encoded bytes written (0
+// for a delete) and the write's store version — the quantities the
+// engine's write cost model and read-your-writes ack are built on.
+func (t *Tier) UpdateNode(g *graph.Graph, u graph.NodeID) (int, uint64) {
 	if !g.Exists(u) {
 		t.store.Delete(uint64(u))
-		return
+		return 0, 0
 	}
-	buf := Encode(nil, RecordOf(g, u))
-	t.store.Put(uint64(u), buf)
+	return t.PutRecord(RecordOf(g, u))
+}
+
+// PutRecord encodes r and stores it under its node id, returning the
+// encoded size and the write's store version.
+func (t *Tier) PutRecord(r *Record) (int, uint64) {
+	buf := Encode(nil, r)
+	ver := t.store.Put(uint64(r.Node), buf)
+	return len(buf), ver
 }

@@ -355,3 +355,114 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestRecordEdgeEditing covers the in-place record editors the networked
+// mutate path rewrites fetched records with: idempotent inserts, removal
+// by destination (any label), and the copy-on-remove discipline that
+// keeps Decode's shared backing array intact.
+func TestRecordEdgeEditing(t *testing.T) {
+	r := &Record{
+		Node: 1,
+		Out:  []graph.Edge{{To: 2, Label: 1}, {To: 3, Label: 2}},
+		In:   []graph.Edge{{To: 9, Label: 1}},
+	}
+	if !r.HasOut(2, 1) || r.HasOut(2, 2) || r.HasOut(5, 1) {
+		t.Fatal("HasOut wrong")
+	}
+	if r.EnsureOut(2, 1) {
+		t.Fatal("EnsureOut inserted a duplicate")
+	}
+	if !r.EnsureOut(5, 3) || !r.HasOut(5, 3) {
+		t.Fatal("EnsureOut failed to insert")
+	}
+	if r.EnsureIn(9, 1) {
+		t.Fatal("EnsureIn inserted a duplicate")
+	}
+	if !r.EnsureIn(8, 2) || len(r.In) != 2 {
+		t.Fatal("EnsureIn failed to insert")
+	}
+	if r.RemoveOut(99) {
+		t.Fatal("RemoveOut removed a missing edge")
+	}
+	if !r.RemoveOut(3) || r.HasOut(3, 2) || len(r.Out) != 2 {
+		t.Fatalf("RemoveOut: %+v", r.Out)
+	}
+	if !r.RemoveIn(9) || len(r.In) != 1 || r.In[0].To != 8 {
+		t.Fatalf("RemoveIn: %+v", r.In)
+	}
+	if r.RemoveIn(9) {
+		t.Fatal("RemoveIn removed twice")
+	}
+}
+
+// TestRecordRemoveDoesNotClobberDecodeSiblings: a decoded record's Out and
+// In share one backing array; removing from Out must copy, never compact
+// in place, or In would be corrupted.
+func TestRecordRemoveDoesNotClobberDecodeSiblings(t *testing.T) {
+	orig := &Record{
+		Node: 7,
+		Out:  []graph.Edge{{To: 1, Label: 1}, {To: 2, Label: 2}, {To: 3, Label: 3}},
+		In:   []graph.Edge{{To: 4, Label: 4}, {To: 5, Label: 5}},
+	}
+	dec, err := Decode(7, Encode(nil, orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIn := sortEdges(orig.In)
+	if !dec.RemoveOut(1) {
+		t.Fatal("RemoveOut missed")
+	}
+	if got := sortEdges(dec.In); !reflect.DeepEqual(got, wantIn) {
+		t.Fatalf("In corrupted by RemoveOut: %+v, want %+v", got, wantIn)
+	}
+	dec.EnsureOut(9, 9)
+	if got := sortEdges(dec.In); !reflect.DeepEqual(got, wantIn) {
+		t.Fatalf("In corrupted by EnsureOut: %+v, want %+v", got, wantIn)
+	}
+}
+
+// TestUpdateNodeReturnsCostInputs: the write path's virtual-time charge
+// and ack are built on UpdateNode's (bytes, version) return.
+func TestUpdateNodeReturnsCostInputs(t *testing.T) {
+	tier, g := newLoadedTier(t)
+	target := graph.NodeID(20)
+	bytes, ver := tier.UpdateNode(g, target)
+	if bytes <= 0 || ver == 0 {
+		t.Fatalf("UpdateNode = (%d, %d), want positive bytes and version", bytes, ver)
+	}
+	if err := g.AddEdge(target, 21, "new"); err != nil {
+		t.Fatal(err)
+	}
+	bytes2, ver2 := tier.UpdateNode(g, target)
+	if bytes2 <= bytes || ver2 <= ver {
+		t.Fatalf("grown record: (%d, %d) after (%d, %d)", bytes2, ver2, bytes, ver)
+	}
+	if err := g.RemoveNode(target); err != nil {
+		t.Fatal(err)
+	}
+	if bytes, ver := tier.UpdateNode(g, target); bytes != 0 || ver != 0 {
+		t.Fatalf("delete returned (%d, %d), want (0, 0)", bytes, ver)
+	}
+}
+
+// TestPutRecord: storing an explicit record lands the encoded bytes under
+// its node id.
+func TestPutRecord(t *testing.T) {
+	st, err := kvstore.New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := NewTier(st)
+	r := &Record{Node: 77, NodeLabel: 1, Out: []graph.Edge{{To: 5, Label: 2}}}
+	bytes, ver := tier.PutRecord(r)
+	if bytes != len(Encode(nil, r)) || ver == 0 {
+		t.Fatalf("PutRecord = (%d, %d)", bytes, ver)
+	}
+	got, ok, err := tier.Fetch(77)
+	if err != nil || !ok {
+		t.Fatalf("Fetch: %v %v", ok, err)
+	}
+	if got.NodeLabel != 1 || !got.HasOut(5, 2) {
+		t.Fatalf("fetched %+v", got)
+	}
+}

@@ -206,8 +206,26 @@ type Store struct {
 	// untouched — the system does not know the link is down, which is
 	// what distinguishes a netsplit from a failure.
 	parted []bool
+	// overrides pins individual keys to explicit slot sets, replacing their
+	// rendezvous placement — the adaptive-placement subsystem's lever for
+	// moving hot records toward their dominant readers. Mutated only under
+	// the write side of mu (Move / ClearOverrides), read everywhere
+	// placement is computed.
+	overrides map[uint64][]int
+	moves     MoveStats
 	// dur is the durability configuration, nil until EnableDurability.
 	dur *Durability
+}
+
+// MoveStats counts the placement-override migrations executed by Move.
+type MoveStats struct {
+	// Moves is the number of keys migrated; MovedBytes their value bytes
+	// (counted once per key, not per replica copy).
+	Moves      int64
+	MovedBytes int64
+	// Overrides is the number of keys currently pinned away from their
+	// rendezvous placement.
+	Overrides int64
 }
 
 // New creates a store with numServers shards in legacy single-replica
@@ -318,6 +336,27 @@ func (s *Store) partedLocked(slot int) bool {
 	return slot >= 0 && slot < len(s.parted) && s.parted[slot]
 }
 
+// placementLocked computes key's placement set (primary first) under the
+// current view, appending to dst: the pinned override slots when the key
+// has been migrated (restricted to active members), otherwise rendezvous
+// over the active domain. An override whose every slot has left the active
+// set falls back to rendezvous — repair re-homes the data the same way, so
+// the two can never disagree for long. Caller holds s.mu.
+func (s *Store) placementLocked(key uint64, dst []int) []int {
+	if pin, ok := s.overrides[key]; ok {
+		dst = dst[:0]
+		for _, slot := range pin {
+			if s.view.Status(slot) == topology.Active {
+				dst = append(dst, slot)
+			}
+		}
+		if len(dst) > 0 {
+			return dst
+		}
+	}
+	return topology.RendezvousN(key, s.active, s.replicas, dst)
+}
+
 // readSlotLocked picks the slot a read of key goes to under the current
 // view. Caller holds s.mu. In legacy mode the placer decides regardless of
 // health (a down owner surfaces as ErrNoLiveReplica at read time); in
@@ -329,7 +368,7 @@ func (s *Store) readSlotLocked(key uint64) int {
 		return s.placer.Place(key, len(s.servers))
 	}
 	var arr [topology.MaxReplicas]int
-	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	pl := s.placementLocked(key, arr[:0])
 	if len(pl) == 0 {
 		return -1
 	}
@@ -350,13 +389,15 @@ func (s *Store) ReplicasFor(key uint64, dst []int) []int {
 	if !s.replicated() {
 		return append(dst[:0], s.placer.Place(key, len(s.servers)))
 	}
-	return topology.RendezvousN(key, s.active, s.replicas, dst)
+	return s.placementLocked(key, dst)
 }
 
 // Put stores val under key, replacing any prior value: on the legacy
 // owner, or on every replica of the current placement set. The value is
-// copied; the caller may reuse its buffer.
-func (s *Store) Put(key uint64, val []byte) {
+// copied; the caller may reuse its buffer. It returns the write's version —
+// the monotonic store-wide stamp the distributed write path acks to its
+// caller (read-your-writes pivots on it).
+func (s *Store) Put(key uint64, val []byte) uint64 {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	e := entry{val: cp, ver: s.version.Add(1)}
@@ -368,10 +409,10 @@ func (s *Store) Put(key uint64, val []byte) {
 		sv.put(key, e, 0)
 		sv.stats.Puts++
 		sv.mu.Unlock()
-		return
+		return e.ver
 	}
 	var arr [topology.MaxReplicas]int
-	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	pl := s.placementLocked(key, arr[:0])
 	// A parted replica cannot receive the write; the reachable replicas
 	// take it and repair catches the parted one up on heal. Only when the
 	// whole placement set is unreachable does the write land everywhere —
@@ -397,6 +438,7 @@ func (s *Store) Put(key uint64, val []byte) {
 			sv.mu.Unlock()
 		}
 	}
+	return e.ver
 }
 
 // Get returns the value stored under key. The returned slice is owned by
@@ -457,7 +499,7 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 // Caller holds s.mu (read).
 func (s *Store) lookupSlowLocked(key uint64, tried int) ([]byte, bool, error) {
 	var arr [topology.MaxReplicas]int
-	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	pl := s.placementLocked(key, arr[:0])
 	countFailover := func() {
 		sv := s.servers[tried]
 		sv.mu.Lock()
@@ -515,7 +557,7 @@ func (s *Store) Delete(key uint64) bool {
 	}
 	present := false
 	var arr [topology.MaxReplicas]int
-	pl := topology.RendezvousN(key, s.active, s.replicas, arr[:0])
+	pl := s.placementLocked(key, arr[:0])
 	tombstone := func(slot int) {
 		sv := s.servers[slot]
 		sv.mu.Lock()
@@ -681,6 +723,146 @@ func (s *Store) Repair() {
 	}
 }
 
+// Move migrates key onto exactly the dst slots, pinning its placement
+// there until the override is cleared (or every dst slot leaves the active
+// set, at which point placement falls back to rendezvous and repair
+// re-homes the data). The move is a versioned copy-then-drop executed
+// atomically under the store-wide write lock: the newest live copy is
+// installed on each dst slot with its version unchanged, the override is
+// published, and stale copies outside dst are garbage-collected — so a
+// racing reader observes either the old placement or the new one, never a
+// missing key, and a racing writer (which computes placement under the
+// read lock) always lands on the post-move placement with a newer version.
+// It returns the value bytes migrated. Replicated stores only.
+func (s *Store) Move(key uint64, dst []int) (int64, error) {
+	if !s.replicated() {
+		return 0, errors.New("kvstore: placement overrides require a replicated store")
+	}
+	if len(dst) == 0 || len(dst) > topology.MaxReplicas {
+		return 0, fmt.Errorf("kvstore: move to %d slots outside [1,%d]", len(dst), topology.MaxReplicas)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, slot := range dst {
+		if slot < 0 || slot >= len(s.servers) {
+			return 0, fmt.Errorf("kvstore: move slot %d out of range [0,%d)", slot, len(s.servers))
+		}
+		if st := s.view.Status(slot); st != topology.Active {
+			return 0, fmt.Errorf("kvstore: move slot %d is %s, not active", slot, st)
+		}
+		if s.partedLocked(slot) {
+			return 0, fmt.Errorf("kvstore: move slot %d is parted", slot)
+		}
+	}
+	// Source the newest reachable copy from the key's current placement
+	// (live copies never exist outside it — the repair invariant).
+	var arr [topology.MaxReplicas]int
+	pl := s.placementLocked(key, arr[:0])
+	var best entry
+	found := false
+	for _, slot := range pl {
+		if s.partedLocked(slot) || s.view.Status(slot) != topology.Active {
+			continue
+		}
+		if e, ok := s.servers[slot].data[key]; ok && (!found || e.ver > best.ver) {
+			best, found = e, true
+		}
+	}
+	if !found || best.dead {
+		return 0, fmt.Errorf("kvstore: key %d has no live reachable copy to move", key)
+	}
+	s.setOverrideLocked(key, dst)
+	for _, slot := range dst {
+		s.servers[slot].put(key, best, 0)
+	}
+	inDst := func(slot int) bool {
+		for _, d := range dst {
+			if d == slot {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m := range s.view.Members {
+		// A parted shard is unreachable for the GC too; heal's repair pass
+		// collects its stale copy. Down and left shards hold no live data.
+		if m.Status == topology.Down || m.Status == topology.Left ||
+			s.partedLocked(m.Slot) || inDst(m.Slot) {
+			continue
+		}
+		s.servers[m.Slot].drop(key, 0)
+	}
+	s.moves.Moves++
+	s.moves.MovedBytes += int64(len(best.val))
+	return int64(len(best.val)), nil
+}
+
+// setOverrideLocked records key's pinned slot set. Caller holds s.mu
+// (write).
+func (s *Store) setOverrideLocked(key uint64, dst []int) {
+	if s.overrides == nil {
+		s.overrides = make(map[uint64][]int)
+	}
+	s.overrides[key] = append([]int(nil), dst...)
+}
+
+// ClearOverrides removes every placement pin and re-homes the pinned keys
+// onto their rendezvous placement in one repair pass — the "forget what
+// the workload taught us" reset the re-load baseline uses.
+func (s *Store) ClearOverrides() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.overrides) == 0 {
+		return
+	}
+	s.overrides = nil
+	if s.replicated() {
+		s.repairLocked()
+	}
+}
+
+// Moves returns the migration counters, including the number of keys
+// currently pinned by an override.
+func (s *Store) Moves() MoveStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ms := s.moves
+	ms.Overrides = int64(len(s.overrides))
+	return ms
+}
+
+// OverrideFor returns key's pinned slot set (nil when unpinned). The
+// returned slice is a copy.
+func (s *Store) OverrideFor(key uint64) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pin, ok := s.overrides[key]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), pin...)
+}
+
+// SizeOf returns the stored value size of key's newest reachable live
+// copy (0 when absent or unreachable) without touching the read counters —
+// the placement planner's cost probe.
+func (s *Store) SizeOf(key uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot := s.readSlotLocked(key)
+	if slot < 0 || s.partedLocked(slot) || s.view.Status(slot) != topology.Active {
+		return 0
+	}
+	sv := s.servers[slot]
+	sv.mu.RLock()
+	e, ok := sv.data[key]
+	sv.mu.RUnlock()
+	if !ok || e.dead {
+		return 0
+	}
+	return len(e.val)
+}
+
 // repairLocked is the re-replication pass. Caller holds s.mu (write), so
 // no reader can observe a half-moved placement. Sources are the reachable
 // active shards only — a down shard's data is unreachable until it
@@ -706,7 +888,7 @@ func (s *Store) repairLocked() {
 	}
 	var arr [topology.MaxReplicas]int
 	for k, b := range newest {
-		pl := topology.RendezvousN(k, s.active, s.replicas, arr[:0])
+		pl := s.placementLocked(k, arr[:0])
 		for _, slot := range pl {
 			if s.partedLocked(slot) {
 				continue

@@ -197,6 +197,48 @@ type StorageCounters struct {
 	RecoverNanos  int64
 }
 
+// PlacementCounters is the adaptive-placement subsystem's share of a
+// Snapshot: what the background planner has done since the system started.
+// All-zero when the subsystem is disabled.
+type PlacementCounters struct {
+	// Cycles counts planner runs; Planned the migrations those runs
+	// proposed; Moved the migrations actually executed (Planned minus
+	// moves that failed at execution time).
+	Cycles  int64
+	Planned int64
+	Moved   int64
+	// MovedBytes is the record bytes migrated (counted once per record).
+	MovedBytes int64
+	// BudgetBytes is the per-cycle migration budget the planner is bounded
+	// by (0 = unbounded).
+	BudgetBytes int64
+	// SkippedBudget counts candidate moves deferred because a cycle's
+	// byte budget was exhausted; SkippedCold candidates rejected by the
+	// hysteresis rules (too few reads, or no sufficiently dominant reader).
+	SkippedBudget int64
+	SkippedCold   int64
+	// Overrides is the number of records currently pinned away from their
+	// rendezvous placement.
+	Overrides int64
+}
+
+// MoveEvent records one executed migration: which record moved where, why
+// (its dominant reader), and what it cost. Snapshots carry a bounded log
+// of these (newest last) so an operator can read the planner's recent
+// decisions off the observability surface.
+type MoveEvent struct {
+	// Key is the migrated record's storage key (the node id).
+	Key uint64
+	// From and To are the record's primary slot before and after the move.
+	From, To int
+	// Reader is the processor whose reads dominated the record's heat;
+	// Reads how many storage reads it contributed since the last decay.
+	Reader int
+	Reads  int64
+	// Bytes is the record's stored size.
+	Bytes int64
+}
+
 // ProcCounters is one processor's share of a Snapshot.
 type ProcCounters struct {
 	// Proc is the processor slot (stable across epochs; slots are never
@@ -243,6 +285,9 @@ type Snapshot struct {
 	Epoch uint64
 	// Queries counts queries executed through this handle.
 	Queries int64
+	// Mutations counts graph mutations (node upserts, edge adds/removes)
+	// acknowledged through this handle's write path.
+	Mutations int64
 	// Stolen and Diverted are the system-wide totals.
 	Stolen   int64
 	Diverted int64
@@ -264,6 +309,11 @@ type Snapshot struct {
 	// PerStorage breaks the storage tier down by member (empty on
 	// deployments that do not expose a storage view).
 	PerStorage []StorageCounters
+	// Placement is the adaptive-placement planner's activity (all-zero
+	// when the subsystem is off); PlacementLog its bounded recent-decision
+	// log, oldest first.
+	Placement    PlacementCounters
+	PlacementLog []MoveEvent
 	// RoutingNanos digests per-query routing decision time in nanoseconds
 	// (virtual router cost on the local transport, wall time on tcp).
 	RoutingNanos Summary
@@ -322,6 +372,19 @@ func (s *Snapshot) String() string {
 					m.DurableVersion, m.ReplayedBytes, float64(m.RecoverNanos)/1e6)
 			}
 			b.WriteString(td.String())
+		}
+	}
+	if s.Placement.Cycles > 0 || s.Placement.Overrides > 0 {
+		fmt.Fprintf(&b, "placement: %d cycles, %d/%d moves executed (%d KB, budget %d KB/cycle), %d pinned, skipped %d budget / %d cold\n",
+			s.Placement.Cycles, s.Placement.Moved, s.Placement.Planned,
+			s.Placement.MovedBytes>>10, s.Placement.BudgetBytes>>10,
+			s.Placement.Overrides, s.Placement.SkippedBudget, s.Placement.SkippedCold)
+		if len(s.PlacementLog) > 0 {
+			tp := NewTable("key", "from", "to", "reader", "reads", "bytes")
+			for _, m := range s.PlacementLog {
+				tp.AddRow(m.Key, m.From, m.To, m.Reader, m.Reads, m.Bytes)
+			}
+			b.WriteString(tp.String())
 		}
 	}
 	if len(s.Epochs) > 0 {

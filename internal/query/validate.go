@@ -21,6 +21,11 @@ var (
 	// ErrUnavailable marks a transport failure: the client is closed, a
 	// daemon is unreachable, or a connection broke mid-call.
 	ErrUnavailable = errors.New("service unavailable")
+	// ErrConflict marks a mutation the graph's current state rejects:
+	// removing an edge that does not exist, or adding an edge whose
+	// endpoint was never created. The graph is unchanged; the caller's
+	// picture of the graph was stale.
+	ErrConflict = errors.New("mutation conflict")
 )
 
 // Validate checks the query's shape without consulting a graph. Every

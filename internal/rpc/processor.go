@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -25,8 +26,14 @@ type ProcessorServer struct {
 	ct      connTracker
 	storage *StorageClient
 
-	mu    sync.Mutex // guards cache
+	mu    sync.Mutex // guards cache and heat
 	cache *cache.LRU[gstore.Record]
+	// heat counts storage misses per record since the last OpHeat drain —
+	// the adaptive-placement planner's read signal. Cache hits contribute
+	// nothing: a record the cache absorbs needs no migration. Bounded at
+	// heatCap keys (new keys are dropped when full; the periodic drain
+	// empties it).
+	heat map[uint64]int64
 
 	regMu      sync.Mutex // guards the registration below
 	routerAddr string     // router this processor registered with ("" = none)
@@ -71,7 +78,7 @@ func NewProcessorServerWith(addr string, cfg ProcessorConfig) (*ProcessorServer,
 		sc.Close()
 		return nil, fmt.Errorf("rpc: processor listen: %w", err)
 	}
-	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cfg.CacheBytes), slot: -1}
+	p := &ProcessorServer{ln: ln, storage: sc, cache: cache.New[gstore.Record](cfg.CacheBytes), heat: make(map[uint64]int64), slot: -1}
 	go serve(ln, p.handle, &p.ct)
 	return p, nil
 }
@@ -175,6 +182,20 @@ func (p *ProcessorServer) handle(ctx context.Context, req *Request) Response {
 	case OpStats:
 		st := p.Stats()
 		return Response{OK: true, Stats: &st}
+	case OpEvict:
+		// Post-mutation cache eviction: drop every named record so the next
+		// read refetches the rewritten version from storage.
+		p.mu.Lock()
+		for _, k := range req.Keys {
+			p.cache.Remove(k)
+		}
+		p.mu.Unlock()
+		return Response{OK: true}
+	case OpHeat:
+		return Response{OK: true, Hot: p.drainHeat()}
+	case OpPlacement:
+		p.storage.SetOverrides(req.Overrides)
+		return Response{OK: true}
 	case OpExecute:
 		if req.Exec == nil || len(req.Exec.Queries) == 0 {
 			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
@@ -224,9 +245,42 @@ func (p *ProcessorServer) fetch(ctx context.Context, ids []graph.NodeID) (map[gr
 		// Approximate the record's resident size for capacity accounting.
 		size := int64(16 + 8*(len(rec.Out)+len(rec.In)))
 		p.cache.Put(uint64(id), rec, size)
+		if _, hot := p.heat[uint64(id)]; hot || len(p.heat) < heatCap {
+			p.heat[uint64(id)]++
+		}
 	}
 	p.mu.Unlock()
 	return out, nil
+}
+
+// Heat bounds: at most heatCap distinct records are tracked between
+// drains, and a drain reports the hottest heatTopK of them.
+const (
+	heatCap  = 8192
+	heatTopK = 64
+)
+
+// drainHeat returns the hottest missed records since the previous drain,
+// hottest first (key ascending on ties, so the report is deterministic),
+// and resets the accumulator.
+func (p *ProcessorServer) drainHeat() []HotKey {
+	p.mu.Lock()
+	hot := make([]HotKey, 0, len(p.heat))
+	for k, n := range p.heat {
+		hot = append(hot, HotKey{Key: k, Reads: n})
+	}
+	p.heat = make(map[uint64]int64)
+	p.mu.Unlock()
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Reads != hot[j].Reads {
+			return hot[i].Reads > hot[j].Reads
+		}
+		return hot[i].Key < hot[j].Key
+	})
+	if len(hot) > heatTopK {
+		hot = hot[:heatTopK]
+	}
+	return hot
 }
 
 // execute validates and runs one query with the same algorithms the

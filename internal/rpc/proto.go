@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/query"
 )
@@ -53,7 +54,78 @@ const (
 	// old view — the graceful-shutdown path, as opposed to just vanishing
 	// and being a dead peer.
 	OpDrain Op = "drain"
+	// OpMutate applies a batch of graph mutations through the router: the
+	// router serialises writers, rewrites the affected records on every
+	// replica of their placement, and evicts them from every active
+	// processor's cache before acking — read-your-writes for any client of
+	// the deployment (router role only).
+	OpMutate Op = "mutate"
+	// OpEvict removes keys from a processor's record cache (processor
+	// role): the router fans it out after a mutation so no cache serves a
+	// pre-write record.
+	OpEvict Op = "evict"
+	// OpHeat drains a processor's per-record storage-miss heat since the
+	// previous OpHeat (processor role): the planner's read signal.
+	OpHeat Op = "heat"
+	// OpMigrate runs one adaptive-placement planning cycle on the router:
+	// poll heat, plan bounded moves, execute each as copy → push placement
+	// overrides → drop the old copy (router role only).
+	OpMigrate Op = "migrate"
+	// OpPlacement replaces a processor's placement-override table
+	// (processor role): keys pinned away from their rendezvous placement
+	// by migration resolve through it.
+	OpPlacement Op = "placement"
+	// OpDrop deletes one key from a storage shard — the tombstone half of
+	// a copy-then-drop migration. Durable shards log it, so a restart
+	// cannot resurrect the migrated-away copy (storage role).
+	OpDrop Op = "drop"
 )
+
+// Mutation op codes on the wire; the values match internal/core's MutOp so
+// both transports speak one enumeration.
+const (
+	// MutOpUpsertNode creates Node carrying Label, or relabels it.
+	MutOpUpsertNode uint8 = 1
+	// MutOpAddEdge ensures the edge Node->To with Label exists.
+	MutOpAddEdge uint8 = 2
+	// MutOpRemoveEdge removes the edge Node->To (any label).
+	MutOpRemoveEdge uint8 = 3
+)
+
+// Mutation is one graph write as it travels to the router. Label rides as
+// a string (the router interns it against the loaded graph's label table),
+// exactly like Query.CountLabel.
+type Mutation struct {
+	Op    uint8
+	Node  graph.NodeID
+	To    graph.NodeID
+	Label string
+}
+
+// validateMutation mirrors core.Mutation.Validate: malformed mutations are
+// rejected with the typed query.ErrBadQuery before anything executes.
+func validateMutation(m *Mutation) error {
+	switch m.Op {
+	case MutOpUpsertNode:
+		if m.To != 0 {
+			return fmt.Errorf("%w: upsert-node carries an edge destination", query.ErrBadQuery)
+		}
+	case MutOpAddEdge, MutOpRemoveEdge:
+		if m.Node == m.To {
+			return fmt.Errorf("%w: self-loop %d->%d", query.ErrBadQuery, m.Node, m.To)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mutation op %d", query.ErrBadQuery, m.Op)
+	}
+	return nil
+}
+
+// HotKey is one entry of a processor's drained heat: a record and how many
+// storage misses it cost since the last drain.
+type HotKey struct {
+	Key   uint64
+	Reads int64
+}
 
 // Request is the request envelope. Only the fields of the active operation
 // are populated; everything else stays at its zero value (nil for the
@@ -86,6 +158,16 @@ type Request struct {
 	// warm rejoin. Zero for non-durable shards and processor joins; gob
 	// omits it then.
 	Version uint64
+	// Muts serves OpMutate; nil for every other op.
+	Muts []Mutation
+	// Overrides serves OpPlacement: the full placement-override table,
+	// replacing whatever the processor held (migration pins are router
+	// state; the push is always the complete picture).
+	Overrides map[uint64][]int
+	// Deadline carries the client context's absolute deadline in Unix
+	// nanoseconds for ops outside OpExecute (which carries its own inside
+	// Exec); 0 = none.
+	Deadline int64
 }
 
 // ExecRequest is the OpExecute payload: a batch of queries plus the
@@ -125,6 +207,12 @@ type Response struct {
 	ProcCache *metrics.CacheCounters
 	// Stats serves OpStats; nil for every other op.
 	Stats *Stats
+	// Applied serves OpMutate (mutations applied before the first failure)
+	// and OpMigrate (records moved this cycle).
+	Applied int
+	// Hot serves OpHeat: the processor's hottest storage-missed records
+	// since the previous drain, hottest first.
+	Hot []HotKey
 }
 
 // Stats carries daemon counters over the wire.
@@ -172,6 +260,8 @@ const (
 	CodeUnknownNode ErrCode = "unknown-node"
 	// CodeUnavailable maps to query.ErrUnavailable.
 	CodeUnavailable ErrCode = "unavailable"
+	// CodeConflict maps to query.ErrConflict.
+	CodeConflict ErrCode = "conflict"
 	// CodeInternal is everything else.
 	CodeInternal ErrCode = "internal"
 )
@@ -185,6 +275,8 @@ func sentinelFor(code ErrCode) error {
 		return query.ErrUnknownNode
 	case CodeUnavailable:
 		return query.ErrUnavailable
+	case CodeConflict:
+		return query.ErrConflict
 	}
 	return nil
 }
@@ -197,6 +289,8 @@ func errorResponse(err error) Response {
 		code = CodeBadQuery
 	case errors.Is(err, query.ErrUnknownNode):
 		code = CodeUnknownNode
+	case errors.Is(err, query.ErrConflict):
+		code = CodeConflict
 	case errors.Is(err, query.ErrUnavailable), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		code = CodeUnavailable
 	}
@@ -412,6 +506,8 @@ func serve(ln net.Listener, handle func(context.Context, *Request) Response, ct 
 				var cancel context.CancelFunc
 				if req.Exec != nil && req.Exec.Deadline > 0 {
 					ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Exec.Deadline))
+				} else if req.Deadline > 0 {
+					ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
 				}
 				resp := handle(ctx, &req)
 				if cancel != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/landmark"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/query"
 	"repro/internal/router"
 	"repro/internal/topology"
@@ -76,6 +77,32 @@ type RouterServer struct {
 	// guarded by mu.
 	storageJoinVer []uint64
 
+	// Online mutations + adaptive placement. The router is the single
+	// writer: mutMu serialises mutations and migration cycles, so every
+	// record rewrite is a clean read-modify-write and migration never
+	// races a write. g is the loaded dataset, used only to intern mutation
+	// labels against the same table the loader encoded records with (nil =
+	// only unlabelled mutations are accepted). overrides is the
+	// authoritative placement-pin table (guarded by mu; complete copies
+	// are pushed to the processors' storage clients on every change).
+	// storageBase and storageSlots freeze the rendezvous placement domain
+	// at the seeded shard count — exactly the domain the processors'
+	// storage clients hash over, which late-joining shards are not part
+	// of. planner and heat (guarded by mutMu) exist only when
+	// RouterConfig.AdaptivePlacement is set; placementEvery > 0 runs a
+	// cycle automatically after that many completed queries.
+	g              *graph.Graph
+	mutMu          sync.Mutex
+	mutations      atomic.Int64
+	overrides      map[uint64][]int
+	storageBase    int
+	storageSlots   []int
+	planner        *placement.Planner
+	heat           *placement.Heat
+	placementEvery int
+	sinceTick      atomic.Int64
+	ticking        atomic.Bool
+
 	requests atomic.Int64
 	queries  atomic.Int64
 }
@@ -99,6 +126,24 @@ type RouterConfig struct {
 	// StorageReplicas is the deployment's storage replication factor,
 	// reported in stats snapshots (0 reads as 1).
 	StorageReplicas int
+	// Graph is the loaded dataset, used to intern mutation labels against
+	// the same label table the loader encoded records with. Routers
+	// started without it reject mutations that carry a non-empty label.
+	Graph *graph.Graph
+	// AdaptivePlacement enables the workload-adaptive placement subsystem:
+	// the router periodically drains per-record heat from the processors,
+	// plans bounded migrations of hot records toward their dominant
+	// reader's near shard, and executes each as copy → override push →
+	// drop. Requires StorageAddrs.
+	AdaptivePlacement bool
+	// PlacementBudget bounds the bytes migrated per planning cycle
+	// (<= 0 = unbounded).
+	PlacementBudget int64
+	// PlacementEvery runs one planning cycle automatically after that many
+	// completed queries (0 = only explicit OpMigrate calls).
+	PlacementEvery int
+	// PlacementMinReads is the planner's hysteresis floor (0 = default).
+	PlacementMinReads int64
 }
 
 // NewRouterServer starts a router on addr.
@@ -131,6 +176,21 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 	}
 	r.storageTopo = topology.NewTierTrackerAddrs(topology.TierStorage, cfg.StorageAddrs)
 	r.storageView = r.storageTopo.View()
+	r.g = cfg.Graph
+	r.overrides = make(map[uint64][]int)
+	r.storageBase = len(cfg.StorageAddrs)
+	r.storageSlots = make([]int, r.storageBase)
+	for i := range r.storageSlots {
+		r.storageSlots[i] = i
+	}
+	if cfg.AdaptivePlacement {
+		if r.storageBase == 0 {
+			return nil, fmt.Errorf("rpc: adaptive placement needs the router's storage view seeded (StorageAddrs)")
+		}
+		r.planner = placement.New(placement.Config{BudgetBytes: cfg.PlacementBudget, MinReads: cfg.PlacementMinReads})
+		r.heat = placement.NewHeat()
+		r.placementEvery = cfg.PlacementEvery
+	}
 	r.statsObs, _ = cfg.Strategy.(router.StatsObserver)
 	r.topoAware, _ = cfg.Strategy.(router.TopologyAware)
 	if r.topoAware != nil {
@@ -276,6 +336,10 @@ func (r *RouterServer) handle(ctx context.Context, req *Request) Response {
 			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
 		}
 		return r.execute(ctx, req.Exec)
+	case OpMutate:
+		return r.mutate(ctx, req.Muts)
+	case OpMigrate:
+		return r.migrate(ctx)
 	}
 	return errorResponse(fmt.Errorf("router: unknown op %q", req.Op))
 }
@@ -298,6 +362,16 @@ func (r *RouterServer) join(ctx context.Context, addr string) Response {
 	if err := p.Ping(ctx); err != nil {
 		p.Close()
 		return errorResponse(fmt.Errorf("join %s: %w", addr, err))
+	}
+	// Hand the joiner the current placement pins before it can be routed
+	// to: a migrated key must never be read at its baseline location. (A
+	// migration racing this join may still add a pin between the push and
+	// the admit below; its own post-move push fans out to every admitted
+	// member, so the window is the admit itself — and the migration holds
+	// the drop back until every push acked.)
+	if err := r.pushOverridesTo(ctx, p); err != nil {
+		p.Close()
+		return errorResponse(fmt.Errorf("join %s: placement push: %w", addr, err))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -621,7 +695,27 @@ func (r *RouterServer) finish(p, n int, resp *Response, err error) {
 	r.mu.Unlock()
 	if err == nil {
 		r.queries.Add(int64(n))
+		r.maybeTick(n)
 	}
+}
+
+// maybeTick runs one background migration cycle once placementEvery
+// completed queries accumulate. At most one cycle runs at a time; the
+// counter resets when a cycle is claimed, so bursts do not queue cycles.
+func (r *RouterServer) maybeTick(n int) {
+	if r.planner == nil || r.placementEvery <= 0 {
+		return
+	}
+	if r.sinceTick.Add(int64(n)) < int64(r.placementEvery) || !r.ticking.CompareAndSwap(false, true) {
+		return
+	}
+	r.sinceTick.Store(0)
+	go func() {
+		defer r.ticking.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), migrateTimeout)
+		defer cancel()
+		r.migrate(ctx)
+	}()
 }
 
 // Snapshot assembles the system-wide observability snapshot — the same
@@ -687,6 +781,17 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 		shardFresh[ss.i] = ss.st
 	}
 
+	// Planner state is guarded by mutMu, which the mutate path takes
+	// before mu — so read it before taking mu, never while holding it.
+	var placementCounters metrics.PlacementCounters
+	var placementLog []metrics.MoveEvent
+	if r.planner != nil {
+		r.mutMu.Lock()
+		placementCounters = r.planner.Counters()
+		placementLog = r.planner.Log()
+		r.mutMu.Unlock()
+	}
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	snap := &metrics.Snapshot{
@@ -700,6 +805,12 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 		Epochs:       append([]metrics.EpochEvent(nil), r.events...),
 		RoutingNanos: r.routing.Summary(),
 		QueueDepth:   r.depth.Summary(),
+	}
+	snap.Mutations = r.mutations.Load()
+	placementCounters.Overrides = int64(len(r.overrides))
+	if r.planner != nil {
+		snap.Placement = placementCounters
+		snap.PlacementLog = placementLog
 	}
 	for i := range r.inflight {
 		if i < len(fresh) && fresh[i] != nil {
@@ -841,6 +952,35 @@ func (c *RouterClient) ExecuteBatch(ctx context.Context, qs []query.Query) ([]qu
 		return nil, &remoteError{addr: c.pool.Addr(), msg: fmt.Sprintf("got %d results for %d queries", len(resp.Results), len(qs)), kind: query.ErrUnavailable}
 	}
 	return resp.Results, nil
+}
+
+// Mutate applies a batch of graph mutations through the router in one
+// round trip. It returns how many were applied: the applied prefix stays
+// applied on failure (each mutation acks individually), and every mutation
+// is idempotent, so retrying a failed batch from the reported index is
+// always safe.
+func (c *RouterClient) Mutate(ctx context.Context, muts []Mutation) (int, error) {
+	if len(muts) == 0 {
+		return 0, nil
+	}
+	req := &Request{Op: OpMutate, Muts: muts}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	resp, err := c.pool.Call(ctx, req)
+	return resp.Applied, err
+}
+
+// Migrate asks the router to run one adaptive-placement planning cycle now
+// and returns how many records moved. Routers without the subsystem
+// enabled reject it with query.ErrBadQuery.
+func (c *RouterClient) Migrate(ctx context.Context) (int, error) {
+	req := &Request{Op: OpMigrate}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	resp, err := c.pool.Call(ctx, req)
+	return resp.Applied, err
 }
 
 // Stats fetches the deployment's observability snapshot from the router

@@ -363,12 +363,32 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 	if n := encodedSize(t, ping, true); n > 16 {
 		t.Errorf("steady-state ping encodes to %d bytes, want <= 16", n)
 	}
-	if n := encodedSize(t, ping, false); n > 512 {
-		t.Errorf("first ping (with type descriptors) encodes to %d bytes, want <= 512", n)
+	if n := encodedSize(t, ping, false); n > 640 {
+		t.Errorf("first ping (with type descriptors) encodes to %d bytes, want <= 640", n)
 	}
 	get := &Request{Op: OpGet, Key: 123456789}
 	if n := encodedSize(t, get, true); n > 32 {
 		t.Errorf("steady-state get encodes to %d bytes, want <= 32", n)
+	}
+	// Mutations: a single-op batch stays a small constant envelope, and an
+	// unlabelled op never drags a label string along.
+	mut := &Request{Op: OpMutate, Muts: []Mutation{{Op: MutOpAddEdge, Node: 42, To: 99}}}
+	if n := encodedSize(t, mut, true); n > 64 {
+		t.Errorf("steady-state 1-op mutate encodes to %d bytes, want <= 64", n)
+	}
+	// Migration-cycle ops: the trigger is bare; an eviction carries only
+	// its keys; an override push is proportional to the pin table.
+	migrate := &Request{Op: OpMigrate}
+	if n := encodedSize(t, migrate, true); n > 16 {
+		t.Errorf("steady-state migrate encodes to %d bytes, want <= 16", n)
+	}
+	evict := &Request{Op: OpEvict, Keys: []uint64{7, 8}}
+	if n := encodedSize(t, evict, true); n > 32 {
+		t.Errorf("steady-state 2-key evict encodes to %d bytes, want <= 32", n)
+	}
+	place := &Request{Op: OpPlacement, Overrides: map[uint64][]int{42: {1, 0}}}
+	if n := encodedSize(t, place, true); n > 48 {
+		t.Errorf("steady-state 1-pin placement push encodes to %d bytes, want <= 48", n)
 	}
 	// One-query execute: the query payload plus envelope, nothing else.
 	exec := execRequest(context.Background(), []query.Query{

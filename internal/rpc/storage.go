@@ -266,13 +266,29 @@ func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 		s.data[req.Key] = cp
 		var err error
 		if s.wal != nil {
-			err = s.logPutLocked(req.Key, req.Value)
+			err = s.logLocked(kvstore.WALPut, req.Key, req.Value)
 		}
 		s.mu.Unlock()
 		if err != nil {
 			return errorResponse(fmt.Errorf("storage wal: %w", err))
 		}
 		return Response{OK: true}
+	case OpDrop:
+		// The tombstone half of a copy-then-drop migration: the key leaves
+		// the shard, and on a durable shard the drop is WAL-logged so a
+		// restart replays it and cannot resurrect the migrated-away copy.
+		s.mu.Lock()
+		_, found := s.data[req.Key]
+		delete(s.data, req.Key)
+		var err error
+		if found && s.wal != nil {
+			err = s.logLocked(kvstore.WALDrop, req.Key, nil)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return errorResponse(fmt.Errorf("storage wal: %w", err))
+		}
+		return Response{OK: true, Found: found}
 	case OpStats:
 		st := s.Stats()
 		return Response{OK: true, Stats: &st}
@@ -280,11 +296,11 @@ func (s *StorageServer) handle(_ context.Context, req *Request) Response {
 	return errorResponse(fmt.Errorf("storage: unknown op %q", req.Op))
 }
 
-// logPutLocked appends one put to the WAL and compacts into a snapshot
-// once enough records accumulate. Caller holds s.mu (write).
-func (s *StorageServer) logPutLocked(key uint64, val []byte) error {
+// logLocked appends one write (put or drop) to the WAL and compacts into a
+// snapshot once enough records accumulate. Caller holds s.mu (write).
+func (s *StorageServer) logLocked(op kvstore.WALOp, key uint64, val []byte) error {
 	ver := s.durVer.Add(1)
-	if err := s.wal.Append(kvstore.WALPut, key, ver, val); err != nil {
+	if err := s.wal.Append(op, key, ver, val); err != nil {
 		return err
 	}
 	s.sinceSnap++
@@ -370,6 +386,14 @@ type StorageClient struct {
 
 	down      []atomic.Bool
 	failovers atomic.Int64
+
+	// overrides pins keys migrated away from their rendezvous placement to
+	// their new replica set (primary first). The router owns the
+	// authoritative table and pushes complete replacements (OpPlacement);
+	// entries naming slots this client does not know are ignored, so an
+	// older client degrades to baseline placement instead of misreading.
+	ovMu      sync.RWMutex
+	overrides map[uint64][]int
 
 	probeStop chan struct{}
 	closeOnce sync.Once
@@ -505,8 +529,35 @@ func (sc *StorageClient) markDown(shard int) {
 	sc.down[shard].Store(true)
 }
 
-// placement appends key's replica shards (primary first) to dst.
+// SetOverrides replaces the client's placement-override table. The slices
+// in the map are retained, not copied — callers hand over ownership.
+func (sc *StorageClient) SetOverrides(ov map[uint64][]int) {
+	sc.ovMu.Lock()
+	sc.overrides = ov
+	sc.ovMu.Unlock()
+}
+
+// overrideFor returns key's pinned placement, or nil. A pin naming a slot
+// outside this client's shard list is ignored wholesale.
+func (sc *StorageClient) overrideFor(key uint64) []int {
+	sc.ovMu.RLock()
+	pl := sc.overrides[key]
+	sc.ovMu.RUnlock()
+	for _, slot := range pl {
+		if slot < 0 || slot >= len(sc.pools) {
+			return nil
+		}
+	}
+	return pl
+}
+
+// placement appends key's replica shards (primary first) to dst: the
+// override pin when migration moved the key, rendezvous placement
+// otherwise.
 func (sc *StorageClient) placement(key uint64, dst []int) []int {
+	if ov := sc.overrideFor(key); len(ov) > 0 {
+		return append(dst[:0], ov...)
+	}
 	if sc.replicas <= 1 {
 		return append(dst[:0], int(hash.Key64(key, 0)%uint64(len(sc.pools))))
 	}

@@ -84,11 +84,26 @@ type RouterSpec struct {
 	// Storage optionally seeds the router's storage view: the listed
 	// shards appear in Stats()/grouting-cli -topology with their status
 	// and shard counters, and more can join at runtime with
-	// StorageServer.Register (groutingd -role storage -join).
+	// StorageServer.Register (groutingd -role storage -join). It is also
+	// the write path's placement domain: mutations (Client.Mutate through
+	// Dial) and adaptive placement need it.
 	Storage []string
 	// StorageReplicas is the deployment's storage replication factor,
 	// reported in Stats() (0 reads as 1).
 	StorageReplicas int
+	// AdaptivePlacement enables the workload-adaptive placement subsystem
+	// on the router: it periodically drains per-record read heat from the
+	// processors and migrates hot records toward their dominant reader as
+	// bounded copy-then-drop moves. Requires Storage.
+	AdaptivePlacement bool
+	// PlacementBudget bounds the bytes migrated per planning cycle
+	// (<= 0 = unbounded).
+	PlacementBudget int64
+	// PlacementEvery runs one planning cycle automatically after that
+	// many completed queries (0 = only explicit cycles).
+	PlacementEvery int
+	// PlacementMinReads is the planner's hysteresis floor (0 = default).
+	PlacementMinReads int64
 }
 
 // ServeRouter starts a query router on addr: it builds the routing
@@ -104,12 +119,17 @@ func ServeRouter(addr string, spec RouterSpec) (*RouterServer, error) {
 		return nil, err
 	}
 	return rpc.NewRouterServer(addr, rpc.RouterConfig{
-		ProcessorAddrs:  spec.Processors,
-		Strategy:        strat,
-		PolicyName:      spec.Policy.String(),
-		PoolSize:        spec.PoolSize,
-		StorageAddrs:    spec.Storage,
-		StorageReplicas: spec.StorageReplicas,
+		ProcessorAddrs:    spec.Processors,
+		Strategy:          strat,
+		PolicyName:        spec.Policy.String(),
+		PoolSize:          spec.PoolSize,
+		StorageAddrs:      spec.Storage,
+		StorageReplicas:   spec.StorageReplicas,
+		Graph:             spec.Graph,
+		AdaptivePlacement: spec.AdaptivePlacement,
+		PlacementBudget:   spec.PlacementBudget,
+		PlacementEvery:    spec.PlacementEvery,
+		PlacementMinReads: spec.PlacementMinReads,
 	})
 }
 
@@ -164,6 +184,20 @@ func Dial(ctx context.Context, routerAddr string, opts ...DialOption) (Client, e
 	return &netClient{rc: rc, workers: cfg.streamWorkers}, nil
 }
 
+// TriggerPlacement asks a networked deployment's router to run one
+// adaptive-placement planning cycle now and returns how many records
+// moved. Routers running without the subsystem reject it with ErrBadQuery.
+// Deployments with RouterSpec.PlacementEvery > 0 cycle automatically; an
+// explicit trigger composes with that (cycles are serialised).
+func TriggerPlacement(ctx context.Context, routerAddr string) (int, error) {
+	rc, err := rpc.DialRouter(ctx, routerAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	return rc.Migrate(ctx)
+}
+
 // netClient adapts the pooled rpc router client to the Client interface.
 type netClient struct {
 	rc      *rpc.RouterClient
@@ -180,6 +214,29 @@ func (c *netClient) ExecuteBatch(ctx context.Context, qs []Query) ([]Result, err
 
 func (c *netClient) ExecuteStream(ctx context.Context, in <-chan Query) <-chan Outcome {
 	return stream(ctx, in, c.workers, c.rc.Execute)
+}
+
+func (c *netClient) Mutate(ctx context.Context, muts []Mutation) (int, error) {
+	wire := make([]rpc.Mutation, len(muts))
+	for i, m := range muts {
+		wire[i] = rpc.Mutation{Op: uint8(m.Op), Node: m.Node, To: m.To, Label: m.Label}
+	}
+	return c.rc.Mutate(ctx, wire)
+}
+
+func (c *netClient) UpsertNode(ctx context.Context, id NodeID, label string) error {
+	_, err := c.Mutate(ctx, []Mutation{{Op: MutUpsertNode, Node: id, Label: label}})
+	return err
+}
+
+func (c *netClient) AddEdge(ctx context.Context, u, v NodeID, label string) error {
+	_, err := c.Mutate(ctx, []Mutation{{Op: MutAddEdge, Node: u, To: v, Label: label}})
+	return err
+}
+
+func (c *netClient) RemoveEdge(ctx context.Context, u, v NodeID) error {
+	_, err := c.Mutate(ctx, []Mutation{{Op: MutRemoveEdge, Node: u, To: v}})
+	return err
 }
 
 func (c *netClient) Stats(ctx context.Context) (Stats, error) {

@@ -42,6 +42,36 @@ func WithStorageDir(dir string) Option { return func(c *Config) { c.StorageDir =
 // default). Ignored without WithStorageDir.
 func WithStorageSnapshotEvery(n int) Option { return func(c *Config) { c.StorageSnapshotEvery = n } }
 
+// WithAdaptivePlacement enables the workload-adaptive placement subsystem:
+// sessions accumulate per-record storage-read heat attributed to the
+// reading processor, and a planner migrates hot records toward their
+// dominant reader's near storage slot as bounded, versioned
+// copy-then-tombstone moves. budgetBytes bounds the bytes migrated per
+// planning cycle (<= 0 = unbounded); every > 0 runs one cycle
+// automatically after that many queries on a session (0 = only explicit
+// Session.PlacementTick calls).
+func WithAdaptivePlacement(budgetBytes int64, every int) Option {
+	return func(c *Config) {
+		c.AdaptivePlacement = true
+		c.PlacementBudget = budgetBytes
+		c.PlacementEvery = every
+	}
+}
+
+// WithPlacementMinReads sets the planner's hysteresis floor: a record read
+// fewer times than this since the last decay never moves (0 = default).
+func WithPlacementMinReads(n int64) Option { return func(c *Config) { c.PlacementMinReads = n } }
+
+// WithStorageAffinity makes storage locality matter to the virtual-time
+// cost model: a fetch served by a storage slot other than the processor's
+// near slot has its network and service cost multiplied by factor (>= 1;
+// 0 or 1 keeps the paper's uniform-cost model). This is the lever adaptive
+// placement pulls — moving a hot record to its dominant reader's near slot
+// converts far fetches into near ones.
+func WithStorageAffinity(factor float64) Option {
+	return func(c *Config) { c.StorageAffinity = factor }
+}
+
 // WithNetwork sets the cluster cost profile (Infiniband or Ethernet).
 func WithNetwork(p NetworkProfile) Option { return func(c *Config) { c.Network = p } }
 

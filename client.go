@@ -178,8 +178,10 @@ func (c *localClient) exec(ctx context.Context, q Query) (Result, error) {
 	if c.closed {
 		return Result{}, fmt.Errorf("%w: client closed", ErrUnavailable)
 	}
-	if !c.sys.Graph().Exists(q.Node) {
-		return Result{}, fmt.Errorf("%w: node %d not in graph", ErrUnknownNode, q.Node)
+	for _, a := range q.AnchorNodes() {
+		if !c.sys.Graph().Exists(a) {
+			return Result{}, fmt.Errorf("%w: node %d not in graph", ErrUnknownNode, a)
+		}
 	}
 	res, _, err := c.ses.Execute(q)
 	return res, err

@@ -31,6 +31,15 @@
 //	grouting-cli -router 127.0.0.1:7200 -migrate
 //	grouting-cli -router 127.0.0.1:7200 -placement
 //
+//	# ad-hoc multi-anchor queries: a two-anchor pattern join (anchors 7
+//	# and 9 sharing an out-neighbour) and a budgeted multi-source
+//	# reachability (partial evaluation, 8 visits per subtask)
+//	grouting-cli -router 127.0.0.1:7200 -pattern "7->x,9->x"
+//	grouting-cli -router 127.0.0.1:7200 -reach "5+9->1400" -h 6 -budget 8
+//
+//	# generated workloads can include the multi-anchor kinds too
+//	grouting-cli -router 127.0.0.1:7200 -mixed -budget 8 -verify
+//
 //	# what routing strategies are registered (built-ins + user strategies)
 //	grouting-cli -policy list
 package main
@@ -73,6 +82,10 @@ func main() {
 		del        = flag.String("del", "", `edges to remove and exit: "u->v", comma-separated (combines with -put in one batch, puts first)`)
 		migrate    = flag.Bool("migrate", false, "trigger one adaptive-placement planning cycle on the router and exit")
 		placementV = flag.Bool("placement", false, "print the adaptive-placement counters and migration log and exit")
+		patternF   = flag.String("pattern", "", `ad-hoc pattern query: template edges "u->v[:elabel]" comma-separated; numeric endpoints anchor at that node, names are free variables, "name=label" constrains a variable's node label (e.g. "7->x,9->x,x=paper")`)
+		reachF     = flag.String("reach", "", `ad-hoc bounded-reachability query "a1+a2+...->target" (multi-anchor; depth -h, per-subtask budget -budget)`)
+		budget     = flag.Int("budget", 64, "per-partition visit budget for -reach and -mixed BoundedReach queries")
+		mixed      = flag.Bool("mixed", false, "generate the full mixed workload (classic + PatternMatch + BoundedReach) instead of the classic three")
 	)
 	flag.Parse()
 
@@ -150,6 +163,27 @@ func main() {
 		return
 	}
 
+	if *patternF != "" || *reachF != "" {
+		if *routerAddr == "" {
+			exitOn(fmt.Errorf("-pattern/-reach need -router"))
+		}
+		q, err := parseAdHoc(*patternF, *reachF, *h, *budget)
+		exitOn(err)
+		cl, err := grouting.Dial(ctx, *routerAddr)
+		exitOn(err)
+		defer cl.Close()
+		start := time.Now()
+		res, err := cl.Execute(ctx, q)
+		exitOn(err)
+		switch q.Type {
+		case grouting.PatternMatch:
+			fmt.Printf("%d matches in %v\n", res.Matches, time.Since(start).Round(time.Microsecond))
+		default:
+			fmt.Printf("reachable: %v in %v\n", res.Reachable, time.Since(start).Round(time.Microsecond))
+		}
+		return
+	}
+
 	g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
 	exitOn(err)
 
@@ -175,9 +209,14 @@ func main() {
 	exitOn(err)
 	defer cl.Close()
 
-	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
+	spec := grouting.WorkloadSpec{
 		NumHotspots: *hotspots, QueriesPerHotspot: *perHotspot, R: *r, H: *h, Seed: *seed + 1,
-	})
+	}
+	if *mixed {
+		spec.Types = grouting.MixedTypes
+		spec.VisitBudget = *budget
+	}
+	qs := grouting.HotspotWorkload(g, spec)
 	results := make([]grouting.Result, len(qs))
 	start := time.Now()
 	if *batch <= 1 {
@@ -216,6 +255,106 @@ func main() {
 		exitOn(err)
 		fmt.Print(snap.String())
 	}
+}
+
+// parseAdHoc builds the single query behind -pattern or -reach (mutually
+// exclusive).
+func parseAdHoc(pattern, reach string, hops, budget int) (grouting.Query, error) {
+	if pattern != "" && reach != "" {
+		return grouting.Query{}, fmt.Errorf("-pattern and -reach are mutually exclusive")
+	}
+	if pattern != "" {
+		return parsePattern(pattern)
+	}
+	return parseReach(reach, hops, budget)
+}
+
+// parsePattern turns a comma-separated template spec into a PatternMatch
+// query. Each part is an edge "u->v" / "u->v:elabel" (numeric endpoints
+// anchor at that graph node, other tokens name free variables; repeating a
+// token reuses its variable) or a node-label constraint "name=label".
+func parsePattern(spec string) (grouting.Query, error) {
+	var q grouting.Query
+	pat := &grouting.Pattern{}
+	idx := make(map[string]int)
+	varOf := func(tok string) (int, error) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return 0, fmt.Errorf("empty endpoint")
+		}
+		if i, ok := idx[tok]; ok {
+			return i, nil
+		}
+		var pn grouting.PatternNode
+		if n, err := strconv.ParseUint(tok, 10, 32); err == nil {
+			if n == 0 {
+				return 0, fmt.Errorf("node 0 cannot anchor a pattern")
+			}
+			pn.Anchor = grouting.NodeID(n)
+		}
+		idx[tok] = len(pat.Nodes)
+		pat.Nodes = append(pat.Nodes, pn)
+		return idx[tok], nil
+	}
+	for _, part := range splitSpecs(spec) {
+		if !strings.Contains(part, "->") {
+			name, label, ok := strings.Cut(part, "=")
+			if !ok {
+				return q, fmt.Errorf(`-pattern %q: want "u->v[:elabel]" or "name=label"`, part)
+			}
+			i, err := varOf(name)
+			if err != nil {
+				return q, fmt.Errorf("-pattern %q: %w", part, err)
+			}
+			pat.Nodes[i].Label = strings.TrimSpace(label)
+			continue
+		}
+		body, elabel := part, ""
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			body, elabel = part[:i], part[i+1:]
+		}
+		u, v, _ := strings.Cut(body, "->")
+		ui, err := varOf(u)
+		if err != nil {
+			return q, fmt.Errorf("-pattern %q: %w", part, err)
+		}
+		vi, err := varOf(v)
+		if err != nil {
+			return q, fmt.Errorf("-pattern %q: %w", part, err)
+		}
+		pat.Edges = append(pat.Edges, grouting.PatternEdge{From: ui, To: vi, Label: strings.TrimSpace(elabel)})
+	}
+	q = grouting.Query{Type: grouting.PatternMatch, Pattern: pat, Dir: grouting.Out}
+	if anchors := q.AnchorNodes(); len(anchors) > 0 {
+		q.Node = anchors[0]
+	}
+	return q, q.Validate()
+}
+
+// parseReach turns "a1+a2+...->target" into a BoundedReach query.
+func parseReach(spec string, hops, budget int) (grouting.Query, error) {
+	var q grouting.Query
+	left, right, ok := strings.Cut(spec, "->")
+	if !ok {
+		return q, fmt.Errorf(`-reach %q: want "a1+a2+...->target"`, spec)
+	}
+	target, err := parseNodeID(right)
+	if err != nil {
+		return q, fmt.Errorf("-reach %q: %w", spec, err)
+	}
+	var anchors []grouting.NodeID
+	for _, tok := range strings.Split(left, "+") {
+		a, err := parseNodeID(tok)
+		if err != nil {
+			return q, fmt.Errorf("-reach %q: %w", spec, err)
+		}
+		anchors = append(anchors, a)
+	}
+	q = grouting.Query{
+		Type: grouting.BoundedReach, Node: anchors[0], Anchors: anchors,
+		Target: target, Hops: hops, VisitBudget: budget, Dir: grouting.Out,
+	}
+	return q, q.Validate()
 }
 
 // parseMutations turns the -put and -del flag values into one mutation

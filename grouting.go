@@ -126,6 +126,15 @@ type (
 	QueryType = query.Type
 	// WorkloadSpec configures the hotspot workload generator (Section 4.1).
 	WorkloadSpec = query.WorkloadSpec
+	// Pattern is the subgraph template of a PatternMatch query:
+	// variables (optionally labelled, optionally anchored at concrete
+	// graph nodes) connected by directed, optionally edge-labelled
+	// template edges. Matching counts homomorphisms.
+	Pattern = query.Pattern
+	// PatternNode is one template variable.
+	PatternNode = query.PatternNode
+	// PatternEdge is one template edge (From/To index Pattern.Nodes).
+	PatternEdge = query.PatternEdge
 )
 
 // Query types.
@@ -136,11 +145,24 @@ const (
 	RandomWalk = query.RandomWalk
 	// Reachability answers h-hop reachability via bidirectional BFS.
 	Reachability = query.Reachability
+	// PatternMatch counts the homomorphic matches of a multi-anchor
+	// subgraph template; each anchor's candidate edges are gathered on the
+	// processor owning it and joined at the router.
+	PatternMatch = query.PatternMatch
+	// BoundedReach answers multi-source reachability by partial
+	// evaluation: every per-partition subtask expands at most VisitBudget
+	// nodes, and the router relaunches boundary frontiers in later waves.
+	BoundedReach = query.BoundedReach
 )
 
 // HotspotWorkload generates the paper's workload: hotspot regions with
 // consecutive queries on nearby nodes (Section 4.1).
 func HotspotWorkload(g *Graph, spec WorkloadSpec) []Query { return query.Hotspot(g, spec) }
+
+// MixedTypes is the full query mix including the multi-anchor kinds; set
+// it as WorkloadSpec.Types to generate pattern-matching and bounded-
+// reachability queries alongside the classic traversals.
+var MixedTypes = query.MixedTypes
 
 // Answer computes a query's reference result directly on the in-memory
 // graph (the oracle the distributed system must agree with).

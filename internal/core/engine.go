@@ -96,6 +96,12 @@ func (s *System) RunWorkload(qs []query.Query) (*Report, error) {
 			return nil, fmt.Errorf("core: query IDs must be unique in [0,%d): bad ID %d", len(qs), q.ID)
 		}
 		seen[q.ID] = true
+		if q.Type.MultiAnchor() {
+			// The batch engine's queue/steal loop is single-destination by
+			// construction; multi-anchor queries run through a Session,
+			// whose wave machinery the experiments drive directly.
+			return nil, fmt.Errorf("%w: %v queries require session execution", query.ErrBadQuery, q.Type)
+		}
 	}
 
 	procs := s.newProcs(view)
@@ -235,6 +241,11 @@ type Session struct {
 	routing metrics.Histogram // virtual routing decision cost per query (ns)
 	depth   metrics.Histogram // destination queue depth at each decision
 
+	// Multi-anchor execution counters (see MultiStats).
+	multiSubtasks   int64
+	multiWaves      int64
+	multiMaxVisited int
+
 	// Write path + adaptive placement (nil/zero unless enabled).
 	mutations int64
 	heat      *placement.Heat
@@ -312,6 +323,9 @@ func (ses *Session) Execute(q query.Query) (query.Result, time.Duration, error) 
 	}
 	ses.applyTopology()
 	q.ID = ses.count
+	if q.Type.MultiAnchor() {
+		return ses.executeMulti(q)
+	}
 	prof := ses.sys.cfg.Network
 	strat := ses.rt.Strategy()
 	decisionCost := prof.RouterBase + time.Duration(strat.DecisionUnits())*prof.RouterPerUnit

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/mquery"
+	"repro/internal/query"
+	"repro/internal/router"
+	"repro/internal/simnet"
+)
+
+// executeMulti runs a multi-anchor query (PatternMatch / BoundedReach) as
+// waves of per-anchor subtasks. Each wave is routed through the strategy's
+// multi-anchor hook, billed one routing decision per subtask; subtasks on
+// the same processor run serially, different processors proceed in
+// parallel (their storage batches contend on the shared timeline), and the
+// wave completes when its slowest processor does — the same fork/join
+// shape the networked router executes with real goroutines.
+func (ses *Session) executeMulti(q query.Query) (query.Result, time.Duration, error) {
+	sys := ses.sys
+	prof := sys.cfg.Network
+	strat := ses.rt.Strategy()
+
+	pl, err := mquery.NewPlan(q, sys.g.LabelID)
+	if err != nil {
+		return query.Result{}, 0, err
+	}
+	m := mquery.NewMerger(pl)
+
+	start := ses.now
+	now := ses.now
+	wave := pl.Subtasks
+	for len(wave) > 0 && !m.Found() {
+		ses.multiWaves++
+		anchors := make([]graph.NodeID, len(wave))
+		for i, st := range wave {
+			anchors[i] = st.Anchor
+		}
+		picks := ses.rt.RouteAnchors(q, anchors)
+		decisionCost := prof.RouterBase + time.Duration(strat.DecisionUnits())*prof.RouterPerUnit
+		for _, p := range picks {
+			ses.routing.Observe(int64(decisionCost))
+			ses.depth.Observe(int64(ses.rt.QueueLen(p)))
+		}
+		// The router makes the wave's decisions back to back before any
+		// subtask departs (it is one sequential component).
+		now += time.Duration(len(picks)) * decisionCost
+
+		// Fork: per-processor serial chains starting at the wave's fork
+		// point; join at the slowest chain.
+		procNow := make(map[int]time.Duration, len(picks))
+		waveEnd := now
+		for i, st := range wave {
+			p := picks[i]
+			startAt, busy := procNow[p]
+			if !busy {
+				startAt = now
+			}
+			part, svc, err := sys.runSubtask(ses.procs[p], st, startAt, ses.tl, &ses.stats)
+			procNow[p] = startAt + svc
+			if procNow[p] > waveEnd {
+				waveEnd = procNow[p]
+			}
+			if err != nil {
+				// Virtual time burned before the failure is spent —
+				// failed subtasks cost real capacity.
+				ses.now = waveEnd
+				return query.Result{}, waveEnd - start, err
+			}
+			ses.multiSubtasks++
+			if err := m.Absorb(part); err != nil {
+				ses.now = waveEnd
+				return query.Result{}, waveEnd - start, fmt.Errorf("core: %w", err)
+			}
+			if m.Found() {
+				// Early success: later subtasks of this wave are never
+				// issued (the session knows the answer at the join point).
+				break
+			}
+		}
+		now = waveEnd
+		wave = m.NextWave()
+	}
+	ses.now = now
+	ses.count++
+	if _, maxV := m.Stats(); pl.Kind == mquery.KindReach && maxV > ses.multiMaxVisited {
+		ses.multiMaxVisited = maxV
+	}
+	if so, ok := strat.(router.StatsObserver); ok {
+		so.ObserveStats(aggregateCache(ses.procs))
+	}
+	if every := sys.cfg.PlacementEvery; every > 0 && ses.planner != nil {
+		ses.sinceTick++
+		if ses.sinceTick >= every {
+			ses.sinceTick = 0
+			ses.PlacementTick()
+		}
+	}
+	return m.Result(), now - start, nil
+}
+
+// runSubtask executes one subtask on processor p starting at virtual time
+// start: every record batch goes through the ordinary cached fetch path
+// (cache charges, storage contention on the timeline, affinity penalties),
+// and the traversal work is billed at ComputePerNode per unit.
+func (s *System) runSubtask(p *proc, st mquery.Subtask, start time.Duration, tl *simnet.Timeline, agg *execStats) (mquery.Partial, time.Duration, error) {
+	now := start
+	fetch := func(ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+		recs, cost, fst, err := s.fetchRecords(p, ids, now, tl)
+		now += cost
+		agg.add(fst)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[graph.NodeID]gstore.Record, len(ids))
+		for i, fr := range recs {
+			if fr.OK {
+				out[ids[i]] = fr.Record
+			}
+		}
+		return out, nil
+	}
+	part, units, err := mquery.Run(st, fetch)
+	if err != nil {
+		return mquery.Partial{}, now - start, err
+	}
+	now += time.Duration(units) * s.cfg.Network.ComputePerNode
+	return part, now - start, nil
+}
+
+// MultiStats reports the session's multi-anchor execution counters: total
+// subtasks issued, total waves, and the largest BoundedReach per-subtask
+// visit count seen (never above the budget — the merger enforces it).
+func (ses *Session) MultiStats() (subtasks, waves int64, maxVisited int) {
+	return ses.multiSubtasks, ses.multiWaves, ses.multiMaxVisited
+}

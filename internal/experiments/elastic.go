@@ -38,6 +38,24 @@ type elasticRow struct {
 	epoch  uint64
 }
 
+// elasticMeasure is one cell of the machine-readable artifact.
+type elasticMeasure struct {
+	WarmHit     float64 `json:"warm_hit"`
+	OutDip      float64 `json:"out_dip"`
+	OutRecovery float64 `json:"out_recovery"`
+	InDip       float64 `json:"in_dip"`
+	InRecovery  float64 `json:"in_recovery"`
+	FinalEpoch  uint64  `json:"final_epoch"`
+}
+
+// elasticReport is the machine-readable artifact (BENCH_elastic.json).
+type elasticReport struct {
+	Experiment string                    `json:"experiment"`
+	Nodes      int                       `json:"nodes"`
+	Queries    int                       `json:"queries"`
+	Cells      map[string]elasticMeasure `json:"cells"`
+}
+
 // runElastic exercises the paper's core elasticity claim — processors can
 // be added and removed without repartitioning the graph — and measures
 // what it costs: the per-policy cache-hit-rate dip right after each
@@ -87,7 +105,21 @@ func runElastic(w io.Writer, sc Scale) error {
 	fmt.Fprintln(w, "modulo Hash pays the deepest scale-in dip (a size change remaps almost every node),")
 	fmt.Fprintln(w, "StableHash moves only ~1/N of the key space so the original members' caches still")
 	fmt.Fprintln(w, "hit after scale-in, and the smart schemes re-derive assignments for the new count")
-	return nil
+
+	rep := elasticReport{
+		Experiment: "elastic",
+		Nodes:      g.NumNodes(),
+		Queries:    len(qs),
+		Cells:      make(map[string]elasticMeasure, len(elasticPolicies)),
+	}
+	for i, policy := range elasticPolicies {
+		r := rows[i]
+		rep.Cells[policyLabel(policy)] = elasticMeasure{
+			WarmHit: r.warm, OutDip: r.outDip, OutRecovery: r.outRec,
+			InDip: r.inDip, InRecovery: r.inRec, FinalEpoch: r.epoch,
+		}
+	}
+	return writeBenchJSON(w, "elastic", rep)
 }
 
 // runElasticPolicy runs one policy's 4→8→4 cell: warm up on 4 processors,

@@ -182,6 +182,8 @@ func policyLabel(p core.Policy) string {
 		return "Landmark"
 	case core.PolicyEmbed:
 		return "Embed"
+	case core.PolicyStableHash:
+		return "StableHash"
 	}
 	return p.String()
 }

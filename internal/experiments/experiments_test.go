@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b",
 		"fig14", "fig15", "fig16",
 		"ablation-stealing", "ablation-partition", "ablation-batch", "ablation-failure",
-		"elastic", "storagefault", "chaos", "drift",
+		"elastic", "storagefault", "chaos", "drift", "patterns",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -143,6 +143,36 @@ func TestDriftRecoversGoodput(t *testing.T) {
 	}
 	if st := rep.Cells["static"]; st.Moved.Moved != 0 {
 		t.Errorf("static cell migrated %d records; placement must not move", st.Moved.Moved)
+	}
+}
+
+// TestPatternsRespectsBudget is the multi-anchor acceptance run: every
+// policy answers the mixed workload oracle-identically (checked inside the
+// cells), the multi-anchor path genuinely executes (subtasks and waves
+// observed per policy), and no BoundedReach subtask ever exceeds the
+// per-partition visit budget.
+func TestPatternsRespectsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full four-policy patterns comparison")
+	}
+	var buf bytes.Buffer
+	rep, err := patternsRun(&buf, Quick)
+	if err != nil {
+		t.Fatalf("patterns failed: %v\n%s", err, buf.String())
+	}
+	if !rep.BudgetRespected {
+		t.Errorf("a subtask exceeded the per-partition visit budget\n%s", buf.String())
+	}
+	if rep.MultiAnchor == 0 {
+		t.Error("workload contains no multi-anchor queries — the experiment is vacuous")
+	}
+	for name, m := range rep.Cells {
+		if m.Subtasks == 0 || m.Waves == 0 {
+			t.Errorf("%s: subtasks=%d waves=%d — multi-anchor path not exercised", name, m.Subtasks, m.Waves)
+		}
+		if m.MaxVisited > rep.VisitBudget {
+			t.Errorf("%s: max visited %d exceeds budget %d", name, m.MaxVisited, rep.VisitBudget)
+		}
 	}
 }
 

@@ -28,6 +28,24 @@ type sfRow struct {
 	epoch      uint64
 }
 
+// sfMeasure is one cell of the machine-readable artifact.
+type sfMeasure struct {
+	Answered     int     `json:"answered"`
+	Failed       int     `json:"failed"`
+	GoodputQPS   float64 `json:"goodput_qps"`
+	HitRate      float64 `json:"hit_rate"`
+	Failovers    int64   `json:"failovers"`
+	StorageEpoch uint64  `json:"storage_epoch"`
+}
+
+// sfReport is the machine-readable artifact (BENCH_storagefault.json).
+type sfReport struct {
+	Experiment string               `json:"experiment"`
+	Nodes      int                  `json:"nodes"`
+	Queries    int                  `json:"queries_per_phase"`
+	Cells      map[string]sfMeasure `json:"cells"`
+}
+
 // runStorageFault exercises the decoupled design's storage-side
 // fault-tolerance claim: with the storage tier replicated (R=2), killing
 // one server mid-workload loses zero queries — reads fail over to the
@@ -116,7 +134,21 @@ func runStorageFault(w io.Writer, sc Scale) error {
 	if total := rows[2].ok + rows[2].failed; total > 0 && rows[2].failed == 0 {
 		return fmt.Errorf("the R=1 fault cell lost nothing — the fault is not reaching storage")
 	}
-	return nil
+
+	rep := sfReport{
+		Experiment: "storagefault",
+		Nodes:      g.NumNodes(),
+		Queries:    len(cold),
+		Cells:      make(map[string]sfMeasure, len(specs)),
+	}
+	for i, spec := range specs {
+		r := rows[i]
+		rep.Cells[spec.name] = sfMeasure{
+			Answered: r.ok, Failed: r.failed, GoodputQPS: r.qps,
+			HitRate: r.hit, Failovers: r.failovers, StorageEpoch: r.epoch,
+		}
+	}
+	return writeBenchJSON(w, "storagefault", rep)
 }
 
 // runStorageFaultCell warms one session on the warm workload, optionally

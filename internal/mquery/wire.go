@@ -1,0 +1,203 @@
+package mquery
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// The wire codecs keep gob envelopes compact: gob honours
+// encoding.BinaryMarshaler, so Subtask and Partial travel as varint streams
+// instead of per-field type descriptors (the first-message descriptor cost
+// the rpc encode-size tests bound). Decoding bounds every count so corrupt
+// input fails instead of panicking or over-allocating.
+
+// MarshalBinary encodes the subtask as a compact varint stream.
+func (st Subtask) MarshalBinary() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(st.Kind))
+	buf = binary.AppendUvarint(buf, uint64(st.Anchor))
+	buf = binary.AppendUvarint(buf, uint64(st.Radius))
+	buf = binary.AppendUvarint(buf, uint64(len(st.Edges)))
+	for _, et := range st.Edges {
+		buf = binary.AppendUvarint(buf, uint64(et.Edge))
+		buf = appendLabel(buf, et.FromLabel)
+		buf = appendLabel(buf, et.ToLabel)
+		buf = appendLabel(buf, et.EdgeLabel)
+		buf = binary.AppendUvarint(buf, uint64(et.FromAnchor))
+		buf = binary.AppendUvarint(buf, uint64(et.ToAnchor))
+	}
+	buf = binary.AppendUvarint(buf, uint64(st.Target))
+	buf = binary.AppendUvarint(buf, uint64(st.Hops))
+	buf = binary.AppendUvarint(buf, uint64(st.Budget))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes MarshalBinary's form.
+func (st *Subtask) UnmarshalBinary(data []byte) error {
+	d := wireDec{buf: data}
+	kind := Kind(d.u32())
+	anchor := graph.NodeID(d.u32())
+	radius := int(d.u32())
+	nEdges := d.count(query.MaxPatternEdges)
+	var edges []EdgeTask
+	for i := 0; i < nEdges; i++ {
+		edges = append(edges, EdgeTask{
+			Edge:       int(d.u32()),
+			FromLabel:  d.label(),
+			ToLabel:    d.label(),
+			EdgeLabel:  d.label(),
+			FromAnchor: graph.NodeID(d.u32()),
+			ToAnchor:   graph.NodeID(d.u32()),
+		})
+	}
+	target := graph.NodeID(d.u32())
+	hops := int(d.u32())
+	budget := int(d.u32())
+	if err := d.finish("subtask"); err != nil {
+		return err
+	}
+	if kind != KindPattern && kind != KindReach {
+		return fmt.Errorf("subtask: unknown kind %d", kind)
+	}
+	*st = Subtask{Kind: kind, Anchor: anchor, Radius: radius, Edges: edges,
+		Target: target, Hops: hops, Budget: budget}
+	return nil
+}
+
+// MarshalBinary encodes the partial as a compact varint stream.
+func (p Partial) MarshalBinary() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(p.Kind))
+	buf = binary.AppendUvarint(buf, uint64(p.Anchor))
+	found := uint64(0)
+	if p.Found {
+		found = 1
+	}
+	buf = binary.AppendUvarint(buf, found)
+	buf = binary.AppendUvarint(buf, uint64(p.Visited))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Rels)))
+	for _, er := range p.Rels {
+		buf = binary.AppendUvarint(buf, uint64(er.Edge))
+		buf = binary.AppendUvarint(buf, uint64(len(er.Pairs)))
+		for _, pr := range er.Pairs {
+			buf = binary.AppendUvarint(buf, uint64(pr.From))
+			buf = binary.AppendUvarint(buf, uint64(pr.To))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Frontier)))
+	for _, b := range p.Frontier {
+		buf = binary.AppendUvarint(buf, uint64(b.Node))
+		buf = binary.AppendUvarint(buf, uint64(b.Hops))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes MarshalBinary's form.
+func (p *Partial) UnmarshalBinary(data []byte) error {
+	d := wireDec{buf: data}
+	kind := Kind(d.u32())
+	anchor := graph.NodeID(d.u32())
+	found := d.u32()
+	visited := int(d.u32())
+	nRels := d.count(query.MaxPatternEdges)
+	var rels []EdgeRel
+	for i := 0; i < nRels; i++ {
+		edge := int(d.u32())
+		nPairs := d.count(len(d.buf)) // each pair costs >= 2 bytes
+		var pairs []Pair
+		for j := 0; j < nPairs; j++ {
+			from := graph.NodeID(d.u32())
+			to := graph.NodeID(d.u32())
+			pairs = append(pairs, Pair{From: from, To: to})
+		}
+		rels = append(rels, EdgeRel{Edge: edge, Pairs: pairs})
+	}
+	nFront := d.count(len(d.buf))
+	var front []Boundary
+	for i := 0; i < nFront; i++ {
+		node := graph.NodeID(d.u32())
+		hops := int(d.u32())
+		front = append(front, Boundary{Node: node, Hops: hops})
+	}
+	if err := d.finish("partial"); err != nil {
+		return err
+	}
+	if kind != KindPattern && kind != KindReach {
+		return fmt.Errorf("partial: unknown kind %d", kind)
+	}
+	if found > 1 {
+		return fmt.Errorf("partial: found flag %d", found)
+	}
+	*p = Partial{Kind: kind, Anchor: anchor, Rels: rels, Found: found == 1,
+		Frontier: front, Visited: visited}
+	return nil
+}
+
+// appendLabel encodes a resolved label constraint (-1 = any) as l+1.
+func appendLabel(buf []byte, l int32) []byte {
+	return binary.AppendUvarint(buf, uint64(l+1))
+}
+
+// wireDec is the same tiny bounds-checked varint reader the query package
+// uses for Pattern (unexported there): malformed input flips err, every
+// later read returns zero, finish reports the failure once.
+type wireDec struct {
+	buf []byte
+	err bool
+}
+
+func (d *wireDec) uvarint() uint64 {
+	if d.err {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = true
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// u32 reads a value that must fit 32 bits (node ids, small ints).
+func (d *wireDec) u32() uint64 {
+	v := d.uvarint()
+	if v > 1<<32-1 {
+		d.err = true
+		return 0
+	}
+	return v
+}
+
+// count reads a length capped at max AND at the remaining bytes (each
+// element costs at least one byte), so corrupt input cannot force a huge
+// allocation.
+func (d *wireDec) count(max int) int {
+	v := d.uvarint()
+	if v > uint64(max) || v > uint64(len(d.buf)) {
+		d.err = true
+		return 0
+	}
+	return int(v)
+}
+
+// label reads a resolved label constraint encoded as l+1 (0 = any).
+func (d *wireDec) label() int32 {
+	v := d.uvarint()
+	if v > 1<<16 {
+		d.err = true
+		return -1
+	}
+	return int32(v) - 1
+}
+
+func (d *wireDec) finish(what string) error {
+	if d.err {
+		return fmt.Errorf("%s: malformed wire encoding", what)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%s: %d trailing bytes", what, len(d.buf))
+	}
+	return nil
+}

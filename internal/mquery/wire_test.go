@@ -1,0 +1,152 @@
+package mquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+func wireSubtasks() []Subtask {
+	return []Subtask{
+		{Kind: KindReach, Anchor: 7, Target: 12, Hops: 3, Budget: 64},
+		{
+			Kind: KindPattern, Anchor: 1, Radius: 2,
+			Edges: []EdgeTask{
+				{Edge: 0, FromLabel: 3, ToLabel: -1, EdgeLabel: 65535, FromAnchor: 1, ToAnchor: 0},
+				{Edge: 15, FromLabel: -1, ToLabel: 0, EdgeLabel: -1, FromAnchor: 0, ToAnchor: 1<<32 - 1},
+			},
+		},
+	}
+}
+
+func wirePartials() []Partial {
+	return []Partial{
+		{Kind: KindReach, Anchor: 7, Found: true, Visited: 9},
+		{
+			Kind: KindReach, Anchor: 7, Visited: 64,
+			Frontier: []Boundary{{Node: 3, Hops: 2}, {Node: 1<<32 - 1, Hops: 1}},
+		},
+		{
+			Kind: KindPattern, Anchor: 1, Visited: 40,
+			Rels: []EdgeRel{
+				{Edge: 0, Pairs: []Pair{{From: 1, To: 2}, {From: 1, To: 9}}},
+				{Edge: 1},
+			},
+		},
+	}
+}
+
+func TestSubtaskWireRoundTrip(t *testing.T) {
+	for _, st := range wireSubtasks() {
+		data, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Subtask
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("decode %+v: %v", st, err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Fatalf("round trip changed the subtask:\n%+v\n%+v", st, back)
+		}
+	}
+}
+
+func TestPartialWireRoundTrip(t *testing.T) {
+	for _, p := range wirePartials() {
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Partial
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("decode %+v: %v", p, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip changed the partial:\n%+v\n%+v", p, back)
+		}
+	}
+}
+
+func TestWireDecodeRejects(t *testing.T) {
+	st := wireSubtasks()[1]
+	data, _ := st.MarshalBinary()
+	for cut := 0; cut < len(data); cut++ {
+		var back Subtask
+		if err := back.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	var back Subtask
+	if err := back.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+	if err := back.UnmarshalBinary([]byte{9}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+
+	p := wirePartials()[1]
+	pdata, _ := p.MarshalBinary()
+	for cut := 0; cut < len(pdata); cut++ {
+		var pb Partial
+		if err := pb.UnmarshalBinary(pdata[:cut]); err == nil {
+			t.Fatalf("partial truncation at %d decoded", cut)
+		}
+	}
+	var pb Partial
+	if err := pb.UnmarshalBinary(append(pdata, 0)); err == nil {
+		t.Fatal("partial trailing byte decoded")
+	}
+}
+
+// FuzzSubtaskWire checks the decoder never panics and that anything it
+// accepts re-encodes to an equivalent subtask.
+func FuzzSubtaskWire(f *testing.F) {
+	for _, st := range wireSubtasks() {
+		data, _ := st.MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st Subtask
+		if err := st.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted subtask failed to encode: %v", err)
+		}
+		var back Subtask
+		if err := back.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-encoded subtask failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Fatalf("re-encode changed the subtask:\n%+v\n%+v", st, back)
+		}
+	})
+}
+
+// FuzzPartialWire is the Partial counterpart.
+func FuzzPartialWire(f *testing.F) {
+	for _, p := range wirePartials() {
+		data, _ := p.MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Partial
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted partial failed to encode: %v", err)
+		}
+		var back Partial
+		if err := back.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-encoded partial failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("re-encode changed the partial:\n%+v\n%+v", p, back)
+		}
+	})
+}

@@ -8,12 +8,14 @@ package query
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/xrand"
 )
 
-// Type enumerates the paper's three online query kinds.
+// Type enumerates the online query kinds: the paper's three single-seed
+// traversals, plus the two multi-anchor classes of ROADMAP item 3.
 type Type int
 
 const (
@@ -27,6 +29,19 @@ const (
 	// Hops, via bidirectional BFS (forward over out-edges, backward over
 	// in-edges).
 	Reachability
+	// PatternMatch counts the homomorphisms of a small edge-labelled
+	// subgraph template (Pattern) into the graph. Distributed execution
+	// expands a candidate ball around each anchored variable on its routed
+	// processor and assembles the cross-partition join at the
+	// router/session.
+	PatternMatch
+	// BoundedReach reports whether Target is reachable within Hops from any
+	// of Anchors, by partial evaluation: each per-anchor subtask answers
+	// its fragment with at most VisitBudget node expansions, and the
+	// router/session composes the partial answers (relaunching frontier
+	// nodes in later waves) without any single subtask ever exceeding the
+	// per-partition budget.
+	BoundedReach
 )
 
 func (t Type) String() string {
@@ -37,9 +52,18 @@ func (t Type) String() string {
 		return "random-walk"
 	case Reachability:
 		return "reachability"
+	case PatternMatch:
+		return "pattern-match"
+	case BoundedReach:
+		return "bounded-reach"
 	}
 	return fmt.Sprintf("Type(%d)", int(t))
 }
+
+// MultiAnchor reports whether t is a multi-anchor query kind: one with
+// several home processors, routed as per-anchor subtasks rather than a
+// single destination.
+func (t Type) MultiAnchor() bool { return t == PatternMatch || t == BoundedReach }
 
 // Query is one online request.
 type Query struct {
@@ -62,15 +86,42 @@ type Query struct {
 	Seed int64
 	// Hotspot tags the workload region the query was drawn from.
 	Hotspot int
+	// Anchors are the source nodes of a BoundedReach query (nil otherwise).
+	Anchors []graph.NodeID
+	// Pattern is the subgraph template of a PatternMatch query (nil
+	// otherwise).
+	Pattern *Pattern
+	// VisitBudget caps the node expansions of any single per-partition
+	// subtask of a BoundedReach query.
+	VisitBudget int
+}
+
+// AnchorNodes returns the graph nodes the query is anchored at — the nodes
+// whose existence admission checks probe, and the per-subtask routing keys
+// of the multi-anchor kinds. Single-seed queries anchor at Node.
+func (q Query) AnchorNodes() []graph.NodeID {
+	switch q.Type {
+	case PatternMatch:
+		if q.Pattern != nil {
+			return q.Pattern.AnchorNodes()
+		}
+		return nil
+	case BoundedReach:
+		return q.Anchors
+	}
+	return []graph.NodeID{q.Node}
 }
 
 // Result is a query answer. Exactly one of the payload fields is
-// meaningful, selected by Type.
+// meaningful, selected by Type. Results stay comparable with == (tests and
+// experiments compare against the oracle that way), so payloads are
+// scalars only.
 type Result struct {
 	Type      Type
 	Count     int          // NeighborAgg
 	EndNode   graph.NodeID // RandomWalk
-	Reachable bool         // Reachability
+	Reachable bool         // Reachability, BoundedReach
+	Matches   int          // PatternMatch: homomorphism count
 }
 
 // WorkloadSpec configures the hotspot workload of Section 4.1: "we select
@@ -89,6 +140,8 @@ type WorkloadSpec struct {
 	// RestartProb applies to RandomWalk queries (paper: "a small
 	// probability"; default 0.15).
 	RestartProb float64
+	// VisitBudget applies to BoundedReach queries (default 64).
+	VisitBudget int
 	Seed        int64
 }
 
@@ -111,8 +164,16 @@ func (s WorkloadSpec) withDefaults() WorkloadSpec {
 	if s.RestartProb <= 0 {
 		s.RestartProb = 0.15
 	}
+	if s.VisitBudget <= 0 {
+		s.VisitBudget = 64
+	}
 	return s
 }
+
+// MixedTypes is the full query mix including the multi-anchor kinds — the
+// workload the patterns experiment and the cross-transport equivalence
+// tests run.
+var MixedTypes = []Type{NeighborAgg, PatternMatch, RandomWalk, BoundedReach, Reachability}
 
 // Hotspot generates the workload over g. Hotspot centres are sampled from
 // nodes with at least one edge (an isolated centre would make every query
@@ -160,7 +221,8 @@ func Hotspot(g *graph.Graph, spec WorkloadSpec) []Query {
 				Seed:        rng.Int63(),
 				Hotspot:     hs,
 			}
-			if qt == Reachability {
+			switch qt {
+			case Reachability:
 				// Validate treats Target==0 on a nonzero Node as unset, so
 				// redraw until valid (both candidate sets contain a nonzero
 				// node — the region always includes the nonzero query node —
@@ -174,6 +236,50 @@ func Hotspot(g *graph.Graph, spec WorkloadSpec) []Query {
 				} else {
 					qu.Target = nodes[rng.Intn(len(nodes))]
 					for qu.Target == 0 && qu.Node != 0 {
+						qu.Target = nodes[rng.Intn(len(nodes))]
+					}
+				}
+			case PatternMatch:
+				// Two region anchors sharing a free out-neighbour: the
+				// smallest genuinely multi-anchor template (a distributed
+				// join of two per-anchor candidate sets).
+				a1, ok1 := anchorOf(rng, node, region, nodes)
+				a2, ok2 := drawAnchor(rng, region, nodes)
+				if !ok1 || !ok2 {
+					// Degenerate graph with no anchorable (nonzero) node:
+					// keep the slot with a single-seed query.
+					qu.Type = NeighborAgg
+					break
+				}
+				qu.Node = a1
+				qu.Pattern = &Pattern{
+					Nodes: []PatternNode{{Anchor: a1}, {Anchor: a2}, {}},
+					Edges: []PatternEdge{{From: 0, To: 2}, {From: 1, To: 2}},
+				}
+			case BoundedReach:
+				a1, ok := anchorOf(rng, node, region, nodes)
+				if !ok {
+					qu.Type = NeighborAgg
+					break
+				}
+				qu.Node = a1
+				qu.Anchors = []graph.NodeID{a1}
+				for extra := 1 + rng.Intn(2); extra > 0; extra-- {
+					if a, ok := drawAnchor(rng, region, nodes); ok && !slices.Contains(qu.Anchors, a) {
+						qu.Anchors = append(qu.Anchors, a)
+					}
+				}
+				qu.VisitBudget = spec.VisitBudget
+				// Target drawn like Reachability's: half from the first
+				// anchor's h-hop region (usually reachable), half uniform
+				// (usually not). a1 is nonzero, so the redraw terminates.
+				if rng.Float64() < 0.5 {
+					tgtRegion := regionOf(g, a1, spec.H)
+					for qu.Target == 0 {
+						qu.Target = tgtRegion[rng.Intn(len(tgtRegion))]
+					}
+				} else {
+					for qu.Target == 0 {
 						qu.Target = nodes[rng.Intn(len(nodes))]
 					}
 				}
@@ -195,15 +301,44 @@ func regionOf(g *graph.Graph, centre graph.NodeID, r int) []graph.NodeID {
 		region = append(region, v)
 	}
 	// Sort for deterministic indexing (map order is random).
-	for i := 1; i < len(region); i++ {
-		for j := i; j > 0 && region[j] < region[j-1]; j-- {
-			region[j], region[j-1] = region[j-1], region[j]
-		}
-	}
+	slices.Sort(region)
 	if len(region) == 0 {
 		region = append(region, centre)
 	}
 	return region
+}
+
+// anchorOf returns node itself when it can anchor (nonzero), else a drawn
+// substitute.
+func anchorOf(rng *xrand.Source, node graph.NodeID, region, nodes []graph.NodeID) (graph.NodeID, bool) {
+	if node != 0 {
+		return node, true
+	}
+	return drawAnchor(rng, region, nodes)
+}
+
+// drawAnchor picks a nonzero node, preferring seeded draws from the
+// hotspot region (so anchors stay clustered, the locality smart routing
+// exploits), then deterministically scanning the region and finally the
+// whole node set. ok is false only when the graph has no nonzero node at
+// all.
+func drawAnchor(rng *xrand.Source, region, nodes []graph.NodeID) (graph.NodeID, bool) {
+	for tries := 0; tries < 8; tries++ {
+		if v := region[rng.Intn(len(region))]; v != 0 {
+			return v, true
+		}
+	}
+	for _, v := range region {
+		if v != 0 {
+			return v, true
+		}
+	}
+	for _, v := range nodes {
+		if v != 0 {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // Answer computes the reference result of q directly on the in-memory
@@ -244,6 +379,22 @@ func Answer(g *graph.Graph, q Query) Result {
 	case Reachability:
 		d := g.HopDistance(q.Node, q.Target, q.Hops, graph.Out)
 		return Result{Type: q.Type, Reachable: d != graph.Unreachable}
+	case PatternMatch:
+		if q.Pattern == nil {
+			return Result{Type: q.Type}
+		}
+		return Result{Type: q.Type, Matches: q.Pattern.matchCount(g)}
+	case BoundedReach:
+		// The visit budget shapes distributed execution (how much any one
+		// partition may expand per subtask), never the answer: partial
+		// evaluation relaunches budget-truncated frontiers until the
+		// composed answer is exact.
+		for _, a := range q.Anchors {
+			if g.HopDistance(a, q.Target, q.Hops, graph.Out) != graph.Unreachable {
+				return Result{Type: q.Type, Reachable: true}
+			}
+		}
+		return Result{Type: q.Type}
 	}
 	return Result{Type: q.Type}
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/gen"
@@ -79,7 +80,8 @@ func TestHotspotDeterministic(t *testing.T) {
 	a := Hotspot(g, WorkloadSpec{NumHotspots: 5, QueriesPerHotspot: 4, Seed: 11})
 	b := Hotspot(g, WorkloadSpec{NumHotspots: 5, QueriesPerHotspot: 4, Seed: 11})
 	for i := range a {
-		if a[i] != b[i] {
+		// Queries carry slices (multi-anchor fields), so deep-compare.
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("query %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

@@ -38,7 +38,7 @@ var (
 // means the caller never set it. (Hotspot never generates that pattern.)
 func (q Query) Validate() error {
 	switch q.Type {
-	case NeighborAgg, RandomWalk, Reachability:
+	case NeighborAgg, RandomWalk, Reachability, PatternMatch, BoundedReach:
 	default:
 		return fmt.Errorf("%w: unknown query type %v", ErrBadQuery, q.Type)
 	}
@@ -58,6 +58,31 @@ func (q Query) Validate() error {
 	case Reachability:
 		if q.Target == 0 && q.Node != 0 {
 			return fmt.Errorf("%w: reachability query missing Target", ErrBadQuery)
+		}
+	case PatternMatch:
+		if q.Pattern == nil {
+			return fmt.Errorf("%w: pattern-match query missing Pattern", ErrBadQuery)
+		}
+		if err := q.Pattern.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+	case BoundedReach:
+		if len(q.Anchors) == 0 {
+			return fmt.Errorf("%w: bounded-reach query missing Anchors", ErrBadQuery)
+		}
+		if len(q.Anchors) > MaxAnchors {
+			return fmt.Errorf("%w: %d anchors exceed the limit of %d", ErrBadQuery, len(q.Anchors), MaxAnchors)
+		}
+		for _, a := range q.Anchors {
+			if a == 0 {
+				return fmt.Errorf("%w: bounded-reach query carries a zero anchor", ErrBadQuery)
+			}
+		}
+		if q.Target == 0 {
+			return fmt.Errorf("%w: bounded-reach query missing Target", ErrBadQuery)
+		}
+		if q.VisitBudget < 1 {
+			return fmt.Errorf("%w: bounded-reach visit budget %d < 1", ErrBadQuery, q.VisitBudget)
 		}
 	}
 	return nil

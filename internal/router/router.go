@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/topology"
@@ -253,6 +254,45 @@ func (r *Router) Route(q query.Query) int {
 	r.assigned[p]++
 	r.strategy.Observe(q, p)
 	return p
+}
+
+// RouteAnchors routes a multi-anchor query's per-anchor subtasks: one
+// destination per anchor, chosen through the strategy's multi-anchor hook
+// (PickAnchors — per-anchor routing for the built-ins). Unlike Route,
+// nothing is enqueued: subtask execution is driven by the caller's wave
+// machinery, not the FIFO queues. Each subtask still counts as assigned
+// and executed work on its processor, dead picks are diverted, and the
+// strategy observes every final destination (so cache-model strategies
+// learn where the anchors' neighbourhoods now live).
+func (r *Router) RouteAnchors(q query.Query, anchors []graph.NodeID) []int {
+	loads := r.loads
+	for p := range r.queues {
+		if r.status[p] == topology.Left {
+			loads[p] = 1 << 30
+			continue
+		}
+		loads[p] = r.QueueLen(p)
+	}
+	picks := PickAnchors(r.strategy, q, anchors, loads)
+	for i, p := range picks {
+		q2 := q
+		if i < len(anchors) {
+			q2.Node = anchors[i]
+		}
+		if p < 0 || p >= len(r.queues) {
+			p = 0
+		}
+		if r.status[p] != topology.Active {
+			r.diverted[p]++
+			r.divertedTotal++
+			p = r.divert(q2, loads)
+		}
+		picks[i] = p
+		r.assigned[p]++
+		r.executed[p]++
+		r.strategy.Observe(q2, p)
+	}
+	return picks
 }
 
 // divert picks the best live processor for q: the closest one when the

@@ -74,6 +74,41 @@ type Strategy interface {
 	DecisionUnits() int
 }
 
+// AnchorRouter is the multi-anchor routing hook: a strategy that wants to
+// place a query's per-anchor subtasks jointly (say, packing anchors that
+// share a partition) implements it. Strategies that do not — all five
+// built-ins — are adapted by PickAnchors, which routes each anchor as if it
+// were a single-seed query on that node. Implementations must return one
+// in-range processor per anchor; they must not Observe (the caller observes
+// each subtask's final, post-diversion destination).
+type AnchorRouter interface {
+	PickAnchors(q query.Query, anchors []graph.NodeID, loads []int) []int
+}
+
+// PickAnchors routes a multi-anchor query's anchors through s: via its
+// AnchorRouter hook when it has one, else per-anchor — each anchor is
+// presented to Pick as the query's Node, the decision every strategy
+// already knows how to make. loads is mutated as picks commit (each chosen
+// processor's load rises by one) so load-blending strategies see the
+// query's own fan-out, exactly as they would see a burst of single-seed
+// queries.
+func PickAnchors(s Strategy, q query.Query, anchors []graph.NodeID, loads []int) []int {
+	if ar, ok := s.(AnchorRouter); ok {
+		return ar.PickAnchors(q, anchors, loads)
+	}
+	picks := make([]int, len(anchors))
+	for i, a := range anchors {
+		q2 := q
+		q2.Node = a
+		p := s.Pick(q2, loads)
+		picks[i] = p
+		if p >= 0 && p < len(loads) {
+			loads[p]++
+		}
+	}
+	return picks
+}
+
 // NextReady dispatches to the least-loaded processor, breaking ties
 // round-robin. "The router decides where to send a query by choosing the
 // next processor that has finished computing and is ready for a new

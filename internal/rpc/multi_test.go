@@ -1,0 +1,163 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// TestClusterMultiAnchorMatchesOracle runs the full mixed workload —
+// including PatternMatch and BoundedReach — through a real localhost
+// deployment, one query at a time and then as a single batch, and checks
+// every result against the in-memory oracle.
+func TestClusterMultiAnchorMatchesOracle(t *testing.T) {
+	g := gen.LocalWeb(1200, 8, 60, 0.01, 6)
+	cl := startCluster(t, g, 2, 3, "hash")
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots: 8, QueriesPerHotspot: 5, R: 2, H: 2,
+		Types: query.MixedTypes, VisitBudget: 8, Seed: 13,
+	})
+	var patterns, reaches int
+	for _, q := range qs {
+		switch q.Type {
+		case query.PatternMatch:
+			patterns++
+		case query.BoundedReach:
+			reaches++
+		}
+	}
+	if patterns == 0 || reaches == 0 {
+		t.Fatalf("workload has %d patterns, %d bounded reaches; want both > 0", patterns, reaches)
+	}
+
+	ctx := context.Background()
+	for _, q := range qs {
+		got, err := cl.Execute(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d (%v): %v", q.ID, q.Type, err)
+		}
+		if want := query.Answer(g, q); got != want {
+			t.Fatalf("query %d (%v): got %+v, want %+v", q.ID, q.Type, got, want)
+		}
+	}
+
+	// The same workload as one batch: executeMixed must reassemble classic
+	// and multi-anchor results positionally.
+	results, err := cl.ExecuteBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(results), len(qs))
+	}
+	for i, q := range qs {
+		if want := query.Answer(g, q); results[i] != want {
+			t.Fatalf("batch query %d (%v): got %+v, want %+v", q.ID, q.Type, results[i], want)
+		}
+	}
+}
+
+// TestClusterLabelledPattern checks label resolution over the wire: a
+// router started with the dataset resolves template label strings; one
+// started without it rejects labelled templates with the typed error
+// rather than silently matching nothing.
+func TestClusterLabelledPattern(t *testing.T) {
+	g := gen.KnowledgeGraph(600, 2400, 4, 3, 9)
+	var anchor = g.Nodes()[1]
+	q := query.Query{
+		Type: query.PatternMatch,
+		Node: anchor,
+		Pattern: &query.Pattern{
+			Nodes: []query.PatternNode{{Anchor: anchor}, {Label: "type1"}},
+			Edges: []query.PatternEdge{{From: 0, To: 1}},
+		},
+		Dir: graph.Out,
+	}
+
+	ctx := context.Background()
+	cl := startClusterCfg(t, g, 2, 3, "hash", true)
+	got, err := cl.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.Answer(g, q); got != want {
+		t.Fatalf("labelled pattern: got %+v, want %+v", got, want)
+	}
+
+	// A template naming a label absent from the dataset matches nothing.
+	q2 := q
+	q2.Pattern = &query.Pattern{
+		Nodes: []query.PatternNode{{Anchor: anchor}, {Label: "no-such-type"}},
+		Edges: []query.PatternEdge{{From: 0, To: 1}},
+	}
+	if got, err := cl.Execute(ctx, q2); err != nil || got.Matches != 0 {
+		t.Fatalf("unknown label: got %+v, %v; want 0 matches", got, err)
+	}
+
+	// Without the graph the router has no label table: typed rejection.
+	bare := startCluster(t, g, 2, 3, "hash")
+	if _, err := bare.Execute(ctx, q); !errors.Is(err, query.ErrBadQuery) {
+		t.Fatalf("labelled pattern on graph-less router: err = %v, want ErrBadQuery", err)
+	}
+}
+
+// TestMultiAnchorCancellation cancels multi-anchor executions mid-stream
+// and checks the typed classification plus that the client stays usable
+// (the pool discards connections poisoned by cancellation).
+func TestMultiAnchorCancellation(t *testing.T) {
+	g := gen.LocalWeb(1500, 8, 60, 0.01, 7)
+	cl := startCluster(t, g, 2, 3, "hash")
+	q := query.Query{
+		Type:        query.BoundedReach,
+		Node:        5,
+		Anchors:     []graph.NodeID{5, 9, 12},
+		Target:      1400,
+		Hops:        6,
+		VisitBudget: 2, // tiny budget forces many relaunch waves
+		Dir:         graph.Out,
+	}
+
+	// Already-cancelled context: deterministic mid-pipeline abort.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Execute(cancelled, q); err == nil {
+		t.Fatal("cancelled multi-anchor execute succeeded")
+	} else if !errors.Is(err, context.Canceled) && !errors.Is(err, query.ErrUnavailable) {
+		t.Fatalf("cancelled execute error = %v, want context.Canceled or ErrUnavailable", err)
+	}
+
+	// Cancel racing the wave loop: either the query finished first or it
+	// was cut off with a typed error — never a hang or a wrong answer.
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			time.Sleep(time.Duration(i) * 200 * time.Microsecond)
+			cancel()
+		}()
+		got, err := cl.Execute(ctx, q)
+		<-done
+		if err == nil {
+			if want := query.Answer(g, q); got != want {
+				t.Fatalf("raced execute: got %+v, want %+v", got, want)
+			}
+		} else if !errors.Is(err, context.Canceled) && !errors.Is(err, query.ErrUnavailable) {
+			t.Fatalf("raced execute error = %v", err)
+		}
+	}
+
+	// The client remains usable afterwards.
+	got, err := cl.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.Answer(g, q); got != want {
+		t.Fatalf("post-cancel result %+v, want %+v", got, want)
+	}
+}

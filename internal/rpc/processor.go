@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/graph"
 	"repro/internal/gstore"
+	"repro/internal/mquery"
 	"repro/internal/query"
 	"repro/internal/xrand"
 )
@@ -197,8 +198,31 @@ func (p *ProcessorServer) handle(ctx context.Context, req *Request) Response {
 		p.storage.SetOverrides(req.Overrides)
 		return Response{OK: true}
 	case OpExecute:
-		if req.Exec == nil || len(req.Exec.Queries) == 0 {
+		if req.Exec == nil || (len(req.Exec.Queries) == 0 && len(req.Exec.Subtasks) == 0) {
 			return errorResponse(fmt.Errorf("%w: execute request carries no queries", query.ErrBadQuery))
+		}
+		if len(req.Exec.Subtasks) > 0 {
+			if len(req.Exec.Queries) > 0 {
+				return errorResponse(fmt.Errorf("%w: execute request mixes queries and subtasks", query.ErrBadQuery))
+			}
+			partials := make([]mquery.Partial, len(req.Exec.Subtasks))
+			for i, st := range req.Exec.Subtasks {
+				if err := ctx.Err(); err != nil {
+					return errorResponse(err)
+				}
+				part, _, err := mquery.Run(st, func(ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
+					return p.fetch(ctx, ids)
+				})
+				if err != nil {
+					return errorResponse(err)
+				}
+				p.executed.Add(1)
+				partials[i] = part
+			}
+			p.mu.Lock()
+			cc := p.cache.Stats().Counters()
+			p.mu.Unlock()
+			return Response{OK: true, Partials: partials, ProcCache: &cc}
 		}
 		results := make([]query.Result, len(req.Exec.Queries))
 		for i, q := range req.Exec.Queries {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/mquery"
 	"repro/internal/query"
 )
 
@@ -175,6 +176,10 @@ type Request struct {
 // downstream calls (router → processor → storage).
 type ExecRequest struct {
 	Queries []query.Query
+	// Subtasks serves the router→processor leg of a multi-anchor query:
+	// the per-anchor work units of one wave routed to this processor.
+	// Mutually exclusive with Queries; nil on the client→router leg.
+	Subtasks []mquery.Subtask
 	// Deadline is the client context's deadline in Unix nanoseconds
 	// (0 = none).
 	Deadline int64
@@ -194,6 +199,9 @@ type Response struct {
 	Founds []bool
 	// Results serves OpExecute, positionally aligned with Exec.Queries.
 	Results []query.Result
+	// Partials serves a subtask OpExecute, positionally aligned with
+	// Exec.Subtasks.
+	Partials []mquery.Partial
 	// Epoch stamps the router's topology epoch on the response: the epoch
 	// the queries of an OpExecute were routed under (in-flight queries
 	// drain on the view of the epoch that routed them), or the epoch a

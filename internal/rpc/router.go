@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/landmark"
 	"repro/internal/metrics"
+	"repro/internal/mquery"
 	"repro/internal/placement"
 	"repro/internal/query"
 	"repro/internal/router"
@@ -535,7 +536,54 @@ func (r *RouterServer) execute(ctx context.Context, ex *ExecRequest) Response {
 			return errorResponse(err)
 		}
 	}
+	for _, q := range ex.Queries {
+		if q.Type.MultiAnchor() {
+			return r.executeMixed(ctx, ex)
+		}
+	}
+	return r.executeClassic(ctx, ex)
+}
 
+// executeMixed handles a batch containing multi-anchor queries: each one
+// runs through the wave machinery, the single-seed remainder goes through
+// the classic batch path, and the results are reassembled positionally.
+func (r *RouterServer) executeMixed(ctx context.Context, ex *ExecRequest) Response {
+	out := Response{OK: true, Epoch: r.Epoch(), Results: make([]query.Result, len(ex.Queries))}
+	var classic []int
+	for i, q := range ex.Queries {
+		if !q.Type.MultiAnchor() {
+			classic = append(classic, i)
+			continue
+		}
+		res, epoch, err := r.executeMultiQuery(ctx, q, ex.Deadline)
+		if err != nil {
+			return errorResponse(err)
+		}
+		out.Results[i] = res
+		if epoch > out.Epoch {
+			out.Epoch = epoch
+		}
+	}
+	if len(classic) > 0 {
+		sub := &ExecRequest{Queries: make([]query.Query, len(classic)), Deadline: ex.Deadline}
+		for j, i := range classic {
+			sub.Queries[j] = ex.Queries[i]
+		}
+		resp := r.executeClassic(ctx, sub)
+		if resp.Err != "" {
+			return resp
+		}
+		for j, i := range classic {
+			out.Results[i] = resp.Results[j]
+		}
+		if resp.Epoch > out.Epoch {
+			out.Epoch = resp.Epoch
+		}
+	}
+	return out
+}
+
+func (r *RouterServer) executeClassic(ctx context.Context, ex *ExecRequest) Response {
 	// Routing decisions under the current in-flight load (one strategy
 	// lock for the batch; the strategy is inherently sequential).
 	dest := make([]int, len(ex.Queries))
@@ -663,6 +711,185 @@ func (r *RouterServer) divertLocked(q query.Query) int {
 		best = 0
 	}
 	return best
+}
+
+// executeMultiQuery runs one multi-anchor query as waves of per-anchor
+// subtasks fanned out to the processors. Partial results stream back and
+// are merged as each processor answers; for BoundedReach, a hit on the
+// target cancels the wave's outstanding subtask calls mid-stream (their
+// results cannot change the answer) and no further wave launches.
+func (r *RouterServer) executeMultiQuery(ctx context.Context, q query.Query, deadline int64) (query.Result, uint64, error) {
+	var resolve mquery.LabelResolver
+	if r.g != nil {
+		resolve = r.g.LabelID
+	}
+	pl, err := mquery.NewPlan(q, resolve)
+	if err != nil {
+		return query.Result{}, 0, err
+	}
+	m := mquery.NewMerger(pl)
+	epoch := r.Epoch()
+	wave := pl.Subtasks
+	for len(wave) > 0 && !m.Found() {
+		ep, err := r.runWave(ctx, q, wave, deadline, m)
+		if ep > 0 {
+			epoch = ep
+		}
+		if err != nil {
+			return query.Result{}, epoch, err
+		}
+		wave = m.NextWave()
+	}
+	// One client-visible query completed (subtasks were internal work
+	// units — finishSubtasks leaves these counters alone).
+	r.queries.Add(1)
+	r.maybeTick(1)
+	return m.Result(), epoch, nil
+}
+
+// runWave routes one wave of subtasks through the strategy's multi-anchor
+// hook, fans the per-processor groups out concurrently, and absorbs the
+// partial results as they stream back.
+func (r *RouterServer) runWave(ctx context.Context, q query.Query, wave []mquery.Subtask, deadline int64, m *mquery.Merger) (uint64, error) {
+	anchors := make([]graph.NodeID, len(wave))
+	for i, st := range wave {
+		anchors[i] = st.Anchor
+	}
+
+	r.mu.Lock()
+	if r.view.NumActive() == 0 {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("%w: no active processors", query.ErrUnavailable)
+	}
+	epoch := r.view.Epoch
+	loads := make([]int, len(r.inflight))
+	for p := range r.inflight {
+		if r.view.Status(p) == topology.Left {
+			loads[p] = 1 << 30
+		} else {
+			loads[p] = r.inflight[p]
+		}
+	}
+	t0 := time.Now()
+	picks := router.PickAnchors(r.strategy, q, anchors, loads)
+	perPick := time.Since(t0).Nanoseconds() / int64(len(picks))
+	for i := range picks {
+		q2 := q
+		q2.Node = anchors[i]
+		p := picks[i]
+		if p < 0 || p >= len(r.pools) {
+			p = 0
+		}
+		if !r.view.IsActive(p) || r.pools[p] == nil {
+			r.diverted[p]++
+			p = r.divertLocked(q2)
+		}
+		picks[i] = p
+		r.strategy.Observe(q2, p)
+		r.routing.Observe(perPick)
+		r.depth.Observe(int64(r.inflight[p]))
+		r.assigned[p]++
+		r.inflight[p]++
+	}
+	pools := append([]*Pool(nil), r.pools...)
+	r.mu.Unlock()
+
+	groups := make(map[int][]int, len(pools))
+	for i, p := range picks {
+		groups[p] = append(groups[p], i)
+	}
+
+	// The wave context lets an early BoundedReach success cancel sibling
+	// subtask calls mid-stream.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type procResult struct {
+		proc    int
+		indices []int
+		resp    Response
+		err     error
+	}
+	results := make(chan procResult, len(groups))
+	for p, indices := range groups {
+		go func(p int, indices []int) {
+			sub := &ExecRequest{Subtasks: make([]mquery.Subtask, len(indices)), Deadline: deadline}
+			for j, i := range indices {
+				sub.Subtasks[j] = wave[i]
+			}
+			resp, err := pools[p].Call(wctx, &Request{Op: OpExecute, Exec: sub})
+			results <- procResult{proc: p, indices: indices, resp: resp, err: err}
+		}(p, indices)
+	}
+
+	var firstErr error
+	for range groups {
+		pr := <-results
+		r.finishSubtasks(pr.proc, len(pr.indices), &pr.resp, pr.err)
+		if m.Found() {
+			// Answer already known: late partials are redundant, and late
+			// errors are expected — we cancelled those calls ourselves.
+			continue
+		}
+		if pr.err != nil {
+			if firstErr == nil {
+				firstErr = pr.err
+			}
+			continue
+		}
+		if len(pr.resp.Partials) != len(pr.indices) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rpc: processor %d answered %d partials for %d subtasks",
+					pr.proc, len(pr.resp.Partials), len(pr.indices))
+			}
+			continue
+		}
+		for _, part := range pr.resp.Partials {
+			if err := m.Absorb(part); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			if m.Found() {
+				cancel() // mid-stream: abort the wave's outstanding calls
+				break
+			}
+		}
+	}
+	if m.Found() {
+		return epoch, nil
+	}
+	return epoch, firstErr
+}
+
+// finishSubtasks settles the accounting for n completed subtasks on
+// processor p. It mirrors finish — in-flight load drops, cache counters
+// feed the StatsObserver, a draining member may complete its departure —
+// but does not advance the client-visible query counters: subtasks are
+// routed work units inside one query, not queries.
+func (r *RouterServer) finishSubtasks(p, n int, resp *Response, err error) {
+	r.mu.Lock()
+	r.inflight[p] -= n
+	if err == nil {
+		r.completed[p] += int64(n)
+		if resp.ProcCache != nil {
+			r.lastCache[p] = *resp.ProcCache
+			if r.statsObs != nil {
+				var agg metrics.CacheCounters
+				for i := range r.lastCache {
+					agg.Add(r.lastCache[i])
+				}
+				r.statsObs.ObserveStats(agg)
+			}
+		}
+	}
+	if r.inflight[p] == 0 && r.view.Status(p) == topology.Draining {
+		if v, lerr := r.topo.Leave(p); lerr == nil {
+			r.applyViewLocked(v)
+		}
+	}
+	r.mu.Unlock()
 }
 
 // finish settles the accounting for a completed sub-batch of n queries on

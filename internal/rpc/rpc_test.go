@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/mquery"
 	"repro/internal/query"
 )
 
@@ -19,6 +20,14 @@ import (
 // shards, nProcs processors, one router with the given policy, loaded with
 // graph g. Cleanup is registered on t.
 func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy string) *RouterClient {
+	t.Helper()
+	return startClusterCfg(t, g, nStorage, nProcs, policy, false)
+}
+
+// startClusterCfg is startCluster with control over whether the router is
+// started with the dataset (groutingd -graph), which label-carrying
+// patterns and mutations need for string→Label resolution.
+func startClusterCfg(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy string, withGraph bool) *RouterClient {
 	t.Helper()
 	var storageAddrs []string
 	for i := 0; i < nStorage; i++ {
@@ -52,7 +61,11 @@ func startCluster(t *testing.T, g *graph.Graph, nStorage, nProcs int, policy str
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := NewRouterServer("127.0.0.1:0", RouterConfig{ProcessorAddrs: procAddrs, Strategy: strat})
+	cfg := RouterConfig{ProcessorAddrs: procAddrs, Strategy: strat}
+	if withGraph {
+		cfg.Graph = g
+	}
+	rs, err := NewRouterServer("127.0.0.1:0", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,8 +376,11 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 	if n := encodedSize(t, ping, true); n > 16 {
 		t.Errorf("steady-state ping encodes to %d bytes, want <= 16", n)
 	}
-	if n := encodedSize(t, ping, false); n > 640 {
-		t.Errorf("first ping (with type descriptors) encodes to %d bytes, want <= 640", n)
+	// The one-time descriptor budget covers every envelope type, including
+	// the multi-anchor Subtask/Partial payloads (their BinaryMarshaler
+	// keeps each to a single opaque-bytes descriptor).
+	if n := encodedSize(t, ping, false); n > 960 {
+		t.Errorf("first ping (with type descriptors) encodes to %d bytes, want <= 960", n)
 	}
 	get := &Request{Op: OpGet, Key: 123456789}
 	if n := encodedSize(t, get, true); n > 32 {
@@ -397,6 +413,33 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 	execN := encodedSize(t, exec, true)
 	if execN > 128 {
 		t.Errorf("steady-state 1-query execute encodes to %d bytes, want <= 128", execN)
+	}
+	// A one-subtask wave dispatch: the varint-packed subtask plus envelope.
+	subExec := &Request{Op: OpExecute, Exec: &ExecRequest{Subtasks: []mquery.Subtask{
+		{Kind: mquery.KindReach, Anchor: 42, Target: 99, Hops: 2, Budget: 64},
+	}}}
+	if n := encodedSize(t, subExec, true); n > 96 {
+		t.Errorf("steady-state 1-subtask execute encodes to %d bytes, want <= 96", n)
+	}
+	// A pattern-match query rides its varint-packed template.
+	patExec := execRequest(context.Background(), []query.Query{{
+		ID: 1, Type: query.PatternMatch, Node: 42, Dir: graph.Out,
+		Pattern: &query.Pattern{
+			Nodes: []query.PatternNode{{Anchor: 42}, {Anchor: 97}, {}},
+			Edges: []query.PatternEdge{{From: 0, To: 2}, {From: 1, To: 2}},
+		},
+	}})
+	if n := encodedSize(t, patExec, true); n > 160 {
+		t.Errorf("steady-state 1-pattern execute encodes to %d bytes, want <= 160", n)
+	}
+	// A truncated-frontier partial response stays proportional to its
+	// boundary, with a small constant envelope.
+	partResp := &Response{OK: true, Partials: []mquery.Partial{
+		{Kind: mquery.KindReach, Anchor: 42, Visited: 64,
+			Frontier: []mquery.Boundary{{Node: 7, Hops: 1}, {Node: 9, Hops: 1}}},
+	}}
+	if n := encodedSize(t, partResp, true); n > 96 {
+		t.Errorf("steady-state 1-partial response encodes to %d bytes, want <= 96", n)
 	}
 	// An OK response to a ping must not carry result/stats payloads.
 	pong := &Response{OK: true}

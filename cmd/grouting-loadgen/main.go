@@ -1,0 +1,432 @@
+// Command grouting-loadgen drives a cluster with sustained open-loop load
+// and reports what the serving stack actually delivers: latency quantiles
+// (p50/p99/p999), goodput, allocations per query, and the highest QPS at
+// which the p99 still meets the SLO.
+//
+// Usage:
+//
+//	grouting-loadgen                          # self-hosted loopback cluster, SLO ramp + sustained run
+//	grouting-loadgen -qps 2000 -duration 30s  # fixed-rate sustained run only
+//	grouting-loadgen -router 10.0.0.1:7000    # drive a live router (no alloc comparison)
+//	grouting-loadgen -slo 5ms -benchdir out   # tighter SLO, artifact under out/
+//
+// The generator is open-loop and coordinated-omission-safe: queries are
+// launched on a fixed schedule regardless of how fast earlier ones finish,
+// and every latency is measured from the query's *scheduled* send time, so
+// server-side stalls surface as tail latency instead of silently slowing
+// the generator down. Results land in BENCH_loadgen.json so the perf
+// trajectory stays machine-readable across PRs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	grouting "repro"
+)
+
+func main() {
+	var (
+		routerAddr  = flag.String("router", "", "router address to drive; empty self-hosts a loopback cluster")
+		nStorage    = flag.Int("storage", 2, "self-host: storage shards")
+		nProcs      = flag.Int("procs", 3, "self-host: processors")
+		policyName  = flag.String("policy", "hash", "self-host: routing policy")
+		cacheBytes  = flag.Int64("cache", 64<<20, "self-host: per-processor cache bytes")
+		scale       = flag.Float64("scale", 0.02, "dataset scale factor")
+		seed        = flag.Int64("seed", 7, "dataset and workload seed")
+		hotspots    = flag.Int("hotspots", 16, "workload hotspots")
+		qps         = flag.Float64("qps", 0, "sustained target QPS; 0 ramps to find max QPS at SLO first")
+		duration    = flag.Duration("duration", 10*time.Second, "sustained-run length")
+		step        = flag.Duration("step", 3*time.Second, "ramp: per-step window length")
+		startQPS    = flag.Float64("startqps", 200, "ramp: first step's target QPS")
+		growth      = flag.Float64("growth", 1.6, "ramp: per-step rate multiplier")
+		maxSteps    = flag.Int("maxsteps", 12, "ramp: step limit")
+		slo         = flag.Duration("slo", 20*time.Millisecond, "p99 latency SLO")
+		maxInflight = flag.Int("maxinflight", 512, "open-loop concurrency cap (backpressure still counts as latency)")
+		benchDir    = flag.String("benchdir", ".", "directory for BENCH_loadgen.json ('' disables it)")
+	)
+	flag.Parse()
+	if err := run(config{
+		routerAddr: *routerAddr, nStorage: *nStorage, nProcs: *nProcs,
+		policyName: *policyName, cacheBytes: *cacheBytes,
+		scale: *scale, seed: *seed, hotspots: *hotspots,
+		qps: *qps, duration: *duration,
+		step: *step, startQPS: *startQPS, growth: *growth, maxSteps: *maxSteps,
+		slo: *slo, maxInflight: *maxInflight, benchDir: *benchDir,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "grouting-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	routerAddr       string
+	nStorage, nProcs int
+	policyName       string
+	cacheBytes       int64
+	scale            float64
+	seed             int64
+	hotspots         int
+	qps              float64
+	duration         time.Duration
+	step             time.Duration
+	startQPS, growth float64
+	maxSteps         int
+	slo              time.Duration
+	maxInflight      int
+	benchDir         string
+}
+
+// window is one measured load interval: a ramp step or the sustained run.
+type window struct {
+	TargetQPS   float64 `json:"target_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	Sent        int64   `json:"sent"`
+	Done        int64   `json:"done"`
+	Errors      int64   `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	GoodputQPS  float64 `json:"goodput_qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	MetSLO      bool    `json:"met_slo"`
+}
+
+// report is the BENCH_loadgen.json artifact.
+type report struct {
+	Config struct {
+		Target      string  `json:"target"`
+		Scale       float64 `json:"scale"`
+		Seed        int64   `json:"seed"`
+		Hotspots    int     `json:"hotspots"`
+		Storage     int     `json:"storage"`
+		Processors  int     `json:"processors"`
+		Policy      string  `json:"policy"`
+		SLOMs       float64 `json:"slo_ms"`
+		MaxInflight int     `json:"max_inflight"`
+	} `json:"config"`
+	Ramp        []window `json:"ramp,omitempty"`
+	MaxQPSAtSLO float64  `json:"max_qps_at_slo"`
+	Sustained   window   `json:"sustained"`
+	Allocs      *struct {
+		TCPPerQuery     float64 `json:"tcp_allocs_per_query"`
+		VirtualPerQuery float64 `json:"virtual_allocs_per_query"`
+		Budget          float64 `json:"budget"`
+	} `json:"alloc_comparison,omitempty"`
+}
+
+func run(cfg config) error {
+	ctx := context.Background()
+	g := grouting.GenerateDataset(grouting.WebGraph, cfg.scale, cfg.seed)
+	qs := grouting.HotspotWorkload(g, grouting.WorkloadSpec{
+		NumHotspots: cfg.hotspots, QueriesPerHotspot: 4, R: 2, H: 2, Seed: cfg.seed,
+	})
+
+	var rep report
+	rep.Config.Scale = cfg.scale
+	rep.Config.Seed = cfg.seed
+	rep.Config.Hotspots = cfg.hotspots
+	rep.Config.SLOMs = float64(cfg.slo) / float64(time.Millisecond)
+	rep.Config.MaxInflight = cfg.maxInflight
+
+	var cl grouting.Client
+	var local grouting.Client // self-host only: the alloc baseline
+	if cfg.routerAddr != "" {
+		rep.Config.Target = cfg.routerAddr
+		c, err := grouting.Dial(ctx, cfg.routerAddr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		cl = c
+	} else {
+		rep.Config.Target = "self-hosted loopback"
+		rep.Config.Storage = cfg.nStorage
+		rep.Config.Processors = cfg.nProcs
+		rep.Config.Policy = cfg.policyName
+		policy, err := grouting.ParsePolicy(cfg.policyName)
+		if err != nil {
+			return err
+		}
+		remote, loc, cleanup, err := selfHost(ctx, g, cfg, policy)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		cl, local = remote, loc
+	}
+
+	// Warm caches, connection pools, and slab pools so the measured windows
+	// see the steady state, not dials and first-touch storage fetches.
+	for _, q := range qs {
+		if _, err := cl.Execute(ctx, q); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	// Ramp: step the target rate up until the SLO breaks; the last step
+	// that held is the max-QPS-at-SLO number.
+	target := cfg.qps
+	if target <= 0 {
+		rate := cfg.startQPS
+		for i := 0; i < cfg.maxSteps; i++ {
+			w := runWindow(ctx, cl, qs, rate, cfg.step, cfg.maxInflight, cfg.slo)
+			rep.Ramp = append(rep.Ramp, w)
+			fmt.Printf("ramp %8.0f qps: achieved %8.1f  goodput %8.1f  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  %s\n",
+				w.TargetQPS, w.AchievedQPS, w.GoodputQPS, w.P50Ms, w.P99Ms, w.P999Ms, verdict(w.MetSLO))
+			if !w.MetSLO {
+				break
+			}
+			rep.MaxQPSAtSLO = rate
+			rate *= cfg.growth
+		}
+		if rep.MaxQPSAtSLO == 0 {
+			// Even the first step missed the SLO: sustain at the starting
+			// rate anyway so the artifact still records the tail shape.
+			target = cfg.startQPS
+		} else {
+			target = rep.MaxQPSAtSLO
+		}
+	}
+
+	w := runWindow(ctx, cl, qs, target, cfg.duration, cfg.maxInflight, cfg.slo)
+	rep.Sustained = w
+	if cfg.qps > 0 && w.MetSLO {
+		rep.MaxQPSAtSLO = target
+	}
+	fmt.Printf("sustained %.0f qps for %v: goodput %.1f qps, p50 %.2fms p99 %.2fms p999 %.2fms, %.1f allocs/op, %s\n",
+		w.TargetQPS, cfg.duration, w.GoodputQPS, w.P50Ms, w.P99Ms, w.P999Ms, w.AllocsPerOp, verdict(w.MetSLO))
+
+	// Self-host mode pins the acceptance number: steady-state TCP per-query
+	// allocations next to the virtual-time baseline (same budget as
+	// TestTCPAllocBudget — the virtual path is alloc-free, so the absolute
+	// budget is the operative bound).
+	if local != nil {
+		tcp := allocsPerQuery(ctx, cl, qs)
+		virt := allocsPerQuery(ctx, local, qs)
+		rep.Allocs = &struct {
+			TCPPerQuery     float64 `json:"tcp_allocs_per_query"`
+			VirtualPerQuery float64 `json:"virtual_allocs_per_query"`
+			Budget          float64 `json:"budget"`
+		}{TCPPerQuery: tcp, VirtualPerQuery: virt, Budget: 24}
+		fmt.Printf("allocs/query: tcp %.1f, virtual-time %.1f (budget 24)\n", tcp, virt)
+	}
+
+	if err := writeReport(cfg.benchDir, &rep); err != nil {
+		return err
+	}
+	if rep.Sustained.GoodputQPS <= 0 {
+		return fmt.Errorf("zero goodput: %d sent, %d errors", rep.Sustained.Sent, rep.Sustained.Errors)
+	}
+	return nil
+}
+
+func verdict(met bool) string {
+	if met {
+		return "SLO met"
+	}
+	return "SLO MISSED"
+}
+
+// selfHost assembles a real loopback deployment through the public API plus
+// the in-process virtual-time client used as the allocation baseline.
+func selfHost(ctx context.Context, g *grouting.Graph, cfg config, policy grouting.Policy) (remote, local grouting.Client, cleanup func(), err error) {
+	var closers []interface{ Close() error }
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i].Close()
+		}
+	}
+	defer func() {
+		if err != nil {
+			cleanup()
+		}
+	}()
+
+	var storageAddrs []string
+	for i := 0; i < cfg.nStorage; i++ {
+		ss, serr := grouting.ServeStorage("127.0.0.1:0")
+		if serr != nil {
+			return nil, nil, nil, serr
+		}
+		closers = append(closers, ss)
+		storageAddrs = append(storageAddrs, ss.Addr())
+	}
+	if err := grouting.LoadStorage(ctx, g, storageAddrs); err != nil {
+		return nil, nil, nil, err
+	}
+	var procAddrs []string
+	for i := 0; i < cfg.nProcs; i++ {
+		ps, serr := grouting.ServeProcessor("127.0.0.1:0", storageAddrs, cfg.cacheBytes)
+		if serr != nil {
+			return nil, nil, nil, serr
+		}
+		closers = append(closers, ps)
+		procAddrs = append(procAddrs, ps.Addr())
+	}
+	rs, err := grouting.ServeRouter("127.0.0.1:0", grouting.RouterSpec{
+		Processors: procAddrs,
+		Policy:     policy,
+		Graph:      g,
+		Seed:       cfg.seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	closers = append(closers, rs)
+	cl, err := grouting.Dial(ctx, rs.Addr())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	closers = append(closers, cl)
+
+	sys, err := grouting.New(g,
+		grouting.WithProcessors(cfg.nProcs),
+		grouting.WithStorageServers(cfg.nStorage),
+		grouting.WithPolicy(policy),
+		grouting.WithSeed(cfg.seed),
+	)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	local, err = grouting.NewLocalClient(sys)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cl, local, cleanup, nil
+}
+
+// runWindow drives cl open-loop at targetQPS for dur. Queries launch on a
+// fixed schedule; each latency is completion minus *scheduled* send, so a
+// stalled server shows up as tail latency (coordinated-omission-safe). The
+// in-flight cap bounds memory, and because waiting for a slot happens after
+// the scheduled timestamp is taken, backpressure is charged to the queries
+// that suffered it.
+func runWindow(ctx context.Context, cl grouting.Client, qs []grouting.Query, targetQPS float64, dur time.Duration, maxInflight int, slo time.Duration) window {
+	interval := time.Duration(float64(time.Second) / targetQPS)
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	var done, errs atomic.Int64
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, int(targetQPS*dur.Seconds())+16)
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	deadline := start.Add(dur)
+	var sent int64
+	for i := 0; ; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if !sched.Before(deadline) {
+			break
+		}
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		sent++
+		wg.Add(1)
+		go func(q grouting.Query, sched time.Time) {
+			defer wg.Done()
+			_, err := cl.Execute(ctx, q)
+			lat := time.Since(sched)
+			<-sem
+			if err != nil {
+				errs.Add(1)
+			}
+			done.Add(1)
+			mu.Lock()
+			lats = append(lats, lat)
+			mu.Unlock()
+		}(qs[i%len(qs)], sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	w := window{
+		TargetQPS:   targetQPS,
+		DurationSec: elapsed.Seconds(),
+		Sent:        sent,
+		Done:        done.Load(),
+		Errors:      errs.Load(),
+	}
+	if elapsed > 0 {
+		w.AchievedQPS = float64(w.Done) / elapsed.Seconds()
+		w.GoodputQPS = float64(w.Done-w.Errors) / elapsed.Seconds()
+	}
+	if w.Done > 0 {
+		w.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(w.Done)
+		w.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(w.Done)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	w.P50Ms = quantileMs(lats, 0.50)
+	w.P99Ms = quantileMs(lats, 0.99)
+	w.P999Ms = quantileMs(lats, 0.999)
+	// SLO verdict: the p99 held, the generator kept (close to) its schedule,
+	// and errors stayed under 1%.
+	w.MetSLO = len(lats) > 0 &&
+		w.P99Ms <= float64(slo)/float64(time.Millisecond) &&
+		w.AchievedQPS >= 0.9*targetQPS &&
+		float64(w.Errors) <= 0.01*float64(w.Sent)
+	return w
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// allocsPerQuery measures steady-state per-query heap allocations on a
+// serial closed loop — the same definition TestTCPAllocBudget pins.
+func allocsPerQuery(ctx context.Context, cl grouting.Client, qs []grouting.Query) float64 {
+	// One warm pass, then measure.
+	for _, q := range qs {
+		cl.Execute(ctx, q)
+	}
+	const rounds = 10
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for r := 0; r < rounds; r++ {
+		for _, q := range qs {
+			cl.Execute(ctx, q)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(rounds*len(qs))
+}
+
+func writeReport(dir string, rep *report) error {
+	if dir == "" {
+		fmt.Println("BENCH_loadgen.json: skipped (no bench dir)")
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_loadgen.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

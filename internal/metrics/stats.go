@@ -79,18 +79,23 @@ func (h *Histogram) Summary() Summary {
 		s.P50 = h.Quantile(0.50)
 		s.P95 = h.Quantile(0.95)
 		s.P99 = h.Quantile(0.99)
+		s.P999 = h.Quantile(0.999)
 	}
 	return s
 }
 
 // Summary is a compact percentile digest of a Histogram: fixed size, so a
-// stats poll carrying several of them stays small on the wire.
+// stats poll carrying several of them stays small on the wire. The
+// p50/p99/p999 triple is the one latency definition the whole
+// observability surface shares: Snapshot, /statsz, grouting-cli -stats
+// and grouting-loadgen all report this struct.
 type Summary struct {
 	Count int64
 	Mean  int64
 	P50   int64
 	P95   int64
 	P99   int64
+	P999  int64
 	Max   int64
 }
 
@@ -333,10 +338,10 @@ func (s *Snapshot) String() string {
 		s.Transport, s.Policy, s.Strategy, s.Processors, s.Epoch, s.Queries, s.Stolen, s.Diverted, s.Reassigned)
 	fmt.Fprintf(&b, "cache: %d hits / %d misses (%.1f%% hit rate), %d inserts, %d evictions\n",
 		s.Cache.Hits, s.Cache.Misses, 100*s.Cache.HitRate(), s.Cache.Inserts, s.Cache.Evictions)
-	fmt.Fprintf(&b, "routing decision: p50=%dns p95=%dns p99=%dns max=%dns (n=%d)\n",
-		s.RoutingNanos.P50, s.RoutingNanos.P95, s.RoutingNanos.P99, s.RoutingNanos.Max, s.RoutingNanos.Count)
-	fmt.Fprintf(&b, "queue depth: p50=%d p95=%d p99=%d max=%d\n",
-		s.QueueDepth.P50, s.QueueDepth.P95, s.QueueDepth.P99, s.QueueDepth.Max)
+	fmt.Fprintf(&b, "routing decision: p50=%dns p99=%dns p999=%dns max=%dns (n=%d)\n",
+		s.RoutingNanos.P50, s.RoutingNanos.P99, s.RoutingNanos.P999, s.RoutingNanos.Max, s.RoutingNanos.Count)
+	fmt.Fprintf(&b, "queue depth: p50=%d p99=%d p999=%d max=%d\n",
+		s.QueueDepth.P50, s.QueueDepth.P99, s.QueueDepth.P999, s.QueueDepth.Max)
 	t := NewTable("proc", "status", "assigned", "executed", "stolen", "diverted", "queue", "hits", "misses", "hit%", "evict")
 	for _, p := range s.PerProc {
 		status := p.Status

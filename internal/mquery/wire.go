@@ -16,7 +16,14 @@ import (
 
 // MarshalBinary encodes the subtask as a compact varint stream.
 func (st Subtask) MarshalBinary() ([]byte, error) {
-	buf := binary.AppendUvarint(nil, uint64(st.Kind))
+	return st.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the subtask's wire form to buf and returns the
+// extended slice — the allocation-free entry point the binary rpc framing
+// encodes through (MarshalBinary wraps it for gob compatibility).
+func (st Subtask) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(st.Kind))
 	buf = binary.AppendUvarint(buf, uint64(st.Anchor))
 	buf = binary.AppendUvarint(buf, uint64(st.Radius))
 	buf = binary.AppendUvarint(buf, uint64(len(st.Edges)))
@@ -31,7 +38,7 @@ func (st Subtask) MarshalBinary() ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(st.Target))
 	buf = binary.AppendUvarint(buf, uint64(st.Hops))
 	buf = binary.AppendUvarint(buf, uint64(st.Budget))
-	return buf, nil
+	return buf
 }
 
 // UnmarshalBinary decodes MarshalBinary's form.
@@ -68,7 +75,13 @@ func (st *Subtask) UnmarshalBinary(data []byte) error {
 
 // MarshalBinary encodes the partial as a compact varint stream.
 func (p Partial) MarshalBinary() ([]byte, error) {
-	buf := binary.AppendUvarint(nil, uint64(p.Kind))
+	return p.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the partial's wire form to buf and returns the
+// extended slice; see Subtask.AppendBinary.
+func (p Partial) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(p.Kind))
 	buf = binary.AppendUvarint(buf, uint64(p.Anchor))
 	found := uint64(0)
 	if p.Found {
@@ -90,7 +103,7 @@ func (p Partial) MarshalBinary() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(b.Node))
 		buf = binary.AppendUvarint(buf, uint64(b.Hops))
 	}
-	return buf, nil
+	return buf
 }
 
 // UnmarshalBinary decodes MarshalBinary's form.

@@ -328,7 +328,14 @@ func (p *Pattern) matchCount(g *graph.Graph) int {
 // it, so the template travels inside Query without gob's per-field type
 // descriptors (keeping first-message envelope sizes small).
 func (p Pattern) MarshalBinary() ([]byte, error) {
-	buf := binary.AppendUvarint(nil, uint64(len(p.Nodes)))
+	return p.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the pattern's wire form to buf and returns the
+// extended slice — the allocation-free entry point the binary rpc framing
+// encodes through.
+func (p Pattern) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p.Nodes)))
 	for _, n := range p.Nodes {
 		buf = appendString(buf, n.Label)
 		buf = binary.AppendUvarint(buf, uint64(n.Anchor))
@@ -339,7 +346,7 @@ func (p Pattern) MarshalBinary() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(e.To))
 		buf = appendString(buf, e.Label)
 	}
-	return buf, nil
+	return buf
 }
 
 // UnmarshalBinary decodes MarshalBinary's form, bounds-checking every

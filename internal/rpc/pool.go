@@ -2,28 +2,33 @@ package rpc
 
 import (
 	"context"
-	"fmt"
-
 	"sync"
 
 	"repro/internal/query"
 )
 
-// DefaultPoolSize bounds concurrent connections per remote daemon.
-const DefaultPoolSize = 8
+// DefaultPoolSize bounds the pipelined connections kept per remote daemon.
+// With multiplexed framing one socket carries many in-flight calls, so a
+// handful of sockets is about spreading bytes across TCP streams (and write
+// locks), not about call concurrency — unlike the old checkout pool, whose
+// size capped the number of concurrent calls.
+const DefaultPoolSize = 4
 
-// Pool is a bounded pool of client connections to one daemon. Calls check
-// a connection out (dialing lazily when none is idle), so up to size calls
-// proceed in parallel instead of serialising on a single gob stream — the
-// conn-pool half of the pipelined client path. Connections broken by a
-// failure, cancellation or deadline are discarded, not reused.
+// Pool maintains up to size pipelined connections to one daemon and
+// multiplexes calls across them round-robin. Calls never check a
+// connection out: any number may be in flight on each connection, so a
+// slow or cancelled call neither occupies a pool slot nor poisons a shared
+// socket. Connections broken by a transport failure are pruned and
+// replaced lazily.
 type Pool struct {
 	addr string
-	sem  chan struct{}
+	size int
 
-	mu     sync.Mutex
-	idle   []*Conn
-	closed bool
+	mu      sync.Mutex
+	conns   []*Conn
+	next    int
+	dialing int
+	closed  bool
 }
 
 // NewPool creates a pool of at most size connections to addr (size <= 0
@@ -32,7 +37,7 @@ func NewPool(addr string, size int) *Pool {
 	if size <= 0 {
 		size = DefaultPoolSize
 	}
-	return &Pool{addr: addr, sem: make(chan struct{}, size)}
+	return &Pool{addr: addr, size: size}
 }
 
 // Addr returns the remote address.
@@ -40,19 +45,19 @@ func (p *Pool) Addr() string { return p.addr }
 
 // Call performs one request over a pooled connection.
 func (p *Pool) Call(ctx context.Context, req *Request) (Response, error) {
-	select {
-	case p.sem <- struct{}{}:
-	case <-ctx.Done():
-		return Response{}, fmt.Errorf("rpc: %s: %w", p.addr, ctx.Err())
-	}
-	defer func() { <-p.sem }()
-	cn, err := p.take(ctx)
-	if err != nil {
-		return Response{}, err
-	}
-	resp, err := cn.Call(ctx, req)
-	p.put(cn)
+	var resp Response
+	err := p.CallInto(ctx, req, &resp)
 	return resp, err
+}
+
+// CallInto is Call decoding into a caller-owned Response, reusing its
+// slice capacity (see Conn.CallInto).
+func (p *Pool) CallInto(ctx context.Context, req *Request, resp *Response) error {
+	cn, err := p.conn(ctx)
+	if err != nil {
+		return err
+	}
+	return cn.CallInto(ctx, req, resp)
 }
 
 // Ping checks the remote daemon is reachable and speaking the protocol.
@@ -61,48 +66,69 @@ func (p *Pool) Ping(ctx context.Context) error {
 	return err
 }
 
-// take pops an idle connection or dials a new one under ctx's deadline.
-func (p *Pool) take(ctx context.Context) (*Conn, error) {
+// conn picks a live connection round-robin, pruning broken ones and
+// dialing a replacement when the pool is not yet full. At most one caller
+// dials at a time; everyone else multiplexes onto what exists.
+func (p *Pool) conn(ctx context.Context) (*Conn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, &remoteError{addr: p.addr, msg: "pool closed", kind: query.ErrUnavailable}
 	}
-	if n := len(p.idle); n > 0 {
-		cn := p.idle[n-1]
-		p.idle = p.idle[:n-1]
+	live := p.conns[:0]
+	for _, cn := range p.conns {
+		if cn.Broken() {
+			cn.Close()
+			continue
+		}
+		live = append(live, cn)
+	}
+	p.conns = live
+	if len(p.conns) > 0 && (len(p.conns)+p.dialing >= p.size || p.dialing > 0) {
+		cn := p.conns[p.next%len(p.conns)]
+		p.next++
 		p.mu.Unlock()
 		return cn, nil
 	}
+	p.dialing++
 	p.mu.Unlock()
-	return DialContext(ctx, p.addr)
-}
 
-// put returns a connection to the idle list, discarding broken ones.
-func (p *Pool) put(cn *Conn) {
-	if cn.Broken() {
-		cn.Close()
-		return
-	}
+	cn, err := DialContext(ctx, p.addr)
+
 	p.mu.Lock()
+	p.dialing--
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
 	if p.closed {
 		p.mu.Unlock()
 		cn.Close()
-		return
+		return nil, &remoteError{addr: p.addr, msg: "pool closed", kind: query.ErrUnavailable}
 	}
-	p.idle = append(p.idle, cn)
+	if len(p.conns) < p.size {
+		p.conns = append(p.conns, cn)
+		p.mu.Unlock()
+		return cn, nil
+	}
+	// Concurrent dialers filled the pool first: adopt one of theirs so the
+	// extra connection (and its demux goroutine) doesn't leak untracked.
+	alt := p.conns[p.next%len(p.conns)]
+	p.next++
 	p.mu.Unlock()
+	cn.Close()
+	return alt, nil
 }
 
-// Close closes every idle connection and rejects future calls. Connections
-// checked out by in-flight calls are closed as they are returned.
+// Close closes every connection and rejects future calls; calls in flight
+// fail with query.ErrUnavailable.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	idle := p.idle
-	p.idle = nil
+	conns := p.conns
+	p.conns = nil
 	p.closed = true
 	p.mu.Unlock()
-	for _, cn := range idle {
+	for _, cn := range conns {
 		cn.Close()
 	}
 }

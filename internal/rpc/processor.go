@@ -245,6 +245,17 @@ func (p *ProcessorServer) handle(ctx context.Context, req *Request) Response {
 func (p *ProcessorServer) fetch(ctx context.Context, ids []graph.NodeID) (map[graph.NodeID]gstore.Record, error) {
 	out := make(map[graph.NodeID]gstore.Record, len(ids))
 	var miss []graph.NodeID
+	if err := p.fetchInto(ctx, ids, out, &miss); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fetchInto is fetch filling a caller-owned map (not cleared here) and
+// reusing a caller-owned miss buffer, so a cache-hitting fetch allocates
+// nothing — the traversal loops run it once per BFS level.
+func (p *ProcessorServer) fetchInto(ctx context.Context, ids []graph.NodeID, out map[graph.NodeID]gstore.Record, missBuf *[]graph.NodeID) error {
+	miss := (*missBuf)[:0]
 	p.mu.Lock()
 	for _, id := range ids {
 		if rec, ok := p.cache.Get(uint64(id)); ok {
@@ -254,14 +265,15 @@ func (p *ProcessorServer) fetch(ctx context.Context, ids []graph.NodeID) (map[gr
 		}
 	}
 	p.mu.Unlock()
+	*missBuf = miss
 	p.hits.Add(int64(len(ids) - len(miss)))
 	p.misses.Add(int64(len(miss)))
 	if len(miss) == 0 {
-		return out, nil
+		return nil
 	}
 	fetched, err := p.storage.MultiGet(ctx, miss)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.mu.Lock()
 	for id, rec := range fetched {
@@ -274,7 +286,47 @@ func (p *ProcessorServer) fetch(ctx context.Context, ids []graph.NodeID) (map[gr
 		}
 	}
 	p.mu.Unlock()
-	return out, nil
+	return nil
+}
+
+// execScratch is the per-query traversal state (record map, visited sets,
+// frontier buffers) one execution reuses across BFS levels. Pooled so a
+// steady-state cache-hitting query allocates nothing beyond what its
+// frontier outgrows.
+type execScratch struct {
+	recs   map[graph.NodeID]gstore.Record
+	miss   []graph.NodeID
+	visA   map[graph.NodeID]struct{}
+	visB   map[graph.NodeID]struct{}
+	front  []graph.NodeID
+	front2 []graph.NodeID
+	spare  []graph.NodeID
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &execScratch{
+		recs: make(map[graph.NodeID]gstore.Record),
+		visA: make(map[graph.NodeID]struct{}),
+		visB: make(map[graph.NodeID]struct{}),
+	}
+}}
+
+func getScratch() *execScratch {
+	sc := scratchPool.Get().(*execScratch)
+	clear(sc.recs)
+	clear(sc.visA)
+	clear(sc.visB)
+	return sc
+}
+
+// putScratch recycles sc unless a giant traversal grew its tables past the
+// point where pinning them beats reallocating (cleared maps keep their
+// buckets forever).
+func putScratch(sc *execScratch) {
+	if len(sc.recs) > 1<<15 || len(sc.visA) > 1<<15 || len(sc.visB) > 1<<15 {
+		return
+	}
+	scratchPool.Put(sc)
 }
 
 // Heat bounds: at most heatCap distinct records are tracked between
@@ -316,39 +368,43 @@ func (p *ProcessorServer) execute(ctx context.Context, q query.Query) (query.Res
 	if err := q.Validate(); err != nil {
 		return query.Result{}, err
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	// Existence probe: one cached lookup of the query node's record. The
 	// fetch warms the cache, so the traversal's own level-0 fetch hits.
-	probe, err := p.fetch(ctx, []graph.NodeID{q.Node})
-	if err != nil {
+	sc.front = append(sc.front[:0], q.Node)
+	if err := p.fetchInto(ctx, sc.front, sc.recs, &sc.miss); err != nil {
 		return query.Result{}, err
 	}
-	if _, ok := probe[q.Node]; !ok {
+	if _, ok := sc.recs[q.Node]; !ok {
 		return query.Result{}, fmt.Errorf("%w: node %d has no record in the storage tier", query.ErrUnknownNode, q.Node)
 	}
 	switch q.Type {
 	case query.NeighborAgg:
-		return p.execAgg(ctx, q)
+		return p.execAgg(ctx, q, sc)
 	case query.RandomWalk:
-		return p.execWalk(ctx, q)
+		return p.execWalk(ctx, q, sc)
 	case query.Reachability:
-		return p.execReach(ctx, q)
+		return p.execReach(ctx, q, sc)
 	}
 	return query.Result{}, fmt.Errorf("%w: unknown query type %v", query.ErrBadQuery, q.Type)
 }
 
-func (p *ProcessorServer) execAgg(ctx context.Context, q query.Query) (query.Result, error) {
+func (p *ProcessorServer) execAgg(ctx context.Context, q query.Query, sc *execScratch) (query.Result, error) {
 	// Label filtering needs the graph's label table, which only the
 	// storage-side loader has; the networked processor serves unfiltered
 	// aggregation.
 	if q.CountLabel != "" {
 		return query.Result{}, fmt.Errorf("%w: label-filtered aggregation is not supported over rpc", query.ErrBadQuery)
 	}
-	visited := map[graph.NodeID]struct{}{q.Node: {}}
-	frontier := []graph.NodeID{q.Node}
+	visited := sc.visA
+	visited[q.Node] = struct{}{}
+	frontier := append(sc.front[:0], q.Node)
+	spare := sc.front2
 	count := 0
 	for level := 0; level <= q.Hops && len(frontier) > 0; level++ {
-		recs, err := p.fetch(ctx, frontier)
-		if err != nil {
+		clear(sc.recs)
+		if err := p.fetchInto(ctx, frontier, sc.recs, &sc.miss); err != nil {
 			return query.Result{}, err
 		}
 		if level > 0 {
@@ -357,9 +413,9 @@ func (p *ProcessorServer) execAgg(ctx context.Context, q query.Query) (query.Res
 		if level == q.Hops {
 			break
 		}
-		var next []graph.NodeID
+		next := spare[:0]
 		for _, u := range frontier {
-			rec, ok := recs[u]
+			rec, ok := sc.recs[u]
 			if !ok {
 				continue
 			}
@@ -370,12 +426,13 @@ func (p *ProcessorServer) execAgg(ctx context.Context, q query.Query) (query.Res
 				}
 			})
 		}
-		frontier = next
+		spare, frontier = frontier, next
 	}
+	sc.front, sc.front2 = frontier, spare
 	return query.Result{Type: q.Type, Count: count}, nil
 }
 
-func (p *ProcessorServer) execWalk(ctx context.Context, q query.Query) (query.Result, error) {
+func (p *ProcessorServer) execWalk(ctx context.Context, q query.Query, sc *execScratch) (query.Result, error) {
 	rng := xrand.New(q.Seed)
 	cur := q.Node
 	for step := 0; step < q.Hops; step++ {
@@ -383,11 +440,12 @@ func (p *ProcessorServer) execWalk(ctx context.Context, q query.Query) (query.Re
 			cur = q.Node
 			continue
 		}
-		recs, err := p.fetch(ctx, []graph.NodeID{cur})
-		if err != nil {
+		clear(sc.recs)
+		sc.front = append(sc.front[:0], cur)
+		if err := p.fetchInto(ctx, sc.front, sc.recs, &sc.miss); err != nil {
 			return query.Result{}, err
 		}
-		rec := recs[cur]
+		rec := sc.recs[cur]
 		next, ok := query.WalkStep(rec.Out, rec.In, q.Dir, rng)
 		if !ok {
 			cur = q.Node
@@ -398,17 +456,19 @@ func (p *ProcessorServer) execWalk(ctx context.Context, q query.Query) (query.Re
 	return query.Result{Type: q.Type, EndNode: cur}, nil
 }
 
-func (p *ProcessorServer) execReach(ctx context.Context, q query.Query) (query.Result, error) {
+func (p *ProcessorServer) execReach(ctx context.Context, q query.Query, sc *execScratch) (query.Result, error) {
 	if q.Node == q.Target {
 		return query.Result{Type: q.Type, Reachable: true}, nil
 	}
 	if q.Hops <= 0 {
 		return query.Result{Type: q.Type, Reachable: false}, nil
 	}
-	fVis := map[graph.NodeID]struct{}{q.Node: {}}
-	bVis := map[graph.NodeID]struct{}{q.Target: {}}
-	fFront := []graph.NodeID{q.Node}
-	bFront := []graph.NodeID{q.Target}
+	fVis, bVis := sc.visA, sc.visB
+	fVis[q.Node] = struct{}{}
+	bVis[q.Target] = struct{}{}
+	fFront := append(sc.front[:0], q.Node)
+	bFront := append(sc.front2[:0], q.Target)
+	spare := sc.spare
 	reachable := false
 	for levels := 0; levels < q.Hops && !reachable && len(fFront) > 0 && len(bFront) > 0; levels++ {
 		forward := len(fFront) <= len(bFront)
@@ -418,13 +478,13 @@ func (p *ProcessorServer) execReach(ctx context.Context, q query.Query) (query.R
 			front, dir = bFront, graph.In
 			mine, other = bVis, fVis
 		}
-		recs, err := p.fetch(ctx, front)
-		if err != nil {
+		clear(sc.recs)
+		if err := p.fetchInto(ctx, front, sc.recs, &sc.miss); err != nil {
 			return query.Result{}, err
 		}
-		var next []graph.NodeID
+		next := spare[:0]
 		for _, u := range front {
-			rec, ok := recs[u]
+			rec, ok := sc.recs[u]
 			if !ok {
 				continue
 			}
@@ -439,11 +499,12 @@ func (p *ProcessorServer) execReach(ctx context.Context, q query.Query) (query.R
 			})
 		}
 		if forward {
-			fFront = next
+			spare, fFront = fFront, next
 		} else {
-			bFront = next
+			spare, bFront = bFront, next
 		}
 	}
+	sc.front, sc.front2, sc.spare = fFront, bFront, spare
 	return query.Result{Type: q.Type, Reachable: reachable}, nil
 }
 

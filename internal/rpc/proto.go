@@ -1,6 +1,7 @@
 // Package rpc implements a real networked deployment of the decoupled
 // architecture: storage servers, query processors and the query router as
-// separate TCP daemons speaking a small gob protocol.
+// separate TCP daemons speaking a hand-rolled, length-prefixed binary
+// protocol with pipelined connections.
 //
 // The virtual-time engine in internal/core is the instrument that
 // reproduces the paper's measurements; this package demonstrates that the
@@ -11,11 +12,16 @@
 // cancellation unblocks in-flight calls. Failures map onto the shared
 // typed errors (query.ErrBadQuery, query.ErrUnknownNode,
 // query.ErrUnavailable) on both sides of the connection.
+//
+// Wire format: see wire.go (framing) and codec.go (payloads). Every frame
+// carries a tag, and each connection multiplexes many in-flight calls — a
+// per-connection demux goroutine matches response tags to waiting callers,
+// so a cancelled or slow call never blocks (or poisons) the shared socket.
 package rpc
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -28,59 +34,93 @@ import (
 	"repro/internal/query"
 )
 
-// Op enumerates protocol operations.
-type Op string
+// Op enumerates protocol operations. On the wire it is a single byte.
+type Op uint8
 
 // Protocol operations.
 const (
+	// OpPing checks liveness.
+	OpPing Op = 1 + iota
 	// OpGet fetches one value from a storage server.
-	OpGet Op = "get"
+	OpGet
 	// OpMultiGet fetches many values from a storage server.
-	OpMultiGet Op = "multiget"
+	OpMultiGet
 	// OpPut stores one value on a storage server.
-	OpPut Op = "put"
+	OpPut
 	// OpExecute runs a batch of one or more queries on a processor (or, via
 	// the router, on whichever processors the routing strategy picks).
-	OpExecute Op = "execute"
+	OpExecute
 	// OpStats asks a daemon for its counters.
-	OpStats Op = "stats"
-	// OpPing checks liveness.
-	OpPing Op = "ping"
+	OpStats
 	// OpJoin registers a processor with the router at runtime: the request
 	// carries the processor's advertised address, the response its assigned
 	// slot and the new topology epoch (membership op, router role only).
-	OpJoin Op = "join"
+	OpJoin
 	// OpDrain deregisters a processor cleanly: it stops receiving new work
 	// and leaves the membership once its in-flight queries finish on the
 	// old view — the graceful-shutdown path, as opposed to just vanishing
 	// and being a dead peer.
-	OpDrain Op = "drain"
+	OpDrain
 	// OpMutate applies a batch of graph mutations through the router: the
 	// router serialises writers, rewrites the affected records on every
 	// replica of their placement, and evicts them from every active
 	// processor's cache before acking — read-your-writes for any client of
 	// the deployment (router role only).
-	OpMutate Op = "mutate"
+	OpMutate
 	// OpEvict removes keys from a processor's record cache (processor
 	// role): the router fans it out after a mutation so no cache serves a
 	// pre-write record.
-	OpEvict Op = "evict"
+	OpEvict
 	// OpHeat drains a processor's per-record storage-miss heat since the
 	// previous OpHeat (processor role): the planner's read signal.
-	OpHeat Op = "heat"
+	OpHeat
 	// OpMigrate runs one adaptive-placement planning cycle on the router:
 	// poll heat, plan bounded moves, execute each as copy → push placement
 	// overrides → drop the old copy (router role only).
-	OpMigrate Op = "migrate"
+	OpMigrate
 	// OpPlacement replaces a processor's placement-override table
 	// (processor role): keys pinned away from their rendezvous placement
 	// by migration resolve through it.
-	OpPlacement Op = "placement"
+	OpPlacement
 	// OpDrop deletes one key from a storage shard — the tombstone half of
 	// a copy-then-drop migration. Durable shards log it, so a restart
 	// cannot resurrect the migrated-away copy (storage role).
-	OpDrop Op = "drop"
+	OpDrop
 )
+
+func (op Op) String() string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpMultiGet:
+		return "multiget"
+	case OpPut:
+		return "put"
+	case OpExecute:
+		return "execute"
+	case OpStats:
+		return "stats"
+	case OpJoin:
+		return "join"
+	case OpDrain:
+		return "drain"
+	case OpMutate:
+		return "mutate"
+	case OpEvict:
+		return "evict"
+	case OpHeat:
+		return "heat"
+	case OpMigrate:
+		return "migrate"
+	case OpPlacement:
+		return "placement"
+	case OpDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
 
 // Mutation op codes on the wire; the values match internal/core's MutOp so
 // both transports speak one enumeration.
@@ -129,15 +169,15 @@ type HotKey struct {
 }
 
 // Request is the request envelope. Only the fields of the active operation
-// are populated; everything else stays at its zero value (nil for the
-// Exec payload), so gob never puts unused payloads on the wire — a ping
-// encodes to a few bytes, not the full union.
+// are populated; everything else stays at its zero value, and the binary
+// codec presence-encodes fields — a ping encodes to a few bytes, not the
+// full union.
 type Request struct {
 	Op Op
-	// Key and Value serve OpGet / OpPut.
+	// Key and Value serve OpGet / OpPut / OpDrop.
 	Key   uint64
 	Value []byte
-	// Keys serves OpMultiGet.
+	// Keys serves OpMultiGet and OpEvict.
 	Keys []uint64
 	// Exec serves OpExecute; nil for every other op.
 	Exec *ExecRequest
@@ -156,8 +196,7 @@ type Request struct {
 	// durable version watermark (records recovered from its local WAL +
 	// snapshot). A restarting shard announces how warm it came back, so
 	// the router's topology view can distinguish a cold joiner (0) from a
-	// warm rejoin. Zero for non-durable shards and processor joins; gob
-	// omits it then.
+	// warm rejoin. Zero for non-durable shards and processor joins.
 	Version uint64
 	// Muts serves OpMutate; nil for every other op.
 	Muts []Mutation
@@ -166,8 +205,9 @@ type Request struct {
 	// state; the push is always the complete picture).
 	Overrides map[uint64][]int
 	// Deadline carries the client context's absolute deadline in Unix
-	// nanoseconds for ops outside OpExecute (which carries its own inside
-	// Exec); 0 = none.
+	// nanoseconds (0 = none). On the wire it rides in the frame header,
+	// so every op propagates it; decode mirrors it back here (and into
+	// Exec.Deadline when the request carries an Exec payload).
 	Deadline int64
 }
 
@@ -242,8 +282,8 @@ type Stats struct {
 	// durable shard that started empty, "warm" for one that recovered
 	// state from its local snapshot + WAL; empty for shards running
 	// without a WAL). The fields below are the shard's durability
-	// counters; gob omits all of them when zero, so non-durable
-	// deployments pay no wire cost.
+	// counters; varints keep them to a byte each when zero, so
+	// non-durable deployments pay almost no wire cost.
 	Durable        string
 	WALBytes       int64
 	WALRecords     int64
@@ -335,18 +375,53 @@ func execRequest(ctx context.Context, qs []query.Query) *Request {
 	return &Request{Op: OpExecute, Exec: ex}
 }
 
-// Conn is one gob-encoded client connection; safe for concurrent use
-// (requests are serialised). A call that fails — including by cancellation
-// or deadline, which abandon a response mid-stream — breaks the
-// connection: subsequent calls return query.ErrUnavailable and the caller
-// (normally a Pool) discards it.
+// pcall is one in-flight pipelined call. The struct (and its signal
+// channel) is pooled and reused across calls.
+type pcall struct {
+	done chan struct{}
+	resp *Response // decode target, owned by the caller
+	err  error     // transport/protocol failure, set before done is signalled
+}
+
+var callPool = sync.Pool{New: func() any { return &pcall{done: make(chan struct{}, 1)} }}
+
+// reqPool recycles server-side request envelopes (and, via
+// decodeRequestInto, their Keys/Muts/Exec buffers) across frames. Handlers
+// copy anything they keep, so a request is free for reuse once its response
+// is encoded.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+func getCall(resp *Response) *pcall {
+	ca := callPool.Get().(*pcall)
+	ca.resp = resp
+	ca.err = nil
+	return ca
+}
+
+func putCall(ca *pcall) {
+	ca.resp = nil
+	ca.err = nil
+	callPool.Put(ca)
+}
+
+// Conn is one pipelined client connection: many calls may be in flight
+// concurrently, each identified by a tag; a demux goroutine delivers
+// responses to their waiting callers. Safe for concurrent use. A cancelled
+// or timed-out call abandons only its own tag — the connection stays
+// healthy and keeps serving other calls; only a transport or protocol
+// failure breaks it (failing every in-flight call with
+// query.ErrUnavailable), after which the owner (normally a Pool) discards
+// it.
 type Conn struct {
-	mu     sync.Mutex
-	c      net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	addr   string
-	broken bool
+	c    net.Conn
+	addr string
+
+	wmu sync.Mutex // serialises frame writes
+
+	mu      sync.Mutex
+	nextTag uint64
+	pending map[uint64]*pcall
+	broken  error // non-nil once the connection is poisoned
 }
 
 // Dial connects to a daemon.
@@ -365,75 +440,166 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		}
 		return nil, &remoteError{addr: addr, msg: "dial: " + err.Error(), kind: query.ErrUnavailable}
 	}
-	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), addr: addr}, nil
+	cn := &Conn{c: c, addr: addr, pending: make(map[uint64]*pcall)}
+	go cn.readLoop()
+	return cn, nil
 }
 
 // Addr returns the remote address.
 func (cn *Conn) Addr() string { return cn.addr }
 
-// Broken reports whether an earlier failure poisoned the connection.
+// Broken reports whether a transport failure poisoned the connection.
 func (cn *Conn) Broken() bool {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
-	return cn.broken
+	return cn.broken != nil
 }
 
-// Call sends req and waits for the response, honouring ctx: a deadline is
-// applied to the socket, and cancellation forces the blocked read/write to
-// return immediately.
+// Call sends req and waits for the response, honouring ctx: cancellation
+// or an expired deadline abandons the call immediately (the late response,
+// if any, is discarded by the demux) without disturbing other calls in
+// flight on the same connection.
 func (cn *Conn) Call(ctx context.Context, req *Request) (Response, error) {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	if cn.broken {
-		return Response{}, &remoteError{addr: cn.addr, msg: "connection broken by earlier failure", kind: query.ErrUnavailable}
-	}
-	if err := ctx.Err(); err != nil {
-		return Response{}, fmt.Errorf("rpc: %s: %w", cn.addr, err)
-	}
-	if dl, ok := ctx.Deadline(); ok {
-		cn.c.SetDeadline(dl)
-	} else {
-		cn.c.SetDeadline(time.Time{})
-	}
-	if done := ctx.Done(); done != nil {
-		stop := make(chan struct{})
-		exited := make(chan struct{})
-		go func() {
-			defer close(exited)
-			select {
-			case <-done:
-				// Force the in-flight socket op to fail now.
-				cn.c.SetDeadline(time.Unix(1, 0))
-			case <-stop:
-			}
-		}()
-		defer func() { close(stop); <-exited }()
-	}
-	if err := cn.enc.Encode(req); err != nil {
-		cn.broken = true
-		return Response{}, cn.callError(ctx, "send", err)
-	}
 	var resp Response
-	if err := cn.dec.Decode(&resp); err != nil {
-		cn.broken = true
-		return Response{}, cn.callError(ctx, "recv", err)
-	}
-	if resp.Err != "" {
-		return resp, respError(cn.addr, &resp)
-	}
-	return resp, nil
+	err := cn.CallInto(ctx, req, &resp)
+	return resp, err
 }
 
-// callError attributes a transport failure: the context's own error when
-// the caller cancelled or timed out, query.ErrUnavailable otherwise.
-func (cn *Conn) callError(ctx context.Context, phase string, err error) error {
-	if cerr := ctx.Err(); cerr != nil {
-		return fmt.Errorf("rpc: %s: %s: %w", cn.addr, phase, cerr)
+// CallInto is Call decoding into a caller-owned Response, reusing its
+// slice capacity — the zero-alloc path for callers that recycle envelopes.
+func (cn *Conn) CallInto(ctx context.Context, req *Request, resp *Response) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("rpc: %s: %w", cn.addr, err)
 	}
-	return &remoteError{addr: cn.addr, msg: phase + ": " + err.Error(), kind: query.ErrUnavailable}
+	ca := getCall(resp)
+	cn.mu.Lock()
+	if cn.broken != nil {
+		cn.mu.Unlock()
+		putCall(ca)
+		return &remoteError{addr: cn.addr, msg: "connection broken by earlier failure", kind: query.ErrUnavailable}
+	}
+	cn.nextTag++
+	tag := cn.nextTag
+	cn.pending[tag] = ca
+	cn.mu.Unlock()
+
+	// The wire deadline: what the request carries, else the context's.
+	dl := req.Deadline
+	if req.Exec != nil && req.Exec.Deadline > 0 {
+		dl = req.Exec.Deadline
+	}
+	if dl == 0 {
+		if t, ok := ctx.Deadline(); ok {
+			dl = t.UnixNano()
+		}
+	}
+
+	slab := getSlab()
+	scratch := getSlab()
+	buf := encodeRequestFrame((*slab)[:0], tag, req, dl, scratch)
+	putSlab(scratch)
+	cn.wmu.Lock()
+	_, werr := cn.c.Write(buf)
+	cn.wmu.Unlock()
+	*slab = buf
+	putSlab(slab)
+	if werr != nil {
+		// A write failure poisons the whole connection (the stream may be
+		// half-written); fail delivers to every pending call, ours included.
+		cn.fail(&remoteError{addr: cn.addr, msg: "send: " + werr.Error(), kind: query.ErrUnavailable})
+	}
+
+	select {
+	case <-ca.done:
+		return cn.finishCall(ctx, ca, resp)
+	case <-ctx.Done():
+		cn.mu.Lock()
+		if _, ok := cn.pending[tag]; ok {
+			// Abandon only our own tag; the demux will discard the late
+			// response and the connection keeps serving other calls.
+			delete(cn.pending, tag)
+			cn.mu.Unlock()
+			putCall(ca)
+			return fmt.Errorf("rpc: %s: %w", cn.addr, ctx.Err())
+		}
+		cn.mu.Unlock()
+		// The demux claimed the call first: delivery is imminent — take it.
+		<-ca.done
+		return cn.finishCall(ctx, ca, resp)
+	}
 }
 
-// Close shuts the connection down.
+// finishCall turns a delivered pcall into the caller-visible verdict.
+func (cn *Conn) finishCall(ctx context.Context, ca *pcall, resp *Response) error {
+	err := ca.err
+	putCall(ca)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("rpc: %s: %w", cn.addr, cerr)
+		}
+		return err
+	}
+	return respError(cn.addr, resp)
+}
+
+// fail poisons the connection: every pending call (and every future one)
+// fails with cause, and the socket is closed.
+func (cn *Conn) fail(cause error) {
+	cn.mu.Lock()
+	if cn.broken == nil {
+		cn.broken = cause
+	}
+	pend := cn.pending
+	cn.pending = nil
+	cn.mu.Unlock()
+	for _, ca := range pend {
+		ca.err = cause
+		ca.done <- struct{}{}
+	}
+	cn.c.Close()
+}
+
+// readLoop is the demux: it reads frames off the socket and delivers each
+// to the call that owns its tag. Responses to abandoned (cancelled) tags
+// are discarded. Any read or decode failure poisons the connection.
+func (cn *Conn) readLoop() {
+	br := bufio.NewReaderSize(cn.c, 32<<10)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			cn.fail(&remoteError{addr: cn.addr, msg: "recv: " + err.Error(), kind: query.ErrUnavailable})
+			return
+		}
+		tag, rest, ok := peelTag(payload)
+		if !ok {
+			releaseFrame(payload)
+			cn.fail(&remoteError{addr: cn.addr, msg: "recv: malformed frame", kind: query.ErrUnavailable})
+			return
+		}
+		cn.mu.Lock()
+		ca := cn.pending[tag]
+		delete(cn.pending, tag)
+		cn.mu.Unlock()
+		if ca == nil {
+			// Abandoned call (cancelled or timed out): drop the response.
+			releaseFrame(payload)
+			continue
+		}
+		derr := decodeResponseInto(rest, ca.resp)
+		releaseFrame(payload)
+		if derr != nil {
+			// Protocol desync: deliver to this call, then poison the rest.
+			ca.err = &remoteError{addr: cn.addr, msg: derr.Error(), kind: query.ErrUnavailable}
+			ca.done <- struct{}{}
+			cn.fail(ca.err)
+			return
+		}
+		ca.done <- struct{}{}
+	}
+}
+
+// Close shuts the connection down; in-flight calls fail with
+// query.ErrUnavailable.
 func (cn *Conn) Close() error { return cn.c.Close() }
 
 // connTracker records a daemon's live connections so Close can sever
@@ -482,10 +648,8 @@ func (ct *connTracker) closeAll() {
 }
 
 // serve runs the accept loop for a daemon, dispatching each connection to
-// its own goroutine that calls handle per request. The handler context
-// carries the deadline an OpExecute request propagated from its client.
-// serve returns when the listener closes; ct (optional) lets the daemon
-// sever live connections on Close.
+// its own goroutine. serve returns when the listener closes; ct (optional)
+// lets the daemon sever live connections on Close.
 func serve(ln net.Listener, handle func(context.Context, *Request) Response, ct *connTracker) {
 	for {
 		c, err := ln.Accept()
@@ -496,35 +660,73 @@ func serve(ln net.Listener, handle func(context.Context, *Request) Response, ct 
 			c.Close()
 			return
 		}
-		go func(c net.Conn) {
-			defer func() {
-				if ct != nil {
-					ct.remove(c)
-				}
-				c.Close()
-			}()
-			dec := gob.NewDecoder(c)
-			enc := gob.NewEncoder(c)
-			for {
-				var req Request
-				if err := dec.Decode(&req); err != nil {
-					return
-				}
-				ctx := context.Background()
-				var cancel context.CancelFunc
-				if req.Exec != nil && req.Exec.Deadline > 0 {
-					ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Exec.Deadline))
-				} else if req.Deadline > 0 {
-					ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
-				}
-				resp := handle(ctx, &req)
-				if cancel != nil {
-					cancel()
-				}
-				if err := enc.Encode(&resp); err != nil {
-					return
-				}
+		go serveConn(c, handle, ct)
+	}
+}
+
+// serveConn demultiplexes one client connection: each request runs in its
+// own goroutine (so a long OpExecute never head-of-line-blocks a ping
+// sharing the socket) and responses are written back, tagged, as they
+// complete. The per-connection context is cancelled when the client goes
+// away, unblocking handlers still working for it. The handler context
+// carries the deadline the request propagated from its client.
+func serveConn(c net.Conn, handle func(context.Context, *Request) Response, ct *connTracker) {
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer func() {
+		connCancel()
+		if ct != nil {
+			ct.remove(c)
+		}
+		c.Close()
+	}()
+	var wmu sync.Mutex
+	br := bufio.NewReaderSize(c, 32<<10)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		tag, rest, ok := peelTag(payload)
+		if !ok {
+			releaseFrame(payload)
+			return
+		}
+		req := reqPool.Get().(*Request)
+		derr := decodeRequestInto(rest, req)
+		releaseFrame(payload)
+		if derr != nil {
+			// Protocol desync: drop the connection (the client's demux will
+			// fail its in-flight calls with unavailable).
+			reqPool.Put(req)
+			return
+		}
+		go func(tag uint64, req *Request) {
+			ctx := connCtx
+			var cancel context.CancelFunc
+			if req.Exec != nil && req.Exec.Deadline > 0 {
+				ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Exec.Deadline))
+			} else if req.Deadline > 0 {
+				ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
 			}
-		}(c)
+			resp := handle(ctx, req)
+			if cancel != nil {
+				cancel()
+			}
+			slab := getSlab()
+			scratch := getSlab()
+			buf := encodeResponseFrame((*slab)[:0], tag, &resp, scratch)
+			putSlab(scratch)
+			// Handlers copy anything they keep (values, overrides are fresh
+			// per decode), so the request and its buffers recycle here.
+			reqPool.Put(req)
+			wmu.Lock()
+			_, werr := c.Write(buf)
+			wmu.Unlock()
+			*slab = buf
+			putSlab(slab)
+			if werr != nil {
+				c.Close() // wake the read loop; the conn is done
+			}
+		}(tag, req)
 	}
 }

@@ -583,17 +583,37 @@ func (r *RouterServer) executeMixed(ctx context.Context, ex *ExecRequest) Respon
 	return out
 }
 
+// routeScratch recycles the per-batch routing buffers (and the fast-path
+// request envelope) across executeClassic calls. The Response is never
+// pooled: its slices are returned to the caller.
+type routeScratch struct {
+	dest  []int
+	loads []int
+	pools []*Pool
+	req   Request
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
 func (r *RouterServer) executeClassic(ctx context.Context, ex *ExecRequest) Response {
+	sc := routePool.Get().(*routeScratch)
+	defer routePool.Put(sc)
 	// Routing decisions under the current in-flight load (one strategy
 	// lock for the batch; the strategy is inherently sequential).
-	dest := make([]int, len(ex.Queries))
+	if cap(sc.dest) < len(ex.Queries) {
+		sc.dest = make([]int, len(ex.Queries))
+	}
+	dest := sc.dest[:len(ex.Queries)]
 	r.mu.Lock()
 	if r.view.NumActive() == 0 {
 		r.mu.Unlock()
 		return errorResponse(fmt.Errorf("%w: no active processors", query.ErrUnavailable))
 	}
 	epoch := r.view.Epoch
-	loads := make([]int, len(r.inflight))
+	if cap(sc.loads) < len(r.inflight) {
+		sc.loads = make([]int, len(r.inflight))
+	}
+	loads := sc.loads[:len(r.inflight)]
 	for i, q := range ex.Queries {
 		for p := range r.inflight {
 			if r.view.Status(p) == topology.Left {
@@ -618,7 +638,8 @@ func (r *RouterServer) executeClassic(ctx context.Context, ex *ExecRequest) Resp
 		r.inflight[p]++
 		dest[i] = p
 	}
-	pools := append([]*Pool(nil), r.pools...)
+	pools := append(sc.pools[:0], r.pools...)
+	sc.pools = pools
 	r.mu.Unlock()
 
 	// Fast path — the whole batch (typically a single query) lands on one
@@ -632,7 +653,8 @@ func (r *RouterServer) executeClassic(ctx context.Context, ex *ExecRequest) Resp
 	}
 	if single {
 		p := dest[0]
-		resp, err := pools[p].Call(ctx, &Request{Op: OpExecute, Exec: ex})
+		sc.req = Request{Op: OpExecute, Exec: ex}
+		resp, err := pools[p].Call(ctx, &sc.req)
 		r.finish(p, len(dest), &resp, err)
 		if err != nil {
 			return errorResponse(err)
@@ -1144,19 +1166,40 @@ func DialRouter(ctx context.Context, addr string) (*RouterClient, error) {
 	return &RouterClient{pool: p}, nil
 }
 
+// clientCall recycles the single-query Execute envelopes. Recycling the
+// Response (and its Results backing array) is safe because each decoded
+// Result's internal slices are freshly allocated, and an abandoned call's
+// tag is dropped from the demux before CallInto returns — nothing writes
+// into resp after the call completes.
+type clientCall struct {
+	req  Request
+	ex   ExecRequest
+	qs   [1]query.Query
+	resp Response
+}
+
+var clientCallPool = sync.Pool{New: func() any { return new(clientCall) }}
+
 // Execute runs one query through the deployment.
 func (c *RouterClient) Execute(ctx context.Context, q query.Query) (query.Result, error) {
 	if err := q.Validate(); err != nil {
 		return query.Result{}, err
 	}
-	resp, err := c.pool.Call(ctx, execRequest(ctx, []query.Query{q}))
-	if err != nil {
+	cc := clientCallPool.Get().(*clientCall)
+	defer clientCallPool.Put(cc)
+	cc.qs[0] = q
+	cc.ex = ExecRequest{Queries: cc.qs[:1]}
+	if dl, ok := ctx.Deadline(); ok {
+		cc.ex.Deadline = dl.UnixNano()
+	}
+	cc.req = Request{Op: OpExecute, Exec: &cc.ex}
+	if err := c.pool.CallInto(ctx, &cc.req, &cc.resp); err != nil {
 		return query.Result{}, err
 	}
-	if len(resp.Results) != 1 {
-		return query.Result{}, &remoteError{addr: c.pool.Addr(), msg: fmt.Sprintf("got %d results for 1 query", len(resp.Results)), kind: query.ErrUnavailable}
+	if len(cc.resp.Results) != 1 {
+		return query.Result{}, &remoteError{addr: c.pool.Addr(), msg: fmt.Sprintf("got %d results for 1 query", len(cc.resp.Results)), kind: query.ErrUnavailable}
 	}
-	return resp.Results[0], nil
+	return cc.resp.Results[0], nil
 }
 
 // ExecuteBatch runs a batch of queries in one round trip to the router,

@@ -1,9 +1,7 @@
 package rpc
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"errors"
 	"sync"
 	"testing"
@@ -128,7 +126,7 @@ func TestStorageUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cn.Close()
-	if _, err := cn.Call(context.Background(), &Request{Op: "bogus"}); err == nil {
+	if _, err := cn.Call(context.Background(), &Request{Op: Op(99)}); err == nil {
 		t.Fatal("bogus op accepted")
 	}
 }
@@ -348,78 +346,94 @@ func TestDialFailure(t *testing.T) {
 	}
 }
 
-// encodedSize gob-encodes v on a fresh stream (steady == false) or as the
-// second message of a stream (steady == true, excluding the one-time type
-// descriptors) and returns the byte count.
-func encodedSize(t *testing.T, v any, steady bool) int {
+// reqFrameSize binary-encodes req as a complete frame (length prefix, tag,
+// header, payload) and returns the byte count — the number that actually
+// crosses the wire per request. Unlike gob there is no first-message
+// descriptor cost: every frame is steady-state.
+func reqFrameSize(t *testing.T, req *Request) int {
 	t.Helper()
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	if steady {
-		if err := enc.Encode(v); err != nil {
-			t.Fatal(err)
-		}
-		buf.Reset()
+	var scratch []byte
+	dl := req.Deadline
+	if req.Exec != nil && req.Exec.Deadline > 0 {
+		dl = req.Exec.Deadline
 	}
-	if err := enc.Encode(v); err != nil {
-		t.Fatal(err)
+	buf := encodeRequestFrame(nil, 1, req, dl, &scratch)
+	// The frame must decode back; a size test on garbage proves nothing.
+	tag, rest, ok := peelTag(buf[frameHeader:])
+	if !ok || tag != 1 {
+		t.Fatalf("frame tag corrupt")
 	}
-	return buf.Len()
+	var got Request
+	if err := decodeRequestInto(rest, &got); err != nil {
+		t.Fatalf("frame does not decode: %v", err)
+	}
+	return len(buf)
+}
+
+// respFrameSize is reqFrameSize for responses.
+func respFrameSize(t *testing.T, resp *Response) int {
+	t.Helper()
+	var scratch []byte
+	buf := encodeResponseFrame(nil, 1, resp, &scratch)
+	tag, rest, ok := peelTag(buf[frameHeader:])
+	if !ok || tag != 1 {
+		t.Fatalf("frame tag corrupt")
+	}
+	var got Response
+	if err := decodeResponseInto(rest, &got); err != nil {
+		t.Fatalf("frame does not decode: %v", err)
+	}
+	return len(buf)
 }
 
 // TestEnvelopeEncodedSize is the wire-waste regression test: ops must not
-// carry the payloads of other ops. A ping encodes to a handful of bytes;
-// a get stays small; an execute request never drags Stats or storage
-// payload descriptors along.
+// carry the payloads of other ops, and the binary framing must beat the
+// gob ceilings it replaced (ping 16, get 32, mutate 64, migrate 16, evict
+// 32, placement 48, execute 128, subtask 96, pattern 160, partial 96,
+// pong 16, stats request 16, 7-proc stats response 1024 — plus gob's
+// ~960-byte first-message descriptor cost, which is now zero).
 func TestEnvelopeEncodedSize(t *testing.T) {
 	ping := &Request{Op: OpPing}
-	if n := encodedSize(t, ping, true); n > 16 {
-		t.Errorf("steady-state ping encodes to %d bytes, want <= 16", n)
-	}
-	// The one-time descriptor budget covers every envelope type, including
-	// the multi-anchor Subtask/Partial payloads (their BinaryMarshaler
-	// keeps each to a single opaque-bytes descriptor).
-	if n := encodedSize(t, ping, false); n > 960 {
-		t.Errorf("first ping (with type descriptors) encodes to %d bytes, want <= 960", n)
+	if n := reqFrameSize(t, ping); n > 8 {
+		t.Errorf("ping frame encodes to %d bytes, want <= 8", n)
 	}
 	get := &Request{Op: OpGet, Key: 123456789}
-	if n := encodedSize(t, get, true); n > 32 {
-		t.Errorf("steady-state get encodes to %d bytes, want <= 32", n)
+	if n := reqFrameSize(t, get); n > 16 {
+		t.Errorf("get frame encodes to %d bytes, want <= 16", n)
 	}
 	// Mutations: a single-op batch stays a small constant envelope, and an
 	// unlabelled op never drags a label string along.
 	mut := &Request{Op: OpMutate, Muts: []Mutation{{Op: MutOpAddEdge, Node: 42, To: 99}}}
-	if n := encodedSize(t, mut, true); n > 64 {
-		t.Errorf("steady-state 1-op mutate encodes to %d bytes, want <= 64", n)
+	if n := reqFrameSize(t, mut); n > 24 {
+		t.Errorf("1-op mutate frame encodes to %d bytes, want <= 24", n)
 	}
 	// Migration-cycle ops: the trigger is bare; an eviction carries only
 	// its keys; an override push is proportional to the pin table.
 	migrate := &Request{Op: OpMigrate}
-	if n := encodedSize(t, migrate, true); n > 16 {
-		t.Errorf("steady-state migrate encodes to %d bytes, want <= 16", n)
+	if n := reqFrameSize(t, migrate); n > 8 {
+		t.Errorf("migrate frame encodes to %d bytes, want <= 8", n)
 	}
 	evict := &Request{Op: OpEvict, Keys: []uint64{7, 8}}
-	if n := encodedSize(t, evict, true); n > 32 {
-		t.Errorf("steady-state 2-key evict encodes to %d bytes, want <= 32", n)
+	if n := reqFrameSize(t, evict); n > 16 {
+		t.Errorf("2-key evict frame encodes to %d bytes, want <= 16", n)
 	}
 	place := &Request{Op: OpPlacement, Overrides: map[uint64][]int{42: {1, 0}}}
-	if n := encodedSize(t, place, true); n > 48 {
-		t.Errorf("steady-state 1-pin placement push encodes to %d bytes, want <= 48", n)
+	if n := reqFrameSize(t, place); n > 16 {
+		t.Errorf("1-pin placement push frame encodes to %d bytes, want <= 16", n)
 	}
 	// One-query execute: the query payload plus envelope, nothing else.
 	exec := execRequest(context.Background(), []query.Query{
 		{ID: 1, Type: query.NeighborAgg, Node: 42, Hops: 2, Dir: graph.Out},
 	})
-	execN := encodedSize(t, exec, true)
-	if execN > 128 {
-		t.Errorf("steady-state 1-query execute encodes to %d bytes, want <= 128", execN)
+	if n := reqFrameSize(t, exec); n > 48 {
+		t.Errorf("1-query execute frame encodes to %d bytes, want <= 48", n)
 	}
 	// A one-subtask wave dispatch: the varint-packed subtask plus envelope.
 	subExec := &Request{Op: OpExecute, Exec: &ExecRequest{Subtasks: []mquery.Subtask{
 		{Kind: mquery.KindReach, Anchor: 42, Target: 99, Hops: 2, Budget: 64},
 	}}}
-	if n := encodedSize(t, subExec, true); n > 96 {
-		t.Errorf("steady-state 1-subtask execute encodes to %d bytes, want <= 96", n)
+	if n := reqFrameSize(t, subExec); n > 32 {
+		t.Errorf("1-subtask execute frame encodes to %d bytes, want <= 32", n)
 	}
 	// A pattern-match query rides its varint-packed template.
 	patExec := execRequest(context.Background(), []query.Query{{
@@ -429,8 +443,8 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 			Edges: []query.PatternEdge{{From: 0, To: 2}, {From: 1, To: 2}},
 		},
 	}})
-	if n := encodedSize(t, patExec, true); n > 160 {
-		t.Errorf("steady-state 1-pattern execute encodes to %d bytes, want <= 160", n)
+	if n := reqFrameSize(t, patExec); n > 64 {
+		t.Errorf("1-pattern execute frame encodes to %d bytes, want <= 64", n)
 	}
 	// A truncated-frontier partial response stays proportional to its
 	// boundary, with a small constant envelope.
@@ -438,18 +452,18 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 		{Kind: mquery.KindReach, Anchor: 42, Visited: 64,
 			Frontier: []mquery.Boundary{{Node: 7, Hops: 1}, {Node: 9, Hops: 1}}},
 	}}
-	if n := encodedSize(t, partResp, true); n > 96 {
-		t.Errorf("steady-state 1-partial response encodes to %d bytes, want <= 96", n)
+	if n := respFrameSize(t, partResp); n > 32 {
+		t.Errorf("1-partial response frame encodes to %d bytes, want <= 32", n)
 	}
 	// An OK response to a ping must not carry result/stats payloads.
 	pong := &Response{OK: true}
-	if n := encodedSize(t, pong, true); n > 16 {
-		t.Errorf("steady-state pong encodes to %d bytes, want <= 16", n)
+	if n := respFrameSize(t, pong); n > 8 {
+		t.Errorf("pong frame encodes to %d bytes, want <= 8", n)
 	}
 	// A stats poll is a bare request...
 	statsReq := &Request{Op: OpStats}
-	if n := encodedSize(t, statsReq, true); n > 16 {
-		t.Errorf("steady-state stats request encodes to %d bytes, want <= 16", n)
+	if n := reqFrameSize(t, statsReq); n > 8 {
+		t.Errorf("stats request frame encodes to %d bytes, want <= 8", n)
 	}
 	// ...and its response — a full system snapshot at the paper's 7-processor
 	// scale, every counter populated — must stay a small, fixed-size payload
@@ -486,8 +500,8 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 		snap.Cache.Add(cc)
 	}
 	statsResp := &Response{OK: true, Stats: &Stats{Role: "router", Requests: 999999, Snapshot: snap}}
-	if n := encodedSize(t, statsResp, true); n > 1024 {
-		t.Errorf("steady-state 7-proc stats response encodes to %d bytes, want <= 1024", n)
+	if n := respFrameSize(t, statsResp); n > 768 {
+		t.Errorf("7-proc stats response frame encodes to %d bytes, want <= 768", n)
 	}
 }
 

@@ -1,9 +1,7 @@
 package rpc
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"errors"
 	"testing"
 	"time"
@@ -269,7 +267,7 @@ func TestStorageJoinDrain(t *testing.T) {
 // TestEnvelopeEncodedSizeWithStorage extends the wire-waste regression to
 // the storage-bearing snapshot: the paper-scale 7-processor + 4-storage
 // deployment's OpStats response, every counter populated, must stay under
-// 1.5 KB so a monitoring loop can poll it continuously.
+// 1 KB (gob needed 1.5 KB) so a monitoring loop can poll it continuously.
 func TestEnvelopeEncodedSizeWithStorage(t *testing.T) {
 	snap := &metrics.Snapshot{
 		Transport:       "tcp",
@@ -311,16 +309,7 @@ func TestEnvelopeEncodedSizeWithStorage(t *testing.T) {
 		})
 	}
 	statsResp := &Response{OK: true, Stats: &Stats{Role: "router", Requests: 999999, Snapshot: snap}}
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(statsResp); err != nil {
-		t.Fatal(err)
-	}
-	buf.Reset() // steady state: exclude one-time type descriptors
-	if err := enc.Encode(statsResp); err != nil {
-		t.Fatal(err)
-	}
-	if n := buf.Len(); n > 1536 {
-		t.Errorf("steady-state 7-proc + 4-storage stats response encodes to %d bytes, want <= 1536", n)
+	if n := respFrameSize(t, statsResp); n > 1024 {
+		t.Errorf("7-proc + 4-storage stats response frame encodes to %d bytes, want <= 1024", n)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package grouting_test
+
+// raceEnabled reports whether the race detector instruments this build —
+// allocation measurements are meaningless under it.
+const raceEnabled = true

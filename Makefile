@@ -34,14 +34,15 @@ test:
 # vs concurrent reads) and the placement planner feeding the router's
 # background migration loop.
 race:
-	$(GO) test -race ./internal/rpc ./internal/router ./internal/topology ./internal/kvstore ./internal/gstore ./internal/chaos ./internal/placement ./internal/mquery .
+	$(GO) test -race ./internal/rpc ./internal/router ./internal/topology ./internal/kvstore ./internal/gstore ./internal/chaos ./internal/placement ./internal/mquery ./internal/embed .
 
 # Coverage ratchet for the storage stack the replication work lives in
-# plus the binary wire protocol: each package must stay at or above its
-# floor (set just under the current coverage — raise the floors as
-# coverage grows, never lower them). Current: gstore 96%, kvstore 89%,
-# topology 79%, chaos 84%, placement 100%, rpc 76%.
-COVER_FLOORS = ./internal/gstore:90 ./internal/kvstore:85 ./internal/topology:75 ./internal/chaos:70 ./internal/placement:95 ./internal/mquery:85 ./internal/rpc:72
+# plus the binary wire protocol and the embedding-provider subsystem:
+# each package must stay at or above its floor (set just under the
+# current coverage — raise the floors as coverage grows, never lower
+# them). Current: gstore 96%, kvstore 89%, topology 79%, chaos 84%,
+# placement 100%, rpc 76%, embed 88%.
+COVER_FLOORS = ./internal/gstore:90 ./internal/kvstore:85 ./internal/topology:75 ./internal/chaos:70 ./internal/placement:95 ./internal/mquery:85 ./internal/rpc:72 ./internal/embed:85
 
 cover:
 	@set -e; for spec in $(COVER_FLOORS); do \

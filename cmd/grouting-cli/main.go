@@ -37,6 +37,11 @@
 //	grouting-cli -router 127.0.0.1:7200 -pattern "7->x,9->x"
 //	grouting-cli -router 127.0.0.1:7200 -reach "5+9->1400" -h 6 -budget 8
 //
+//	# k-nearest by embedding: the 8 nodes within 2 undirected hops of
+//	# node 42 nearest to it under the router's embedding (the router
+//	# needs PolicyEmbed or groutingd -embed-file)
+//	grouting-cli -router 127.0.0.1:7200 -knn 42 -k 8 -h 2
+//
 //	# generated workloads can include the multi-anchor kinds too
 //	grouting-cli -router 127.0.0.1:7200 -mixed -budget 8 -verify
 //
@@ -84,6 +89,8 @@ func main() {
 		placementV = flag.Bool("placement", false, "print the adaptive-placement counters and migration log and exit")
 		patternF   = flag.String("pattern", "", `ad-hoc pattern query: template edges "u->v[:elabel]" comma-separated; numeric endpoints anchor at that node, names are free variables, "name=label" constrains a variable's node label (e.g. "7->x,9->x,x=paper")`)
 		reachF     = flag.String("reach", "", `ad-hoc bounded-reachability query "a1+a2+...->target" (multi-anchor; depth -h, per-subtask budget -budget)`)
+		knnF       = flag.String("knn", "", `ad-hoc k-nearest query: anchor node id (candidates within -h undirected hops, ranked by the router's embedding, top -k returned)`)
+		k          = flag.Int("k", 8, fmt.Sprintf("result count for -knn (1..%d)", grouting.MaxKNearest))
 		budget     = flag.Int("budget", 64, "per-partition visit budget for -reach and -mixed BoundedReach queries")
 		mixed      = flag.Bool("mixed", false, "generate the full mixed workload (classic + PatternMatch + BoundedReach) instead of the classic three")
 	)
@@ -163,11 +170,11 @@ func main() {
 		return
 	}
 
-	if *patternF != "" || *reachF != "" {
+	if *patternF != "" || *reachF != "" || *knnF != "" {
 		if *routerAddr == "" {
-			exitOn(fmt.Errorf("-pattern/-reach need -router"))
+			exitOn(fmt.Errorf("-pattern/-reach/-knn need -router"))
 		}
-		q, err := parseAdHoc(*patternF, *reachF, *h, *budget)
+		q, err := parseAdHoc(*patternF, *reachF, *knnF, *h, *budget, *k)
 		exitOn(err)
 		cl, err := grouting.Dial(ctx, *routerAddr)
 		exitOn(err)
@@ -178,6 +185,9 @@ func main() {
 		switch q.Type {
 		case grouting.PatternMatch:
 			fmt.Printf("%d matches in %v\n", res.Matches, time.Since(start).Round(time.Microsecond))
+		case grouting.KNearest:
+			fmt.Printf("%d nearest of node %d: %v in %v\n",
+				res.Count, q.Node, res.Nearest[:res.Count], time.Since(start).Round(time.Microsecond))
 		default:
 			fmt.Printf("reachable: %v in %v\n", res.Reachable, time.Since(start).Round(time.Microsecond))
 		}
@@ -257,14 +267,23 @@ func main() {
 	}
 }
 
-// parseAdHoc builds the single query behind -pattern or -reach (mutually
-// exclusive).
-func parseAdHoc(pattern, reach string, hops, budget int) (grouting.Query, error) {
-	if pattern != "" && reach != "" {
-		return grouting.Query{}, fmt.Errorf("-pattern and -reach are mutually exclusive")
+// parseAdHoc builds the single query behind -pattern, -reach or -knn
+// (mutually exclusive).
+func parseAdHoc(pattern, reach, knn string, hops, budget, k int) (grouting.Query, error) {
+	set := 0
+	for _, s := range []string{pattern, reach, knn} {
+		if s != "" {
+			set++
+		}
 	}
-	if pattern != "" {
+	if set > 1 {
+		return grouting.Query{}, fmt.Errorf("-pattern, -reach and -knn are mutually exclusive")
+	}
+	switch {
+	case pattern != "":
 		return parsePattern(pattern)
+	case knn != "":
+		return parseKNN(knn, hops, k)
 	}
 	return parseReach(reach, hops, budget)
 }
@@ -354,6 +373,16 @@ func parseReach(spec string, hops, budget int) (grouting.Query, error) {
 		Type: grouting.BoundedReach, Node: anchors[0], Anchors: anchors,
 		Target: target, Hops: hops, VisitBudget: budget, Dir: grouting.Out,
 	}
+	return q, q.Validate()
+}
+
+// parseKNN turns an anchor node id into a KNearest query.
+func parseKNN(spec string, hops, k int) (grouting.Query, error) {
+	anchor, err := parseNodeID(spec)
+	if err != nil {
+		return grouting.Query{}, fmt.Errorf("-knn %q: %w", spec, err)
+	}
+	q := grouting.Query{Type: grouting.KNearest, Node: anchor, Hops: hops, K: k, Dir: grouting.Both}
 	return q, q.Validate()
 }
 

@@ -76,6 +76,7 @@ func main() {
 		dataset    = flag.String("dataset", "webgraph", "dataset preset for smart-routing preprocessing (router role)")
 		graphScale = flag.Float64("graphscale", 0.05, "dataset scale for preprocessing (router role)")
 		seed       = flag.Int64("seed", 42, "generator / preprocessing seed")
+		embedFile  = flag.String("embed-file", "", "router role: precomputed embedding artifact (grouting.WriteEmbeddingFile) used in place of the learned embedding for routing and k-nearest queries")
 
 		adaptive      = flag.Bool("adaptive", false, "router role: enable workload-adaptive placement (needs -storage)")
 		placeBudgetKB = flag.Int64("placement-budget-kb", 0, "router role: bytes migrated per placement cycle in KiB (0 = unbounded)")
@@ -172,6 +173,12 @@ func main() {
 			g, err := gen.Preset(gen.Dataset(*dataset), *graphScale, *seed)
 			exitOn(err)
 			spec.Graph = g
+		}
+		if *embedFile != "" {
+			fp, err := grouting.OpenEmbeddingFile(*embedFile)
+			exitOn(err)
+			spec.EmbedProvider = fp
+			fmt.Printf("embedding from %s (%d dims)\n", *embedFile, fp.Dimensions())
 		}
 		r, err := grouting.ServeRouter(*listen, spec)
 		exitOn(err)

@@ -153,7 +153,15 @@ const (
 	// evaluation: every per-partition subtask expands at most VisitBudget
 	// nodes, and the router relaunches boundary frontiers in later waves.
 	BoundedReach = query.BoundedReach
+	// KNearest returns the K nodes within Hops (undirected) of Node that
+	// are nearest to it under the system's embedding: candidate
+	// generation runs on the anchor's processor, the exact re-rank at the
+	// coordinator. Needs an embedding — PolicyEmbed or WithEmbedProvider.
+	KNearest = query.KNearest
 )
+
+// MaxKNearest bounds Query.K; Result.Nearest holds that many slots.
+const MaxKNearest = query.MaxKNearest
 
 // HotspotWorkload generates the paper's workload: hotspot regions with
 // consecutive queries on nearby nodes (Section 4.1).
@@ -164,9 +172,19 @@ func HotspotWorkload(g *Graph, spec WorkloadSpec) []Query { return query.Hotspot
 // reachability queries alongside the classic traversals.
 var MixedTypes = query.MixedTypes
 
+// MixedTypesKNN additionally mixes in KNearest queries — use it on
+// systems that hold an embedding (PolicyEmbed or WithEmbedProvider).
+var MixedTypesKNN = query.MixedTypesKNN
+
 // Answer computes a query's reference result directly on the in-memory
-// graph (the oracle the distributed system must agree with).
+// graph (the oracle the distributed system must agree with). KNearest
+// answers additionally depend on the embedding: use AnswerKNN.
 func Answer(g *Graph, q Query) Result { return query.Answer(g, q) }
+
+// AnswerKNN computes a KNearest query's reference result directly on the
+// in-memory graph and a coordinate source (System.Embedding, or any
+// materialised provider) — the oracle both transports must agree with.
+func AnswerKNN(g *Graph, coords CoordSource, q Query) Result { return query.AnswerKNN(g, coords, q) }
 
 // System assembly.
 type (

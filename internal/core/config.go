@@ -202,6 +202,15 @@ type Config struct {
 	PrepWorkers int
 	// EmbedNM tunes the embedding optimiser (tests shrink it for speed).
 	EmbedNM embed.NMOptions
+	// EmbedProvider supplies node coordinates from a pluggable source
+	// (embed.FileProvider, embed.Service, or any user Embedder) instead of
+	// the built-in learned embedding. It is materialised once at system
+	// construction and then serves both PolicyEmbed routing and KNearest
+	// ranking. When it fails and the policy does not require an embedding,
+	// the system starts degraded: KNearest queries answer the typed
+	// query.ErrUnavailable until a restart; everything else is unaffected.
+	// Nil (the default) keeps the learned scheme for embedding policies.
+	EmbedProvider embed.Embedder
 }
 
 func (c Config) withDefaults() Config {

@@ -24,6 +24,14 @@ func (ses *Session) executeMulti(q query.Query) (query.Result, time.Duration, er
 	prof := sys.cfg.Network
 	strat := ses.rt.Strategy()
 
+	if q.Type == query.KNearest {
+		// Fail before any subtask is issued: ranking needs the embedding,
+		// and a degraded provider should cost nothing downstream.
+		if err := sys.knnReady(); err != nil {
+			return query.Result{}, 0, err
+		}
+	}
+
 	pl, err := mquery.NewPlan(q, sys.g.LabelID)
 	if err != nil {
 		return query.Result{}, 0, err
@@ -99,7 +107,13 @@ func (ses *Session) executeMulti(q query.Query) (query.Result, time.Duration, er
 			ses.PlacementTick()
 		}
 	}
-	return m.Result(), now - start, nil
+	res := m.Result()
+	if pl.Kind == mquery.KindKNN {
+		// Exact re-rank at the coordinator: the processors only generated
+		// the hop-bounded candidate ball; the embedding lives here.
+		res = query.KNNResult(sys.emb, q, m.Candidates())
+	}
+	return res, now - start, nil
 }
 
 // runSubtask executes one subtask on processor p starting at virtual time

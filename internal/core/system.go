@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/landmark"
 	"repro/internal/metrics"
+	"repro/internal/query"
 	"repro/internal/router"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -38,6 +40,10 @@ type System struct {
 	idx    *landmark.Index
 	assign *landmark.Assignment
 	emb    *embed.Embedding
+	// embErr records a failed EmbedProvider materialisation when the
+	// policy could start without it: the system runs degraded and
+	// KNearest queries surface this wrapped in query.ErrUnavailable.
+	embErr error
 
 	prep PrepStats
 
@@ -89,6 +95,26 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 		}
 	}
 	s.prep.GraphBytes = gstore.Load(st, g)
+	if cfg.EmbedProvider != nil {
+		// A pluggable provider replaces the learned embedding wholesale:
+		// materialise it up front so routing and KNearest ranking read a
+		// plain coordinate table, never the provider, on the hot path.
+		t0 := time.Now()
+		e, err := embed.Materialize(context.Background(), cfg.EmbedProvider, g)
+		switch {
+		case err == nil:
+			s.emb = e
+			s.prep.EmbedNodeTime = time.Since(t0)
+			s.prep.EmbedBytes = e.StorageBytes()
+		case cfg.Policy.NeedsEmbedding():
+			// The router cannot run without coordinates: fail construction.
+			return nil, fmt.Errorf("core: embed provider %q: %w", cfg.EmbedProvider.Name(), err)
+		default:
+			// Degraded start: only KNearest needs the embedding, and it
+			// reports the failure per query as ErrUnavailable.
+			s.embErr = err
+		}
+	}
 	if cfg.Policy.NeedsLandmarks() {
 		if err := s.preprocess(); err != nil {
 			return nil, err
@@ -106,8 +132,25 @@ func (s *System) Graph() *graph.Graph { return s.g }
 // Prep returns the preprocessing statistics (Tables 2 and 3).
 func (s *System) Prep() PrepStats { return s.prep }
 
-// Embedding returns the node embedding (nil unless PolicyEmbed).
+// Embedding returns the node embedding: the materialised EmbedProvider
+// when one is configured, the learned embedding under PolicyEmbed, nil
+// otherwise.
 func (s *System) Embedding() *embed.Embedding { return s.emb }
+
+// knnReady reports whether KNearest queries can be answered: the system
+// holds an embedding. The error is typed query.ErrUnavailable — a
+// degraded provider is a service condition, not a bad query — and carries
+// the materialisation failure when that is why the embedding is missing.
+func (s *System) knnReady() error {
+	if s.emb != nil {
+		return nil
+	}
+	if s.embErr != nil {
+		return fmt.Errorf("core: k-nearest needs an embedding, provider failed: %v: %w", s.embErr, query.ErrUnavailable)
+	}
+	return fmt.Errorf("core: k-nearest needs an embedding (policy %v builds none and no EmbedProvider is set): %w",
+		s.cfg.Policy, query.ErrUnavailable)
+}
 
 // LandmarkIndex returns the landmark distance index (nil for baselines).
 func (s *System) LandmarkIndex() *landmark.Index { return s.idx }
@@ -151,7 +194,7 @@ func (s *System) preprocess() error {
 	s.prep.LandmarkBytes = s.assign.StorageBytes()
 	s.prep.IndexBytes = s.idx.StorageBytes()
 
-	if s.cfg.Policy.NeedsEmbedding() {
+	if s.cfg.Policy.NeedsEmbedding() && s.emb == nil {
 		t0 = time.Now()
 		e, err := embed.Build(s.g, s.idx, embed.Options{
 			Dimensions: s.cfg.Dimensions,
@@ -466,7 +509,17 @@ func (s *System) incorporateNode(u graph.NodeID) {
 		s.idx.IncorporateNode(s.g, u)
 		s.assign.SetNodeDistances(s.idx, u)
 	}
-	if s.emb != nil {
+	switch {
+	case s.emb == nil:
+	case s.cfg.EmbedProvider != nil:
+		// Provider-backed coordinates: ask the provider for the new node.
+		// A failed or uncovered lookup leaves the node unembedded (NaN
+		// row semantics), which ranking and routing already tolerate.
+		rows, err := s.cfg.EmbedProvider.Embed(context.Background(), []graph.NodeID{u})
+		if err == nil && len(rows) == 1 && rows[0] != nil {
+			_ = s.emb.SetRow(u, rows[0])
+		}
+	default:
 		s.emb.IncorporateNode(s.idx, u, embed.Options{
 			Dimensions: s.cfg.Dimensions, Seed: s.cfg.Seed, NM: s.cfg.EmbedNM,
 		})

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -79,6 +79,29 @@ func (e *Embedding) setCoords(u graph.NodeID, p []float64) {
 		row[j] = float32(p[j])
 	}
 }
+
+// setRow is setCoords' float32 twin, used when materializing a provider.
+// SetRow overwrites node u's coordinates with a provider-supplied row —
+// the incremental-update path for externally sourced embeddings, where
+// re-running the provider replaces the optimiser.
+func (e *Embedding) SetRow(u graph.NodeID, row []float32) error {
+	if len(row) != e.D {
+		return fmt.Errorf("embed: row for node %d has %d dims, embedding has %d", u, len(row), e.D)
+	}
+	e.setRow(u, row)
+	return nil
+}
+
+func (e *Embedding) setRow(u graph.NodeID, row []float32) {
+	need := (int(u) + 1) * e.D
+	for len(e.coords) < need {
+		e.coords = append(e.coords, float32(math.NaN()))
+	}
+	copy(e.coords[int(u)*e.D:need], row)
+}
+
+// nanRow reports whether a coordinate row is the unembedded marker.
+func nanRow(row []float32) bool { return len(row) > 0 && math.IsNaN(float64(row[0])) }
 
 // StorageBytes reports the embedding's memory footprint (Table 3).
 func (e *Embedding) StorageBytes() int64 { return int64(len(e.coords)) * 4 }
@@ -367,7 +390,7 @@ func MeasureRelativeError(g *graph.Graph, e *Embedding, samples, maxHops int, se
 		for w := range near {
 			cands = append(cands, w)
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+		slices.Sort(cands)
 		v := cands[rng.Intn(len(cands))]
 		cu, cv := e.Coords(u), e.Coords(v)
 		if cu == nil || cv == nil {

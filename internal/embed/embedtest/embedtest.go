@@ -1,0 +1,164 @@
+// Package embedtest is the provider conformance suite: one table-driven
+// harness every Embedder — built-in or registered by a downstream user —
+// must pass. It pins the interface contract the routing layer and the
+// KNearest re-rank rely on: determinism under a fixed seed, batch ≡
+// sequential equality, dimension agreement, and context cancellation.
+//
+// Use it from a provider's own tests:
+//
+//	func TestMyProviderConformance(t *testing.T) {
+//		embedtest.Run(t, embedtest.Target{
+//			Nodes: myNodes,
+//			New:   func(t *testing.T) embed.Embedder { return newMyProvider(t) },
+//		})
+//	}
+//
+// New is called per subtest so each check starts from a fresh instance;
+// determinism is asserted both within one instance and across instances
+// (two providers constructed the same way must agree).
+package embedtest
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+)
+
+// Target describes one provider under conformance test.
+type Target struct {
+	// New constructs a fresh provider instance. Every construction must
+	// be equivalent (same configuration, same seed).
+	New func(t *testing.T) embed.Embedder
+	// Nodes are ids to embed. At least one must be covered by the
+	// provider (non-nil row); ids the provider does not cover are fine
+	// and exercise the nil-row contract.
+	Nodes []graph.NodeID
+}
+
+// Run executes the conformance suite against the target provider.
+func Run(t *testing.T, tgt Target) {
+	t.Helper()
+	if len(tgt.Nodes) == 0 {
+		t.Fatal("embedtest: Target.Nodes is empty")
+	}
+
+	t.Run("DimensionAgreement", func(t *testing.T) {
+		p := tgt.New(t)
+		d := p.Dimensions()
+		if d <= 0 {
+			t.Fatalf("%s: Dimensions() = %d, want > 0", p.Name(), d)
+		}
+		rows := mustEmbed(t, p, tgt.Nodes)
+		covered := 0
+		for i, row := range rows {
+			if row == nil {
+				continue
+			}
+			covered++
+			if len(row) != d {
+				t.Fatalf("%s: node %d row has %d dims, Dimensions() says %d",
+					p.Name(), tgt.Nodes[i], len(row), d)
+			}
+		}
+		if covered == 0 {
+			t.Fatalf("%s: no node in the target set is covered", p.Name())
+		}
+	})
+
+	t.Run("DeterministicUnderFixedSeed", func(t *testing.T) {
+		p := tgt.New(t)
+		a := mustEmbed(t, p, tgt.Nodes)
+		b := mustEmbed(t, p, tgt.Nodes)
+		assertRowsEqual(t, p.Name()+": same instance", a, b)
+		// Across instances: a re-constructed provider must agree too.
+		q := tgt.New(t)
+		c := mustEmbed(t, q, tgt.Nodes)
+		assertRowsEqual(t, p.Name()+": fresh instance", a, c)
+	})
+
+	t.Run("BatchEqualsSequential", func(t *testing.T) {
+		p := tgt.New(t)
+		batch := mustEmbed(t, p, tgt.Nodes)
+		seq := make([][]float32, len(tgt.Nodes))
+		for i, u := range tgt.Nodes {
+			rows := mustEmbed(t, p, []graph.NodeID{u})
+			if len(rows) != 1 {
+				t.Fatalf("%s: 1-node Embed returned %d rows", p.Name(), len(rows))
+			}
+			seq[i] = rows[0]
+		}
+		assertRowsEqual(t, p.Name()+": batch vs sequential", batch, seq)
+	})
+
+	t.Run("PositionalAlignment", func(t *testing.T) {
+		p := tgt.New(t)
+		fwd := mustEmbed(t, p, tgt.Nodes)
+		rev := make([]graph.NodeID, len(tgt.Nodes))
+		for i, u := range tgt.Nodes {
+			rev[len(rev)-1-i] = u
+		}
+		back := mustEmbed(t, p, rev)
+		for i := range fwd {
+			assertRowEqual(t, p.Name(), tgt.Nodes[i], fwd[i], back[len(back)-1-i])
+		}
+	})
+
+	t.Run("ContextCancellation", func(t *testing.T) {
+		p := tgt.New(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := p.Embed(ctx, tgt.Nodes); err == nil {
+			t.Fatalf("%s: Embed with a cancelled ctx succeeded, want error", p.Name())
+		}
+	})
+
+	t.Run("EmptyBatch", func(t *testing.T) {
+		p := tgt.New(t)
+		rows, err := p.Embed(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("%s: empty batch: %v", p.Name(), err)
+		}
+		if len(rows) != 0 {
+			t.Fatalf("%s: empty batch returned %d rows", p.Name(), len(rows))
+		}
+	})
+}
+
+func mustEmbed(t *testing.T, p embed.Embedder, nodes []graph.NodeID) [][]float32 {
+	t.Helper()
+	rows, err := p.Embed(context.Background(), nodes)
+	if err != nil {
+		t.Fatalf("%s: Embed: %v", p.Name(), err)
+	}
+	if len(rows) != len(nodes) {
+		t.Fatalf("%s: Embed returned %d rows for %d nodes", p.Name(), len(rows), len(nodes))
+	}
+	return rows
+}
+
+func assertRowsEqual(t *testing.T, what string, a, b [][]float32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d rows", what, len(a), len(b))
+	}
+	for i := range a {
+		assertRowEqual(t, what, graph.NodeID(i), a[i], b[i])
+	}
+}
+
+func assertRowEqual(t *testing.T, what string, u graph.NodeID, a, b []float32) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: node %d coverage disagrees (nil vs non-nil row)", what, u)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%s: node %d row widths %d vs %d", what, u, len(a), len(b))
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("%s: node %d dim %d: %v != %v (not bit-identical)", what, u, j, a[j], b[j])
+		}
+	}
+}

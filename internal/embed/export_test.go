@@ -1,0 +1,5 @@
+package embed
+
+// WithSleepForTest exposes the Service backoff-sleeper override to the
+// external test package, so retry tests count delays without waiting.
+var WithSleepForTest = withSleep

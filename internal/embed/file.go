@@ -1,0 +1,188 @@
+package embed
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Precomputed-embedding file codec. A file is one versioned binary blob:
+//
+//	magic "GEMB" | version u8 | D uvarint | count uvarint |
+//	count × (node uvarint | D × float32 LE) | crc32(IEEE) of all prior bytes
+//
+// Rows are sorted by node id (the encoder guarantees it, the decoder
+// enforces it) so two files of the same embedding are byte-identical.
+// The trailing checksum makes every truncation or corruption detectable:
+// a prefix of a valid file is never itself a valid file.
+const (
+	fileMagic   = "GEMB"
+	fileVersion = 1
+	// maxFileDims bounds the decoded dimensionality; a corrupt header
+	// cannot force a huge per-row allocation.
+	maxFileDims = 1 << 12
+)
+
+// EncodeEmbedding serialises every embedded (non-NaN) row of e into the
+// versioned file format.
+func EncodeEmbedding(e *Embedding) []byte {
+	buf := append([]byte(nil), fileMagic...)
+	buf = append(buf, fileVersion)
+	buf = binary.AppendUvarint(buf, uint64(e.D))
+	var count uint64
+	for u := 0; u < e.NumNodes(); u++ {
+		if !nanRow(e.Coords(graph.NodeID(u))) {
+			count++
+		}
+	}
+	buf = binary.AppendUvarint(buf, count)
+	for u := 0; u < e.NumNodes(); u++ {
+		row := e.Coords(graph.NodeID(u))
+		if nanRow(row) {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(u))
+		for _, v := range row {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeEmbedding parses a file-format blob back into an Embedding. Every
+// malformed input — bad magic, unknown version, truncation at any byte,
+// out-of-order rows, checksum mismatch, trailing bytes — is an error,
+// never a panic or a silent partial decode.
+func DecodeEmbedding(data []byte) (*Embedding, error) {
+	if len(data) < len(fileMagic)+1+4 {
+		return nil, fmt.Errorf("embed: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("embed: bad file magic %q", data[:len(fileMagic)])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("embed: file checksum mismatch (%08x != %08x)", got, want)
+	}
+	if v := body[len(fileMagic)]; v != fileVersion {
+		return nil, fmt.Errorf("embed: unsupported file version %d", v)
+	}
+	d := fileDec{buf: body[len(fileMagic)+1:]}
+	dims := d.uvarint()
+	if dims == 0 || dims > maxFileDims {
+		return nil, fmt.Errorf("embed: file dimensionality %d out of range", dims)
+	}
+	count := d.uvarint()
+	// Every row costs at least 1 + 4*dims bytes, so a corrupt count cannot
+	// force a huge allocation.
+	if count > uint64(len(d.buf))/(1+4*dims) {
+		return nil, fmt.Errorf("embed: file row count %d exceeds payload", count)
+	}
+	e := &Embedding{D: int(dims)}
+	row := make([]float32, dims)
+	last := -1
+	for i := uint64(0); i < count; i++ {
+		u := d.uvarint()
+		if u > math.MaxUint32 || int(u) <= last {
+			d.err = true
+			break
+		}
+		last = int(u)
+		for j := range row {
+			row[j] = d.f32()
+		}
+		if d.err {
+			break
+		}
+		e.setRow(graph.NodeID(u), row)
+	}
+	if d.err {
+		return nil, fmt.Errorf("embed: malformed embedding file")
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("embed: embedding file has %d trailing bytes", len(d.buf))
+	}
+	return e, nil
+}
+
+// fileDec is the bounds-checked reader for the file payload (the same
+// idiom as mquery's wireDec): malformed input flips err and every later
+// read returns zero.
+type fileDec struct {
+	buf []byte
+	err bool
+}
+
+func (d *fileDec) uvarint() uint64 {
+	if d.err {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = true
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *fileDec) f32() float32 {
+	if d.err || len(d.buf) < 4 {
+		d.err = true
+		return 0
+	}
+	v := math.Float32frombits(binary.LittleEndian.Uint32(d.buf))
+	d.buf = d.buf[4:]
+	return v
+}
+
+// WriteEmbeddingFile writes e to path in the versioned file format — the
+// producer half of `groutingd -embed-file` (grouting-gen and tests call
+// it to precompute artifacts).
+func WriteEmbeddingFile(path string, e *Embedding) error {
+	return os.WriteFile(path, EncodeEmbedding(e), 0o644)
+}
+
+// FileProvider serves coordinates from a precomputed embedding artifact:
+// the decoupled-artifact path (compute the embedding offline or on
+// another machine, load it everywhere) and the way both transports share
+// one identical embedding in the cross-transport tests.
+type FileProvider struct {
+	e *Embedding
+}
+
+// OpenFileProvider loads a versioned embedding file from path.
+func OpenFileProvider(path string) (*FileProvider, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("embed: %w", err)
+	}
+	e, err := DecodeEmbedding(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return &FileProvider{e: e}, nil
+}
+
+// NewFileProvider wraps an already-materialised embedding in the provider
+// interface without touching disk (round-trip tests, in-memory reuse).
+func NewFileProvider(e *Embedding) *FileProvider { return &FileProvider{e: e} }
+
+// Name implements Embedder.
+func (f *FileProvider) Name() string { return "file" }
+
+// Dimensions implements Embedder.
+func (f *FileProvider) Dimensions() int { return f.e.D }
+
+// Embed implements Embedder.
+func (f *FileProvider) Embed(ctx context.Context, nodes []graph.NodeID) ([][]float32, error) {
+	return rowsFromEmbedding(ctx, f.e, nodes)
+}
+
+// Snapshot implements Snapshotter.
+func (f *FileProvider) Snapshot() *Embedding { return f.e }

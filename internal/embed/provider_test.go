@@ -1,0 +1,340 @@
+package embed_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/embed/embedtest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+)
+
+// testIndex builds the shared small graph + landmark index the provider
+// tests run over.
+func testIndex(t testing.TB) (*graph.Graph, *landmark.Index) {
+	t.Helper()
+	g := gen.ErdosRenyi(120, 480, 3)
+	ls := landmark.Select(g, 8, 1)
+	if len(ls) < 2 {
+		t.Fatalf("only %d landmarks selected", len(ls))
+	}
+	return g, landmark.BuildIndex(g, ls, 0)
+}
+
+// TestLearnedProviderGolden is the acceptance keystone: the default
+// (learned) provider's output is bit-identical to calling Build directly —
+// refactoring the scheme behind the provider interface changed nothing.
+func TestLearnedProviderGolden(t *testing.T) {
+	g, idx := testIndex(t)
+	opts := embed.Options{Dimensions: 5, Seed: 7}
+	want, err := embed.Build(g, idx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := embed.NewLearned(g, idx, embed.WithDimensions(5), embed.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := embed.Materialize(context.Background(), p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != want.D || got.NumNodes() != want.NumNodes() {
+		t.Fatalf("shape: got D=%d n=%d, want D=%d n=%d", got.D, got.NumNodes(), want.D, want.NumNodes())
+	}
+	for u := graph.NodeID(0); int(u) < want.NumNodes(); u++ {
+		cw, cg := want.Coords(u), got.Coords(u)
+		for j := range cw {
+			wb, gb := math.Float32bits(cw[j]), math.Float32bits(cg[j])
+			if wb != gb && !(math.IsNaN(float64(cw[j])) && math.IsNaN(float64(cg[j]))) {
+				t.Fatalf("node %d dim %d: provider %v != Build %v (not bit-identical)", u, j, cg[j], cw[j])
+			}
+		}
+	}
+}
+
+// TestProviderConformance runs the embedtest suite over all three
+// built-in providers — the same harness downstream providers run.
+func TestProviderConformance(t *testing.T) {
+	g, idx := testIndex(t)
+	nodes := []graph.NodeID{0, 3, 17, 42, 77, 119, 5000} // 5000: beyond the graph, exercises nil rows
+	base, err := embed.Build(g, idx, embed.Options{Dimensions: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "emb.bin")
+	if err := embed.WriteEmbeddingFile(path, base); err != nil {
+		t.Fatal(err)
+	}
+
+	targets := map[string]embedtest.Target{
+		"learned": {
+			Nodes: nodes,
+			New: func(t *testing.T) embed.Embedder {
+				p, err := embed.NewLearned(g, idx, embed.WithDimensions(4), embed.WithSeed(11))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+		},
+		"file": {
+			Nodes: nodes,
+			New: func(t *testing.T) embed.Embedder {
+				p, err := embed.OpenFileProvider(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+		},
+		"service": {
+			Nodes: nodes,
+			New: func(t *testing.T) embed.Embedder {
+				return embed.NewService("svc", base.D, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					rows := make([][]float32, len(ns))
+					for i, u := range ns {
+						if c := base.Coords(u); c != nil && !math.IsNaN(float64(c[0])) {
+							rows[i] = c
+						}
+					}
+					return rows, nil
+				})
+			},
+		},
+	}
+	for name, tgt := range targets {
+		t.Run(name, func(t *testing.T) { embedtest.Run(t, tgt) })
+	}
+}
+
+// TestFileCodecRoundTrip: encode → decode is the identity on embedded
+// rows, and the encoding is canonical (byte-identical across encodes).
+func TestFileCodecRoundTrip(t *testing.T) {
+	g, idx := testIndex(t)
+	e, err := embed.Build(g, idx, embed.Options{Dimensions: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := embed.EncodeEmbedding(e)
+	if blob2 := embed.EncodeEmbedding(e); string(blob) != string(blob2) {
+		t.Fatal("encoding is not canonical")
+	}
+	got, err := embed.DecodeEmbedding(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != e.D || got.NumNodes() != e.NumNodes() {
+		t.Fatalf("shape: got D=%d n=%d, want D=%d n=%d", got.D, got.NumNodes(), e.D, e.NumNodes())
+	}
+	for u := graph.NodeID(0); int(u) < e.NumNodes(); u++ {
+		a, b := e.Coords(u), got.Coords(u)
+		for j := range a {
+			if math.Float32bits(a[j]) != math.Float32bits(b[j]) {
+				t.Fatalf("node %d dim %d: %v != %v", u, j, b[j], a[j])
+			}
+		}
+	}
+}
+
+// TestFileCodecTruncation truncates a valid artifact at every byte
+// boundary: every strict prefix must fail to decode (the trailing
+// checksum guarantees truncation is never silent), and none may panic.
+func TestFileCodecTruncation(t *testing.T) {
+	g, idx := testIndex(t)
+	e, err := embed.Build(g, idx, embed.Options{Dimensions: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := embed.EncodeEmbedding(e)
+	for i := 0; i < len(blob); i++ {
+		if _, err := embed.DecodeEmbedding(blob[:i]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly", i, len(blob))
+		}
+	}
+}
+
+// TestFileCodecCorruption flips each byte of the header and checksum
+// regions: decode must fail (magic, version, dims, count and the CRC all
+// guard their bytes).
+func TestFileCodecCorruption(t *testing.T) {
+	g, idx := testIndex(t)
+	e, err := embed.Build(g, idx, embed.Options{Dimensions: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := embed.EncodeEmbedding(e)
+	for i := 0; i < len(blob); i++ {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0xff
+		if _, err := embed.DecodeEmbedding(bad); err == nil {
+			t.Fatalf("corruption at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+// FuzzFileDecode throws arbitrary bytes at the file decoder: never panic,
+// and anything that decodes must re-encode to a blob that decodes to the
+// same embedding.
+func FuzzFileDecode(f *testing.F) {
+	g, idx := testIndex(f)
+	e, err := embed.Build(g, idx, embed.Options{Dimensions: 2, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(embed.EncodeEmbedding(e))
+	f.Add([]byte("GEMB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := embed.DecodeEmbedding(data)
+		if err != nil {
+			return
+		}
+		re := embed.EncodeEmbedding(got)
+		again, err := embed.DecodeEmbedding(re)
+		if err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+		if again.D != got.D || again.NumNodes() != got.NumNodes() {
+			t.Fatalf("re-encode changed shape: D %d→%d n %d→%d", got.D, again.D, got.NumNodes(), again.NumNodes())
+		}
+	})
+}
+
+// TestServiceRetriesThenSucceeds: transient failures are retried with
+// doubling backoff, and the successful attempt's rows come through.
+func TestServiceRetriesThenSucceeds(t *testing.T) {
+	calls, sleeps := 0, []time.Duration(nil)
+	p := embed.NewService("flaky", 2, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+		calls++
+		if calls < 3 {
+			return nil, fmt.Errorf("transient %d", calls)
+		}
+		rows := make([][]float32, len(ns))
+		for i := range rows {
+			rows[i] = []float32{1, 2}
+		}
+		return rows, nil
+	}, embed.WithRetries(3), embed.WithBackoff(time.Millisecond),
+		embed.WithSleepForTest(func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil
+		}))
+	rows, err := p.Embed(context.Background(), []graph.NodeID{1, 2})
+	if err != nil || len(rows) != 2 || rows[0][0] != 1 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if calls != 3 {
+		t.Fatalf("backend called %d times, want 3", calls)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(sleeps) != len(want) || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Fatalf("backoff sleeps = %v, want %v", sleeps, want)
+	}
+}
+
+// TestServiceExhaustionIsUnavailable: a backend that never recovers
+// surfaces as ErrUnavailable after the retry budget.
+func TestServiceExhaustionIsUnavailable(t *testing.T) {
+	calls := 0
+	p := embed.NewService("down", 2, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+		calls++
+		return nil, errors.New("backend down")
+	}, embed.WithRetries(2), embed.WithSleepForTest(func(context.Context, time.Duration) error { return nil }))
+	_, err := p.Embed(context.Background(), []graph.NodeID{1})
+	if !errors.Is(err, embed.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if calls != 3 {
+		t.Fatalf("backend called %d times, want 3 (1 + 2 retries)", calls)
+	}
+}
+
+// TestServiceCancellationAborts: ctx cancellation wins over the retry
+// loop — no further attempts, ctx.Err() returned.
+func TestServiceCancellationAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := embed.NewService("slow", 2, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+		calls++
+		cancel() // backend "hangs"; caller gives up
+		return nil, errors.New("timeout")
+	}, embed.WithRetries(5), embed.WithSleepForTest(func(context.Context, time.Duration) error { return nil }))
+	_, err := p.Embed(ctx, []graph.NodeID{1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("backend called %d times after cancellation, want 1", calls)
+	}
+}
+
+// TestServiceRejectsMisshapenRows: a backend answering with the wrong
+// row count or width is an error, not silent corruption.
+func TestServiceRejectsMisshapenRows(t *testing.T) {
+	short := embed.NewService("short", 2, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+		return make([][]float32, 1), nil
+	})
+	if _, err := short.Embed(context.Background(), []graph.NodeID{1, 2}); err == nil {
+		t.Fatal("short row count accepted")
+	}
+	wide := embed.NewService("wide", 2, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+		rows := make([][]float32, len(ns))
+		for i := range rows {
+			rows[i] = []float32{1, 2, 3}
+		}
+		return rows, nil
+	})
+	if _, err := wide.Embed(context.Background(), []graph.NodeID{1}); err == nil {
+		t.Fatal("over-wide row accepted")
+	}
+}
+
+// TestMaterializeFromService walks the batched (non-Snapshotter) path and
+// must agree with the backing embedding row for row.
+func TestMaterializeFromService(t *testing.T) {
+	g, idx := testIndex(t)
+	base, err := embed.Build(g, idx, embed.Options{Dimensions: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := embed.NewService("svc", 3, func(ctx context.Context, ns []graph.NodeID) ([][]float32, error) {
+		rows := make([][]float32, len(ns))
+		for i, u := range ns {
+			if c := base.Coords(u); c != nil && !math.IsNaN(float64(c[0])) {
+				rows[i] = c
+			}
+		}
+		return rows, nil
+	})
+	got, err := embed.Materialize(context.Background(), p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range g.Nodes() {
+		a, b := base.Coords(u), got.Coords(u)
+		for j := range a {
+			if math.Float32bits(a[j]) != math.Float32bits(b[j]) {
+				t.Fatalf("node %d dim %d: %v != %v", u, j, b[j], a[j])
+			}
+		}
+	}
+	// A failing provider propagates its error (wrapping ErrUnavailable).
+	down := embed.NewService("down", 3, func(context.Context, []graph.NodeID) ([][]float32, error) {
+		return nil, errors.New("no backend")
+	}, embed.WithRetries(0))
+	if _, err := embed.Materialize(context.Background(), down, g); !errors.Is(err, embed.ErrUnavailable) {
+		t.Fatalf("materialize over a dead provider: err = %v, want ErrUnavailable", err)
+	}
+}

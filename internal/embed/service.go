@@ -1,0 +1,107 @@
+package embed
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// EmbedFunc is the call a Service provider makes per batch — in
+// production an RPC to an external embedding service, in tests a stub.
+type EmbedFunc func(ctx context.Context, nodes []graph.NodeID) ([][]float32, error)
+
+// Service adapts an external embedding service to the Embedder interface:
+// ctx-aware, with bounded retries and exponential backoff between
+// attempts. It is the in-process stand-in the degraded-provider tests
+// drive — a Service whose backend keeps failing reports ErrUnavailable,
+// which systems surface as a typed query error instead of dying.
+type Service struct {
+	name    string
+	dims    int
+	fn      EmbedFunc
+	retries int
+	backoff time.Duration
+	sleep   func(ctx context.Context, d time.Duration) error
+}
+
+// ServiceOption configures a Service provider.
+type ServiceOption func(*Service)
+
+// WithRetries bounds how many times a failed batch is retried (default 2;
+// 0 disables retrying).
+func WithRetries(n int) ServiceOption { return func(s *Service) { s.retries = n } }
+
+// WithBackoff sets the first retry delay; each further retry doubles it
+// (default 10ms).
+func WithBackoff(d time.Duration) ServiceOption { return func(s *Service) { s.backoff = d } }
+
+// withSleep replaces the backoff sleeper (tests count delays without
+// waiting them out).
+func withSleep(f func(ctx context.Context, d time.Duration) error) ServiceOption {
+	return func(s *Service) { s.sleep = f }
+}
+
+// NewService wraps fn as a provider named name serving dims-wide rows.
+func NewService(name string, dims int, fn EmbedFunc, opts ...ServiceOption) *Service {
+	s := &Service{name: name, dims: dims, fn: fn, retries: 2, backoff: 10 * time.Millisecond}
+	s.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements Embedder.
+func (s *Service) Name() string { return s.name }
+
+// Dimensions implements Embedder.
+func (s *Service) Dimensions() int { return s.dims }
+
+// Embed implements Embedder: it calls the backend, retrying transient
+// failures with exponential backoff. Context cancellation aborts
+// immediately (no retry); an exhausted retry budget wraps ErrUnavailable
+// so callers can errors.Is the degraded state.
+func (s *Service) Embed(ctx context.Context, nodes []graph.NodeID) ([][]float32, error) {
+	var lastErr error
+	delay := s.backoff
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		if attempt > 0 {
+			if err := s.sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+			delay *= 2
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := s.fn(ctx, nodes)
+		if err == nil {
+			if len(rows) != len(nodes) {
+				return nil, fmt.Errorf("embed: service %q returned %d rows for %d nodes", s.name, len(rows), len(nodes))
+			}
+			for _, row := range rows {
+				if row != nil && len(row) != s.dims {
+					return nil, fmt.Errorf("embed: service %q row has %d dims, want %d", s.name, len(row), s.dims)
+				}
+			}
+			return rows, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("embed: service %q failed after %d attempts: %v: %w",
+		s.name, s.retries+1, lastErr, ErrUnavailable)
+}

@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b",
 		"fig14", "fig15", "fig16",
 		"ablation-stealing", "ablation-partition", "ablation-batch", "ablation-failure",
-		"elastic", "storagefault", "chaos", "drift", "patterns",
+		"elastic", "storagefault", "chaos", "drift", "patterns", "knn",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -172,6 +172,32 @@ func TestPatternsRespectsBudget(t *testing.T) {
 		}
 		if m.MaxVisited > rep.VisitBudget {
 			t.Errorf("%s: max visited %d exceeds budget %d", name, m.MaxVisited, rep.VisitBudget)
+		}
+	}
+}
+
+// TestKNNMatchesOracle is the k-nearest acceptance run: every policy
+// answers the KNN-heavy mix oracle-identically with one provider-shared
+// embedding (checked inside the cells), the distributed candidate path
+// genuinely executes, and at least one answer per cell is non-empty.
+func TestKNNMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full four-policy knn comparison")
+	}
+	var buf bytes.Buffer
+	rep, err := knnRun(&buf, Quick)
+	if err != nil {
+		t.Fatalf("knn failed: %v\n%s", err, buf.String())
+	}
+	if rep.KNNQueries == 0 {
+		t.Error("workload contains no KNearest queries — the experiment is vacuous")
+	}
+	for name, m := range rep.Cells {
+		if m.Subtasks == 0 {
+			t.Errorf("%s: no subtasks — distributed candidate generation not exercised", name)
+		}
+		if m.NonEmpty == 0 {
+			t.Errorf("%s: every KNearest answer empty — ranking not exercised", name)
 		}
 	}
 }

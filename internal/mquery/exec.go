@@ -20,6 +20,8 @@ func Run(st Subtask, fetch Fetch) (Partial, int, error) {
 		return runPattern(st, fetch)
 	case KindReach:
 		return runReach(st, fetch)
+	case KindKNN:
+		return runKNN(st, fetch)
 	}
 	return Partial{}, 0, fmt.Errorf("%w: unknown subtask kind %d", query.ErrBadQuery, st.Kind)
 }
@@ -114,6 +116,58 @@ func runPattern(st Subtask, fetch Fetch) (Partial, int, error) {
 		rels = append(rels, EdgeRel{Edge: et.Edge, Pairs: pairs})
 	}
 	return Partial{Kind: KindPattern, Anchor: st.Anchor, Rels: rels, Visited: len(ball)}, units, nil
+}
+
+// runKNN materialises the Radius-bounded undirected ball around the
+// anchor — the same levelwise BFS as runPattern — and reports its node
+// ids (anchor excluded, sorted) as KNearest candidates. No distances are
+// computed here: the coordinator holds the embedding and re-ranks
+// exactly, so the partial stays transport-independent.
+func runKNN(st Subtask, fetch Fetch) (Partial, int, error) {
+	var cands []graph.NodeID
+	frontier := []graph.NodeID{st.Anchor}
+	seen := map[graph.NodeID]bool{st.Anchor: true}
+	units := 0
+	visited := 0
+	for depth := 0; depth <= st.Radius && len(frontier) > 0; depth++ {
+		got, err := fetch(frontier)
+		if err != nil {
+			return Partial{}, units, err
+		}
+		units += len(frontier)
+		var next []graph.NodeID
+		for _, u := range frontier {
+			rec, ok := got[u]
+			if !ok {
+				continue // dangling id: no record, not a candidate
+			}
+			visited++
+			if u != st.Anchor {
+				cands = append(cands, u)
+			}
+			if depth == st.Radius {
+				continue
+			}
+			for _, e := range rec.Out {
+				units++
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range rec.In {
+				units++
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		slices.Sort(next)
+		frontier = next
+	}
+	slices.Sort(cands)
+	return Partial{Kind: KindKNN, Anchor: st.Anchor, Candidates: cands, Visited: visited}, units, nil
 }
 
 // runReach runs one budgeted BFS fragment: levelwise out-edge BFS from the

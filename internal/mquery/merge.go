@@ -25,6 +25,9 @@ type Merger struct {
 	done  map[graph.NodeID]int
 	pend  map[graph.NodeID]int
 
+	// KindKNN: union of the candidate balls.
+	cands map[graph.NodeID]struct{}
+
 	absorbed   int
 	maxVisited int
 }
@@ -46,6 +49,8 @@ func NewMerger(pl *Plan) *Merger {
 				m.done[st.Anchor] = st.Hops
 			}
 		}
+	case KindKNN:
+		m.cands = make(map[graph.NodeID]struct{})
 	}
 	return m
 }
@@ -101,8 +106,30 @@ func (m *Merger) Absorb(p Partial) error {
 				m.pend[b.Node] = b.Hops
 			}
 		}
+	case KindKNN:
+		for _, c := range p.Candidates {
+			if c == p.Anchor {
+				continue // candidates exclude the query node by contract
+			}
+			m.cands[c] = struct{}{}
+		}
 	}
 	return nil
+}
+
+// Candidates returns the union of the absorbed KindKNN candidate balls in
+// ascending node order: the input to the coordinator's exact re-rank
+// (embedding distance, ties by id, first K). Nil for other kinds.
+func (m *Merger) Candidates() []graph.NodeID {
+	if m.plan.Kind != KindKNN {
+		return nil
+	}
+	out := make([]graph.NodeID, 0, len(m.cands))
+	for c := range m.cands {
+		out = append(out, c)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Found reports early success of a KindReach plan: once any partial
@@ -149,6 +176,10 @@ func (m *Merger) Result() query.Result {
 		return query.Result{Type: m.plan.qtype, Matches: m.countPattern()}
 	case KindReach:
 		return query.Result{Type: m.plan.qtype, Reachable: m.found}
+	case KindKNN:
+		// The merger has no embedding: the coordinator ranks Candidates
+		// itself (query.RankNearest) and fills Nearest/Count.
+		return query.Result{Type: m.plan.qtype}
 	}
 	return query.Result{}
 }

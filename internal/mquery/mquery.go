@@ -34,6 +34,10 @@ const (
 	KindPattern Kind = 1
 	// KindReach runs one budgeted BFS fragment toward the target.
 	KindReach Kind = 2
+	// KindKNN materialises the hop-bounded candidate ball of a KNearest
+	// query. Ranking happens at the coordinator, which holds the
+	// embedding; the processors only generate candidates.
+	KindKNN Kind = 3
 )
 
 // EdgeTask is one pattern edge a subtask must extract relations for. Labels
@@ -101,6 +105,9 @@ type Partial struct {
 	// Frontier is the truncated frontier to relaunch (KindReach, when the
 	// budget ran out before the search did).
 	Frontier []Boundary
+	// Candidates are the ball nodes of a KindKNN subtask (sorted, anchor
+	// excluded). The coordinator re-ranks them by embedding distance.
+	Candidates []graph.NodeID
 	// Visited counts the nodes this subtask expanded — the quantity the
 	// per-partition budget bounds. The Merger rejects any KindReach partial
 	// whose Visited exceeds the plan's budget, so a budget violation is a

@@ -94,6 +94,75 @@ func TestOracleEquivalenceMixedWorkload(t *testing.T) {
 	}
 }
 
+// modCoords is a synthetic coordinate source: coordinates are a pure
+// function of the node id, and every 10th node is uncovered (nil row) to
+// exercise the ranking path's drop-uncovered rule.
+type modCoords struct{}
+
+func (modCoords) Coords(u graph.NodeID) []float32 {
+	if u%10 == 0 {
+		return nil
+	}
+	return []float32{float32(u % 7), float32(u % 13), float32(u % 3)}
+}
+
+func TestKNNOracleEquivalence(t *testing.T) {
+	g := gen.KnowledgeGraph(600, 2400, 4, 3, 9)
+	qs := query.Hotspot(g, query.WorkloadSpec{
+		NumHotspots:       40,
+		QueriesPerHotspot: 5,
+		Types:             []query.Type{query.KNearest},
+		K:                 5,
+		Seed:              7,
+	})
+	src := modCoords{}
+	nonEmpty := 0
+	for _, q := range qs {
+		if q.Type != query.KNearest {
+			continue // degenerate slots fall back to NeighborAgg
+		}
+		pl, err := NewPlan(q, g.LabelID)
+		if err != nil {
+			t.Fatalf("NewPlan(%+v): %v", q, err)
+		}
+		if pl.Kind != KindKNN || len(pl.Subtasks) != 1 {
+			t.Fatalf("KNN plan: kind %v, %d subtasks", pl.Kind, len(pl.Subtasks))
+		}
+		m := NewMerger(pl)
+		for _, st := range pl.Subtasks {
+			part, units, err := Run(st, fetchFromGraph(g))
+			if err != nil {
+				t.Fatalf("Run(%+v): %v", st, err)
+			}
+			if part.Visited > 0 && units < part.Visited {
+				t.Fatalf("subtask billed %d units for %d visits", units, part.Visited)
+			}
+			if err := m.Absorb(part); err != nil {
+				t.Fatalf("Absorb: %v", err)
+			}
+		}
+		if len(m.NextWave()) != 0 {
+			t.Fatal("KNN plan relaunched a wave")
+		}
+		for _, c := range m.Candidates() {
+			if c == q.Node {
+				t.Fatalf("candidate set of node %d contains the anchor", q.Node)
+			}
+		}
+		got := query.KNNResult(src, q, m.Candidates())
+		want := query.AnswerKNN(g, src, q)
+		if got != want {
+			t.Fatalf("query %d on node %d: distributed %+v, oracle %+v", q.ID, q.Node, got, want)
+		}
+		if got.Count > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every KNN answer empty — the ranking path is untested")
+	}
+}
+
 func TestLabelledPatternOracle(t *testing.T) {
 	// 0 (unused; node 0 never anchors), a:author, p:paper, q:paper,
 	// v:venue. a -wrote-> p, a -wrote-> q, p -at-> v, q -at-> v.

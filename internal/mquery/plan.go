@@ -42,6 +42,8 @@ func NewPlan(q query.Query, resolve LabelResolver) (*Plan, error) {
 		return planPattern(q, resolve)
 	case query.BoundedReach:
 		return planReach(q), nil
+	case query.KNearest:
+		return planKNN(q), nil
 	}
 	return nil, fmt.Errorf("%w: %v is not a multi-anchor query", query.ErrBadQuery, q.Type)
 }
@@ -131,6 +133,24 @@ func planPattern(q query.Query, resolve LabelResolver) (*Plan, error) {
 		})
 	}
 	return pl, nil
+}
+
+// planKNN emits the single candidate-generation subtask of a KNearest
+// query: materialise the Hops-bounded undirected ball around the query
+// node. The exact re-rank (embedding distances, tie-break by id, first K)
+// happens at the coordinator — see Merger.Candidates — because only the
+// coordinator holds the embedding.
+func planKNN(q query.Query) *Plan {
+	return &Plan{
+		Kind:  KindKNN,
+		qtype: q.Type,
+		hops:  q.Hops,
+		Subtasks: []Subtask{{
+			Kind:   KindKNN,
+			Anchor: q.Node,
+			Radius: q.Hops,
+		}},
+	}
 }
 
 func planReach(q query.Query) *Plan {

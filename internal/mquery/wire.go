@@ -65,7 +65,7 @@ func (st *Subtask) UnmarshalBinary(data []byte) error {
 	if err := d.finish("subtask"); err != nil {
 		return err
 	}
-	if kind != KindPattern && kind != KindReach {
+	if kind != KindPattern && kind != KindReach && kind != KindKNN {
 		return fmt.Errorf("subtask: unknown kind %d", kind)
 	}
 	*st = Subtask{Kind: kind, Anchor: anchor, Radius: radius, Edges: edges,
@@ -103,6 +103,10 @@ func (p Partial) AppendBinary(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, uint64(b.Node))
 		buf = binary.AppendUvarint(buf, uint64(b.Hops))
 	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Candidates)))
+	for _, c := range p.Candidates {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
 	return buf
 }
 
@@ -133,17 +137,22 @@ func (p *Partial) UnmarshalBinary(data []byte) error {
 		hops := int(d.u32())
 		front = append(front, Boundary{Node: node, Hops: hops})
 	}
+	nCands := d.count(len(d.buf))
+	var cands []graph.NodeID
+	for i := 0; i < nCands; i++ {
+		cands = append(cands, graph.NodeID(d.u32()))
+	}
 	if err := d.finish("partial"); err != nil {
 		return err
 	}
-	if kind != KindPattern && kind != KindReach {
+	if kind != KindPattern && kind != KindReach && kind != KindKNN {
 		return fmt.Errorf("partial: unknown kind %d", kind)
 	}
 	if found > 1 {
 		return fmt.Errorf("partial: found flag %d", found)
 	}
 	*p = Partial{Kind: kind, Anchor: anchor, Rels: rels, Found: found == 1,
-		Frontier: front, Visited: visited}
+		Frontier: front, Visited: visited, Candidates: cands}
 	return nil
 }
 

@@ -3,6 +3,8 @@ package mquery
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func wireSubtasks() []Subtask {
@@ -15,6 +17,7 @@ func wireSubtasks() []Subtask {
 				{Edge: 15, FromLabel: -1, ToLabel: 0, EdgeLabel: -1, FromAnchor: 0, ToAnchor: 1<<32 - 1},
 			},
 		},
+		{Kind: KindKNN, Anchor: 42, Radius: 2},
 	}
 }
 
@@ -31,6 +34,10 @@ func wirePartials() []Partial {
 				{Edge: 0, Pairs: []Pair{{From: 1, To: 2}, {From: 1, To: 9}}},
 				{Edge: 1},
 			},
+		},
+		{
+			Kind: KindKNN, Anchor: 42, Visited: 12,
+			Candidates: []graph.NodeID{1, 5, 1<<32 - 1},
 		},
 	}
 }
@@ -68,33 +75,36 @@ func TestPartialWireRoundTrip(t *testing.T) {
 }
 
 func TestWireDecodeRejects(t *testing.T) {
-	st := wireSubtasks()[1]
-	data, _ := st.MarshalBinary()
-	for cut := 0; cut < len(data); cut++ {
+	for i, st := range wireSubtasks() {
+		data, _ := st.MarshalBinary()
+		for cut := 0; cut < len(data); cut++ {
+			var back Subtask
+			if err := back.UnmarshalBinary(data[:cut]); err == nil {
+				t.Fatalf("subtask %d: truncation at %d decoded", i, cut)
+			}
+		}
 		var back Subtask
-		if err := back.UnmarshalBinary(data[:cut]); err == nil {
-			t.Fatalf("truncation at %d decoded", cut)
+		if err := back.UnmarshalBinary(append(data, 0)); err == nil {
+			t.Fatalf("subtask %d: trailing byte decoded", i)
 		}
 	}
 	var back Subtask
-	if err := back.UnmarshalBinary(append(data, 0)); err == nil {
-		t.Fatal("trailing byte decoded")
-	}
 	if err := back.UnmarshalBinary([]byte{9}); err == nil {
 		t.Fatal("unknown kind decoded")
 	}
 
-	p := wirePartials()[1]
-	pdata, _ := p.MarshalBinary()
-	for cut := 0; cut < len(pdata); cut++ {
-		var pb Partial
-		if err := pb.UnmarshalBinary(pdata[:cut]); err == nil {
-			t.Fatalf("partial truncation at %d decoded", cut)
+	for i, p := range wirePartials() {
+		pdata, _ := p.MarshalBinary()
+		for cut := 0; cut < len(pdata); cut++ {
+			var pb Partial
+			if err := pb.UnmarshalBinary(pdata[:cut]); err == nil {
+				t.Fatalf("partial %d: truncation at %d decoded", i, cut)
+			}
 		}
-	}
-	var pb Partial
-	if err := pb.UnmarshalBinary(append(pdata, 0)); err == nil {
-		t.Fatal("partial trailing byte decoded")
+		var pb Partial
+		if err := pb.UnmarshalBinary(append(pdata, 0)); err == nil {
+			t.Fatalf("partial %d: trailing byte decoded", i)
+		}
 	}
 }
 

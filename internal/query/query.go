@@ -8,6 +8,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"repro/internal/graph"
@@ -42,6 +43,14 @@ const (
 	// nodes in later waves) without any single subtask ever exceeding the
 	// per-partition budget.
 	BoundedReach
+	// KNearest returns the K nodes within Hops (undirected) of Node that
+	// are nearest to it under the system's graph embedding (ROADMAP item
+	// 4). Distributed execution generates the candidate ball on the
+	// processor owning the anchor's neighbourhood, then re-ranks exactly
+	// at the coordinator with the router's embedding: distance ties break
+	// toward the smaller node id, so results are deterministic across
+	// transports.
+	KNearest
 )
 
 func (t Type) String() string {
@@ -56,14 +65,21 @@ func (t Type) String() string {
 		return "pattern-match"
 	case BoundedReach:
 		return "bounded-reach"
+	case KNearest:
+		return "k-nearest"
 	}
 	return fmt.Sprintf("Type(%d)", int(t))
 }
 
-// MultiAnchor reports whether t is a multi-anchor query kind: one with
-// several home processors, routed as per-anchor subtasks rather than a
-// single destination.
-func (t Type) MultiAnchor() bool { return t == PatternMatch || t == BoundedReach }
+// MultiAnchor reports whether t executes through the multi-anchor wave
+// machinery: routed as per-anchor subtasks whose partials the
+// router/session composes, rather than as a single destination query.
+// KNearest rides the same machinery with a single anchor (candidate
+// generation on the anchor's processor, exact re-rank at the
+// coordinator).
+func (t Type) MultiAnchor() bool {
+	return t == PatternMatch || t == BoundedReach || t == KNearest
+}
 
 // Query is one online request.
 type Query struct {
@@ -94,6 +110,9 @@ type Query struct {
 	// VisitBudget caps the node expansions of any single per-partition
 	// subtask of a BoundedReach query.
 	VisitBudget int
+	// K is how many nearest neighbours a KNearest query returns
+	// (1 <= K <= MaxKNearest).
+	K int
 }
 
 // AnchorNodes returns the graph nodes the query is anchored at — the nodes
@@ -112,16 +131,24 @@ func (q Query) AnchorNodes() []graph.NodeID {
 	return []graph.NodeID{q.Node}
 }
 
+// MaxKNearest caps K of a KNearest query. The bound keeps Result a
+// fixed-size (comparable) value and the wire envelope small.
+const MaxKNearest = 16
+
 // Result is a query answer. Exactly one of the payload fields is
 // meaningful, selected by Type. Results stay comparable with == (tests and
 // experiments compare against the oracle that way), so payloads are
-// scalars only.
+// scalars and fixed-size arrays only.
 type Result struct {
 	Type      Type
-	Count     int          // NeighborAgg
+	Count     int          // NeighborAgg; KNearest: how many of Nearest are set
 	EndNode   graph.NodeID // RandomWalk
 	Reachable bool         // Reachability, BoundedReach
 	Matches   int          // PatternMatch: homomorphism count
+	// Nearest holds a KNearest answer: the first Count entries are the
+	// neighbour ids in ascending embedding-distance order (ties broken by
+	// node id); the rest stay zero.
+	Nearest [MaxKNearest]graph.NodeID
 }
 
 // WorkloadSpec configures the hotspot workload of Section 4.1: "we select
@@ -142,7 +169,9 @@ type WorkloadSpec struct {
 	RestartProb float64
 	// VisitBudget applies to BoundedReach queries (default 64).
 	VisitBudget int
-	Seed        int64
+	// K applies to KNearest queries (default 8).
+	K    int
+	Seed int64
 }
 
 func (s WorkloadSpec) withDefaults() WorkloadSpec {
@@ -167,6 +196,9 @@ func (s WorkloadSpec) withDefaults() WorkloadSpec {
 	if s.VisitBudget <= 0 {
 		s.VisitBudget = 64
 	}
+	if s.K <= 0 {
+		s.K = 8
+	}
 	return s
 }
 
@@ -174,6 +206,11 @@ func (s WorkloadSpec) withDefaults() WorkloadSpec {
 // workload the patterns experiment and the cross-transport equivalence
 // tests run.
 var MixedTypes = []Type{NeighborAgg, PatternMatch, RandomWalk, BoundedReach, Reachability}
+
+// MixedTypesKNN extends MixedTypes with KNearest — the mix for systems
+// that carry an embedding (the oracle for KNearest needs one; see
+// AnswerKNN).
+var MixedTypesKNN = []Type{NeighborAgg, PatternMatch, RandomWalk, KNearest, BoundedReach, Reachability}
 
 // Hotspot generates the workload over g. Hotspot centres are sampled from
 // nodes with at least one edge (an isolated centre would make every query
@@ -283,6 +320,14 @@ func Hotspot(g *graph.Graph, spec WorkloadSpec) []Query {
 						qu.Target = nodes[rng.Intn(len(nodes))]
 					}
 				}
+			case KNearest:
+				a1, ok := anchorOf(rng, node, region, nodes)
+				if !ok {
+					qu.Type = NeighborAgg
+					break
+				}
+				qu.Node = a1
+				qu.K = spec.K
 			}
 			queries = append(queries, qu)
 			id++
@@ -395,8 +440,99 @@ func Answer(g *graph.Graph, q Query) Result {
 			}
 		}
 		return Result{Type: q.Type}
+	case KNearest:
+		// A KNearest answer depends on the embedding, which the graph alone
+		// does not determine — use AnswerKNN with the system's coordinate
+		// source.
+		return Result{Type: q.Type}
 	}
 	return Result{Type: q.Type}
+}
+
+// CoordSource supplies node coordinates for KNearest evaluation. A nil
+// row means the node is not embedded. *embed.Embedding satisfies it; so
+// does any Embedder materialisation.
+type CoordSource interface {
+	Coords(u graph.NodeID) []float32
+}
+
+// AnswerKNN is the KNearest oracle: the reference result computed
+// directly on the in-memory graph and an embedding. Candidates are every
+// node within q.Hops undirected hops of q.Node (excluding q.Node);
+// candidates without coordinates are unrankable and skipped; the K
+// nearest by Euclidean embedding distance win, ties broken by node id.
+// An unembedded anchor has no distances at all and answers empty. Both
+// distributed engines must agree with this exactly.
+func AnswerKNN(g *graph.Graph, coords CoordSource, q Query) Result {
+	cands := g.KHopNeighborhood(q.Node, q.Hops, graph.Both)
+	slices.Sort(cands)
+	return KNNResult(coords, q, cands)
+}
+
+// KNNResult assembles a KNearest Result from an already-generated
+// candidate set (sorted, duplicate-free, q.Node excluded): the step both
+// distributed coordinators run after their processors report the
+// hop-bounded ball. An unembedded anchor answers empty.
+func KNNResult(coords CoordSource, q Query, cands []graph.NodeID) Result {
+	res := Result{Type: q.Type}
+	cu := coords.Coords(q.Node)
+	if nanOrNil(cu) {
+		return res
+	}
+	res.Count = copy(res.Nearest[:], RankNearest(cu, cands, coords, q.K))
+	return res
+}
+
+// RankNearest orders candidate nodes by Euclidean embedding distance to
+// the cu row (ties broken by node id, unembedded candidates dropped) and
+// returns the nearest k — the exact re-rank both coordinators run.
+// Candidates must be sorted and duplicate-free for the tie-break to be
+// deterministic.
+func RankNearest(cu []float32, cands []graph.NodeID, coords CoordSource, k int) []graph.NodeID {
+	type scored struct {
+		node graph.NodeID
+		dist float64
+	}
+	ranked := make([]scored, 0, len(cands))
+	for _, v := range cands {
+		cv := coords.Coords(v)
+		if nanOrNil(cv) {
+			continue
+		}
+		var sum float64
+		for i := range cu {
+			d := float64(cu[i]) - float64(cv[i])
+			sum += d * d
+		}
+		ranked = append(ranked, scored{node: v, dist: sum})
+	}
+	slices.SortFunc(ranked, func(a, b scored) int {
+		switch {
+		case a.dist < b.dist:
+			return -1
+		case a.dist > b.dist:
+			return 1
+		case a.node < b.node:
+			return -1
+		case a.node > b.node:
+			return 1
+		}
+		return 0
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]graph.NodeID, k)
+	for i := range out {
+		out[i] = ranked[i].node
+	}
+	return out
+}
+
+// nanOrNil reports whether a coordinate row is missing or the NaN
+// unembedded marker.
+func nanOrNil(row []float32) bool {
+	return len(row) == 0 || math.IsNaN(float64(row[0]))
 }
 
 // walkStep picks a uniform neighbour in direction dir from the two

@@ -38,7 +38,7 @@ var (
 // means the caller never set it. (Hotspot never generates that pattern.)
 func (q Query) Validate() error {
 	switch q.Type {
-	case NeighborAgg, RandomWalk, Reachability, PatternMatch, BoundedReach:
+	case NeighborAgg, RandomWalk, Reachability, PatternMatch, BoundedReach, KNearest:
 	default:
 		return fmt.Errorf("%w: unknown query type %v", ErrBadQuery, q.Type)
 	}
@@ -83,6 +83,13 @@ func (q Query) Validate() error {
 		}
 		if q.VisitBudget < 1 {
 			return fmt.Errorf("%w: bounded-reach visit budget %d < 1", ErrBadQuery, q.VisitBudget)
+		}
+	case KNearest:
+		if q.K < 1 || q.K > MaxKNearest {
+			return fmt.Errorf("%w: k-nearest K %d outside [1,%d]", ErrBadQuery, q.K, MaxKNearest)
+		}
+		if q.Hops < 1 {
+			return fmt.Errorf("%w: k-nearest query needs Hops >= 1, got %d", ErrBadQuery, q.Hops)
 		}
 	}
 	return nil

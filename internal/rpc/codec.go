@@ -333,6 +333,7 @@ func appendQuery(buf []byte, q *query.Query, scratch *[]byte) []byte {
 		buf = append(buf, 0)
 	}
 	buf = binary.AppendVarint(buf, int64(q.VisitBudget))
+	buf = binary.AppendVarint(buf, int64(q.K))
 	return buf
 }
 
@@ -366,6 +367,7 @@ func decQuery(d *wireReader, q *query.Query) {
 		}
 	}
 	q.VisitBudget = int(d.varint())
+	q.K = int(d.varint())
 }
 
 func appendResult(buf []byte, r *query.Result) []byte {
@@ -374,6 +376,16 @@ func appendResult(buf []byte, r *query.Result) []byte {
 	buf = binary.AppendUvarint(buf, uint64(r.EndNode))
 	buf = appendBool(buf, r.Reachable)
 	buf = binary.AppendVarint(buf, int64(r.Matches))
+	// Nearest travels only for KNearest results (Count doubles as its
+	// length there); other kinds pay a single zero byte.
+	nn := 0
+	if r.Type == query.KNearest && r.Count > 0 && r.Count <= query.MaxKNearest {
+		nn = r.Count
+	}
+	buf = append(buf, byte(nn))
+	for i := 0; i < nn; i++ {
+		buf = binary.AppendUvarint(buf, uint64(r.Nearest[i]))
+	}
 	return buf
 }
 
@@ -383,6 +395,14 @@ func decResult(d *wireReader, r *query.Result) {
 	r.EndNode = graph.NodeID(d.uvarint())
 	r.Reachable = d.bool()
 	r.Matches = int(d.varint())
+	nn := int(d.u8())
+	if nn > query.MaxKNearest {
+		d.fail()
+		return
+	}
+	for i := 0; i < nn; i++ {
+		r.Nearest[i] = graph.NodeID(d.uvarint())
+	}
 }
 
 // encodeResponseFrame appends a complete response frame to buf.

@@ -42,6 +42,14 @@ type RouterServer struct {
 	policyName string
 	poolSize   int
 
+	// emb is the coordinate table KNearest re-ranks against (and the
+	// embedding the strategy routes by, when it is embedding-based). Nil
+	// means KNearest queries answer query.ErrUnavailable; embErr carries
+	// the provider failure that caused a degraded start, if any. Both are
+	// set at construction and never change.
+	emb    *embed.Embedding
+	embErr error
+
 	mu         sync.Mutex // guards the topology, pools and counters below
 	topo       *topology.Tracker
 	view       topology.View
@@ -145,6 +153,15 @@ type RouterConfig struct {
 	PlacementEvery int
 	// PlacementMinReads is the planner's hysteresis floor (0 = default).
 	PlacementMinReads int64
+	// Embedding is the coordinate table KNearest queries re-rank against —
+	// the one BuildStrategyEmbed surfaces, or a materialised
+	// embed.Embedder. Nil routers reject KNearest with
+	// query.ErrUnavailable.
+	Embedding *embed.Embedding
+	// EmbedErr records why a configured embedding provider failed to
+	// materialise when the router starts degraded anyway (the policy did
+	// not need coordinates): KNearest rejections carry it for diagnosis.
+	EmbedErr error
 }
 
 // NewRouterServer starts a router on addr.
@@ -162,6 +179,8 @@ func NewRouterServer(addr string, cfg RouterConfig) (*RouterServer, error) {
 	r := &RouterServer{
 		policyName: cfg.PolicyName,
 		poolSize:   cfg.PoolSize,
+		emb:        cfg.Embedding,
+		embErr:     cfg.EmbedErr,
 		topo:       topology.NewTrackerAddrs(cfg.ProcessorAddrs),
 		strategy:   cfg.Strategy,
 		inflight:   make([]int, n),
@@ -741,6 +760,12 @@ func (r *RouterServer) divertLocked(q query.Query) int {
 // target cancels the wave's outstanding subtask calls mid-stream (their
 // results cannot change the answer) and no further wave launches.
 func (r *RouterServer) executeMultiQuery(ctx context.Context, q query.Query, deadline int64) (query.Result, uint64, error) {
+	if q.Type == query.KNearest {
+		// Ranking needs the coordinate table; fail before issuing subtasks.
+		if err := r.knnReady(); err != nil {
+			return query.Result{}, 0, err
+		}
+	}
 	var resolve mquery.LabelResolver
 	if r.g != nil {
 		resolve = r.g.LabelID
@@ -766,7 +791,28 @@ func (r *RouterServer) executeMultiQuery(ctx context.Context, q query.Query, dea
 	// units — finishSubtasks leaves these counters alone).
 	r.queries.Add(1)
 	r.maybeTick(1)
-	return m.Result(), epoch, nil
+	res := m.Result()
+	if pl.Kind == mquery.KindKNN {
+		// Exact re-rank at the router: the processors only generated the
+		// hop-bounded candidate ball; the embedding lives here.
+		res = query.KNNResult(r.emb, q, m.Candidates())
+	}
+	return res, epoch, nil
+}
+
+// knnReady reports whether this router can answer KNearest queries: it
+// holds an embedding. The error is typed query.ErrUnavailable (a missing
+// or degraded embedding is a service condition, not a bad query) and
+// carries the provider failure that caused a degraded start, if any.
+func (r *RouterServer) knnReady() error {
+	if r.emb != nil {
+		return nil
+	}
+	if r.embErr != nil {
+		return fmt.Errorf("rpc: k-nearest needs an embedding, provider failed: %v: %w", r.embErr, query.ErrUnavailable)
+	}
+	return fmt.Errorf("rpc: k-nearest needs an embedding (policy %q routes without one and no provider is configured): %w",
+		r.policyName, query.ErrUnavailable)
 }
 
 // runWave routes one wave of subtasks through the strategy's multi-anchor
@@ -1119,34 +1165,49 @@ func (r *RouterServer) Snapshot(ctx context.Context) (*metrics.Snapshot, error) 
 // the graph embedding when required) locally over the graph. Registered
 // user strategies resolve exactly like the built-ins.
 func BuildStrategy(policy string, g *graph.Graph, procs int, seed int64) (router.Strategy, error) {
+	strat, _, err := BuildStrategyEmbed(policy, g, procs, seed, nil)
+	return strat, err
+}
+
+// BuildStrategyEmbed is BuildStrategy with the embedding surfaced: it
+// returns the coordinate table the strategy routes by, for the router to
+// re-rank KNearest queries against (RouterConfig.Embedding). A non-nil
+// emb overrides the learned embedding wholesale — the provider path —
+// and is returned as-is even for policies that route without
+// coordinates, so KNearest works under every policy.
+func BuildStrategyEmbed(policy string, g *graph.Graph, procs int, seed int64, emb *embed.Embedding) (router.Strategy, *embed.Embedding, error) {
 	if policy == "" {
 		policy = "nextready"
 	}
 	reg, ok := router.LookupName(policy)
 	if !ok {
-		return nil, fmt.Errorf("rpc: unknown policy %q", policy)
+		return nil, nil, fmt.Errorf("rpc: unknown policy %q", policy)
 	}
-	res := router.Resources{Procs: procs, Seed: seed, LoadFactor: 20, Alpha: 0.5, Graph: g}
+	res := router.Resources{Procs: procs, Seed: seed, LoadFactor: 20, Alpha: 0.5, Graph: g, Embedding: emb}
 	if reg.Prep >= router.PrepLandmarks {
 		if g == nil {
-			return nil, fmt.Errorf("rpc: policy %q needs a graph for preprocessing", policy)
+			return nil, nil, fmt.Errorf("rpc: policy %q needs a graph for preprocessing", policy)
 		}
 		lms := landmark.Select(g, 32, 2)
 		if len(lms) < 2 {
-			return nil, fmt.Errorf("rpc: graph too small for landmark selection")
+			return nil, nil, fmt.Errorf("rpc: graph too small for landmark selection")
 		}
 		idx := landmark.BuildIndex(g, lms, 0)
 		res.Index = idx
 		res.Assignment = landmark.Assign(idx, procs)
-		if reg.Prep >= router.PrepEmbedding {
-			emb, err := embed.Build(g, idx, embed.Options{Dimensions: 8, Seed: seed})
+		if reg.Prep >= router.PrepEmbedding && res.Embedding == nil {
+			built, err := embed.Build(g, idx, embed.Options{Dimensions: 8, Seed: seed})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			res.Embedding = emb
+			res.Embedding = built
 		}
 	}
-	return reg.New(res)
+	strat, err := reg.New(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return strat, res.Embedding, nil
 }
 
 // RouterClient is a gRouting client talking to a router daemon over a

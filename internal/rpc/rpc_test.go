@@ -446,6 +446,36 @@ func TestEnvelopeEncodedSize(t *testing.T) {
 	if n := reqFrameSize(t, patExec); n > 64 {
 		t.Errorf("1-pattern execute frame encodes to %d bytes, want <= 64", n)
 	}
+	// A k-nearest query is the classic-traversal envelope plus one varint
+	// for K; its single-subtask dispatch matches the reach ceiling.
+	knnExec := execRequest(context.Background(), []query.Query{
+		{ID: 1, Type: query.KNearest, Node: 42, Hops: 2, K: 8, Dir: graph.Both},
+	})
+	if n := reqFrameSize(t, knnExec); n > 48 {
+		t.Errorf("1-knn execute frame encodes to %d bytes, want <= 48", n)
+	}
+	knnSub := &Request{Op: OpExecute, Exec: &ExecRequest{Subtasks: []mquery.Subtask{
+		{Kind: mquery.KindKNN, Anchor: 42, Radius: 2},
+	}}}
+	if n := reqFrameSize(t, knnSub); n > 32 {
+		t.Errorf("1-knn-subtask execute frame encodes to %d bytes, want <= 32", n)
+	}
+	// A candidate partial and the final ranked result stay proportional to
+	// the ids they carry: one byte of count plus a varint per node.
+	knnPart := &Response{OK: true, Partials: []mquery.Partial{
+		{Kind: mquery.KindKNN, Anchor: 42, Visited: 12,
+			Candidates: []graph.NodeID{7, 9, 11, 13}},
+	}}
+	if n := respFrameSize(t, knnPart); n > 32 {
+		t.Errorf("4-candidate knn partial frame encodes to %d bytes, want <= 32", n)
+	}
+	knnResp := &Response{OK: true, Results: []query.Result{
+		{Type: query.KNearest, Count: 4,
+			Nearest: [query.MaxKNearest]graph.NodeID{7, 9, 11, 13}},
+	}}
+	if n := respFrameSize(t, knnResp); n > 32 {
+		t.Errorf("4-nearest knn result frame encodes to %d bytes, want <= 32", n)
+	}
 	// A truncated-frontier partial response stays proportional to its
 	// boundary, with a small constant envelope.
 	partResp := &Response{OK: true, Partials: []mquery.Partial{

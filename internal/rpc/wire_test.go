@@ -72,9 +72,11 @@ func fullRequest() *Request {
 					},
 				},
 				{ID: 4, Type: query.NeighborAgg, Node: 7, Hops: -1, Dir: graph.In},
+				{ID: 5, Type: query.KNearest, Node: 42, Hops: 2, K: 8, Dir: graph.Both},
 			},
 			Subtasks: []mquery.Subtask{
 				{Kind: mquery.KindReach, Anchor: 42, Target: 99, Hops: 2, Budget: 64},
+				{Kind: mquery.KindKNN, Anchor: 42, Radius: 2},
 			},
 		},
 		Addr:      "10.0.0.71:7101",
@@ -97,10 +99,14 @@ func fullResponse() *Response {
 		Founds: []bool{true, false, true},
 		Results: []query.Result{
 			{Type: query.PatternMatch, Count: 12, EndNode: 99, Reachable: true, Matches: 3},
+			{Type: query.KNearest, Count: 3,
+				Nearest: [query.MaxKNearest]graph.NodeID{9, 4, 1<<32 - 1}},
 		},
 		Partials: []mquery.Partial{
 			{Kind: mquery.KindReach, Anchor: 42, Visited: 64,
 				Frontier: []mquery.Boundary{{Node: 7, Hops: 1}}},
+			{Kind: mquery.KindKNN, Anchor: 42, Visited: 12,
+				Candidates: []graph.NodeID{4, 9, 1<<32 - 1}},
 		},
 		Epoch:     9,
 		Proc:      3,

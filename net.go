@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/embed"
 	"repro/internal/rpc"
 )
 
@@ -104,17 +105,38 @@ type RouterSpec struct {
 	PlacementEvery int
 	// PlacementMinReads is the planner's hysteresis floor (0 = default).
 	PlacementMinReads int64
+	// EmbedProvider supplies node coordinates from a pluggable source
+	// (OpenEmbeddingFile, NewEmbedService, or any user Embedder) instead
+	// of the built-in learned embedding. It is materialised once at router
+	// start and then serves both embedding-based routing and KNearest
+	// ranking. Providers without their own snapshot need Graph to walk.
+	// When it fails and the policy does not require an embedding, the
+	// router starts degraded: KNearest queries answer the typed
+	// ErrUnavailable; everything else is unaffected.
+	EmbedProvider Embedder
 }
 
 // ServeRouter starts a query router on addr: it builds the routing
 // strategy (running smart-routing preprocessing over spec.Graph when the
-// policy needs it), connects to the processors and serves in the
-// background.
+// policy needs it, or materialising spec.EmbedProvider), connects to the
+// processors and serves in the background.
 func ServeRouter(addr string, spec RouterSpec) (*RouterServer, error) {
 	if spec.Policy.NeedsLandmarks() && spec.Graph == nil {
 		return nil, fmt.Errorf("grouting: policy %v needs a graph for preprocessing", spec.Policy)
 	}
-	strat, err := rpc.BuildStrategy(spec.Policy.String(), spec.Graph, len(spec.Processors), spec.Seed)
+	var emb *Embedding
+	var embErr error
+	if spec.EmbedProvider != nil {
+		emb, embErr = embed.Materialize(context.Background(), spec.EmbedProvider, spec.Graph)
+		if embErr != nil {
+			if spec.Policy.NeedsEmbedding() {
+				// The strategy cannot route without coordinates.
+				return nil, fmt.Errorf("grouting: embed provider %q: %w", spec.EmbedProvider.Name(), embErr)
+			}
+			emb = nil // degraded start: KNearest reports embErr per query
+		}
+	}
+	strat, emb, err := rpc.BuildStrategyEmbed(spec.Policy.String(), spec.Graph, len(spec.Processors), spec.Seed, emb)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +152,8 @@ func ServeRouter(addr string, spec RouterSpec) (*RouterServer, error) {
 		PlacementBudget:   spec.PlacementBudget,
 		PlacementEvery:    spec.PlacementEvery,
 		PlacementMinReads: spec.PlacementMinReads,
+		Embedding:         emb,
+		EmbedErr:          embErr,
 	})
 }
 

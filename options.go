@@ -103,6 +103,14 @@ func WithoutStealing() Option { return func(c *Config) { c.DisableStealing = tru
 // WithPrepWorkers bounds preprocessing parallelism (0 = GOMAXPROCS).
 func WithPrepWorkers(n int) Option { return func(c *Config) { c.PrepWorkers = n } }
 
+// WithEmbedProvider plugs a coordinate source (OpenEmbeddingFile,
+// NewEmbedService, or any Embedder) into the system in place of the
+// built-in learned embedding: it is materialised once at construction and
+// then serves both embedding-based routing and KNearest ranking. When the
+// provider fails and the policy does not require an embedding, the system
+// starts degraded — KNearest queries answer the typed ErrUnavailable.
+func WithEmbedProvider(p Embedder) Option { return func(c *Config) { c.EmbedProvider = p } }
+
 // ParsePolicy maps a policy name (as printed by Policy.String and used by
 // the daemons' -policy flags) back to the Policy. It resolves through the
 // strategy registry, so it is an exact round-trip of Policy.String for
